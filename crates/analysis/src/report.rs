@@ -1,0 +1,216 @@
+//! Report formatting: aligned text tables for stdout and CSV series for
+//! downstream plotting.
+
+use std::fmt::Write as _;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use sievestore_types::SieveError;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_analysis::TextTable;
+///
+/// let mut table = TextTable::new(vec!["policy".into(), "hits".into()]);
+/// table.push_row(vec!["AOD".into(), "123".into()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("policy"));
+/// assert!(rendered.contains("AOD"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest
+                // (labels left, numbers right).
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), SieveError> {
+        write_csv(
+            path,
+            &self.headers,
+            self.rows.iter().map(|r| r.as_slice()),
+        )
+    }
+}
+
+/// Writes rows of string cells as CSV, creating parent directories.
+/// Cells containing commas or quotes are quoted.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv<'a>(
+    path: impl AsRef<Path>,
+    headers: &[String],
+    rows: impl Iterator<Item = &'a [String]>,
+) -> Result<(), SieveError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal ("34.5%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a count with thousands separators ("1,234,567").
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "12345".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        // Numbers right-aligned: "1" ends its line.
+        assert!(lines[2].ends_with("1"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.push_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_escaping() {
+        let dir = std::env::temp_dir().join(format!("sievestore-report-{}", std::process::id()));
+        let path = dir.join("t.csv");
+        let mut t = TextTable::new(vec!["k".into(), "v".into()]);
+        t.push_row(vec!["a,b".into(), "he said \"hi\"".into()]);
+        t.write_csv(&path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"a,b\""));
+        assert!(text.contains("\"he said \"\"hi\"\"\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.345), "34.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+    }
+}

@@ -1,0 +1,62 @@
+//! Microbenchmarks for the cache substrates: LRU hit/miss/insert paths and
+//! epoch batch installation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sievestore_cache::{BatchCache, LruCache};
+
+fn lru_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_touch_hit");
+    for &size in &[1 << 10, 1 << 16, 1 << 20] {
+        let mut cache = LruCache::new(size);
+        for k in 0..size as u64 {
+            cache.insert(k);
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let k = rng.random_range(0..size as u64);
+                black_box(cache.touch(black_box(k)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lru_insert_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_insert_evict");
+    let size = 1 << 16;
+    let mut cache = LruCache::new(size);
+    let mut next = 0u64;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("steady_state", |b| {
+        b.iter(|| {
+            next += 1;
+            black_box(cache.insert(black_box(next)))
+        })
+    });
+    group.finish();
+}
+
+fn batch_install(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_install_epoch");
+    for &n in &[1_000usize, 50_000] {
+        // Half the selection overlaps the previous epoch (typical drift).
+        let epoch_a: Vec<u64> = (0..n as u64).collect();
+        let epoch_b: Vec<u64> = (n as u64 / 2..n as u64 * 3 / 2).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut cache = BatchCache::new(2 * n);
+                cache.install_epoch(epoch_a.iter().copied());
+                black_box(cache.install_epoch(epoch_b.iter().copied()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lru_hits, lru_insert_evict, batch_install);
+criterion_main!(benches);

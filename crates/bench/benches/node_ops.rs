@@ -1,0 +1,97 @@
+//! Appliance-layer microbenchmarks: protocol codec throughput and
+//! data-cache operation rates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sievestore::PolicySpec;
+use sievestore_node::{DataCache, MemBacking, Request, WritePolicy};
+use sievestore_sieve::TwoTierConfig;
+use sievestore_types::Micros;
+
+fn protocol_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_protocol");
+    group.throughput(Throughput::Elements(1));
+    let write = Request::Write {
+        key: 42,
+        data: Box::new([0xAB; 512]),
+    };
+    group.bench_function("encode_write", |b| {
+        let mut buf = Vec::with_capacity(1024);
+        b.iter(|| {
+            buf.clear();
+            write.encode(&mut buf).expect("vec write");
+            black_box(buf.len())
+        })
+    });
+    let mut encoded = Vec::new();
+    write.encode(&mut encoded).expect("vec write");
+    group.bench_function("decode_write", |b| {
+        b.iter(|| black_box(Request::decode(&mut encoded.as_slice()).expect("own encoding")))
+    });
+    group.finish();
+}
+
+fn data_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_data_cache");
+    group.throughput(Throughput::Elements(1));
+
+    // Hot reads: resident frames under AOD.
+    {
+        let mut cache =
+            DataCache::new(MemBacking::new(), PolicySpec::Aod, 1 << 14).expect("valid appliance");
+        for key in 0..1_000u64 {
+            cache.write(key, &[1; 512], Micros::new(key)).expect("mem");
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_function("read_hit", |b| {
+            b.iter(|| {
+                let key = rng.random_range(0..1_000u64);
+                black_box(cache.read(key, Micros::new(key)).expect("mem"))
+            })
+        });
+    }
+
+    // Cold bypassed reads through the sieve (the common path).
+    {
+        let mut cache = DataCache::new(
+            MemBacking::new(),
+            PolicySpec::SieveStoreC(
+                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
+            ),
+            1 << 14,
+        )
+        .expect("valid appliance");
+        let mut next = 0u64;
+        group.bench_function("read_cold_bypass", |b| {
+            b.iter(|| {
+                next += 1;
+                black_box(cache.read(next, Micros::new(next)).expect("mem"))
+            })
+        });
+    }
+
+    // Write hits under both policies.
+    for (label, policy) in [
+        ("write_hit_through", WritePolicy::WriteThrough),
+        ("write_hit_back", WritePolicy::WriteBack),
+    ] {
+        let mut cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 1 << 14)
+            .expect("valid appliance")
+            .with_write_policy(policy);
+        for key in 0..1_000u64 {
+            cache.write(key, &[1; 512], Micros::new(key)).expect("mem");
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let key = rng.random_range(0..1_000u64);
+                black_box(cache.write(key, &[2; 512], Micros::new(key)).expect("mem"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, protocol_codec, data_cache_ops);
+criterion_main!(benches);

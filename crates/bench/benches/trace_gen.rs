@@ -1,0 +1,56 @@
+//! Throughput of the synthetic trace generator and the trace codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sievestore_trace::{EnsembleConfig, SyntheticTrace, TraceReader, TraceWriter};
+use sievestore_types::Day;
+
+fn generation(c: &mut Criterion) {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(7)).expect("valid config");
+    let day_len = trace.day_requests(Day::new(1)).len() as u64;
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(day_len));
+    group.bench_function("tiny_ensemble_day", |b| {
+        b.iter(|| black_box(trace.day_requests(black_box(Day::new(1)))))
+    });
+    group.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(7)).expect("valid config");
+    let requests = trace.day_requests(Day::new(1));
+    let mut group = c.benchmark_group("trace_codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::with_capacity(requests.len() * 28 + 16);
+            let mut writer = TraceWriter::new(&mut bytes).expect("vec write");
+            for r in &requests {
+                writer.write(r).expect("vec write");
+            }
+            writer.finish().expect("vec write");
+            black_box(bytes)
+        })
+    });
+    let mut bytes = Vec::new();
+    let mut writer = TraceWriter::new(&mut bytes).expect("vec write");
+    for r in &requests {
+        writer.write(r).expect("vec write");
+    }
+    writer.finish().expect("vec write");
+    group.bench_function("read_binary", |b| {
+        b.iter(|| {
+            let reader = TraceReader::new(bytes.as_slice()).expect("valid header");
+            black_box(
+                reader
+                    .inspect(|r| assert!(r.is_ok(), "valid record"))
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generation, codec);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Regenerates every table and figure of the SieveStore paper.
+//!
+//! ```text
+//! cargo run -p sievestore-bench --release --bin experiments -- all
+//! cargo run -p sievestore-bench --release --bin experiments -- fig5 fig6 --scale 128
+//! ```
+//!
+//! Text tables print to stdout; CSV series land in `results/`.
+
+use std::process::ExitCode;
+
+use sievestore_bench::{cost, extensions, policies, sens, summary, workload, Harness};
+
+const USAGE: &str = "\
+usage: experiments [--scale N] [--seed S] [--out DIR] <id>...
+
+ids:
+  table1 fig2a fig2b fig2c fig3a fig3b fig3c fig3d
+  table2 table3 fig5 fig6 fig7 fig8 fig9 sec5_3 sens summary
+  belady latency per_server   (extensions beyond the paper's figures)
+  all        every experiment above
+
+options:
+  --scale N  trace scale denominator (default 256; smaller = higher fidelity)
+  --seed S   master RNG seed (default 0x51EE5704)
+  --out DIR  CSV output directory (default results/)";
+
+const ALL: [&str; 20] = [
+    "table1", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "sec5_3", "belady", "latency", "per_server", "sens",
+];
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: u32 = 256;
+    let mut seed: u64 = 0x51EE_5704;
+    let mut out_dir = "results".to_string();
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out_dir = iter.next().ok_or("--out needs a value")?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return Err("no experiment ids given".into());
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+        ids.push("summary".to_string());
+    }
+
+    let mut harness = Harness::new(scale, seed, &out_dir).map_err(|e| e.to_string())?;
+    println!(
+        "SieveStore experiments | 13-server ensemble, {} days, scale 1/{scale}, seed {seed:#x}",
+        harness.trace().days()
+    );
+    println!("CSV output: {out_dir}/\n");
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let output = dispatch(&mut harness, id).map_err(|e| format!("{id}: {e}"))?;
+        println!("=== {id} ({:.1}s) ===\n{output}", started.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn dispatch(h: &mut Harness, id: &str) -> Result<String, String> {
+    let result = match id {
+        "table1" => workload::table1(h),
+        "fig2a" => workload::fig2a(h),
+        "fig2b" | "fig2c" => workload::fig2bc(h),
+        "fig3a" => workload::fig3a(h),
+        "fig3b" => workload::fig3b(h),
+        "fig3c" => workload::fig3c(h),
+        "fig3d" => workload::fig3d(h),
+        "table2" => policies::table2_exp(h),
+        "table3" => Ok(policies::table3()),
+        "fig5" => policies::fig5(h),
+        "fig6" => policies::fig6(h),
+        "fig7" => policies::fig7(h),
+        "fig8" => cost::fig8(h),
+        "fig9" => cost::fig9(h),
+        "sec5_3" => cost::sec5_3(h),
+        "belady" => extensions::belady(h),
+        "latency" => extensions::latency(h),
+        "per_server" => extensions::per_server_sim(h),
+        "sens" => sens::sensitivity(h),
+        "summary" => summary::summary(h),
+        other => return Err(format!("unknown experiment id '{other}'")),
+    };
+    result.map_err(|e| e.to_string())
+}

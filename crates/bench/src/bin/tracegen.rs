@@ -1,0 +1,100 @@
+//! Generates synthetic ensemble traces to disk, in the binary `SSTR`
+//! format and/or MSR-shaped CSV.
+//!
+//! ```text
+//! cargo run -p sievestore-bench --release --bin tracegen -- \
+//!     --out /tmp/ensemble --scale 1024 --days 3 --format both
+//! ```
+//!
+//! One file per calendar day (`day-<n>.sstr` / `day-<n>.csv`), plus a
+//! summary line per day. Useful for feeding external tools or decoupling
+//! trace generation from simulation.
+
+use std::fs::{self, File};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sievestore_trace::{write_csv, EnsembleConfig, Scale, SyntheticTrace, TraceWriter};
+use sievestore_types::Day;
+
+const USAGE: &str = "\
+usage: tracegen --out DIR [--scale N] [--seed S] [--days D] [--format binary|csv|both]
+
+Generates the 13-server calibrated ensemble trace, one file per day.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut scale: u32 = 1024;
+    let mut seed: u64 = 0x51EE_5704;
+    let mut days: Option<u16> = None;
+    let mut format = "binary".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--days" => days = Some(value("--days")?.parse().map_err(|e| format!("bad --days: {e}"))?),
+            "--format" => format = value("--format")?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let out = out.ok_or("--out is required")?;
+    if !matches!(format.as_str(), "binary" | "csv" | "both") {
+        return Err(format!("unknown format '{format}'"));
+    }
+
+    let mut config = EnsembleConfig::msr_like()
+        .with_scale(Scale::new(scale).map_err(|e| e.to_string())?)
+        .with_seed(seed);
+    if let Some(d) = days {
+        config = config.with_days(d);
+    }
+    let trace = SyntheticTrace::new(config).map_err(|e| e.to_string())?;
+    fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    for d in 0..trace.days() {
+        let requests = trace.day_requests(Day::new(d));
+        let blocks: u64 = requests.iter().map(|r| r.len_blocks as u64).sum();
+        if format == "binary" || format == "both" {
+            let path = out.join(format!("day-{d}.sstr"));
+            let file = File::create(&path).map_err(|e| e.to_string())?;
+            let mut writer =
+                TraceWriter::with_count(file, requests.len() as u64).map_err(|e| e.to_string())?;
+            for r in &requests {
+                writer.write(r).map_err(|e| e.to_string())?;
+            }
+            writer.finish().map_err(|e| e.to_string())?;
+        }
+        if format == "csv" || format == "both" {
+            let path = out.join(format!("day-{d}.csv"));
+            let file = File::create(&path).map_err(|e| e.to_string())?;
+            write_csv(file, requests.iter()).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "day {d}: {} requests, {} block accesses ({:.1} GB at scale 1/{scale})",
+            requests.len(),
+            blocks,
+            blocks as f64 * 512.0 / 1e9,
+        );
+    }
+    println!("wrote {} day file(s) to {}", trace.days(), out.display());
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! The headline-claims summary: reproduced vs paper-reported numbers.
+
+use sievestore_analysis::{pct, TextTable};
+use sievestore_ssd::endurance_years;
+use sievestore_types::SieveError;
+
+use crate::Harness;
+
+/// Computes the paper's headline results from the shared policy runs and
+/// renders them next to the paper's reported values.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn summary(h: &mut Harness) -> Result<String, SieveError> {
+    let scale = h.scale();
+    let days = h.trace().days();
+    let runs = h.policy_runs()?;
+
+    let best = runs.best_unsieved();
+    let best_mean = best.mean_captured_fraction(&[]);
+    let d_mean = runs.by_name("SieveStore-D").mean_captured_fraction(&[0]);
+    let c_mean = runs.by_name("SieveStore-C").mean_captured_fraction(&[]);
+    let ideal_mean = runs.by_name("Ideal").mean_captured_fraction(&[]);
+
+    let alloc = |name: &str| runs.by_name(name).total().total_allocation_writes();
+    let unsieved_alloc = alloc("AOD-32GB").min(alloc("WMNA-32GB"));
+    let d_reduction = unsieved_alloc as f64 / alloc("SieveStore-D").max(1) as f64;
+    let c_reduction = unsieved_alloc as f64 / alloc("SieveStore-C").max(1) as f64;
+
+    let c_occ = &runs.by_name("SieveStore-C").occupancy;
+    let d_occ = &runs.by_name("SieveStore-D").occupancy;
+    let wmna_occ = &runs.by_name("WMNA-32GB").occupancy;
+
+    let c_write_bytes_day = c_occ.total_write_bytes() / days.max(1) as f64;
+    let lifetime = endurance_years(c_occ.spec(), c_write_bytes_day);
+
+    let mut table = TextTable::new(vec![
+        "claim".into(),
+        "paper".into(),
+        "this reproduction".into(),
+    ]);
+    table.push_row(vec![
+        "SieveStore-D hits vs best unsieved".into(),
+        "+35%".into(),
+        format!("{:+.0}%", (d_mean / best_mean - 1.0) * 100.0),
+    ]);
+    table.push_row(vec![
+        "SieveStore-C hits vs best unsieved".into(),
+        "+50%".into(),
+        format!("{:+.0}%", (c_mean / best_mean - 1.0) * 100.0),
+    ]);
+    let vs_ideal = |mean: f64| {
+        let rel = (mean / ideal_mean - 1.0) * 100.0;
+        if rel >= 0.0 {
+            format!("{rel:.0}% above")
+        } else {
+            format!("{:.0}% below", -rel)
+        }
+    };
+    table.push_row(vec![
+        "SieveStore-D vs day-by-day ideal".into(),
+        "within 14% below".into(),
+        vs_ideal(d_mean),
+    ]);
+    table.push_row(vec![
+        "SieveStore-C vs day-by-day ideal".into(),
+        "within 4% below".into(),
+        vs_ideal(c_mean),
+    ]);
+    table.push_row(vec![
+        "allocation-write reduction (D)".into(),
+        ">100x".into(),
+        format!("{d_reduction:.0}x"),
+    ]);
+    table.push_row(vec![
+        "allocation-write reduction (C)".into(),
+        ">100x".into(),
+        format!("{c_reduction:.0}x"),
+    ]);
+    table.push_row(vec![
+        "SieveStore-D drives (1 covers)".into(),
+        "100% of minutes".into(),
+        pct(d_occ.single_drive_coverage()),
+    ]);
+    table.push_row(vec![
+        "SieveStore-C drives (1 covers)".into(),
+        ">=99.9% of minutes".into(),
+        pct(c_occ.single_drive_coverage()),
+    ]);
+    table.push_row(vec![
+        "WMNA drives at 99.9% coverage".into(),
+        "7".into(),
+        wmna_occ.drives_for_coverage(0.999).to_string(),
+    ]);
+    table.push_row(vec![
+        "X25-E lifetime under SieveStore".into(),
+        ">10 years".into(),
+        format!("{lifetime:.0} years"),
+    ]);
+    Ok(format!(
+        "Headline results at trace scale 1/{scale} \
+         (shapes, not absolute numbers, are the reproduction target)\n{}",
+        table.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders_all_claims() {
+        let dir =
+            std::env::temp_dir().join(format!("sievestore-summary-{}", std::process::id()));
+        let mut h = Harness::smoke(&dir).unwrap();
+        let out = summary(&mut h).unwrap();
+        for needle in [
+            "SieveStore-D hits",
+            "SieveStore-C hits",
+            "allocation-write reduction",
+            "lifetime",
+            "paper",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in summary");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! Block caches for the SieveStore reproduction.
+//!
+//! Two cache organizations, matching the paper's two caching models:
+//!
+//! * [`LruCache`] — fully-associative, O(1) LRU; shared by every
+//!   *continuous* configuration (SieveStore-C, AOD, WMNA, RandSieve-C).
+//! * [`BatchCache`] — epoch-batched residency with move-cancelling
+//!   reinstallation; the cache of the *discrete* SieveStore-D.
+//!
+//! Both operate on packed [`sievestore_types::GlobalBlock`] keys supplied
+//! as raw `u64`s, so they are usable with any 64-bit keyed workload.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_cache::LruCache;
+//!
+//! let mut cache = LruCache::new(100);
+//! cache.insert(42);
+//! assert!(cache.touch(42)); // hit
+//! assert!(!cache.touch(7)); // miss
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod lru;
+
+pub use batch::{BatchCache, EpochTransition};
+pub use lru::{IterMru, LruCache};

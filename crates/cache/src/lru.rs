@@ -1,0 +1,435 @@
+//! A fully-associative block cache with O(1) LRU replacement.
+//!
+//! The paper's continuous configurations (SieveStore-C, AOD, WMNA,
+//! RandSieve-C) all share one cache organization: fully associative over
+//! 512-byte frames with LRU replacement (§4). This implementation keeps a
+//! hash map from block key to slot plus an intrusive doubly-linked list
+//! threaded through a slab of slots, so `touch`, `insert` and `remove` are
+//! all O(1); a 16 GB cache is 33.5 M frames at full scale and ~130 K at the
+//! default 1/256 scale, both comfortably in memory.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no slot".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A fully-associative LRU cache over packed block keys.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_cache::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// assert_eq!(cache.insert(1), None);
+/// assert_eq!(cache.insert(2), None);
+/// assert!(cache.touch(1));           // 1 becomes MRU
+/// assert_eq!(cache.insert(3), Some(2)); // 2 was LRU, evicted
+/// assert!(cache.contains(1) && cache.contains(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot.
+    tail: u32,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or exceeds `u32::MAX - 1` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        assert!(
+            capacity < u32::MAX as usize,
+            "cache capacity exceeds slot index range"
+        );
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident frames.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is resident (does not affect recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Unlinks a slot from the recency list.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links a slot at the MRU head.
+    fn link_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Marks `key` as most recently used. Returns `true` if it was
+    /// resident (a hit), `false` otherwise (no state change).
+    pub fn touch(&mut self, key: u64) -> bool {
+        match self.map.get(&key) {
+            Some(&idx) => {
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.link_front(idx);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `key` as most recently used, evicting the LRU entry if the
+    /// cache is full. Returns the evicted key, if any. Inserting a resident
+    /// key just refreshes its recency (never evicts).
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        if self.touch(key) {
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "full cache must have a tail");
+            let victim = self.slots[lru as usize].key;
+            self.unlink(lru);
+            self.map.remove(&victim);
+            self.free.push(lru);
+            Some(victim)
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].key = key;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                idx
+            }
+        };
+        self.link_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Removes `key`; returns whether it was resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.map.remove(&key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts and returns the least-recently-used key, if any.
+    pub fn pop_lru(&mut self) -> Option<u64> {
+        if self.tail == NIL {
+            return None;
+        }
+        let key = self.slots[self.tail as usize].key;
+        self.remove(key);
+        Some(key)
+    }
+
+    /// Drops every resident frame.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Iterates over resident keys from most- to least-recently used.
+    pub fn iter_mru(&self) -> IterMru<'_> {
+        IterMru {
+            cache: self,
+            next: self.head,
+        }
+    }
+}
+
+/// Iterator over resident keys in MRU→LRU order, from [`LruCache::iter_mru`].
+#[derive(Debug)]
+pub struct IterMru<'a> {
+    cache: &'a LruCache,
+    next: u32,
+}
+
+impl Iterator for IterMru<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next == NIL {
+            return None;
+        }
+        let slot = &self.cache.slots[self.next as usize];
+        self.next = slot.next;
+        Some(slot.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::new(0);
+    }
+
+    #[test]
+    fn insert_until_full_then_evict_lru() {
+        let mut c = LruCache::new(3);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), None);
+        assert_eq!(c.insert(3), None);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.insert(4), Some(1));
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.touch(1));
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn touch_miss_is_noop() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        assert!(!c.touch(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.iter_mru().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn reinserting_resident_key_never_evicts() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(2), None);
+        assert_eq!(c.len(), 2);
+        // 2 is now MRU, so 1 is the eviction victim.
+        assert_eq!(c.insert(3), Some(1));
+    }
+
+    #[test]
+    fn remove_and_slot_reuse() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.insert(3), None); // reuses the freed slot
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn pop_lru_pops_in_recency_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        c.touch(1);
+        assert_eq!(c.pop_lru(), Some(2));
+        assert_eq!(c.pop_lru(), Some(3));
+        assert_eq!(c.pop_lru(), Some(1));
+        assert_eq!(c.pop_lru(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_mru_orders_from_most_recent() {
+        let mut c = LruCache::new(4);
+        for k in [1, 2, 3, 4] {
+            c.insert(k);
+        }
+        c.touch(2);
+        assert_eq!(c.iter_mru().collect::<Vec<_>>(), vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.iter_mru().count(), 0);
+        assert_eq!(c.insert(5), None);
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn capacity_one_cache() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), Some(1));
+        assert_eq!(c.insert(3), Some(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 1);
+    }
+
+    /// A deliberately naive reference model: VecDeque front = MRU.
+    #[derive(Default)]
+    struct NaiveLru {
+        capacity: usize,
+        order: VecDeque<u64>,
+    }
+
+    impl NaiveLru {
+        fn new(capacity: usize) -> Self {
+            NaiveLru {
+                capacity,
+                order: VecDeque::new(),
+            }
+        }
+        fn touch(&mut self, key: u64) -> bool {
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+                self.order.push_front(key);
+                true
+            } else {
+                false
+            }
+        }
+        fn insert(&mut self, key: u64) -> Option<u64> {
+            if self.touch(key) {
+                return None;
+            }
+            let evicted = if self.order.len() >= self.capacity {
+                self.order.pop_back()
+            } else {
+                None
+            };
+            self.order.push_front(key);
+            evicted
+        }
+        fn remove(&mut self, key: u64) -> bool {
+            if let Some(pos) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u64),
+        Touch(u64),
+        Remove(u64),
+        PopLru,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..40).prop_map(Op::Insert),
+            (0u64..40).prop_map(Op::Touch),
+            (0u64..40).prop_map(Op::Remove),
+            Just(Op::PopLru),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_model(
+            capacity in 1usize..12,
+            ops in proptest::collection::vec(op_strategy(), 0..400),
+        ) {
+            let mut fast = LruCache::new(capacity);
+            let mut naive = NaiveLru::new(capacity);
+            for op in ops {
+                match op {
+                    Op::Insert(k) => prop_assert_eq!(fast.insert(k), naive.insert(k)),
+                    Op::Touch(k) => prop_assert_eq!(fast.touch(k), naive.touch(k)),
+                    Op::Remove(k) => prop_assert_eq!(fast.remove(k), naive.remove(k)),
+                    Op::PopLru => prop_assert_eq!(fast.pop_lru(), naive.order.pop_back()),
+                }
+                prop_assert_eq!(fast.len(), naive.order.len());
+                prop_assert!(fast.len() <= capacity);
+                let fast_order: Vec<u64> = fast.iter_mru().collect();
+                let naive_order: Vec<u64> = naive.order.iter().copied().collect();
+                prop_assert_eq!(fast_order, naive_order);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The closed-form allocation-write model behind Table 2.
+//!
+//! The paper's thought experiment (§3.1) isolates the cost of
+//! allocation-writes: assume an oracle replacement policy keeps the top-1 %
+//! blocks resident (so every policy sees the same hit rate), then count how
+//! many SSD operations each *allocation* policy performs. With a 35 % hit
+//! rate and a 3:1 read:write mix, allocate-on-demand turns 73.75 % of all
+//! ensemble accesses into SSD writes while ideal selective allocation
+//! writes only the ~1 % of blocks it admits.
+
+use std::fmt;
+
+/// One row of Table 2, all quantities as fractions of total accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Fraction of accesses that hit.
+    pub hits: f64,
+    /// Fraction of accesses that miss.
+    pub misses: f64,
+    /// Fraction of accesses that trigger allocation-writes.
+    pub allocation_writes: f64,
+    /// SSD read operations (read hits).
+    pub ssd_reads: f64,
+    /// SSD write operations (write hits + allocation-writes).
+    pub ssd_writes: f64,
+}
+
+impl Table2Row {
+    /// Total SSD operations as a fraction of accesses.
+    pub fn ssd_operations(&self) -> f64 {
+        self.ssd_reads + self.ssd_writes
+    }
+}
+
+impl fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {:.2}% misses {:.2}% alloc-writes {:.2}% ssd-reads {:.2}% ssd-writes {:.2}%",
+            self.hits * 100.0,
+            self.misses * 100.0,
+            self.allocation_writes * 100.0,
+            self.ssd_reads * 100.0,
+            self.ssd_writes * 100.0,
+        )
+    }
+}
+
+/// The three allocation policies Table 2 analyzes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnalyticalPolicy {
+    /// Allocate-on-demand: every miss allocates.
+    AllocateOnDemand,
+    /// Write-no-allocate: only read misses allocate.
+    WriteNoAllocate,
+    /// Ideal selective allocation: only the admitted hot set (ε) allocates.
+    IdealSelective {
+        /// Allocation-writes as a fraction of accesses (the paper's ε,
+        /// bounded by 1 % of unique blocks).
+        epsilon: f64,
+    },
+}
+
+impl AnalyticalPolicy {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnalyticalPolicy::AllocateOnDemand => "Allocate-on-demand (AOD)",
+            AnalyticalPolicy::WriteNoAllocate => "Write-no-allocate (WMNA)",
+            AnalyticalPolicy::IdealSelective { .. } => "Ideal-selective-allocate (ISA)",
+        }
+    }
+}
+
+/// Computes one Table 2 row.
+///
+/// `hit_rate` is the (oracle-replacement) hit fraction; `read_fraction`
+/// applies to both hits and misses, as in the paper.
+///
+/// # Panics
+///
+/// Panics if `hit_rate` or `read_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::analytical::{table2_row, AnalyticalPolicy};
+///
+/// // The paper's numbers: 35% hit rate, 3:1 reads.
+/// let aod = table2_row(AnalyticalPolicy::AllocateOnDemand, 0.35, 0.75);
+/// assert!((aod.ssd_writes - 0.7375).abs() < 1e-9);
+/// assert!((aod.ssd_operations() - 1.0).abs() < 1e-9);
+/// ```
+pub fn table2_row(policy: AnalyticalPolicy, hit_rate: f64, read_fraction: f64) -> Table2Row {
+    assert!((0.0..=1.0).contains(&hit_rate), "hit_rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&read_fraction),
+        "read_fraction must be in [0,1]"
+    );
+    let miss_rate = 1.0 - hit_rate;
+    let read_hits = hit_rate * read_fraction;
+    let write_hits = hit_rate * (1.0 - read_fraction);
+    let allocation_writes = match policy {
+        AnalyticalPolicy::AllocateOnDemand => miss_rate,
+        AnalyticalPolicy::WriteNoAllocate => miss_rate * read_fraction,
+        AnalyticalPolicy::IdealSelective { epsilon } => epsilon,
+    };
+    Table2Row {
+        hits: hit_rate,
+        misses: miss_rate,
+        allocation_writes,
+        ssd_reads: read_hits,
+        ssd_writes: write_hits + allocation_writes,
+    }
+}
+
+/// All three rows of Table 2 with shared parameters, paper order.
+pub fn table2(hit_rate: f64, read_fraction: f64, epsilon: f64) -> Vec<(AnalyticalPolicy, Table2Row)> {
+    [
+        AnalyticalPolicy::AllocateOnDemand,
+        AnalyticalPolicy::WriteNoAllocate,
+        AnalyticalPolicy::IdealSelective { epsilon },
+    ]
+    .into_iter()
+    .map(|p| (p, table2_row(p, hit_rate, read_fraction)))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn aod_row_matches_paper() {
+        // Hits 35%, misses 65%, alloc-writes 65%,
+        // SSD ops: reads 26.25%, writes 73.75% (= 8.75% + 65%).
+        let row = table2_row(AnalyticalPolicy::AllocateOnDemand, 0.35, 0.75);
+        assert!((row.hits - 0.35).abs() < EPS);
+        assert!((row.misses - 0.65).abs() < EPS);
+        assert!((row.allocation_writes - 0.65).abs() < EPS);
+        assert!((row.ssd_reads - 0.2625).abs() < EPS);
+        assert!((row.ssd_writes - 0.7375).abs() < EPS);
+        assert!((row.ssd_operations() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wmna_row_matches_paper() {
+        // Alloc-writes 48.75% (read misses), SSD writes 57.5%.
+        let row = table2_row(AnalyticalPolicy::WriteNoAllocate, 0.35, 0.75);
+        assert!((row.allocation_writes - 0.4875).abs() < EPS);
+        assert!((row.ssd_writes - 0.575).abs() < EPS);
+        assert!((row.ssd_reads - 0.2625).abs() < EPS);
+    }
+
+    #[test]
+    fn isa_row_matches_paper() {
+        // With ε → 0, SSD writes → write hits = 8.75%, ops < 9.75% for
+        // any ε < 1%.
+        let row = table2_row(
+            AnalyticalPolicy::IdealSelective { epsilon: 0.005 },
+            0.35,
+            0.75,
+        );
+        assert!((row.allocation_writes - 0.005).abs() < EPS);
+        assert!(row.ssd_writes < 0.0975);
+        assert!(row.ssd_operations() < 0.36);
+    }
+
+    #[test]
+    fn paper_multipliers_hold() {
+        // WMNA more than doubles SSD operations vs hits-only (2.4x) and
+        // multiplies SSD writes by ~5.6x over write hits.
+        let wmna = table2_row(AnalyticalPolicy::WriteNoAllocate, 0.35, 0.75);
+        let ops_multiplier = wmna.ssd_operations() / 0.35;
+        assert!((ops_multiplier - 2.39).abs() < 0.01, "{ops_multiplier}");
+        let write_multiplier = wmna.ssd_writes / (0.35 * 0.25);
+        assert!((write_multiplier - 6.57).abs() < 0.01, "{write_multiplier}");
+    }
+
+    #[test]
+    fn table_is_three_rows_in_paper_order() {
+        let rows = table2(0.35, 0.75, 0.001);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0.label(), "Allocate-on-demand (AOD)");
+        assert_eq!(rows[2].0.label(), "Ideal-selective-allocate (ISA)");
+        // AOD writes the most, ISA the least.
+        assert!(rows[0].1.ssd_writes > rows[1].1.ssd_writes);
+        assert!(rows[1].1.ssd_writes > rows[2].1.ssd_writes);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit_rate")]
+    fn invalid_hit_rate_panics() {
+        let _ = table2_row(AnalyticalPolicy::AllocateOnDemand, 1.5, 0.75);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let row = table2_row(AnalyticalPolicy::AllocateOnDemand, 0.35, 0.75);
+        let s = row.to_string();
+        assert!(s.contains("35.00%"));
+        assert!(s.contains("73.75%"));
+    }
+}

@@ -1,0 +1,515 @@
+//! The SieveStore appliance: a policy-driven, ensemble-level block cache.
+//!
+//! [`SieveStore`] is the deployable unit the paper sketches — a transparent
+//! box that sits in front of a storage ensemble, absorbs block accesses,
+//! and serves the sieved hot set from solid-state media. It combines an
+//! [`AllocationPolicy`] with the matching cache organization (LRU for
+//! continuous policies, epoch-batched for discrete ones) and keeps running
+//! totals of hits, bypasses and allocation-writes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore::{PolicySpec, SieveStoreBuilder};
+//! use sievestore_types::{Micros, RequestKind};
+//!
+//! # fn main() -> Result<(), sievestore_types::SieveError> {
+//! let mut store = SieveStoreBuilder::new()
+//!     .capacity_blocks(1024)
+//!     .policy(PolicySpec::Aod)
+//!     .build()?;
+//!
+//! let t = Micros::from_secs(1);
+//! let first = store.access(42, RequestKind::Read, t);
+//! assert!(first.is_miss());
+//! let second = store.access(42, RequestKind::Read, t);
+//! assert!(second.is_hit());
+//! # Ok(())
+//! # }
+//! ```
+
+use sievestore_cache::{BatchCache, EpochTransition, LruCache};
+use sievestore_sieve::TwoTierConfig;
+use sievestore_types::{Day, Micros, RequestKind, SieveError};
+
+use crate::policy::{
+    AllocationPolicy, Aod, IdealTop1, MissDecision, RandSieveBlkD, RandSieveC, SieveStoreC,
+    SieveStoreD, Wmna,
+};
+
+/// What happened to one block access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was resident; served from the SSD.
+    Hit,
+    /// The block missed and the policy declined to allocate.
+    BypassMiss,
+    /// The block missed and was allocated (an allocation-write), possibly
+    /// evicting another block.
+    AllocatedMiss {
+        /// The block evicted to make room, if the cache was full.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub const fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// Whether the access missed (bypassed or allocated).
+    pub const fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// Whether the access triggered an allocation-write.
+    pub const fn is_allocation(self) -> bool {
+        matches!(self, AccessOutcome::AllocatedMiss { .. })
+    }
+}
+
+/// Running totals kept by the appliance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplianceStats {
+    /// Read hits (served from the SSD).
+    pub read_hits: u64,
+    /// Write hits (written to the SSD).
+    pub write_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Allocation-writes performed.
+    pub allocation_writes: u64,
+    /// Blocks moved in by epoch installations (discrete policies).
+    pub batch_allocations: u64,
+}
+
+impl ApplianceStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.write_hits + self.read_misses + self.write_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Hit ratio over all accesses (0 when nothing was accessed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Declarative policy selection for [`SieveStoreBuilder`].
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Allocate-on-demand (unsieved).
+    Aod,
+    /// Write-miss-no-allocate (unsieved).
+    Wmna,
+    /// SieveStore-C with the given two-tier sieve parameters.
+    SieveStoreC(TwoTierConfig),
+    /// SieveStore-D with the given per-epoch access-count threshold.
+    SieveStoreD {
+        /// Allocation threshold `t` (the paper uses 10).
+        threshold: u64,
+    },
+    /// RandSieve-C: allocate each miss with this probability.
+    RandSieveC {
+        /// Admission probability (the paper uses 0.01).
+        probability: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// RandSieve-BlkD: batch-install a random fraction of each day's
+    /// accessed blocks.
+    RandSieveBlkD {
+        /// Selection fraction (the paper uses 0.01).
+        fraction: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The clairvoyant per-day oracle, with precomputed selections.
+    IdealTop1 {
+        /// Day-indexed block selections.
+        selections: Vec<Vec<u64>>,
+    },
+}
+
+impl PolicySpec {
+    /// The report name of the policy this spec builds.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Aod => "AOD",
+            PolicySpec::Wmna => "WMNA",
+            PolicySpec::SieveStoreC(_) => "SieveStore-C",
+            PolicySpec::SieveStoreD { .. } => "SieveStore-D",
+            PolicySpec::RandSieveC { .. } => "RandSieve-C",
+            PolicySpec::RandSieveBlkD { .. } => "RandSieve-BlkD",
+            PolicySpec::IdealTop1 { .. } => "Ideal",
+        }
+    }
+
+    fn build(self) -> Result<Box<dyn AllocationPolicy + Send>, SieveError> {
+        Ok(match self {
+            PolicySpec::Aod => Box::new(Aod::new()),
+            PolicySpec::Wmna => Box::new(Wmna::new()),
+            PolicySpec::SieveStoreC(cfg) => Box::new(SieveStoreC::new(cfg)?),
+            PolicySpec::SieveStoreD { threshold } => Box::new(SieveStoreD::new(threshold)?),
+            PolicySpec::RandSieveC { probability, seed } => {
+                Box::new(RandSieveC::new(probability, seed)?)
+            }
+            PolicySpec::RandSieveBlkD { fraction, seed } => {
+                Box::new(RandSieveBlkD::new(fraction, seed)?)
+            }
+            PolicySpec::IdealTop1 { selections } => Box::new(IdealTop1::new(selections)),
+        })
+    }
+}
+
+/// Builder for [`SieveStore`].
+#[derive(Debug)]
+pub struct SieveStoreBuilder {
+    capacity_blocks: usize,
+    policy: PolicySpec,
+}
+
+impl SieveStoreBuilder {
+    /// Starts a builder with a 16 GB-equivalent cache and SieveStore-C
+    /// paper defaults.
+    pub fn new() -> Self {
+        SieveStoreBuilder {
+            capacity_blocks: sievestore_types::gib_to_blocks(16) as usize,
+            policy: PolicySpec::SieveStoreC(TwoTierConfig::paper_default()),
+        }
+    }
+
+    /// Sets the cache capacity in 512-byte frames.
+    #[must_use]
+    pub fn capacity_blocks(mut self, blocks: usize) -> Self {
+        self.capacity_blocks = blocks;
+        self
+    }
+
+    /// Sets the allocation policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the appliance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for a zero capacity or an
+    /// invalid policy configuration.
+    pub fn build(self) -> Result<SieveStore, SieveError> {
+        if self.capacity_blocks == 0 {
+            return Err(SieveError::InvalidConfig(
+                "cache capacity must be nonzero".into(),
+            ));
+        }
+        let policy = self.policy.build()?;
+        let cache = if policy.is_discrete() {
+            CacheKind::Batch(BatchCache::new(self.capacity_blocks))
+        } else {
+            CacheKind::Lru(LruCache::new(self.capacity_blocks))
+        };
+        Ok(SieveStore {
+            cache,
+            policy,
+            stats: ApplianceStats::default(),
+        })
+    }
+}
+
+impl Default for SieveStoreBuilder {
+    fn default() -> Self {
+        SieveStoreBuilder::new()
+    }
+}
+
+#[derive(Debug)]
+enum CacheKind {
+    Lru(LruCache),
+    Batch(BatchCache),
+}
+
+/// The SieveStore appliance. See the [module docs](self) for an example.
+pub struct SieveStore {
+    cache: CacheKind,
+    policy: Box<dyn AllocationPolicy + Send>,
+    stats: ApplianceStats,
+}
+
+impl std::fmt::Debug for SieveStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SieveStore")
+            .field("policy", &self.policy.name())
+            .field("capacity", &self.capacity_blocks())
+            .field("resident", &self.len_blocks())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SieveStore {
+    /// Processes one 512-byte block access.
+    pub fn access(&mut self, key: u64, kind: RequestKind, now: Micros) -> AccessOutcome {
+        self.policy.on_access(key, kind, now);
+        let hit = match &mut self.cache {
+            CacheKind::Lru(c) => c.touch(key),
+            CacheKind::Batch(c) => c.contains(key),
+        };
+        if hit {
+            self.policy.on_hit(key, kind, now);
+            match kind {
+                RequestKind::Read => self.stats.read_hits += 1,
+                RequestKind::Write => self.stats.write_hits += 1,
+            }
+            return AccessOutcome::Hit;
+        }
+        match kind {
+            RequestKind::Read => self.stats.read_misses += 1,
+            RequestKind::Write => self.stats.write_misses += 1,
+        }
+        match self.policy.on_miss(key, kind, now) {
+            MissDecision::Bypass => AccessOutcome::BypassMiss,
+            MissDecision::Allocate => {
+                self.stats.allocation_writes += 1;
+                let evicted = match &mut self.cache {
+                    CacheKind::Lru(c) => c.insert(key),
+                    // Discrete policies never reach here (they always
+                    // bypass), but allocate-into-batch is well-defined:
+                    // treat it as an epoch-local install.
+                    CacheKind::Batch(_) => None,
+                };
+                AccessOutcome::AllocatedMiss { evicted }
+            }
+        }
+    }
+
+    /// Signals the start of calendar day `day`. Discrete policies install
+    /// their batch selection; the returned transition reports the moves
+    /// (allocation-writes for newly installed blocks are added to the
+    /// stats).
+    pub fn day_boundary(&mut self, day: Day) -> Option<EpochTransition> {
+        let selection = self.policy.on_day_boundary(day)?;
+        match &mut self.cache {
+            CacheKind::Batch(c) => {
+                let transition = c.install_epoch(selection);
+                self.stats.batch_allocations += transition.allocated.len() as u64;
+                self.stats.allocation_writes += transition.allocated.len() as u64;
+                Some(transition)
+            }
+            CacheKind::Lru(_) => None,
+        }
+    }
+
+    /// The policy's report name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Whether the appliance uses epoch-batched caching.
+    pub fn is_discrete(&self) -> bool {
+        self.policy.is_discrete()
+    }
+
+    /// Cache capacity in 512-byte frames.
+    pub fn capacity_blocks(&self) -> usize {
+        match &self.cache {
+            CacheKind::Lru(c) => c.capacity(),
+            CacheKind::Batch(c) => c.capacity(),
+        }
+    }
+
+    /// Currently resident frames.
+    pub fn len_blocks(&self) -> usize {
+        match &self.cache {
+            CacheKind::Lru(c) => c.len(),
+            CacheKind::Batch(c) => c.len(),
+        }
+    }
+
+    /// Whether a block is resident (no recency side effects).
+    pub fn contains(&self, key: u64) -> bool {
+        match &self.cache {
+            CacheKind::Lru(c) => c.contains(key),
+            CacheKind::Batch(c) => c.contains(key),
+        }
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> &ApplianceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Micros {
+        Micros::from_hours(1)
+    }
+
+    fn build(policy: PolicySpec, capacity: usize) -> SieveStore {
+        SieveStoreBuilder::new()
+            .capacity_blocks(capacity)
+            .policy(policy)
+            .build()
+            .expect("valid appliance config")
+    }
+
+    #[test]
+    fn builder_rejects_zero_capacity() {
+        assert!(SieveStoreBuilder::new()
+            .capacity_blocks(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn aod_appliance_hits_after_allocation() {
+        let mut store = build(PolicySpec::Aod, 8);
+        assert_eq!(
+            store.access(1, RequestKind::Read, t()),
+            AccessOutcome::AllocatedMiss { evicted: None }
+        );
+        assert_eq!(store.access(1, RequestKind::Read, t()), AccessOutcome::Hit);
+        let s = store.stats();
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.allocation_writes, 1);
+        assert_eq!(s.accesses(), 2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aod_eviction_is_reported() {
+        let mut store = build(PolicySpec::Aod, 1);
+        store.access(1, RequestKind::Read, t());
+        let outcome = store.access(2, RequestKind::Read, t());
+        assert_eq!(outcome, AccessOutcome::AllocatedMiss { evicted: Some(1) });
+        assert!(!store.contains(1));
+    }
+
+    #[test]
+    fn wmna_bypasses_write_misses() {
+        let mut store = build(PolicySpec::Wmna, 8);
+        assert_eq!(
+            store.access(1, RequestKind::Write, t()),
+            AccessOutcome::BypassMiss
+        );
+        assert!(!store.contains(1));
+        assert!(store
+            .access(1, RequestKind::Read, t())
+            .is_allocation());
+        // A write to a resident block is a write hit.
+        assert_eq!(store.access(1, RequestKind::Write, t()), AccessOutcome::Hit);
+        assert_eq!(store.stats().write_hits, 1);
+    }
+
+    #[test]
+    fn sievestore_d_day_cycle() {
+        let mut store = build(PolicySpec::SieveStoreD { threshold: 3 }, 16);
+        assert!(store.is_discrete());
+        // Day 0: all misses bypass, but accesses are counted.
+        for _ in 0..3 {
+            assert_eq!(
+                store.access(7, RequestKind::Read, t()),
+                AccessOutcome::BypassMiss
+            );
+        }
+        store.access(8, RequestKind::Read, t());
+        assert_eq!(store.stats().allocation_writes, 0);
+        // Day boundary: block 7 earned residency.
+        let transition = store.day_boundary(Day::new(1)).expect("discrete installs");
+        assert_eq!(transition.allocated, vec![7]);
+        assert!(store.contains(7));
+        assert!(!store.contains(8));
+        assert_eq!(store.stats().allocation_writes, 1);
+        assert_eq!(store.stats().batch_allocations, 1);
+        // Day 1: hits on the installed block.
+        assert_eq!(store.access(7, RequestKind::Write, t()), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn ideal_oracle_preloads_each_day() {
+        let mut store = build(
+            PolicySpec::IdealTop1 {
+                selections: vec![vec![1, 2], vec![2, 3]],
+            },
+            16,
+        );
+        store.day_boundary(Day::new(0));
+        assert!(store.contains(1) && store.contains(2));
+        let transition = store.day_boundary(Day::new(1)).unwrap();
+        assert_eq!(transition.allocated, vec![3]);
+        assert_eq!(transition.retained, 1);
+        assert_eq!(transition.evicted, 1);
+        assert!(!store.contains(1));
+    }
+
+    #[test]
+    fn continuous_policies_ignore_day_boundaries() {
+        let mut store = build(PolicySpec::Aod, 4);
+        assert!(store.day_boundary(Day::new(1)).is_none());
+    }
+
+    #[test]
+    fn sievestore_c_appliance_sieves_cold_misses() {
+        let cfg = TwoTierConfig::paper_default().with_imct_entries(1 << 14);
+        let mut store = build(PolicySpec::SieveStoreC(cfg), 1024);
+        // 1000 one-touch blocks: no allocations.
+        for k in 0..1000u64 {
+            assert_eq!(
+                store.access(k, RequestKind::Read, t()),
+                AccessOutcome::BypassMiss
+            );
+        }
+        assert_eq!(store.stats().allocation_writes, 0);
+        // One hot block eventually earns its frame and then hits.
+        let mut allocated_at = None;
+        for i in 1..=20 {
+            if store.access(u64::MAX, RequestKind::Read, t()).is_allocation() {
+                allocated_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(allocated_at, Some(13), "t1=9 + t2=4 misses");
+        assert_eq!(store.access(u64::MAX, RequestKind::Read, t()), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn policy_spec_names() {
+        assert_eq!(PolicySpec::Aod.name(), "AOD");
+        assert_eq!(PolicySpec::Wmna.name(), "WMNA");
+        assert_eq!(
+            PolicySpec::SieveStoreD { threshold: 10 }.name(),
+            "SieveStore-D"
+        );
+        assert_eq!(
+            PolicySpec::IdealTop1 { selections: vec![] }.name(),
+            "Ideal"
+        );
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let store = build(PolicySpec::Aod, 4);
+        let dbg = format!("{store:?}");
+        assert!(dbg.contains("AOD"));
+        assert!(dbg.contains("capacity"));
+    }
+}

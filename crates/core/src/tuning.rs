@@ -1,0 +1,311 @@
+//! Scaling and tuning (§7's forward-looking issues).
+//!
+//! The paper closes with two deployment questions this module answers in
+//! code:
+//!
+//! * **Tuning** — the ADBA threshold `t` was hand-tuned to 10; on a
+//!   different ensemble the right value differs. [`AdaptiveThreshold`] is
+//!   a feedback controller that retunes `t` each epoch so the selected
+//!   block set tracks a target cache occupancy, staying inside the
+//!   paper's observed safe band (degradation below ~8, flat 8–20).
+//! * **Scaling** — one appliance's SSD and network eventually saturate.
+//!   [`ShardedSieveStore`] scales out by hashing blocks across several
+//!   independent appliances, preserving per-block policy behaviour
+//!   exactly (each block always lands on the same shard, so its miss
+//!   history is never split).
+
+use sievestore_types::{Day, Micros, RequestKind, SieveError};
+
+use crate::appliance::{AccessOutcome, ApplianceStats, PolicySpec, SieveStore, SieveStoreBuilder};
+
+/// Feedback controller for SieveStore-D's epoch threshold.
+///
+/// After each epoch, feed it the number of blocks the current threshold
+/// selected; it nudges the threshold so the selection tracks
+/// `target_blocks` (typically the cache capacity), clamped to
+/// `[min, max]`.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::tuning::AdaptiveThreshold;
+///
+/// let mut t = AdaptiveThreshold::new(10, 8, 20, 10_000).unwrap();
+/// // Selection far exceeded the cache: tighten.
+/// assert_eq!(t.observe_epoch(40_000), 11);
+/// // Selection far below half the target: loosen.
+/// assert_eq!(t.observe_epoch(2_000), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveThreshold {
+    current: u64,
+    min: u64,
+    max: u64,
+    target_blocks: u64,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a controller starting at `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] unless
+    /// `0 < min <= initial <= max` and `target_blocks > 0`.
+    pub fn new(initial: u64, min: u64, max: u64, target_blocks: u64) -> Result<Self, SieveError> {
+        if min == 0 || min > initial || initial > max {
+            return Err(SieveError::InvalidConfig(format!(
+                "need 0 < min <= initial <= max, got {min} <= {initial} <= {max}"
+            )));
+        }
+        if target_blocks == 0 {
+            return Err(SieveError::InvalidConfig(
+                "target_blocks must be positive".into(),
+            ));
+        }
+        Ok(AdaptiveThreshold {
+            current: initial,
+            min,
+            max,
+            target_blocks,
+        })
+    }
+
+    /// The threshold to use for the next epoch.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Feeds back one epoch's selection size; returns the adjusted
+    /// threshold. Over-selection (beyond the target) raises `t` one step;
+    /// under-selection (below half the target) lowers it one step —
+    /// deliberately slow, mirroring the paper's observation that the
+    /// hit-rate is flat across a wide threshold band.
+    pub fn observe_epoch(&mut self, selected_blocks: u64) -> u64 {
+        if selected_blocks > self.target_blocks {
+            self.current = (self.current + 1).min(self.max);
+        } else if selected_blocks < self.target_blocks / 2 {
+            self.current = (self.current - 1).max(self.min);
+        }
+        self.current
+    }
+}
+
+/// A hash-sharded group of SieveStore appliances.
+///
+/// Blocks are routed by a stateless hash, so each block's entire miss
+/// history lands on one shard and the sieving decision sequence is
+/// identical to a single appliance's. Capacity, IOPS and network
+/// bandwidth all scale with the shard count (§7's scaling argument).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::tuning::ShardedSieveStore;
+/// use sievestore::PolicySpec;
+/// use sievestore_types::{Micros, RequestKind};
+///
+/// # fn main() -> Result<(), sievestore_types::SieveError> {
+/// let mut group = ShardedSieveStore::new(4, 1024, |_| PolicySpec::Aod)?;
+/// group.access(7, RequestKind::Read, Micros::from_secs(1));
+/// assert!(group.access(7, RequestKind::Read, Micros::from_secs(2)).is_hit());
+/// assert_eq!(group.shards(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedSieveStore {
+    nodes: Vec<SieveStore>,
+}
+
+impl std::fmt::Debug for ShardedSieveStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSieveStore")
+            .field("shards", &self.nodes.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ShardedSieveStore {
+    /// Creates `shards` appliances, each holding `capacity_per_shard`
+    /// frames, with per-shard policies from `policy_for`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for zero shards/capacity or
+    /// an invalid policy.
+    pub fn new(
+        shards: usize,
+        capacity_per_shard: usize,
+        mut policy_for: impl FnMut(usize) -> PolicySpec,
+    ) -> Result<Self, SieveError> {
+        if shards == 0 {
+            return Err(SieveError::InvalidConfig(
+                "need at least one shard".into(),
+            ));
+        }
+        let nodes = (0..shards)
+            .map(|i| {
+                SieveStoreBuilder::new()
+                    .capacity_blocks(capacity_per_shard)
+                    .policy(policy_for(i))
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedSieveStore { nodes })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shard index a block routes to (stateless SplitMix64 hash).
+    pub fn shard_of(&self, key: u64) -> usize {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % self.nodes.len() as u64) as usize
+    }
+
+    /// Routes one block access to its shard.
+    pub fn access(&mut self, key: u64, kind: RequestKind, now: Micros) -> AccessOutcome {
+        let shard = self.shard_of(key);
+        self.nodes[shard].access(key, kind, now)
+    }
+
+    /// Signals a day boundary to every shard; returns the total number of
+    /// blocks batch-installed across shards.
+    pub fn day_boundary(&mut self, day: Day) -> u64 {
+        self.nodes
+            .iter_mut()
+            .filter_map(|n| n.day_boundary(day))
+            .map(|t| t.allocated.len() as u64)
+            .sum()
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats(&self) -> ApplianceStats {
+        let mut total = ApplianceStats::default();
+        for n in &self.nodes {
+            let s = n.stats();
+            total.read_hits += s.read_hits;
+            total.write_hits += s.write_hits;
+            total.read_misses += s.read_misses;
+            total.write_misses += s.write_misses;
+            total.allocation_writes += s.allocation_writes;
+            total.batch_allocations += s.batch_allocations;
+        }
+        total
+    }
+
+    /// Per-shard resident block counts (for balance diagnostics).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.len_blocks()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+    use sievestore_sieve::TwoTierConfig;
+
+    #[test]
+    fn adaptive_threshold_validation() {
+        assert!(AdaptiveThreshold::new(10, 8, 20, 100).is_ok());
+        assert!(AdaptiveThreshold::new(10, 0, 20, 100).is_err());
+        assert!(AdaptiveThreshold::new(7, 8, 20, 100).is_err());
+        assert!(AdaptiveThreshold::new(21, 8, 20, 100).is_err());
+        assert!(AdaptiveThreshold::new(10, 8, 20, 0).is_err());
+    }
+
+    #[test]
+    fn adaptive_threshold_tracks_target() {
+        let mut t = AdaptiveThreshold::new(10, 8, 20, 1000).unwrap();
+        // Persistent over-selection walks the threshold to its cap.
+        for _ in 0..30 {
+            t.observe_epoch(10_000);
+        }
+        assert_eq!(t.current(), 20);
+        // Persistent under-selection walks it back to the floor.
+        for _ in 0..30 {
+            t.observe_epoch(10);
+        }
+        assert_eq!(t.current(), 8);
+        // In-band selections leave it alone.
+        let before = t.current();
+        t.observe_epoch(800);
+        assert_eq!(t.current(), before);
+    }
+
+    #[test]
+    fn sharding_preserves_per_block_behaviour() {
+        // A sharded group of AOD caches behaves exactly like one cache of
+        // the aggregate capacity when each shard never overflows.
+        let mut group = ShardedSieveStore::new(4, 1 << 12, |_| PolicySpec::Aod).unwrap();
+        let mut single = SieveStoreBuilder::new()
+            .capacity_blocks(4 << 12)
+            .policy(PolicySpec::Aod)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for i in 0..10_000u64 {
+            let key = rng.random_range(0..4000u64);
+            let now = Micros::from_secs(i);
+            let a = group.access(key, RequestKind::Read, now);
+            let b = single.access(key, RequestKind::Read, now);
+            assert_eq!(a.is_hit(), b.is_hit(), "access {i} key {key}");
+        }
+        assert_eq!(group.stats().hits(), single.stats().hits());
+    }
+
+    #[test]
+    fn sharded_sieving_decisions_are_stable() {
+        // The same block always routes to the same shard, so SieveStore-C
+        // admission happens after the same global miss count as unsharded.
+        let cfg = TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 14)
+            .with_thresholds(2, 2);
+        let mut group =
+            ShardedSieveStore::new(3, 1 << 10, |_| PolicySpec::SieveStoreC(cfg)).unwrap();
+        let now = Micros::from_hours(1);
+        let mut allocated_at = None;
+        for i in 1..=10 {
+            if group.access(42, RequestKind::Read, now).is_allocation() {
+                allocated_at = Some(i);
+                break;
+            }
+        }
+        assert_eq!(allocated_at, Some(4), "t1=2 + t2=2 additional misses");
+    }
+
+    #[test]
+    fn shards_balance_under_uniform_keys() {
+        let mut group = ShardedSieveStore::new(8, 1 << 16, |_| PolicySpec::Aod).unwrap();
+        for key in 0..64_000u64 {
+            group.access(key, RequestKind::Write, Micros::new(key));
+        }
+        let loads = group.shard_loads();
+        let mean = 64_000.0 / 8.0;
+        for (i, &l) in loads.iter().enumerate() {
+            let dev = (l as f64 - mean).abs() / mean;
+            assert!(dev < 0.05, "shard {i} load {l} deviates {dev:.3} from mean");
+        }
+    }
+
+    #[test]
+    fn discrete_policies_batch_install_per_shard() {
+        let mut group =
+            ShardedSieveStore::new(2, 1 << 10, |_| PolicySpec::SieveStoreD { threshold: 2 })
+                .unwrap();
+        for _ in 0..3 {
+            group.access(1, RequestKind::Read, Micros::from_hours(1));
+            group.access(2, RequestKind::Read, Micros::from_hours(1));
+        }
+        let installed = group.day_boundary(Day::new(1));
+        assert_eq!(installed, 2, "both hot blocks install on their shards");
+        assert!(group.access(1, RequestKind::Read, Micros::from_hours(25)).is_hit());
+        assert!(group.access(2, RequestKind::Read, Micros::from_hours(25)).is_hit());
+    }
+}

@@ -1,0 +1,555 @@
+//! SieveStore-D's offline access-counting substrate.
+//!
+//! SieveStore-D (§3.2 of the paper) must count accesses for **every** block
+//! touched in an epoch — including blocks not resident in the cache — and
+//! does so off the critical path by logging each access and periodically
+//! running a "map-reduction-like" per-key reduction:
+//!
+//! 1. each access is logged as an `<address, 1>` tuple into one of `R`
+//!    partition files chosen by a hash of the address,
+//! 2. each partition file is sorted,
+//! 3. runs of the same address are counted and re-emitted as
+//!    `<address, n>` tuples.
+//!
+//! The reduction may run *incrementally* ([`AccessLog::compact`]) to keep
+//! log sizes bounded; at the epoch boundary [`AccessLog::finish`] produces
+//! the final [`AccessCounts`], from which the blocks above the allocation
+//! threshold are selected.
+//!
+//! [`InMemoryCounter`] is a drop-in hash-map implementation of the same
+//! [`AccessCounter`] interface, used by fast simulations and as a test
+//! oracle for the external implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_extsort::{AccessCounter, AccessLog, InMemoryCounter};
+//!
+//! # fn main() -> Result<(), sievestore_types::SieveError> {
+//! let dir = std::env::temp_dir().join("sievestore-doc-extsort");
+//! let mut log = AccessLog::create(&dir, 4)?;
+//! for key in [7u64, 9, 7, 7, 1] {
+//!     log.record(key);
+//! }
+//! let counts = log.finish()?;
+//! assert_eq!(counts.get(7), 3);
+//! assert_eq!(counts.get(9), 1);
+//! assert_eq!(counts.keys_with_at_least(2), vec![7]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use sievestore_types::SieveError;
+
+/// Common interface over access counters (external log or in-memory map).
+pub trait AccessCounter {
+    /// Records one access to `key`.
+    fn record(&mut self, key: u64);
+
+    /// Finalizes the counter into per-key totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails (the in-memory
+    /// implementation never fails).
+    fn finish(self) -> Result<AccessCounts, SieveError>;
+}
+
+/// Final per-key access totals for an epoch.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    counts: HashMap<u64, u64>,
+}
+
+impl AccessCounts {
+    /// Creates an empty count table.
+    pub fn new() -> Self {
+        AccessCounts::default()
+    }
+
+    /// Returns the access count for `key` (0 if never seen).
+    pub fn get(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys observed.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no key was observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of recorded accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Keys whose count is at least `threshold`, sorted ascending.
+    ///
+    /// This is SieveStore-D's allocation rule: blocks with `count >= t`
+    /// in epoch *i* are batch-allocated for epoch *i + 1*.
+    pub fn keys_with_at_least(&self, threshold: u64) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The `n` most-accessed keys (ties broken by key), descending count.
+    pub fn top_n(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterates over `(key, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+impl FromIterator<(u64, u64)> for AccessCounts {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for (k, c) in iter {
+            *counts.entry(k).or_insert(0) += c;
+        }
+        AccessCounts { counts }
+    }
+}
+
+/// Straightforward hash-map counter; the test oracle and fast path.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_extsort::{AccessCounter, InMemoryCounter};
+/// let mut counter = InMemoryCounter::new();
+/// counter.record(5);
+/// counter.record(5);
+/// let counts = counter.finish().unwrap();
+/// assert_eq!(counts.get(5), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryCounter {
+    counts: HashMap<u64, u64>,
+}
+
+impl InMemoryCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        InMemoryCounter::default()
+    }
+
+    /// Current count for a key (0 if never seen).
+    pub fn get(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+}
+
+impl AccessCounter for InMemoryCounter {
+    fn record(&mut self, key: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    fn finish(self) -> Result<AccessCounts, SieveError> {
+        Ok(AccessCounts {
+            counts: self.counts,
+        })
+    }
+}
+
+/// One `<key, count>` tuple, 16 bytes little-endian on disk.
+const TUPLE_BYTES: usize = 16;
+
+/// The external, hash-partitioned access log (the paper's mechanism).
+///
+/// Tuples are buffered per partition and spilled to `R` files. Calling
+/// [`AccessLog::compact`] performs the incremental per-key reduction the
+/// paper describes (sort each partition, count runs, rewrite); calling
+/// [`AccessLog::finish`] produces the final totals.
+///
+/// Dropping the log removes its partition files (best-effort).
+#[derive(Debug)]
+pub struct AccessLog {
+    dir: PathBuf,
+    partitions: usize,
+    writers: Vec<BufWriter<File>>,
+    /// Total tuples logged (pre-reduction).
+    logged: u64,
+}
+
+impl AccessLog {
+    /// Creates a log with `partitions` spill files inside `dir`
+    /// (the directory is created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory or spill files cannot be created,
+    /// or if `partitions == 0`.
+    pub fn create(dir: impl AsRef<Path>, partitions: usize) -> Result<Self, SieveError> {
+        if partitions == 0 {
+            return Err(SieveError::InvalidConfig(
+                "access log needs at least one partition".into(),
+            ));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut writers = Vec::with_capacity(partitions);
+        for i in 0..partitions {
+            let file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(partition_path(&dir, i))?;
+            writers.push(BufWriter::new(file));
+        }
+        Ok(AccessLog {
+            dir,
+            partitions,
+            writers,
+            logged: 0,
+        })
+    }
+
+    /// Number of partition files.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Total tuples logged since creation (pre-reduction).
+    pub fn logged(&self) -> u64 {
+        self.logged
+    }
+
+    /// Bytes currently on disk across partitions (post last compaction
+    /// flush; buffered tuples not yet flushed are excluded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata I/O errors.
+    pub fn disk_bytes(&self) -> Result<u64, SieveError> {
+        let mut total = 0;
+        for i in 0..self.partitions {
+            total += fs::metadata(partition_path(&self.dir, i))?.len();
+        }
+        Ok(total)
+    }
+
+    fn partition_of(&self, key: u64) -> usize {
+        // SplitMix64 finalizer as the partition hash.
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % self.partitions
+    }
+
+    /// Logs one access as an `<address, 1>` tuple.
+    ///
+    /// I/O errors are deferred: the tuple goes into a buffered writer and
+    /// any failure surfaces at the next [`AccessLog::compact`] /
+    /// [`AccessLog::finish`] call, keeping this hot path infallible.
+    pub fn record_access(&mut self, key: u64) {
+        let p = self.partition_of(key);
+        let mut tuple = [0u8; TUPLE_BYTES];
+        tuple[0..8].copy_from_slice(&key.to_le_bytes());
+        tuple[8..16].copy_from_slice(&1u64.to_le_bytes());
+        // Errors deferred to compact()/finish(), which flush and re-read.
+        let _ = self.writers[p].write_all(&tuple);
+        self.logged += 1;
+    }
+
+    /// Incrementally reduces every partition: sort by key, merge runs into
+    /// `<address, n>` tuples, rewrite. Keeps log size proportional to the
+    /// number of *distinct* keys rather than the number of accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from reading or rewriting partitions.
+    pub fn compact(&mut self) -> Result<(), SieveError> {
+        for i in 0..self.partitions {
+            self.writers[i].flush()?;
+            let tuples = read_tuples(&partition_path(&self.dir, i))?;
+            let reduced = reduce(tuples);
+            write_tuples(&partition_path(&self.dir, i), &reduced)?;
+            let file = OpenOptions::new()
+                .append(true)
+                .open(partition_path(&self.dir, i))?;
+            self.writers[i] = BufWriter::new(file);
+        }
+        Ok(())
+    }
+
+    /// Finalizes: reduces every partition and merges the totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn finish(mut self) -> Result<AccessCounts, SieveError> {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for i in 0..self.partitions {
+            self.writers[i].flush()?;
+            let tuples = read_tuples(&partition_path(&self.dir, i))?;
+            for (k, c) in reduce(tuples) {
+                *counts.entry(k).or_insert(0) += c;
+            }
+        }
+        Ok(AccessCounts { counts })
+    }
+}
+
+impl AccessCounter for AccessLog {
+    fn record(&mut self, key: u64) {
+        self.record_access(key);
+    }
+
+    fn finish(self) -> Result<AccessCounts, SieveError> {
+        AccessLog::finish(self)
+    }
+}
+
+impl Drop for AccessLog {
+    fn drop(&mut self) {
+        for i in 0..self.partitions {
+            let _ = fs::remove_file(partition_path(&self.dir, i));
+        }
+    }
+}
+
+fn partition_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("part-{index:04}.log"))
+}
+
+/// Reads all `<key, count>` tuples of a partition file.
+fn read_tuples(path: &Path) -> Result<Vec<(u64, u64)>, SieveError> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut reader = BufReader::new(file);
+    let mut tuples = Vec::new();
+    let mut buf = [0u8; TUPLE_BYTES];
+    loop {
+        match reader.read_exact(&mut buf) {
+            Ok(()) => {
+                let key = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+                let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+                tuples.push((key, count));
+            }
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(tuples)
+}
+
+/// Sorts tuples by key and merges runs: the per-key reduction step.
+fn reduce(mut tuples: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    tuples.sort_unstable_by_key(|&(k, _)| k);
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(tuples.len());
+    for (k, c) in tuples {
+        match out.last_mut() {
+            Some((lk, lc)) if *lk == k => *lc += c,
+            _ => out.push((k, c)),
+        }
+    }
+    out
+}
+
+fn write_tuples(path: &Path, tuples: &[(u64, u64)]) -> Result<(), SieveError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    let mut writer = BufWriter::new(file);
+    for &(k, c) in tuples {
+        writer.write_all(&k.to_le_bytes())?;
+        writer.write_all(&c.to_le_bytes())?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sievestore-extsort-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn zero_partitions_is_rejected() {
+        assert!(AccessLog::create(temp_dir("zero"), 0).is_err());
+    }
+
+    #[test]
+    fn counts_match_in_memory_oracle() {
+        let dir = temp_dir("oracle");
+        let mut log = AccessLog::create(&dir, 8).unwrap();
+        let mut oracle = InMemoryCounter::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            let key = rng.random_range(0..5_000u64);
+            log.record(key);
+            oracle.record(key);
+        }
+        let external = log.finish().unwrap();
+        let expected = oracle.finish().unwrap();
+        assert_eq!(external, expected);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_totals_and_shrinks_disk() {
+        let dir = temp_dir("compact");
+        let mut log = AccessLog::create(&dir, 4).unwrap();
+        // 10_000 accesses to only 50 distinct keys.
+        for i in 0..10_000u64 {
+            log.record(i % 50);
+        }
+        log.compact().unwrap();
+        let after_first = log.disk_bytes().unwrap();
+        assert!(
+            after_first <= 50 * TUPLE_BYTES as u64,
+            "compacted size {after_first}"
+        );
+        // Log more, compact again, counts must still be exact.
+        for i in 0..5_000u64 {
+            log.record(i % 50);
+        }
+        log.compact().unwrap();
+        let counts = log.finish().unwrap();
+        assert_eq!(counts.len(), 50);
+        for k in 0..50 {
+            assert_eq!(counts.get(k), 300, "key {k}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn logged_counts_tuples_not_keys() {
+        let dir = temp_dir("logged");
+        let mut log = AccessLog::create(&dir, 2).unwrap();
+        for _ in 0..7 {
+            log.record(1);
+        }
+        assert_eq!(log.logged(), 7);
+        assert_eq!(log.partitions(), 2);
+        let counts = log.finish().unwrap();
+        assert_eq!(counts.total_accesses(), 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threshold_selection_matches_paper_rule() {
+        let counts: AccessCounts = [(1u64, 12u64), (2, 10), (3, 9), (4, 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(counts.keys_with_at_least(10), vec![1, 2]);
+        assert_eq!(counts.keys_with_at_least(1).len(), 4);
+        assert!(counts.keys_with_at_least(13).is_empty());
+    }
+
+    #[test]
+    fn top_n_orders_by_count_then_key() {
+        let counts: AccessCounts = [(5u64, 3u64), (1, 7), (9, 3), (2, 7)]
+            .into_iter()
+            .collect();
+        assert_eq!(counts.top_n(3), vec![(1, 7), (2, 7), (5, 3)]);
+        assert_eq!(counts.top_n(0), vec![]);
+        assert_eq!(counts.top_n(10).len(), 4);
+    }
+
+    #[test]
+    fn from_iterator_merges_duplicate_keys() {
+        let counts: AccessCounts = [(1u64, 2u64), (1, 3)].into_iter().collect();
+        assert_eq!(counts.get(1), 5);
+        assert_eq!(counts.len(), 1);
+        assert!(!counts.is_empty());
+    }
+
+    #[test]
+    fn empty_log_finishes_empty() {
+        let dir = temp_dir("empty");
+        let log = AccessLog::create(&dir, 3).unwrap();
+        let counts = log.finish().unwrap();
+        assert!(counts.is_empty());
+        assert_eq!(counts.total_accesses(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_removes_partition_files() {
+        let dir = temp_dir("drop");
+        {
+            let mut log = AccessLog::create(&dir, 3).unwrap();
+            log.record(1);
+            log.compact().unwrap();
+            assert!(partition_path(&dir, 0).exists());
+        }
+        for i in 0..3 {
+            assert!(!partition_path(&dir, i).exists(), "partition {i} remains");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reduce_merges_runs() {
+        let reduced = reduce(vec![(3, 1), (1, 1), (3, 2), (1, 1), (2, 1)]);
+        assert_eq!(reduced, vec![(1, 2), (2, 1), (3, 3)]);
+        assert_eq!(reduce(vec![]), vec![]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn external_equals_oracle_under_random_streams(
+            keys in proptest::collection::vec(0u64..200, 0..2000),
+            partitions in 1usize..9,
+            compact_every in 1usize..500,
+        ) {
+            let dir = temp_dir(&format!("prop{partitions}-{compact_every}-{}", keys.len()));
+            let mut log = AccessLog::create(&dir, partitions).unwrap();
+            let mut oracle = InMemoryCounter::new();
+            for (i, &k) in keys.iter().enumerate() {
+                log.record(k);
+                oracle.record(k);
+                if (i + 1) % compact_every == 0 {
+                    log.compact().unwrap();
+                }
+            }
+            let external = log.finish().unwrap();
+            prop_assert_eq!(external, oracle.finish().unwrap());
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A blocking client for the appliance's wire protocol.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sievestore_types::BLOCK_SIZE;
+
+use crate::protocol::{Reply, Request};
+
+/// Appliance statistics as reported over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Allocation-writes performed.
+    pub allocation_writes: u64,
+    /// Blocks currently resident in the cache.
+    pub resident_blocks: u64,
+}
+
+impl NodeStats {
+    /// Hit ratio over all accesses (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.read_hits + self.write_hits;
+        let total = hits + self.read_misses + self.write_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// A blocking connection to a [`NodeServer`](crate::NodeServer).
+///
+/// See [`NodeServer`](crate::NodeServer) for an end-to-end example.
+#[derive(Debug)]
+pub struct NodeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn unexpected(reply: Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        match reply {
+            Reply::Error { message } => format!("node error: {message}"),
+            other => format!("unexpected reply {other:?}"),
+        },
+    )
+}
+
+impl NodeClient {
+    /// Connects to a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NodeClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Reads one block; returns the payload and whether the cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and node-side errors.
+    pub fn read_block(&mut self, key: u64) -> io::Result<([u8; BLOCK_SIZE], bool)> {
+        Request::Read { key }.encode(&mut self.writer)?;
+        match Reply::decode(&mut self.reader)? {
+            Reply::Read { hit, data } => Ok((*data, hit)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Writes one block (the node applies its configured write policy);
+    /// returns whether the cache held the block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and node-side errors.
+    pub fn write_block(&mut self, key: u64, data: &[u8; BLOCK_SIZE]) -> io::Result<bool> {
+        Request::Write {
+            key,
+            data: Box::new(*data),
+        }
+        .encode(&mut self.writer)?;
+        match Reply::decode(&mut self.reader)? {
+            Reply::Write { hit } => Ok(hit),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches appliance statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and node-side errors.
+    pub fn stats(&mut self) -> io::Result<NodeStats> {
+        Request::Stats.encode(&mut self.writer)?;
+        match Reply::decode(&mut self.reader)? {
+            Reply::Stats {
+                read_hits,
+                write_hits,
+                read_misses,
+                write_misses,
+                allocation_writes,
+                resident_blocks,
+            } => Ok(NodeStats {
+                read_hits,
+                write_hits,
+                read_misses,
+                write_misses,
+                allocation_writes,
+                resident_blocks,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Flushes the node's dirty frames (write-back nodes); returns how
+    /// many blocks were written to the backing store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and node-side errors.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        Request::Flush.encode(&mut self.writer)?;
+        match Reply::decode(&mut self.reader)? {
+            Reply::Flush { flushed } => Ok(flushed),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Closes the connection politely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the final flush.
+    pub fn quit(mut self) -> io::Result<()> {
+        Request::Quit.encode(&mut self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_hit_ratio() {
+        let s = NodeStats {
+            read_hits: 3,
+            write_hits: 1,
+            read_misses: 4,
+            write_misses: 0,
+            allocation_writes: 2,
+            resident_blocks: 5,
+        };
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(NodeStats::default().hit_ratio(), 0.0);
+    }
+}

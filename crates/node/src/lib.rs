@@ -1,0 +1,51 @@
+//! SieveStore as a deployable appliance.
+//!
+//! The paper (Figure 4) envisions SieveStore as a transparent box on the
+//! storage network: servers send block I/O to the node; hits are served
+//! from its SSD, misses are forwarded to the underlying ensemble, and the
+//! sieve decides which blocks earn a cache frame. This crate realizes
+//! that physical organization, with TCP standing in for iSCSI:
+//!
+//! * [`protocol`] — the length-prefixed wire protocol;
+//! * [`BackingStore`] / [`MemBacking`] / [`FileBacking`] — the ensemble
+//!   behind the cache;
+//! * [`DataCache`] — policy decisions wired to actual 512-byte payloads
+//!   (write-through; the cache never holds the only copy);
+//! * [`NodeServer`] / [`NodeClient`] — the TCP front end, one thread per
+//!   connection.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore::PolicySpec;
+//! use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 1024)
+//!     .expect("valid appliance");
+//! let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+//! let mut client = NodeClient::connect(server.addr())?;
+//!
+//! client.write_block(42, &[7u8; 512])?;
+//! let (data, _hit) = client.read_block(42)?;
+//! assert_eq!(data, [7u8; 512]);
+//!
+//! client.quit()?;
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backing;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use backing::{BackingStore, Block, FileBacking, MemBacking};
+pub use client::{NodeClient, NodeStats};
+pub use protocol::{Reply, Request};
+pub use server::NodeServer;
+pub use store::{DataCache, DataOutcome, WritePolicy};

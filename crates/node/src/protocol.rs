@@ -1,0 +1,408 @@
+//! The appliance's wire protocol.
+//!
+//! A deliberately small, length-prefixed binary protocol for block I/O
+//! through the SieveStore node (the paper assumes iSCSI; any block
+//! protocol works, and this one keeps the repository self-contained):
+//!
+//! ```text
+//! frame   :=  u32 length (LE, payload bytes) | payload
+//! request :=  0x01 'R' | u64 key                      read one block
+//!          |  0x02 'W' | u64 key | 512 B data         write one block
+//!          |  0x03 'S'                                 fetch statistics
+//!          |  0x04 'Q'                                 close connection
+//!          |  0x05 'F'                                 flush dirty frames
+//! reply   :=  0x81 | u8 hit | 512 B data               read reply
+//!          |  0x82 | u8 hit                            write reply
+//!          |  0x83 | 6 x u64 stats                     stats reply
+//!          |  0x84 | u64 flushed                       flush reply
+//!          |  0xFF | utf-8 message                     error
+//! ```
+//!
+//! Encoding and decoding are symmetric and fully covered by round-trip
+//! tests, including a property test over arbitrary payloads.
+
+use std::io::{self, Read, Write};
+
+use sievestore_types::BLOCK_SIZE;
+
+/// Maximum accepted frame payload (guards against corrupt lengths).
+pub const MAX_FRAME: u32 = 4096;
+
+/// A client-to-node request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read one 512-byte block.
+    Read {
+        /// Packed global block key.
+        key: u64,
+    },
+    /// Write one 512-byte block (the node applies its write policy).
+    Write {
+        /// Packed global block key.
+        key: u64,
+        /// Block payload.
+        data: Box<[u8; BLOCK_SIZE]>,
+    },
+    /// Fetch appliance statistics.
+    Stats,
+    /// Close the connection.
+    Quit,
+    /// Flush dirty frames to the backing store (write-back nodes).
+    Flush,
+}
+
+/// A node-to-client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Data for a read; `hit` tells whether the cache served it.
+    Read {
+        /// Whether the SSD cache served the block.
+        hit: bool,
+        /// Block payload.
+        data: Box<[u8; BLOCK_SIZE]>,
+    },
+    /// Acknowledgement of a write; `hit` tells whether the cache held it.
+    Write {
+        /// Whether the block was resident in the cache.
+        hit: bool,
+    },
+    /// Aggregate appliance counters.
+    Stats {
+        /// Read hits.
+        read_hits: u64,
+        /// Write hits.
+        write_hits: u64,
+        /// Read misses.
+        read_misses: u64,
+        /// Write misses.
+        write_misses: u64,
+        /// Allocation-writes performed.
+        allocation_writes: u64,
+        /// Blocks currently resident.
+        resident_blocks: u64,
+    },
+    /// Acknowledgement of a flush with the number of blocks written back.
+    Flush {
+        /// Dirty frames written to the backing store.
+        flushed: u64,
+    },
+    /// The node rejected the request.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn write_frame<W: Write>(out: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    out.write_all(&len.to_le_bytes())?;
+    out.write_all(payload)?;
+    out.flush()
+}
+
+fn read_frame<R: Read>(input: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    input.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside 1..={MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    input.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Request {
+    /// Serializes the request as one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        match self {
+            Request::Read { key } => {
+                let mut p = Vec::with_capacity(9);
+                p.push(0x01);
+                p.extend_from_slice(&key.to_le_bytes());
+                write_frame(out, &p)
+            }
+            Request::Write { key, data } => {
+                let mut p = Vec::with_capacity(9 + BLOCK_SIZE);
+                p.push(0x02);
+                p.extend_from_slice(&key.to_le_bytes());
+                p.extend_from_slice(&data[..]);
+                write_frame(out, &p)
+            }
+            Request::Stats => write_frame(out, &[0x03]),
+            Request::Quit => write_frame(out, &[0x04]),
+            Request::Flush => write_frame(out, &[0x05]),
+        }
+    }
+
+    /// Reads and parses one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors
+    /// (including `UnexpectedEof` when the peer disconnects).
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        match p[0] {
+            0x01 => {
+                if p.len() != 9 {
+                    return Err(bad("read frame must be 9 bytes"));
+                }
+                Ok(Request::Read {
+                    key: u64::from_le_bytes(p[1..9].try_into().expect("8 bytes")),
+                })
+            }
+            0x02 => {
+                if p.len() != 9 + BLOCK_SIZE {
+                    return Err(bad("write frame must carry one block"));
+                }
+                let mut data = Box::new([0u8; BLOCK_SIZE]);
+                data.copy_from_slice(&p[9..]);
+                Ok(Request::Write {
+                    key: u64::from_le_bytes(p[1..9].try_into().expect("8 bytes")),
+                    data,
+                })
+            }
+            0x03 => Ok(Request::Stats),
+            0x04 => Ok(Request::Quit),
+            0x05 => Ok(Request::Flush),
+            tag => Err(bad(format!("unknown request tag {tag:#x}"))),
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply as one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        match self {
+            Reply::Read { hit, data } => {
+                let mut p = Vec::with_capacity(2 + BLOCK_SIZE);
+                p.push(0x81);
+                p.push(*hit as u8);
+                p.extend_from_slice(&data[..]);
+                write_frame(out, &p)
+            }
+            Reply::Write { hit } => write_frame(out, &[0x82, *hit as u8]),
+            Reply::Stats {
+                read_hits,
+                write_hits,
+                read_misses,
+                write_misses,
+                allocation_writes,
+                resident_blocks,
+            } => {
+                let mut p = Vec::with_capacity(1 + 48);
+                p.push(0x83);
+                for v in [
+                    read_hits,
+                    write_hits,
+                    read_misses,
+                    write_misses,
+                    allocation_writes,
+                    resident_blocks,
+                ] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                write_frame(out, &p)
+            }
+            Reply::Flush { flushed } => {
+                let mut p = Vec::with_capacity(9);
+                p.push(0x84);
+                p.extend_from_slice(&flushed.to_le_bytes());
+                write_frame(out, &p)
+            }
+            Reply::Error { message } => {
+                let mut p = Vec::with_capacity(1 + message.len());
+                p.push(0xFF);
+                p.extend_from_slice(message.as_bytes());
+                write_frame(out, &p)
+            }
+        }
+    }
+
+    /// Reads and parses one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors.
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        match p[0] {
+            0x81 => {
+                if p.len() != 2 + BLOCK_SIZE {
+                    return Err(bad("read reply must carry one block"));
+                }
+                let mut data = Box::new([0u8; BLOCK_SIZE]);
+                data.copy_from_slice(&p[2..]);
+                Ok(Reply::Read {
+                    hit: p[1] != 0,
+                    data,
+                })
+            }
+            0x82 => {
+                if p.len() != 2 {
+                    return Err(bad("write reply must be 2 bytes"));
+                }
+                Ok(Reply::Write { hit: p[1] != 0 })
+            }
+            0x83 => {
+                if p.len() != 49 {
+                    return Err(bad("stats reply must be 49 bytes"));
+                }
+                let field = |i: usize| {
+                    u64::from_le_bytes(p[1 + i * 8..9 + i * 8].try_into().expect("8 bytes"))
+                };
+                Ok(Reply::Stats {
+                    read_hits: field(0),
+                    write_hits: field(1),
+                    read_misses: field(2),
+                    write_misses: field(3),
+                    allocation_writes: field(4),
+                    resident_blocks: field(5),
+                })
+            }
+            0x84 => {
+                if p.len() != 9 {
+                    return Err(bad("flush reply must be 9 bytes"));
+                }
+                Ok(Reply::Flush {
+                    flushed: u64::from_le_bytes(p[1..9].try_into().expect("8 bytes")),
+                })
+            }
+            0xFF => Ok(Reply::Error {
+                message: String::from_utf8_lossy(&p[1..]).into_owned(),
+            }),
+            tag => Err(bad(format!("unknown reply tag {tag:#x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes).expect("vec write");
+        Request::decode(&mut bytes.as_slice()).expect("own encoding decodes")
+    }
+
+    fn roundtrip_reply(reply: &Reply) -> Reply {
+        let mut bytes = Vec::new();
+        reply.encode(&mut bytes).expect("vec write");
+        Reply::decode(&mut bytes.as_slice()).expect("own encoding decodes")
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let data = Box::new([0xAB; BLOCK_SIZE]);
+        for req in [
+            Request::Read { key: 42 },
+            Request::Write { key: 7, data },
+            Request::Stats,
+            Request::Quit,
+            Request::Flush,
+        ] {
+            assert_eq!(roundtrip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let data = Box::new([0x5A; BLOCK_SIZE]);
+        for reply in [
+            Reply::Read { hit: true, data },
+            Reply::Write { hit: false },
+            Reply::Stats {
+                read_hits: 1,
+                write_hits: 2,
+                read_misses: 3,
+                write_misses: 4,
+                allocation_writes: 5,
+                resident_blocks: 6,
+            },
+            Reply::Flush { flushed: 12 },
+            Reply::Error {
+                message: "no".into(),
+            },
+        ] {
+            assert_eq!(roundtrip_reply(&reply), reply);
+        }
+    }
+
+    #[test]
+    fn bad_frames_are_rejected() {
+        // Zero length.
+        let z = 0u32.to_le_bytes();
+        assert!(Request::decode(&mut z.as_slice()).is_err());
+        // Oversized length.
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(Request::decode(&mut huge.as_slice()).is_err());
+        // Unknown tag.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[0x7E]).unwrap();
+        assert!(Request::decode(&mut bytes.as_slice()).is_err());
+        // Truncated read request.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[0x01, 1, 2]).unwrap();
+        assert!(Request::decode(&mut bytes.as_slice()).is_err());
+        // Write without a full block.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &[0x02; 20]).unwrap();
+        assert!(Request::decode(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn eof_surfaces_as_io_error() {
+        let empty: &[u8] = &[];
+        let err = Request::decode(&mut &*empty).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut bytes = Vec::new();
+        Request::Read { key: 1 }.encode(&mut bytes).unwrap();
+        Request::Stats.encode(&mut bytes).unwrap();
+        Request::Quit.encode(&mut bytes).unwrap();
+        let mut cursor = bytes.as_slice();
+        assert_eq!(
+            Request::decode(&mut cursor).unwrap(),
+            Request::Read { key: 1 }
+        );
+        assert_eq!(Request::decode(&mut cursor).unwrap(), Request::Stats);
+        assert_eq!(Request::decode(&mut cursor).unwrap(), Request::Quit);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_writes_roundtrip(key in any::<u64>(), bytes in proptest::collection::vec(any::<u8>(), BLOCK_SIZE)) {
+            let mut data = Box::new([0u8; BLOCK_SIZE]);
+            data.copy_from_slice(&bytes);
+            let req = Request::Write { key, data };
+            prop_assert_eq!(roundtrip_request(&req), req);
+        }
+
+        #[test]
+        fn error_messages_roundtrip(message in "[a-zA-Z0-9 .!?]{0,200}") {
+            let reply = Reply::Error { message: message.clone() };
+            prop_assert_eq!(roundtrip_reply(&reply), Reply::Error { message });
+        }
+    }
+}

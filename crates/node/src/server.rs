@@ -1,0 +1,199 @@
+//! The appliance's TCP front end.
+//!
+//! One [`NodeServer`] owns a [`DataCache`] behind a mutex and serves the
+//! wire protocol over TCP, one thread per connection — the physical
+//! organization of the paper's Figure 4(c), with TCP standing in for
+//! iSCSI. A background clock maps wall-clock time onto trace time so the
+//! sieving windows advance.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use sievestore_types::Micros;
+
+use crate::backing::BackingStore;
+use crate::protocol::{Reply, Request};
+use crate::store::DataCache;
+
+/// Shared server state.
+struct Shared<B: BackingStore> {
+    cache: Mutex<DataCache<B>>,
+    /// Microseconds of "trace time" per real microsecond can't be known
+    /// here, so the server simply timestamps requests with an atomic
+    /// logical clock advanced per request plus the caller-supplied base.
+    clock_us: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A running SieveStore node.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::PolicySpec;
+/// use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64)
+///     .expect("valid appliance");
+/// let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+///
+/// let mut client = NodeClient::connect(server.addr())?;
+/// client.write_block(3, &[1u8; 512])?;
+/// let (data, hit) = client.read_block(3)?;
+/// assert_eq!(data[0], 1);
+/// assert!(hit);
+///
+/// client.quit()?;
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct NodeServer<B: BackingStore + 'static> {
+    shared: Arc<Shared<B>>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl<B: BackingStore + 'static> NodeServer<B> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(addr: &str, cache: DataCache<B>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(cache),
+            clock_us: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, accept_shared);
+        });
+        Ok(NodeServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregate appliance statistics.
+    pub fn stats(&self) -> sievestore::ApplianceStats {
+        *self.shared.cache.lock().stats()
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connections finish their current request and then close.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<B: BackingStore + 'static> Drop for NodeServer<B> {
+    fn drop(&mut self) {
+        // Non-blocking best effort if shutdown() wasn't called.
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop<B: BackingStore + 'static>(listener: TcpListener, shared: Arc<Shared<B>>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, conn_shared);
+                });
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn serve_connection<B: BackingStore + 'static>(
+    stream: TcpStream,
+    shared: Arc<Shared<B>>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match Request::decode(&mut reader) {
+            Ok(req) => req,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                Reply::Error {
+                    message: e.to_string(),
+                }
+                .encode(&mut writer)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        // Logical per-request clock: one millisecond of trace time per
+        // request keeps sieving windows moving deterministically.
+        let now = Micros::new(shared.clock_us.fetch_add(1_000, Ordering::Relaxed));
+        let reply = match request {
+            Request::Read { key } => match shared.cache.lock().read(key, now) {
+                Ok((data, outcome)) => Reply::Read {
+                    hit: outcome.hit,
+                    data: Box::new(data),
+                },
+                Err(e) => Reply::Error {
+                    message: format!("backing read failed: {e}"),
+                },
+            },
+            Request::Write { key, data } => match shared.cache.lock().write(key, &data, now) {
+                Ok(outcome) => Reply::Write { hit: outcome.hit },
+                Err(e) => Reply::Error {
+                    message: format!("backing write failed: {e}"),
+                },
+            },
+            Request::Stats => {
+                let cache = shared.cache.lock();
+                let s = *cache.stats();
+                Reply::Stats {
+                    read_hits: s.read_hits,
+                    write_hits: s.write_hits,
+                    read_misses: s.read_misses,
+                    write_misses: s.write_misses,
+                    allocation_writes: s.allocation_writes,
+                    resident_blocks: cache.resident_blocks() as u64,
+                }
+            }
+            Request::Flush => match shared.cache.lock().flush() {
+                Ok(flushed) => Reply::Flush { flushed },
+                Err(e) => Reply::Error {
+                    message: format!("flush failed: {e}"),
+                },
+            },
+            Request::Quit => return writer.flush(),
+        };
+        reply.encode(&mut writer)?;
+    }
+}

@@ -1,0 +1,517 @@
+//! The data-holding cache: policy decisions plus actual block payloads.
+//!
+//! [`DataCache`] wires a [`SieveStore`] appliance (which decides hits,
+//! bypasses and allocations) to real 512-byte payloads: hits are served
+//! from cached frames (the SSD stand-in), misses are fetched from the
+//! [`BackingStore`] (the ensemble), and allocation decisions copy the
+//! fetched block into a frame.
+//!
+//! Two write policies ([`WritePolicy`]):
+//!
+//! * **Write-through** (default): every write also updates the backing
+//!   store; the cache never holds the only copy.
+//! * **Write-back** — the paper's accounting: write *hits* land on the
+//!   SSD only (that is exactly the ensemble-offload benefit of caching
+//!   write-hot blocks), with the frame marked dirty and flushed to the
+//!   backing store on eviction, on epoch replacement or on an explicit
+//!   [`DataCache::flush`].
+
+use std::collections::HashMap;
+use std::io;
+
+use sievestore::{AccessOutcome, ApplianceStats, PolicySpec, SieveStore, SieveStoreBuilder};
+use sievestore_types::{Day, Micros, RequestKind, SieveError};
+
+use crate::backing::{BackingStore, Block};
+
+/// When writes reach the backing store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Every write also updates the backing store immediately.
+    #[default]
+    WriteThrough,
+    /// Write hits stay on the cached frame (dirty) until eviction or an
+    /// explicit flush — the paper's SSD-absorbs-write-hits accounting.
+    WriteBack,
+}
+
+/// Outcome of one data access through the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataOutcome {
+    /// Whether the cache served (or absorbed) the access.
+    pub hit: bool,
+    /// Whether the access triggered an allocation-write.
+    pub allocated: bool,
+}
+
+/// A block cache with payloads, fronting a backing store.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::PolicySpec;
+/// use sievestore_node::{DataCache, MemBacking};
+/// use sievestore_types::Micros;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 128)?;
+/// cache.write(7, &[9u8; 512], Micros::from_secs(1))?;
+/// let (data, outcome) = cache.read(7, Micros::from_secs(2))?;
+/// assert_eq!(data, [9u8; 512]);
+/// assert!(outcome.hit);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DataCache<B: BackingStore> {
+    store: SieveStore,
+    frames: HashMap<u64, Box<Block>>,
+    dirty: std::collections::HashSet<u64>,
+    write_policy: WritePolicy,
+    backing: B,
+}
+
+impl<B: BackingStore> std::fmt::Debug for DataCache<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataCache")
+            .field("policy", &self.store.policy_name())
+            .field("frames", &self.frames.len())
+            .field("dirty", &self.dirty.len())
+            .field("write_policy", &self.write_policy)
+            .field("capacity", &self.store.capacity_blocks())
+            .finish()
+    }
+}
+
+impl<B: BackingStore> DataCache<B> {
+    /// Creates a cache over `backing` with the given policy and frame
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for an invalid policy or
+    /// zero capacity.
+    pub fn new(backing: B, policy: PolicySpec, capacity_blocks: usize) -> Result<Self, SieveError> {
+        Ok(DataCache {
+            store: SieveStoreBuilder::new()
+                .capacity_blocks(capacity_blocks)
+                .policy(policy)
+                .build()?,
+            frames: HashMap::new(),
+            dirty: std::collections::HashSet::new(),
+            write_policy: WritePolicy::WriteThrough,
+            backing,
+        })
+    }
+
+    /// Selects the write policy (default: write-through).
+    #[must_use]
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// The active write policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Number of dirty (unflushed) frames.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Writes one dirty victim back to the backing store.
+    fn flush_one(&mut self, key: u64) -> io::Result<()> {
+        if self.dirty.remove(&key) {
+            let data = **self
+                .frames
+                .get(&key)
+                .expect("dirty blocks always hold a frame");
+            self.backing.write_block(key, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty frame back to the backing store; returns how
+    /// many blocks were flushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures; already-flushed blocks stay
+    /// clean.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        let keys: Vec<u64> = self.dirty.iter().copied().collect();
+        let mut flushed = 0;
+        for key in keys {
+            self.flush_one(key)?;
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Applies a policy outcome to the frame map, fetching `fresh` on
+    /// allocation; dirty victims are flushed before their frame drops.
+    fn apply_outcome(
+        &mut self,
+        key: u64,
+        outcome: AccessOutcome,
+        fresh: Option<&Block>,
+    ) -> io::Result<DataOutcome> {
+        Ok(match outcome {
+            AccessOutcome::Hit => DataOutcome {
+                hit: true,
+                allocated: false,
+            },
+            AccessOutcome::BypassMiss => DataOutcome {
+                hit: false,
+                allocated: false,
+            },
+            AccessOutcome::AllocatedMiss { evicted } => {
+                if let Some(victim) = evicted {
+                    self.flush_one(victim)?;
+                    self.frames.remove(&victim);
+                }
+                if let Some(data) = fresh {
+                    self.frames.insert(key, Box::new(*data));
+                }
+                DataOutcome {
+                    hit: false,
+                    allocated: true,
+                }
+            }
+        })
+    }
+
+    /// Reads one block through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures (cache state stays consistent:
+    /// policy metadata may register the miss, but no frame is installed).
+    pub fn read(&mut self, key: u64, now: Micros) -> io::Result<(Block, DataOutcome)> {
+        let outcome = self.store.access(key, RequestKind::Read, now);
+        if outcome.is_hit() {
+            let data = **self.frames.get(&key).unwrap_or_else(|| {
+                unreachable!("policy reported a hit for a frame we do not hold")
+            });
+            return Ok((data, DataOutcome { hit: true, allocated: false }));
+        }
+        let data = self.backing.read_block(key)?;
+        let result = self.apply_outcome(key, outcome, Some(&data))?;
+        Ok((data, result))
+    }
+
+    /// Writes one block through the cache, honouring the write policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures.
+    pub fn write(&mut self, key: u64, data: &Block, now: Micros) -> io::Result<DataOutcome> {
+        let outcome = self.store.access(key, RequestKind::Write, now);
+        if outcome.is_hit() {
+            match self.write_policy {
+                WritePolicy::WriteThrough => {
+                    self.backing.write_block(key, data)?;
+                }
+                WritePolicy::WriteBack => {
+                    self.dirty.insert(key);
+                }
+            }
+            self.frames.insert(key, Box::new(*data));
+            return Ok(DataOutcome {
+                hit: true,
+                allocated: false,
+            });
+        }
+        // Misses: a bypass goes straight to the ensemble; an allocation
+        // installs the fresh data (dirty under write-back — the backing
+        // store has never seen it).
+        match (self.write_policy, outcome.is_allocation()) {
+            (WritePolicy::WriteBack, true) => {
+                self.dirty.insert(key);
+            }
+            _ => self.backing.write_block(key, data)?,
+        }
+        self.apply_outcome(key, outcome, Some(data))
+    }
+
+    /// Signals a day boundary; discrete policies batch-install, and the
+    /// newly selected blocks' payloads are staged from the backing store
+    /// (the paper's staggered bulk moves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures while staging payloads.
+    pub fn day_boundary(&mut self, day: Day) -> io::Result<u64> {
+        let Some(transition) = self.store.day_boundary(day) else {
+            return Ok(0);
+        };
+        // Flush dirty frames leaving residency, drop evicted frames, keep
+        // retained ones, stage the newly selected blocks' payloads.
+        let evicted: Vec<u64> = self
+            .frames
+            .keys()
+            .copied()
+            .filter(|key| !self.store.contains(*key))
+            .collect();
+        for key in evicted {
+            self.flush_one(key)?;
+            self.frames.remove(&key);
+        }
+        for key in &transition.allocated {
+            let data = self.backing.read_block(*key)?;
+            self.frames.insert(*key, Box::new(data));
+        }
+        Ok(transition.allocated.len() as u64)
+    }
+
+    /// Running policy statistics.
+    pub fn stats(&self) -> &ApplianceStats {
+        self.store.stats()
+    }
+
+    /// Number of frames currently holding data.
+    pub fn resident_blocks(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The underlying backing store.
+    pub fn backing(&self) -> &B {
+        &self.backing
+    }
+
+    /// The policy's report name.
+    pub fn policy_name(&self) -> &str {
+        self.store.policy_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn block(fill: u8) -> Block {
+        [fill; 512]
+    }
+
+    fn t(secs: u64) -> Micros {
+        Micros::from_secs(secs)
+    }
+
+    #[test]
+    fn read_allocates_and_then_hits_under_aod() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).unwrap();
+        c.backing().write_block(1, &block(0x42)).unwrap();
+        let (data, o) = c.read(1, t(0)).unwrap();
+        assert_eq!(data, block(0x42));
+        assert!(!o.hit);
+        assert!(o.allocated);
+        let (data, o) = c.read(1, t(1)).unwrap();
+        assert_eq!(data, block(0x42));
+        assert!(o.hit);
+        assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn write_through_updates_backing_and_frame() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).unwrap();
+        c.write(5, &block(0xAA), t(0)).unwrap();
+        assert_eq!(c.backing().read_block(5).unwrap(), block(0xAA));
+        // The write allocated (AOD): the frame holds the fresh data.
+        let (data, o) = c.read(5, t(1)).unwrap();
+        assert!(o.hit);
+        assert_eq!(data, block(0xAA));
+        // A write hit refreshes the frame.
+        c.write(5, &block(0xBB), t(2)).unwrap();
+        let (data, _) = c.read(5, t(3)).unwrap();
+        assert_eq!(data, block(0xBB));
+        assert_eq!(c.backing().read_block(5).unwrap(), block(0xBB));
+    }
+
+    #[test]
+    fn eviction_drops_the_victims_frame() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 2).unwrap();
+        c.write(1, &block(1), t(0)).unwrap();
+        c.write(2, &block(2), t(1)).unwrap();
+        c.write(3, &block(3), t(2)).unwrap(); // evicts 1
+        assert_eq!(c.resident_blocks(), 2);
+        // Block 1 now misses but still reads correctly from backing.
+        let (data, o) = c.read(1, t(3)).unwrap();
+        assert!(!o.hit);
+        assert_eq!(data, block(1));
+    }
+
+    #[test]
+    fn sieved_cache_bypasses_cold_blocks_with_correct_data() {
+        let cfg = sievestore_sieve::TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 12)
+            .with_thresholds(2, 2);
+        let mut c =
+            DataCache::new(MemBacking::new(), PolicySpec::SieveStoreC(cfg), 64).unwrap();
+        c.backing().write_block(9, &block(0x99)).unwrap();
+        // First misses bypass but still serve correct data.
+        for i in 0..3 {
+            let (data, o) = c.read(9, t(i)).unwrap();
+            assert_eq!(data, block(0x99));
+            assert!(!o.hit, "miss {i}");
+        }
+        // Fourth access allocates (t1=2 + t2=2), fifth hits.
+        let (_, o) = c.read(9, t(3)).unwrap();
+        assert!(o.allocated);
+        let (data, o) = c.read(9, t(4)).unwrap();
+        assert!(o.hit);
+        assert_eq!(data, block(0x99));
+    }
+
+    #[test]
+    fn discrete_day_boundary_stages_payloads() {
+        let mut c = DataCache::new(
+            MemBacking::new(),
+            PolicySpec::SieveStoreD { threshold: 2 },
+            16,
+        )
+        .unwrap();
+        c.backing().write_block(4, &block(0x44)).unwrap();
+        for i in 0..3 {
+            let (_, o) = c.read(4, t(i)).unwrap();
+            assert!(!o.hit);
+            assert!(!o.allocated);
+        }
+        let staged = c.day_boundary(Day::new(1)).unwrap();
+        assert_eq!(staged, 1);
+        let (data, o) = c.read(4, Micros::from_days(1)).unwrap();
+        assert!(o.hit);
+        assert_eq!(data, block(0x44));
+    }
+
+    #[test]
+    fn write_back_defers_backing_updates_until_flush() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        assert_eq!(c.write_policy(), WritePolicy::WriteBack);
+        // The allocating write-miss installs a dirty frame; the backing
+        // store has never seen the data.
+        c.write(1, &block(0xD1), t(0)).unwrap();
+        assert_eq!(c.dirty_blocks(), 1);
+        assert_eq!(c.backing().read_block(1).unwrap(), block(0));
+        // Reads still serve the fresh data from the frame.
+        let (data, o) = c.read(1, t(1)).unwrap();
+        assert!(o.hit);
+        assert_eq!(data, block(0xD1));
+        // Flush persists it.
+        assert_eq!(c.flush().unwrap(), 1);
+        assert_eq!(c.dirty_blocks(), 0);
+        assert_eq!(c.backing().read_block(1).unwrap(), block(0xD1));
+        // Flushing again is a no-op.
+        assert_eq!(c.flush().unwrap(), 0);
+    }
+
+    #[test]
+    fn write_back_flushes_dirty_victims_on_eviction() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 2)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        c.write(1, &block(0x11), t(0)).unwrap();
+        c.write(2, &block(0x22), t(1)).unwrap();
+        // Block 3 evicts block 1, whose dirty data must reach the backing
+        // store before the frame drops.
+        c.write(3, &block(0x33), t(2)).unwrap();
+        assert_eq!(c.backing().read_block(1).unwrap(), block(0x11));
+        // Block 2 is still dirty and cached only.
+        assert_eq!(c.backing().read_block(2).unwrap(), block(0));
+        let (data, _) = c.read(2, t(3)).unwrap();
+        assert_eq!(data, block(0x22));
+    }
+
+    #[test]
+    fn write_back_bypassed_writes_go_straight_to_backing() {
+        // A sieved cache refuses cold writes; under write-back they must
+        // still land on the ensemble immediately.
+        let cfg = sievestore_sieve::TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 12)
+            .with_thresholds(9, 4);
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::SieveStoreC(cfg), 16)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        let o = c.write(7, &block(0x77), t(0)).unwrap();
+        assert!(!o.hit && !o.allocated);
+        assert_eq!(c.backing().read_block(7).unwrap(), block(0x77));
+        assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn write_back_day_boundary_flushes_departing_blocks() {
+        let mut c = DataCache::new(
+            MemBacking::new(),
+            PolicySpec::SieveStoreD { threshold: 2 },
+            16,
+        )
+        .unwrap()
+        .with_write_policy(WritePolicy::WriteBack);
+        // Day 0: block 8 earns residency for day 1.
+        for i in 0..3 {
+            c.read(8, t(i)).unwrap();
+        }
+        c.day_boundary(Day::new(1)).unwrap();
+        // Day 1: dirty the resident block via a write hit.
+        let o = c.write(8, &block(0x88), Micros::from_days(1)).unwrap();
+        assert!(o.hit);
+        assert_eq!(c.backing().read_block(8).unwrap(), block(0));
+        // Day 2: block 8 was not re-qualified, so the boundary evicts and
+        // flushes it.
+        c.day_boundary(Day::new(2)).unwrap();
+        assert_eq!(c.backing().read_block(8).unwrap(), block(0x88));
+        assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn write_back_random_workload_reads_own_writes() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 8)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        let mut shadow: HashMap<u64, Block> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(78);
+        for i in 0..5_000u64 {
+            let key = rng.random_range(0..32u64);
+            if rng.random::<bool>() {
+                let fill = rng.random::<u8>();
+                c.write(key, &block(fill), t(i)).unwrap();
+                shadow.insert(key, block(fill));
+            } else {
+                let (data, _) = c.read(key, t(i)).unwrap();
+                let expect = shadow.get(&key).copied().unwrap_or(block(0));
+                assert_eq!(data, expect, "stale data for key {key} at step {i}");
+            }
+        }
+        // After a full flush the backing store agrees with the shadow.
+        c.flush().unwrap();
+        for (key, expect) in &shadow {
+            assert_eq!(c.backing().read_block(*key).unwrap(), *expect);
+        }
+    }
+
+    #[test]
+    fn random_mixed_workload_always_returns_backing_truth() {
+        // The cache must never serve stale data, whatever the policy does.
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 8).unwrap();
+        let mut shadow: HashMap<u64, Block> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(77);
+        for i in 0..5_000u64 {
+            let key = rng.random_range(0..32u64);
+            if rng.random::<bool>() {
+                let fill = rng.random::<u8>();
+                c.write(key, &block(fill), t(i)).unwrap();
+                shadow.insert(key, block(fill));
+            } else {
+                let (data, _) = c.read(key, t(i)).unwrap();
+                let expect = shadow.get(&key).copied().unwrap_or(block(0));
+                assert_eq!(data, expect, "stale data for key {key} at step {i}");
+            }
+        }
+        assert!(c.stats().hits() > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! SieveStore-D's access-count discrete batch-allocation (ADBA) sieve.
+//!
+//! All accesses of an epoch are counted (via any
+//! [`AccessCounter`](sievestore_extsort::AccessCounter) — the in-memory
+//! map or the paper's hash-partitioned log), and at the epoch boundary the
+//! blocks whose count reached the threshold `t` (paper: `t` = 10 with
+//! one-day epochs) are selected for batch allocation into the next epoch's
+//! cache.
+
+use sievestore_extsort::{AccessCounter, AccessCounts, InMemoryCounter};
+use sievestore_types::SieveError;
+
+/// The epoch-batched access-count sieve, generic over the counting
+/// substrate.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_extsort::InMemoryCounter;
+/// use sievestore_sieve::DiscreteSieve;
+///
+/// let mut sieve = DiscreteSieve::new(InMemoryCounter::new(), 3).unwrap();
+/// for _ in 0..3 {
+///     sieve.record_access(11);
+/// }
+/// sieve.record_access(22);
+/// let selected = sieve.end_epoch(InMemoryCounter::new()).unwrap();
+/// assert_eq!(selected, vec![11]);
+/// ```
+#[derive(Debug)]
+pub struct DiscreteSieve<C: AccessCounter> {
+    counter: Option<C>,
+    threshold: u64,
+    epoch: u64,
+}
+
+impl<C: AccessCounter> DiscreteSieve<C> {
+    /// The paper's allocation threshold: 10 accesses per (one-day) epoch.
+    pub const PAPER_THRESHOLD: u64 = 10;
+
+    /// Creates a sieve using `counter` for the first epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `threshold == 0`.
+    pub fn new(counter: C, threshold: u64) -> Result<Self, SieveError> {
+        if threshold == 0 {
+            return Err(SieveError::InvalidConfig(
+                "discrete sieve threshold must be positive".into(),
+            ));
+        }
+        Ok(DiscreteSieve {
+            counter: Some(counter),
+            threshold,
+            epoch: 0,
+        })
+    }
+
+    /// The allocation threshold `t`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The current epoch index (starts at 0, advances per `end_epoch`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records one access in the current epoch.
+    pub fn record_access(&mut self, key: u64) {
+        self.counter
+            .as_mut()
+            .expect("counter present between epochs")
+            .record(key);
+    }
+
+    /// Ends the epoch: finalizes the counts, installs `next` as the new
+    /// epoch's counter, and returns the selected block keys (sorted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from finalizing the counting substrate.
+    pub fn end_epoch(&mut self, next: C) -> Result<Vec<u64>, SieveError> {
+        let counts = self.end_epoch_with_counts(next)?;
+        Ok(counts.keys_with_at_least(self.threshold))
+    }
+
+    /// Like [`DiscreteSieve::end_epoch`] but returns the full counts, for
+    /// callers that also need totals (e.g. the ideal top-1 % oracle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from finalizing the counting substrate.
+    pub fn end_epoch_with_counts(&mut self, next: C) -> Result<AccessCounts, SieveError> {
+        let counter = self.counter.take().expect("counter present");
+        let counts = counter.finish()?;
+        self.counter = Some(next);
+        self.epoch += 1;
+        Ok(counts)
+    }
+}
+
+impl DiscreteSieve<InMemoryCounter> {
+    /// Convenience constructor for the in-memory substrate with the
+    /// paper's threshold of 10.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let sieve = sievestore_sieve::DiscreteSieve::in_memory_paper_default();
+    /// assert_eq!(sieve.threshold(), 10);
+    /// ```
+    pub fn in_memory_paper_default() -> Self {
+        DiscreteSieve::new(InMemoryCounter::new(), Self::PAPER_THRESHOLD)
+            .expect("paper threshold is valid")
+    }
+
+    /// Ends the epoch with a fresh in-memory counter.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the in-memory substrate; the `Result` mirrors the
+    /// generic interface.
+    pub fn end_epoch_in_memory(&mut self) -> Result<Vec<u64>, SieveError> {
+        self.end_epoch(InMemoryCounter::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sievestore_extsort::AccessLog;
+
+    #[test]
+    fn zero_threshold_is_rejected() {
+        assert!(DiscreteSieve::new(InMemoryCounter::new(), 0).is_err());
+    }
+
+    #[test]
+    fn selects_exactly_blocks_at_or_over_threshold() {
+        let mut sieve = DiscreteSieve::new(InMemoryCounter::new(), 10).unwrap();
+        for _ in 0..10 {
+            sieve.record_access(1); // exactly at threshold
+        }
+        for _ in 0..11 {
+            sieve.record_access(2); // over
+        }
+        for _ in 0..9 {
+            sieve.record_access(3); // under
+        }
+        let selected = sieve.end_epoch_in_memory().unwrap();
+        assert_eq!(selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn epochs_are_independent() {
+        let mut sieve = DiscreteSieve::new(InMemoryCounter::new(), 2).unwrap();
+        sieve.record_access(1);
+        assert_eq!(sieve.end_epoch_in_memory().unwrap(), Vec::<u64>::new());
+        assert_eq!(sieve.epoch(), 1);
+        // The single access from epoch 0 must not carry over.
+        sieve.record_access(1);
+        assert_eq!(sieve.end_epoch_in_memory().unwrap(), Vec::<u64>::new());
+        sieve.record_access(4);
+        sieve.record_access(4);
+        assert_eq!(sieve.end_epoch_in_memory().unwrap(), vec![4]);
+        assert_eq!(sieve.epoch(), 3);
+    }
+
+    #[test]
+    fn counts_variant_exposes_totals() {
+        let mut sieve = DiscreteSieve::new(InMemoryCounter::new(), 5).unwrap();
+        sieve.record_access(9);
+        sieve.record_access(9);
+        let counts = sieve.end_epoch_with_counts(InMemoryCounter::new()).unwrap();
+        assert_eq!(counts.get(9), 2);
+        assert_eq!(counts.total_accesses(), 2);
+    }
+
+    #[test]
+    fn works_over_the_external_log_substrate() {
+        let dir = std::env::temp_dir().join(format!("sievestore-dsieve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = AccessLog::create(&dir, 4).unwrap();
+        let mut sieve = DiscreteSieve::new(log, 3).unwrap();
+        for _ in 0..3 {
+            sieve.record_access(42);
+        }
+        sieve.record_access(43);
+        let next = AccessLog::create(dir.join("next"), 4).unwrap();
+        let selected = sieve.end_epoch(next).unwrap();
+        assert_eq!(selected, vec![42]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,326 @@
+//! The two miss-count tables: aliased IMCT and precise MCT.
+//!
+//! SieveStore-C must keep metastate for blocks that are *not* in the cache,
+//! and that metastate is consulted on every miss, so it must live in
+//! memory. Tracking every accessed block precisely would explode, so the
+//! paper (§3.3) uses two tiers:
+//!
+//! * [`Imct`] — the *imprecise miss-count table*: a fixed-size array of
+//!   windowed counters indexed by a hash of the block key. The
+//!   many-to-one mapping aliases, so counts can only be *inflated* for any
+//!   particular block (no false negatives against a threshold).
+//! * [`Mct`] — the *precise miss-count table*: a hash table keyed by exact
+//!   block, populated only for blocks that already passed the IMCT
+//!   threshold, and pruned periodically to drop stale entries.
+
+use std::collections::HashMap;
+
+use sievestore_types::Micros;
+
+use crate::window::{WindowConfig, WindowedCounter};
+
+/// SplitMix64 finalizer; the IMCT slot hash.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The imprecise (aliased) miss-count table.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sieve::{Imct, WindowConfig};
+/// use sievestore_types::Micros;
+///
+/// let mut imct = Imct::new(1024, WindowConfig::paper_default());
+/// let now = Micros::from_hours(1);
+/// assert_eq!(imct.record_miss(42, now), 1);
+/// assert_eq!(imct.record_miss(42, now), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Imct {
+    entries: Vec<WindowedCounter>,
+    config: WindowConfig,
+}
+
+impl Imct {
+    /// Creates a table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize, config: WindowConfig) -> Self {
+        assert!(entries > 0, "imct needs at least one entry");
+        Imct {
+            entries: vec![WindowedCounter::new(config.subwindows); entries],
+            config,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The slot a key maps to (exposed for aliasing tests).
+    pub fn slot_of(&self, key: u64) -> usize {
+        (mix(key) % self.entries.len() as u64) as usize
+    }
+
+    /// Records a miss for `key` at time `now`; returns the slot's
+    /// in-window total (which may include aliased contributions).
+    pub fn record_miss(&mut self, key: u64, now: Micros) -> u32 {
+        let sub = self.config.subwindow_index(now);
+        let slot = self.slot_of(key);
+        self.entries[slot].record(sub)
+    }
+
+    /// The slot's in-window total without recording.
+    pub fn peek(&mut self, key: u64, now: Micros) -> u32 {
+        let sub = self.config.subwindow_index(now);
+        let slot = self.slot_of(key);
+        self.entries[slot].total(sub)
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * (self.config.subwindows as usize * 4 + 16)
+    }
+}
+
+/// The precise miss-count table.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sieve::{Mct, WindowConfig};
+/// use sievestore_types::Micros;
+///
+/// let mut mct = Mct::new(WindowConfig::paper_default());
+/// let now = Micros::from_hours(2);
+/// assert_eq!(mct.record_miss(7, now), 1);
+/// assert_eq!(mct.record_miss(7, now), 2);
+/// assert_eq!(mct.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mct {
+    entries: HashMap<u64, WindowedCounter>,
+    config: WindowConfig,
+}
+
+impl Mct {
+    /// Creates an empty table.
+    pub fn new(config: WindowConfig) -> Self {
+        Mct {
+            entries: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no block is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ensures an entry exists for `key` (zero count, live at `now`);
+    /// returns whether it already existed. Used when a block graduates
+    /// from the IMCT: the graduating miss itself does not count toward
+    /// the *additional* `t2` misses.
+    pub fn ensure(&mut self, key: u64, now: Micros) -> bool {
+        let sub = self.config.subwindow_index(now);
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => true,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut c = WindowedCounter::new(self.config.subwindows);
+                c.observe(sub);
+                v.insert(c);
+                false
+            }
+        }
+    }
+
+    /// Records a miss for `key`; returns `key`'s exact in-window count.
+    pub fn record_miss(&mut self, key: u64, now: Micros) -> u32 {
+        let sub = self.config.subwindow_index(now);
+        self.entries
+            .entry(key)
+            .or_insert_with(|| WindowedCounter::new(self.config.subwindows))
+            .record(sub)
+    }
+
+    /// `key`'s exact in-window count without recording.
+    pub fn peek(&mut self, key: u64, now: Micros) -> u32 {
+        let sub = self.config.subwindow_index(now);
+        match self.entries.get_mut(&key) {
+            Some(c) => c.total(sub),
+            None => 0,
+        }
+    }
+
+    /// Drops entries whose whole window has expired ("periodically we
+    /// prune the MCT to eliminate stale blocks"). Returns how many were
+    /// removed.
+    pub fn prune(&mut self, now: Micros) -> usize {
+        let sub = self.config.subwindow_index(now);
+        let before = self.entries.len();
+        self.entries.retain(|_, c| !c.is_stale(sub));
+        before - self.entries.len()
+    }
+
+    /// Removes a specific key (used when a block gets allocated and no
+    /// longer needs miss tracking).
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * (self.config.subwindows as usize * 4 + 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> WindowConfig {
+        WindowConfig::paper_default()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_imct_panics() {
+        let _ = Imct::new(0, cfg());
+    }
+
+    #[test]
+    fn imct_counts_misses_within_window() {
+        let mut imct = Imct::new(64, cfg());
+        let now = Micros::from_hours(1);
+        assert_eq!(imct.record_miss(1, now), 1);
+        assert_eq!(imct.record_miss(1, now), 2);
+        assert_eq!(imct.peek(1, now), 2);
+        // 9 hours later the whole window has rolled over.
+        assert_eq!(imct.peek(1, Micros::from_hours(10)), 0);
+    }
+
+    #[test]
+    fn imct_aliases_share_one_slot() {
+        let mut imct = Imct::new(1, cfg()); // everything aliases
+        let now = Micros::from_hours(1);
+        imct.record_miss(100, now);
+        imct.record_miss(200, now);
+        assert_eq!(imct.peek(300, now), 2, "aliased slot inflates counts");
+    }
+
+    #[test]
+    fn imct_distinct_slots_do_not_interfere() {
+        let mut imct = Imct::new(1 << 16, cfg());
+        let now = Micros::from_hours(1);
+        // Find two keys in different slots.
+        let a = 1u64;
+        let b = (2..)
+            .find(|&k| imct.slot_of(k) != imct.slot_of(a))
+            .expect("distinct slot exists");
+        imct.record_miss(a, now);
+        assert_eq!(imct.peek(b, now), 0);
+    }
+
+    #[test]
+    fn mct_is_exact_per_key() {
+        let mut mct = Mct::new(cfg());
+        let now = Micros::from_hours(3);
+        mct.record_miss(1, now);
+        mct.record_miss(1, now);
+        mct.record_miss(2, now);
+        assert_eq!(mct.peek(1, now), 2);
+        assert_eq!(mct.peek(2, now), 1);
+        assert_eq!(mct.peek(3, now), 0);
+        assert_eq!(mct.len(), 2);
+    }
+
+    #[test]
+    fn mct_prune_removes_only_stale_entries() {
+        let mut mct = Mct::new(cfg());
+        mct.record_miss(1, Micros::from_hours(0));
+        mct.record_miss(2, Micros::from_hours(9));
+        // At hour 9, key 1 (hour 0) is more than 8h = 4 subwindows old.
+        let removed = mct.prune(Micros::from_hours(9));
+        assert_eq!(removed, 1);
+        assert_eq!(mct.len(), 1);
+        assert_eq!(mct.peek(2, Micros::from_hours(9)), 1);
+    }
+
+    #[test]
+    fn mct_remove_specific_key() {
+        let mut mct = Mct::new(cfg());
+        mct.record_miss(5, Micros::from_hours(1));
+        assert!(mct.remove(5));
+        assert!(!mct.remove(5));
+        assert!(mct.is_empty());
+    }
+
+    #[test]
+    fn memory_estimates_scale() {
+        let imct = Imct::new(1000, cfg());
+        assert!(imct.memory_bytes() >= 1000 * 16);
+        let mut mct = Mct::new(cfg());
+        let base = mct.memory_bytes();
+        mct.record_miss(1, Micros::from_hours(0));
+        assert!(mct.memory_bytes() > base);
+    }
+
+    proptest! {
+        /// Aliasing can only inflate: for any key, the IMCT count is at
+        /// least the key's true miss count within the window.
+        #[test]
+        fn imct_never_undercounts(
+            keys in proptest::collection::vec(0u64..500, 1..300),
+            table_bits in 0u32..8,
+        ) {
+            let mut imct = Imct::new(1 << table_bits, cfg());
+            let mut exact: HashMap<u64, u32> = HashMap::new();
+            let now = Micros::from_hours(1); // single subwindow: no expiry
+            for &k in &keys {
+                imct.record_miss(k, now);
+                *exact.entry(k).or_insert(0) += 1;
+            }
+            for (&k, &true_count) in &exact {
+                prop_assert!(imct.peek(k, now) >= true_count);
+            }
+        }
+
+        /// The MCT always matches a plain per-key counter inside one
+        /// subwindow.
+        #[test]
+        fn mct_matches_plain_counter(
+            keys in proptest::collection::vec(0u64..100, 0..300),
+        ) {
+            let mut mct = Mct::new(cfg());
+            let mut exact: HashMap<u64, u32> = HashMap::new();
+            let now = Micros::from_hours(1);
+            for &k in &keys {
+                mct.record_miss(k, now);
+                *exact.entry(k).or_insert(0) += 1;
+            }
+            for (&k, &c) in &exact {
+                prop_assert_eq!(mct.peek(k, now), c);
+            }
+            prop_assert_eq!(mct.len(), exact.len());
+        }
+    }
+}

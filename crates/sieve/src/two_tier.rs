@@ -1,0 +1,361 @@
+//! The two-tier sieve of SieveStore-C.
+//!
+//! Flow on every cache miss (§3.3): the miss is first counted in the
+//! aliased [`Imct`](crate::Imct). Only once a block's (possibly inflated)
+//! IMCT count reaches `t1` does the block graduate to the precise
+//! [`Mct`](crate::Mct), where it must see `t2` *additional* misses within
+//! the window before it qualifies for allocation. The paper tunes
+//! `t1` = 9 and `t2` = 4 over an 8-hour window of 4 subwindows, and
+//! reports ~8 GB of metastate for its traces.
+
+use sievestore_types::{Micros, SieveError};
+
+use crate::tables::{Imct, Mct};
+use crate::window::WindowConfig;
+
+/// Parameters of the two-tier sieve.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = sievestore_sieve::TwoTierConfig::paper_default();
+/// assert_eq!(cfg.t1, 9);
+/// assert_eq!(cfg.t2, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoTierConfig {
+    /// IMCT graduation threshold (imprecise misses).
+    pub t1: u32,
+    /// MCT allocation threshold (additional precise misses).
+    pub t2: u32,
+    /// Miss-count window discretization.
+    pub window: WindowConfig,
+    /// Number of IMCT slots.
+    pub imct_entries: usize,
+    /// Prune the MCT after this many misses processed.
+    pub prune_every: u64,
+}
+
+impl TwoTierConfig {
+    /// The paper's tuned parameters: `t1` = 9, `t2` = 4, `W` = 8 h, `k` = 4.
+    /// The IMCT size defaults to 2^20 slots; scale it with the workload.
+    pub fn paper_default() -> Self {
+        TwoTierConfig {
+            t1: 9,
+            t2: 4,
+            window: WindowConfig::paper_default(),
+            imct_entries: 1 << 20,
+            prune_every: 1 << 20,
+        }
+    }
+
+    /// Sets the IMCT slot count.
+    #[must_use]
+    pub fn with_imct_entries(mut self, entries: usize) -> Self {
+        self.imct_entries = entries;
+        self
+    }
+
+    /// Sets the thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, t1: u32, t2: u32) -> Self {
+        self.t1 = t1;
+        self.t2 = t2;
+        self
+    }
+
+    /// Sets the window discretization.
+    #[must_use]
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for a zero-sized IMCT or zero
+    /// thresholds.
+    pub fn validate(&self) -> Result<(), SieveError> {
+        if self.imct_entries == 0 {
+            return Err(SieveError::InvalidConfig("imct_entries must be > 0".into()));
+        }
+        if self.t1 == 0 || self.t2 == 0 {
+            return Err(SieveError::InvalidConfig(
+                "sieve thresholds must be positive".into(),
+            ));
+        }
+        if self.prune_every == 0 {
+            return Err(SieveError::InvalidConfig("prune_every must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TwoTierConfig {
+    fn default() -> Self {
+        TwoTierConfig::paper_default()
+    }
+}
+
+/// The IMCT + MCT sieve: decides, per miss, whether a block has earned a
+/// cache frame.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sieve::{TwoTierConfig, TwoTierSieve};
+/// use sievestore_types::Micros;
+///
+/// let cfg = TwoTierConfig::paper_default()
+///     .with_imct_entries(1024)
+///     .with_thresholds(2, 2);
+/// let mut sieve = TwoTierSieve::new(cfg).unwrap();
+/// let now = Micros::from_hours(1);
+/// // Miss 2 graduates the block through the IMCT; misses 3-4 are the
+/// // additional precise misses; the 4th qualifies it.
+/// assert!(!sieve.on_miss(7, now));
+/// assert!(!sieve.on_miss(7, now));
+/// assert!(!sieve.on_miss(7, now));
+/// assert!(sieve.on_miss(7, now));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoTierSieve {
+    config: TwoTierConfig,
+    imct: Imct,
+    mct: Mct,
+    misses_seen: u64,
+    /// Diagnostics: how many misses graduated past the IMCT.
+    graduated: u64,
+    /// Diagnostics: how many allocations were granted.
+    granted: u64,
+}
+
+impl TwoTierSieve {
+    /// Creates a sieve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `config` fails validation.
+    pub fn new(config: TwoTierConfig) -> Result<Self, SieveError> {
+        config.validate()?;
+        Ok(TwoTierSieve {
+            imct: Imct::new(config.imct_entries, config.window),
+            mct: Mct::new(config.window),
+            config,
+            misses_seen: 0,
+            graduated: 0,
+            granted: 0,
+        })
+    }
+
+    /// The sieve's configuration.
+    pub fn config(&self) -> &TwoTierConfig {
+        &self.config
+    }
+
+    /// Processes one miss at time `now`. Returns `true` if the block has
+    /// now qualified for allocation (the paper's lazy n-th-miss rule).
+    ///
+    /// Qualification resets the block's MCT entry, so a block that gets
+    /// allocated, evicted and misses again must re-earn its frame.
+    pub fn on_miss(&mut self, key: u64, now: Micros) -> bool {
+        self.misses_seen += 1;
+        if self.misses_seen.is_multiple_of(self.config.prune_every) {
+            self.mct.prune(now);
+        }
+        let imct_count = self.imct.record_miss(key, now);
+        if imct_count < self.config.t1 {
+            return false;
+        }
+        self.graduated += 1;
+        if !self.mct.ensure(key, now) {
+            // The miss that first graduates a block past the IMCT does not
+            // count toward the *additional* t2 precise misses.
+            return false;
+        }
+        let mct_count = self.mct.record_miss(key, now);
+        if mct_count >= self.config.t2 {
+            self.granted += 1;
+            self.mct.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total misses processed.
+    pub fn misses_seen(&self) -> u64 {
+        self.misses_seen
+    }
+
+    /// Misses that passed the IMCT threshold (reached the precise tier).
+    pub fn graduated(&self) -> u64 {
+        self.graduated
+    }
+
+    /// Allocations granted.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Number of blocks currently tracked precisely.
+    pub fn mct_len(&self) -> usize {
+        self.mct.len()
+    }
+
+    /// Approximate metastate footprint in bytes (IMCT + MCT).
+    pub fn memory_bytes(&self) -> usize {
+        self.imct.memory_bytes() + self.mct.memory_bytes()
+    }
+
+    /// Explicitly prunes stale MCT entries.
+    pub fn prune(&mut self, now: Micros) -> usize {
+        self.mct.prune(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(t1: u32, t2: u32) -> TwoTierSieve {
+        TwoTierSieve::new(
+            TwoTierConfig::paper_default()
+                .with_imct_entries(1 << 16)
+                .with_thresholds(t1, t2),
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TwoTierConfig::paper_default().validate().is_ok());
+        assert!(TwoTierConfig::paper_default()
+            .with_imct_entries(0)
+            .validate()
+            .is_err());
+        assert!(TwoTierConfig::paper_default()
+            .with_thresholds(0, 4)
+            .validate()
+            .is_err());
+        assert!(TwoTierSieve::new(TwoTierConfig::paper_default().with_thresholds(9, 0)).is_err());
+    }
+
+    #[test]
+    fn allocation_happens_on_expected_miss_count() {
+        // t1 = 9, t2 = 4: the 13th miss in-window qualifies (miss 9
+        // graduates the block, misses 10-13 are the additional precise
+        // misses).
+        let mut sieve = small(9, 4);
+        let now = Micros::from_hours(1);
+        for i in 1..=12 {
+            assert!(!sieve.on_miss(5, now), "miss {i} must not allocate");
+        }
+        assert!(sieve.on_miss(5, now), "13th miss allocates");
+        assert_eq!(sieve.granted(), 1);
+    }
+
+    #[test]
+    fn qualification_resets_tracking() {
+        let mut sieve = small(1, 2);
+        let now = Micros::from_hours(1);
+        assert!(!sieve.on_miss(3, now)); // graduates (zero entry)
+        assert!(!sieve.on_miss(3, now)); // precise miss 1
+        assert!(sieve.on_miss(3, now)); // precise miss 2: allocate
+        // After allocation the precise entry is removed, so the block must
+        // re-graduate and then re-earn t2 precise misses.
+        assert!(!sieve.on_miss(3, now));
+        assert!(!sieve.on_miss(3, now));
+        assert!(sieve.on_miss(3, now));
+        assert_eq!(sieve.granted(), 2);
+    }
+
+    #[test]
+    fn cold_blocks_never_qualify() {
+        let mut sieve = small(9, 4);
+        // A million distinct one-touch blocks: none should allocate as
+        // long as aliasing pressure stays moderate.
+        let mut granted = 0;
+        for key in 0..100_000u64 {
+            if sieve.on_miss(key, Micros::from_hours(1)) {
+                granted += 1;
+            }
+        }
+        assert_eq!(sieve.granted(), granted);
+        assert!(
+            (granted as f64) < 100.0,
+            "one-touch blocks granted {granted} allocations"
+        );
+    }
+
+    #[test]
+    fn window_expiry_blocks_slow_accumulators() {
+        let mut sieve = small(2, 2);
+        // Misses spaced 9 hours apart never accumulate in an 8-hour window.
+        for i in 0..20u64 {
+            let now = Micros::from_hours(9 * i);
+            assert!(!sieve.on_miss(77, now), "spaced miss {i} allocated");
+        }
+    }
+
+    #[test]
+    fn aliasing_inflates_imct_but_mct_gatekeeps() {
+        // One-slot IMCT: every block shares the imprecise count, so the
+        // IMCT tier passes everything through almost immediately; the
+        // precise MCT must still require t2 misses per actual block.
+        let mut sieve = TwoTierSieve::new(
+            TwoTierConfig::paper_default()
+                .with_imct_entries(1)
+                .with_thresholds(9, 4),
+        )
+        .unwrap();
+        let now = Micros::from_hours(1);
+        // 100 distinct blocks, one miss each: IMCT slot count soars, but no
+        // individual block reaches 4 precise misses.
+        for key in 0..100u64 {
+            assert!(!sieve.on_miss(key, now), "aliased one-touch block allocated");
+        }
+        assert!(sieve.graduated() > 0, "IMCT should graduate under aliasing");
+        assert_eq!(sieve.granted(), 0);
+        // A genuinely hot block still qualifies: one graduating miss plus
+        // 4 additional precise misses.
+        let mut alloc_at = 0;
+        for i in 1..=5 {
+            if sieve.on_miss(500, now) {
+                alloc_at = i;
+                break;
+            }
+        }
+        assert_eq!(alloc_at, 5);
+    }
+
+    #[test]
+    fn mct_population_is_bounded_by_graduated_blocks() {
+        let mut sieve = small(9, 4);
+        let now = Micros::from_hours(1);
+        for key in 0..10_000u64 {
+            sieve.on_miss(key, now);
+        }
+        assert!(
+            sieve.mct_len() <= 10_000,
+            "mct holds {} entries",
+            sieve.mct_len()
+        );
+        assert!(sieve.memory_bytes() > 0);
+        assert_eq!(sieve.misses_seen(), 10_000);
+    }
+
+    #[test]
+    fn explicit_prune_drops_stale_state() {
+        let mut sieve = small(1, 3);
+        sieve.on_miss(1, Micros::from_hours(0));
+        sieve.on_miss(1, Micros::from_hours(0));
+        sieve.on_miss(1, Micros::from_hours(0));
+        assert!(sieve.mct_len() > 0);
+        let removed = sieve.prune(Micros::from_hours(20));
+        assert_eq!(removed, 1);
+        assert_eq!(sieve.mct_len(), 0);
+    }
+}

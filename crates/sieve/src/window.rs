@@ -1,0 +1,276 @@
+//! Discretized sliding-window miss counters.
+//!
+//! SieveStore-C logically counts a block's misses over the past `W` hours.
+//! Keeping per-time-slice state is impractical, so the paper (§3.3)
+//! discretizes the window into `k` subwindows of `W/k` each: an entry keeps
+//! `k` counters plus the subwindow index of its last update. On an update,
+//! if the current subwindow is `k` or more past the last update, all
+//! counters are stale and zeroed; otherwise only the skipped subwindows
+//! are cleared. The paper tunes `W` = 8 h with `k` = 4.
+
+use sievestore_types::Micros;
+
+/// Window discretization parameters.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sieve::WindowConfig;
+/// use sievestore_types::Micros;
+///
+/// let w = WindowConfig::paper_default();
+/// assert_eq!(w.subwindows, 4);
+/// assert_eq!(w.subwindow_index(Micros::from_hours(3)), 1); // 2h subwindows
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Window length `W`.
+    pub window: Micros,
+    /// Number of subwindows `k`.
+    pub subwindows: u32,
+}
+
+impl WindowConfig {
+    /// The paper's tuned parameters: `W` = 8 hours, `k` = 4.
+    pub fn paper_default() -> Self {
+        WindowConfig {
+            window: Micros::from_hours(8),
+            subwindows: 4,
+        }
+    }
+
+    /// Creates a window configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `subwindows == 0`.
+    pub fn new(window: Micros, subwindows: u32) -> Self {
+        assert!(window.as_u64() > 0, "window must be nonempty");
+        assert!(subwindows > 0, "need at least one subwindow");
+        WindowConfig { window, subwindows }
+    }
+
+    /// Length of one subwindow in microseconds.
+    pub fn subwindow_us(&self) -> u64 {
+        (self.window.as_u64() / self.subwindows as u64).max(1)
+    }
+
+    /// The global subwindow index an instant falls in.
+    pub fn subwindow_index(&self, now: Micros) -> u64 {
+        now.as_u64() / self.subwindow_us()
+    }
+}
+
+/// One entry's `k` subwindow counters plus its last-update index.
+///
+/// This is the building block of both the aliased IMCT and the precise MCT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedCounter {
+    counts: Box<[u32]>,
+    last_sub: u64,
+    /// Whether the entry has ever been written (distinguishes subwindow 0).
+    live: bool,
+}
+
+impl WindowedCounter {
+    /// Creates a zeroed counter with `k` subwindows.
+    pub fn new(subwindows: u32) -> Self {
+        WindowedCounter {
+            counts: vec![0; subwindows as usize].into_boxed_slice(),
+            last_sub: 0,
+            live: false,
+        }
+    }
+
+    fn k(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Expires subwindows between the last update and `now_sub`.
+    fn roll_to(&mut self, now_sub: u64) {
+        if !self.live {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.last_sub = now_sub;
+            self.live = true;
+            return;
+        }
+        if now_sub < self.last_sub {
+            // Out-of-order timestamps: fold into the current subwindow.
+            return;
+        }
+        let gap = now_sub - self.last_sub;
+        if gap >= self.k() {
+            // All counters are stale.
+            self.counts.iter_mut().for_each(|c| *c = 0);
+        } else {
+            // Clear only the subwindows that were skipped over.
+            for s in (self.last_sub + 1)..=now_sub {
+                self.counts[(s % self.k()) as usize] = 0;
+            }
+        }
+        self.last_sub = now_sub;
+    }
+
+    /// Advances the window to `now_sub` without recording an event
+    /// (creates a live, zero-count window position).
+    pub fn observe(&mut self, now_sub: u64) {
+        self.roll_to(now_sub);
+    }
+
+    /// Records one event at global subwindow `now_sub`; returns the total
+    /// count within the live window after the increment.
+    pub fn record(&mut self, now_sub: u64) -> u32 {
+        self.roll_to(now_sub);
+        let idx = (self.last_sub % self.k()) as usize;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.total_unchecked()
+    }
+
+    /// Current in-window total as of global subwindow `now_sub` (expires
+    /// stale subwindows first).
+    pub fn total(&mut self, now_sub: u64) -> u32 {
+        self.roll_to(now_sub);
+        self.total_unchecked()
+    }
+
+    fn total_unchecked(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the entry is entirely stale as of `now_sub` (safe to prune).
+    pub fn is_stale(&self, now_sub: u64) -> bool {
+        !self.live || now_sub >= self.last_sub + self.k()
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.live = false;
+        self.last_sub = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_default_is_8h_by_4() {
+        let w = WindowConfig::paper_default();
+        assert_eq!(w.window, Micros::from_hours(8));
+        assert_eq!(w.subwindow_us(), Micros::from_hours(2).as_u64());
+        assert_eq!(w.subwindow_index(Micros::from_hours(8)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "subwindow")]
+    fn zero_subwindows_panics() {
+        let _ = WindowConfig::new(Micros::from_hours(1), 0);
+    }
+
+    #[test]
+    fn counts_accumulate_within_window() {
+        let mut c = WindowedCounter::new(4);
+        assert_eq!(c.record(0), 1);
+        assert_eq!(c.record(0), 2);
+        assert_eq!(c.record(1), 3);
+        assert_eq!(c.record(3), 4);
+    }
+
+    #[test]
+    fn jump_of_k_or_more_expires_everything() {
+        let mut c = WindowedCounter::new(4);
+        for _ in 0..5 {
+            c.record(0);
+        }
+        assert_eq!(c.record(4), 1, "gap of k zeroes all counters");
+        let mut c = WindowedCounter::new(4);
+        c.record(2);
+        assert_eq!(c.record(100), 1);
+    }
+
+    #[test]
+    fn partial_expiry_clears_only_skipped_subwindows() {
+        let mut c = WindowedCounter::new(4);
+        c.record(0); // sub 0: 1
+        c.record(1); // sub 1: 1
+        c.record(2); // sub 2: 1
+        c.record(3); // sub 3: 1
+        // Moving to sub 5 skips sub 4 (wraps to slot 0) and lands on slot 1:
+        // slots 0 and 1 are cleared, slots 2 and 3 (subs 2, 3) survive.
+        assert_eq!(c.record(5), 3);
+    }
+
+    #[test]
+    fn sliding_expiry_one_at_a_time() {
+        let mut c = WindowedCounter::new(2);
+        c.record(0);
+        c.record(1);
+        assert_eq!(c.total(1), 2);
+        // Sub 2 evicts sub 0's count.
+        assert_eq!(c.record(2), 2);
+        // Sub 3 evicts sub 1's count.
+        assert_eq!(c.record(3), 2);
+    }
+
+    #[test]
+    fn out_of_order_updates_do_not_lose_counts() {
+        let mut c = WindowedCounter::new(4);
+        c.record(5);
+        let total = c.record(3); // late event folds into the current window
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn staleness_and_reset() {
+        let mut c = WindowedCounter::new(4);
+        assert!(c.is_stale(0), "virgin counters are stale");
+        c.record(10);
+        assert!(!c.is_stale(12));
+        assert!(c.is_stale(14));
+        c.reset();
+        assert!(c.is_stale(0));
+        assert_eq!(c.total(20), 0);
+    }
+
+    #[test]
+    fn first_event_at_late_subwindow() {
+        let mut c = WindowedCounter::new(3);
+        assert_eq!(c.record(1000), 1);
+        assert_eq!(c.total(1001), 1);
+        assert_eq!(c.total(1003), 0);
+    }
+
+    proptest! {
+        /// The discretized window never counts events older than k
+        /// subwindows and never forgets events in the current subwindow.
+        #[test]
+        fn window_bounds_hold(
+            subs in proptest::collection::vec(0u64..40, 1..200),
+            k in 1u32..6,
+        ) {
+            let mut sorted = subs.clone();
+            sorted.sort_unstable();
+            let mut c = WindowedCounter::new(k);
+            let mut events: Vec<u64> = Vec::new();
+            for &s in &sorted {
+                c.record(s);
+                events.push(s);
+                let now = s;
+                let total = c.total(now);
+                // Exact semantics: events in subwindows (now - k, now] that
+                // were not dropped by an intervening full reset. We bound
+                // instead of replicate: at least the events in the current
+                // subwindow, at most all events in the last k subwindows.
+                let lower = events.iter().filter(|&&e| e == now).count() as u32;
+                let upper = events
+                    .iter()
+                    .filter(|&&e| e + k as u64 > now)
+                    .count() as u32;
+                prop_assert!(total >= lower, "total {total} < lower {lower}");
+                prop_assert!(total <= upper, "total {total} > upper {upper}");
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Belady's MIN and selective-MIN caches (§3.1's thought experiment).
+//!
+//! The paper argues that *replacement* policy alone — even a clairvoyant
+//! one — cannot fix the allocation-write problem:
+//!
+//! 1. **MIN with allocate-on-demand**: Belady's algorithm evicts the block
+//!    whose next use is farthest in the future. Every miss still
+//!    allocates, so the ~97 % of blocks with ≤4 accesses force at least
+//!    `50% + 47%/4 ≈ 61.75 %` compulsory allocation-writes per unique
+//!    block.
+//! 2. **Selective MIN**: extending MIN to allocate only when the missing
+//!    block's next use precedes some cached block's next use *maximizes
+//!    hits* but does **not** minimize allocation-writes. The paper's
+//!    counterexample is the stream `a,a,b,b,a,a,c,c,a,a,d,d,...` on a
+//!    1-entry cache: selective MIN converges to a 50 % hit ratio with an
+//!    allocation on every other miss pair, while simply pinning `a`
+//!    achieves (asymptotically) the same hits with exactly one
+//!    allocation.
+//!
+//! Both algorithms here are offline: they take the whole access stream.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Outcome counts of an offline cache simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfflineResult {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses that allocated a frame (allocation-writes).
+    pub allocation_writes: u64,
+}
+
+impl OfflineResult {
+    /// Hit ratio over all accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of accesses that caused allocation-writes.
+    pub fn allocation_fraction(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.allocation_writes as f64 / total as f64
+        }
+    }
+}
+
+/// Position used for "never accessed again".
+const NEVER: u64 = u64::MAX;
+
+/// Precomputes, for each access, the stream position of the *next* access
+/// to the same key (`NEVER` if none).
+fn next_use_positions(accesses: &[u64]) -> Vec<u64> {
+    let mut next = vec![NEVER; accesses.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &key) in accesses.iter().enumerate().rev() {
+        if let Some(&later) = last_seen.get(&key) {
+            next[i] = later as u64;
+        }
+        last_seen.insert(key, i);
+    }
+    next
+}
+
+/// Belady's MIN with allocate-on-demand: every miss allocates; the victim
+/// is the cached block with the farthest next use.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sim::belady_min;
+///
+/// // Two blocks alternating in a 1-entry cache: every access misses.
+/// let r = belady_min(&[1, 2, 1, 2], 1);
+/// assert_eq!(r.hits, 0);
+/// assert_eq!(r.allocation_writes, 4);
+/// ```
+pub fn belady_min(accesses: &[u64], capacity: usize) -> OfflineResult {
+    assert!(capacity > 0, "cache capacity must be nonzero");
+    let next = next_use_positions(accesses);
+    let mut result = OfflineResult::default();
+    // Resident set keyed both ways: key -> next use, and an ordered set of
+    // (next_use, key) for O(log n) farthest-victim lookup.
+    let mut resident: HashMap<u64, u64> = HashMap::new();
+    let mut by_next: BTreeSet<(u64, u64)> = BTreeSet::new();
+
+    for (i, &key) in accesses.iter().enumerate() {
+        let this_next = next[i];
+        if let Some(&old_next) = resident.get(&key) {
+            result.hits += 1;
+            by_next.remove(&(old_next, key));
+            by_next.insert((this_next, key));
+            resident.insert(key, this_next);
+            continue;
+        }
+        result.misses += 1;
+        result.allocation_writes += 1;
+        if resident.len() >= capacity {
+            let &(victim_next, victim) = by_next.iter().next_back().expect("cache nonempty");
+            // MIN never helps by evicting a sooner-used block than the
+            // incoming one, but AOD allocates regardless; the standard
+            // formulation evicts the farthest-next-use block.
+            by_next.remove(&(victim_next, victim));
+            resident.remove(&victim);
+        }
+        resident.insert(key, this_next);
+        by_next.insert((this_next, key));
+    }
+    result
+}
+
+/// Selective Belady: allocate a missing block only if its next use comes
+/// *before* the latest next use among cached blocks (otherwise bypass).
+/// This maximizes hits among allocation-selective policies but — the
+/// paper's point — does not minimize allocation-writes.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn belady_selective(accesses: &[u64], capacity: usize) -> OfflineResult {
+    assert!(capacity > 0, "cache capacity must be nonzero");
+    let next = next_use_positions(accesses);
+    let mut result = OfflineResult::default();
+    let mut resident: HashMap<u64, u64> = HashMap::new();
+    let mut by_next: BTreeSet<(u64, u64)> = BTreeSet::new();
+
+    for (i, &key) in accesses.iter().enumerate() {
+        let this_next = next[i];
+        if let Some(&old_next) = resident.get(&key) {
+            result.hits += 1;
+            by_next.remove(&(old_next, key));
+            by_next.insert((this_next, key));
+            resident.insert(key, this_next);
+            continue;
+        }
+        result.misses += 1;
+        if resident.len() < capacity {
+            if this_next != NEVER {
+                result.allocation_writes += 1;
+                resident.insert(key, this_next);
+                by_next.insert((this_next, key));
+            }
+            continue;
+        }
+        let &(victim_next, victim) = by_next.iter().next_back().expect("cache nonempty");
+        // Allocate only if the incoming block is used again sooner than
+        // the farthest-out cached block.
+        if this_next < victim_next {
+            result.allocation_writes += 1;
+            by_next.remove(&(victim_next, victim));
+            resident.remove(&victim);
+            resident.insert(key, this_next);
+            by_next.insert((this_next, key));
+        }
+    }
+    result
+}
+
+/// A fixed pinned set: blocks in `pinned` always hit after their first
+/// (allocating) access; everything else always bypasses. The paper's
+/// "fixed allocation for address a" comparison point.
+pub fn pinned_set(accesses: &[u64], pinned: &[u64]) -> OfflineResult {
+    let mut result = OfflineResult::default();
+    let mut resident: HashMap<u64, bool> = pinned.iter().map(|&k| (k, false)).collect();
+    for &key in accesses {
+        match resident.get_mut(&key) {
+            Some(loaded @ false) => {
+                *loaded = true;
+                result.misses += 1;
+                result.allocation_writes += 1;
+            }
+            Some(true) => result.hits += 1,
+            None => result.misses += 1,
+        }
+    }
+    result
+}
+
+/// The paper's §3.1 counterexample stream on a 1-entry cache:
+/// `a,a,b,b,a,a,c,c,a,a,d,d,...` for `pairs` repetitions. Returns
+/// (selective-MIN result, pinned-`a` result).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_sim::belady_counterexample;
+///
+/// let (selective, pinned) = belady_counterexample(100);
+/// // Both converge to ~50% hits...
+/// assert!((selective.hit_ratio() - 0.5).abs() < 0.02);
+/// assert!((pinned.hit_ratio() - 0.5).abs() < 0.02);
+/// // ...but selective MIN allocates on ~half the accesses, pinning once.
+/// assert!(selective.allocation_writes > 50);
+/// assert_eq!(pinned.allocation_writes, 1);
+/// ```
+pub fn belady_counterexample(pairs: u64) -> (OfflineResult, OfflineResult) {
+    let a = 0u64;
+    let mut stream = Vec::with_capacity(pairs as usize * 4);
+    for i in 0..pairs {
+        stream.extend_from_slice(&[a, a]);
+        let fresh = i + 1; // b, c, d, ... never repeats beyond its pair
+        stream.extend_from_slice(&[fresh, fresh]);
+    }
+    (belady_selective(&stream, 1), pinned_set(&stream, &[a]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sievestore_cache::LruCache;
+
+    #[test]
+    fn next_use_positions_are_correct() {
+        let next = next_use_positions(&[1, 2, 1, 1, 3]);
+        assert_eq!(next, vec![2, NEVER, 3, NEVER, NEVER]);
+        assert!(next_use_positions(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_classic_example() {
+        // The canonical MIN behaviour: with capacity 2 and stream
+        // 1,2,3,1,2 MIN keeps 1 and 2 when 3 arrives (3 never recurs...
+        // actually MIN evicts the farthest: at access 3, next(1)=3,
+        // next(2)=4, next(3)=never, so 3 evicts nothing useful — AOD
+        // still brings 3 in, evicting 2 (farthest). Hits: final 1.
+        let r = belady_min(&[1, 2, 3, 1, 2], 2);
+        assert_eq!(r.hits + r.misses, 5);
+        assert_eq!(r.allocation_writes, r.misses);
+        // MIN is at least as good as LRU on any stream (checked in the
+        // property test below); here LRU also gets 1 hit.
+        assert_eq!(r.hits, 1);
+    }
+
+    #[test]
+    fn min_with_ample_capacity_only_takes_compulsory_misses() {
+        let stream = [5u64, 6, 5, 7, 6, 5];
+        let r = belady_min(&stream, 10);
+        assert_eq!(r.misses, 3); // first touches of 5, 6, 7
+        assert_eq!(r.hits, 3);
+        assert_eq!(r.allocation_writes, 3);
+    }
+
+    #[test]
+    fn selective_skips_never_reused_blocks() {
+        // A stream of unique blocks: selective MIN allocates nothing.
+        let stream: Vec<u64> = (0..100).collect();
+        let r = belady_selective(&stream, 4);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.allocation_writes, 0);
+        // AOD-MIN allocates every time.
+        let r = belady_min(&stream, 4);
+        assert_eq!(r.allocation_writes, 100);
+    }
+
+    #[test]
+    fn paper_counterexample_matches_the_papers_numbers() {
+        let (selective, pinned) = belady_counterexample(1000);
+        // Selective MIN: hit ratio converges to 50%...
+        assert!((selective.hit_ratio() - 0.5).abs() < 0.01, "{selective:?}");
+        // ...with ~50% of accesses causing allocations ("each miss causes
+        // an allocation because the block has an immediate use").
+        assert!(
+            (selective.allocation_fraction() - 0.5).abs() < 0.01,
+            "{selective:?}"
+        );
+        // Pinning `a`: nearly the same hits, exactly one allocation.
+        assert!((pinned.hit_ratio() - 0.5).abs() < 0.01, "{pinned:?}");
+        assert_eq!(pinned.allocation_writes, 1);
+    }
+
+    #[test]
+    fn pinned_set_counts() {
+        let r = pinned_set(&[1, 2, 1, 2, 3], &[1]);
+        assert_eq!(r.hits, 1); // second access to 1
+        assert_eq!(r.misses, 4);
+        assert_eq!(r.allocation_writes, 1);
+        let r = pinned_set(&[7, 7, 7], &[]);
+        assert_eq!(r.hits, 0);
+        assert_eq!(r.allocation_writes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = belady_min(&[1], 0);
+    }
+
+    fn lru_hits(accesses: &[u64], capacity: usize) -> u64 {
+        let mut cache = LruCache::new(capacity);
+        let mut hits = 0;
+        for &k in accesses {
+            if cache.touch(k) {
+                hits += 1;
+            } else {
+                cache.insert(k);
+            }
+        }
+        hits
+    }
+
+    proptest! {
+        /// MIN's optimality: it never gets fewer hits than LRU.
+        #[test]
+        fn min_dominates_lru(
+            accesses in proptest::collection::vec(0u64..20, 1..300),
+            capacity in 1usize..8,
+        ) {
+            let min = belady_min(&accesses, capacity);
+            prop_assert!(min.hits >= lru_hits(&accesses, capacity));
+            prop_assert_eq!(min.hits + min.misses, accesses.len() as u64);
+            prop_assert_eq!(min.allocation_writes, min.misses);
+        }
+
+        /// Selective MIN's claim: at least as many hits as AOD-MIN minus
+        /// the bypassed never-reused blocks can't be checked directly, but
+        /// two invariants can: it never allocates more than it misses, and
+        /// it never allocates a never-reused block.
+        #[test]
+        fn selective_invariants(
+            accesses in proptest::collection::vec(0u64..20, 1..300),
+            capacity in 1usize..8,
+        ) {
+            let sel = belady_selective(&accesses, capacity);
+            prop_assert!(sel.allocation_writes <= sel.misses);
+            prop_assert_eq!(sel.hits + sel.misses, accesses.len() as u64);
+            // Selective MIN maximizes hits among allocation policies with
+            // MIN replacement, so it must never trail plain MIN.
+            let min = belady_min(&accesses, capacity);
+            prop_assert!(sel.hits >= min.hits, "selective {} < min {}", sel.hits, min.hits);
+        }
+    }
+}

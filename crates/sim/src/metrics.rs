@@ -1,0 +1,218 @@
+//! Per-day simulation metrics and result containers.
+
+use sievestore_ssd::OccupancyTracker;
+use sievestore_types::{Day, RequestKind};
+
+/// Block-level (512 B) counts for one calendar day of simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DayMetrics {
+    /// Read hits (blocks).
+    pub read_hits: u64,
+    /// Write hits (blocks).
+    pub write_hits: u64,
+    /// Read misses (blocks).
+    pub read_misses: u64,
+    /// Write misses (blocks).
+    pub write_misses: u64,
+    /// Allocation-writes (blocks) — continuous policies.
+    pub allocation_writes: u64,
+    /// Blocks batch-installed at this day's boundary — discrete policies.
+    pub batch_allocations: u64,
+}
+
+impl DayMetrics {
+    /// Total block accesses this day.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.write_hits + self.read_misses + self.write_misses
+    }
+
+    /// Total hits this day.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Fraction of this day's accesses captured by the cache.
+    pub fn captured_fraction(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// All allocation-writes attributable to this day (continuous ones
+    /// plus batch moves performed at the boundary).
+    pub fn total_allocation_writes(&self) -> u64 {
+        self.allocation_writes + self.batch_allocations
+    }
+
+    /// Total SSD block operations this day: hits plus allocation-writes
+    /// (the composition of Figure 7's bars).
+    pub fn ssd_block_ops(&self) -> u64 {
+        self.hits() + self.total_allocation_writes()
+    }
+
+    /// SSD write block operations (write hits + allocation-writes).
+    pub fn ssd_write_blocks(&self) -> u64 {
+        self.write_hits + self.total_allocation_writes()
+    }
+
+    /// Folds one block access outcome in.
+    pub fn record_access(&mut self, kind: RequestKind, hit: bool, allocated: bool) {
+        match (kind, hit) {
+            (RequestKind::Read, true) => self.read_hits += 1,
+            (RequestKind::Write, true) => self.write_hits += 1,
+            (RequestKind::Read, false) => self.read_misses += 1,
+            (RequestKind::Write, false) => self.write_misses += 1,
+        }
+        if allocated {
+            self.allocation_writes += 1;
+        }
+    }
+}
+
+/// The full outcome of simulating one policy over one trace.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Policy report name.
+    pub policy: String,
+    /// Cache capacity in 512-B frames.
+    pub capacity_blocks: usize,
+    /// Per-day metrics, indexed by calendar day.
+    pub days: Vec<DayMetrics>,
+    /// Per-minute SSD load (occupancy, drives needed, endurance).
+    pub occupancy: OccupancyTracker,
+}
+
+impl SimResult {
+    /// Metrics for one day (zeroes for days beyond the trace).
+    pub fn day(&self, day: Day) -> DayMetrics {
+        self.days.get(day.as_usize()).copied().unwrap_or_default()
+    }
+
+    /// Whole-trace totals.
+    pub fn total(&self) -> DayMetrics {
+        let mut t = DayMetrics::default();
+        for d in &self.days {
+            t.read_hits += d.read_hits;
+            t.write_hits += d.write_hits;
+            t.read_misses += d.read_misses;
+            t.write_misses += d.write_misses;
+            t.allocation_writes += d.allocation_writes;
+            t.batch_allocations += d.batch_allocations;
+        }
+        t
+    }
+
+    /// Mean per-day captured fraction over `days`, skipping day indices in
+    /// `exclude` (the paper excludes day 1 when averaging SieveStore-D,
+    /// which bootstraps with an empty cache).
+    pub fn mean_captured_fraction(&self, exclude: &[usize]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, d) in self.days.iter().enumerate() {
+            if exclude.contains(&i) || d.accesses() == 0 {
+                continue;
+            }
+            sum += d.captured_fraction();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean bytes written to the SSD per day (512 B blocks; full-scale if
+    /// the occupancy tracker carries a load multiplier — this figure uses
+    /// raw simulated counts).
+    pub fn ssd_write_blocks_per_day(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.days.iter().map(|d| d.ssd_write_blocks()).sum();
+        total as f64 / self.days.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sievestore_ssd::SsdSpec;
+
+    fn metrics(rh: u64, wh: u64, rm: u64, wm: u64, aw: u64, ba: u64) -> DayMetrics {
+        DayMetrics {
+            read_hits: rh,
+            write_hits: wh,
+            read_misses: rm,
+            write_misses: wm,
+            allocation_writes: aw,
+            batch_allocations: ba,
+        }
+    }
+
+    #[test]
+    fn day_metrics_arithmetic() {
+        let d = metrics(30, 10, 45, 15, 45, 5);
+        assert_eq!(d.accesses(), 100);
+        assert_eq!(d.hits(), 40);
+        assert!((d.captured_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(d.total_allocation_writes(), 50);
+        assert_eq!(d.ssd_block_ops(), 90);
+        assert_eq!(d.ssd_write_blocks(), 60);
+    }
+
+    #[test]
+    fn record_access_routes_counts() {
+        let mut d = DayMetrics::default();
+        d.record_access(RequestKind::Read, true, false);
+        d.record_access(RequestKind::Write, true, false);
+        d.record_access(RequestKind::Read, false, true);
+        d.record_access(RequestKind::Write, false, false);
+        assert_eq!(d, metrics(1, 1, 1, 1, 1, 0));
+    }
+
+    #[test]
+    fn empty_day_has_zero_fraction() {
+        assert_eq!(DayMetrics::default().captured_fraction(), 0.0);
+    }
+
+    fn result_with_days(days: Vec<DayMetrics>) -> SimResult {
+        SimResult {
+            policy: "test".into(),
+            capacity_blocks: 100,
+            days,
+            occupancy: OccupancyTracker::new(SsdSpec::x25e(), 1),
+        }
+    }
+
+    #[test]
+    fn totals_sum_days() {
+        let r = result_with_days(vec![metrics(1, 2, 3, 4, 5, 6), metrics(10, 20, 30, 40, 50, 60)]);
+        let t = r.total();
+        assert_eq!(t.read_hits, 11);
+        assert_eq!(t.batch_allocations, 66);
+        assert_eq!(r.day(Day::new(0)).read_hits, 1);
+        assert_eq!(r.day(Day::new(9)), DayMetrics::default());
+    }
+
+    #[test]
+    fn mean_capture_skips_excluded_and_empty_days() {
+        let r = result_with_days(vec![
+            metrics(0, 0, 0, 0, 0, 0),   // empty: skipped automatically
+            metrics(50, 0, 50, 0, 0, 0), // 0.5
+            metrics(25, 0, 75, 0, 0, 0), // 0.25
+        ]);
+        assert!((r.mean_captured_fraction(&[]) - 0.375).abs() < 1e-12);
+        assert!((r.mean_captured_fraction(&[1]) - 0.25).abs() < 1e-12);
+        assert_eq!(result_with_days(vec![]).mean_captured_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn write_blocks_per_day_averages() {
+        let r = result_with_days(vec![metrics(0, 10, 0, 0, 20, 0), metrics(0, 30, 0, 0, 0, 0)]);
+        assert!((r.ssd_write_blocks_per_day() - 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! A simple service-time model for hit/miss latency accounting.
+//!
+//! The paper quantifies SieveStore's benefit in accesses captured and
+//! drives needed; a deployment also cares about the implied *latency*
+//! win: a hit is served at SSD service time, a bypass/miss at HDD service
+//! time, and an allocation-write adds an SSD write on top of the HDD
+//! fetch. This module turns a simulation's operation mix into mean
+//! service times and speedups — an extension beyond the paper's figures,
+//! using only the same device ratings.
+
+use crate::SsdSpec;
+
+/// Service times (microseconds per 4 KiB operation) derived from device
+/// IOPS ratings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// SSD read service time, µs.
+    pub ssd_read_us: f64,
+    /// SSD write service time, µs.
+    pub ssd_write_us: f64,
+    /// HDD read service time, µs.
+    pub hdd_read_us: f64,
+    /// HDD write service time, µs.
+    pub hdd_write_us: f64,
+}
+
+impl LatencyModel {
+    /// Builds the model from two device specs (service time = 1/IOPS).
+    pub fn from_specs(ssd: &SsdSpec, hdd: &SsdSpec) -> Self {
+        LatencyModel {
+            ssd_read_us: 1e6 / ssd.read_iops,
+            ssd_write_us: 1e6 / ssd.write_iops,
+            hdd_read_us: 1e6 / hdd.read_iops,
+            hdd_write_us: 1e6 / hdd.write_iops,
+        }
+    }
+
+    /// The paper's devices: X25-E SSD over 15k enterprise HDDs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = sievestore_ssd::LatencyModel::paper_default();
+    /// assert!(m.hdd_read_us > 50.0 * m.ssd_read_us);
+    /// ```
+    pub fn paper_default() -> Self {
+        LatencyModel::from_specs(&SsdSpec::x25e(), &SsdSpec::enterprise_hdd())
+    }
+
+    /// Mean service time per access (µs) for an operation mix, all
+    /// quantities as fractions of total accesses. Misses are served by
+    /// the HDD tier; allocation-writes add an SSD write (off the critical
+    /// path of the triggering access, but device time nonetheless — set
+    /// `charge_allocations` to include it).
+    pub fn mean_access_us(
+        &self,
+        read_hit_frac: f64,
+        write_hit_frac: f64,
+        read_miss_frac: f64,
+        write_miss_frac: f64,
+        allocation_frac: f64,
+        charge_allocations: bool,
+    ) -> f64 {
+        let mut t = read_hit_frac * self.ssd_read_us
+            + write_hit_frac * self.ssd_write_us
+            + read_miss_frac * self.hdd_read_us
+            + write_miss_frac * self.hdd_write_us;
+        if charge_allocations {
+            t += allocation_frac * self.ssd_write_us;
+        }
+        t
+    }
+
+    /// Speedup of a cached configuration over serving everything from the
+    /// HDD tier, for the given mix.
+    pub fn speedup_vs_hdd(
+        &self,
+        read_hit_frac: f64,
+        write_hit_frac: f64,
+        read_miss_frac: f64,
+        write_miss_frac: f64,
+        allocation_frac: f64,
+        charge_allocations: bool,
+    ) -> f64 {
+        let read_frac = read_hit_frac + read_miss_frac;
+        let write_frac = write_hit_frac + write_miss_frac;
+        let baseline = read_frac * self.hdd_read_us + write_frac * self.hdd_write_us;
+        let cached = self.mean_access_us(
+            read_hit_frac,
+            write_hit_frac,
+            read_miss_frac,
+            write_miss_frac,
+            allocation_frac,
+            charge_allocations,
+        );
+        if cached <= 0.0 {
+            return 1.0;
+        }
+        baseline / cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_service_times() {
+        let m = LatencyModel::paper_default();
+        assert!((m.ssd_read_us - 1e6 / 35_000.0).abs() < 1e-9);
+        assert!((m.ssd_write_us - 1e6 / 3_300.0).abs() < 1e-9);
+        assert!((m.hdd_read_us - 1e6 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_hits_equal_ssd_time() {
+        let m = LatencyModel::paper_default();
+        let t = m.mean_access_us(1.0, 0.0, 0.0, 0.0, 0.0, true);
+        assert!((t - m.ssd_read_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_hits_equal_hdd_time() {
+        let m = LatencyModel::paper_default();
+        let t = m.mean_access_us(0.0, 0.0, 0.75, 0.25, 0.0, true);
+        let expect = 0.75 * m.hdd_read_us + 0.25 * m.hdd_write_us;
+        assert!((t - expect).abs() < 1e-9);
+        let s = m.speedup_vs_hdd(0.0, 0.0, 0.75, 0.25, 0.0, true);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_speed_things_up_and_allocations_cost() {
+        let m = LatencyModel::paper_default();
+        let without = m.mean_access_us(0.3, 0.1, 0.45, 0.15, 0.6, false);
+        let with = m.mean_access_us(0.3, 0.1, 0.45, 0.15, 0.6, true);
+        assert!(with > without);
+        let s = m.speedup_vs_hdd(0.3, 0.1, 0.45, 0.15, 0.0, true);
+        assert!(s > 1.3, "35% hits should speed up storage, got {s}");
+    }
+
+    #[test]
+    fn sieving_beats_aod_on_latency_at_equal_hits() {
+        // Same 35% hit rate; AOD allocates on every miss, a sieve on ~1%.
+        let m = LatencyModel::paper_default();
+        let aod = m.speedup_vs_hdd(0.2625, 0.0875, 0.4875, 0.1625, 0.65, true);
+        let sieved = m.speedup_vs_hdd(0.2625, 0.0875, 0.4875, 0.1625, 0.01, true);
+        assert!(sieved > aod, "sieved {sieved} vs aod {aod}");
+    }
+}

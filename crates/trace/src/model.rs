@@ -1,0 +1,666 @@
+//! The storage-ensemble model.
+//!
+//! [`EnsembleConfig`] mirrors Table 1 of the paper: 13 servers, 36 volumes,
+//! 179 spindles, 6 449 GB. Each [`ServerConfig`] additionally carries the
+//! *workload profile* that the synthetic generator uses to reproduce the
+//! paper's trace statistics — daily access intensity, popularity skew
+//! (hot-set share and Zipf exponent), hot-set drift, read fraction, diurnal
+//! shape and burstiness.
+//!
+//! The profiles are calibrated so that the *ensemble* exhibits observation
+//! O1 (top ~1 % of blocks take 14–53 % of daily accesses; ≥99 % of blocks
+//! see ≤10 accesses/day) while individual servers, volumes and days vary
+//! widely (observation O2): `Prxy` is extremely skewed, `Src1` nearly
+//! uniform, `Web` differs per volume and `Stg` differs per day.
+
+use sievestore_types::{SieveError, BLOCK_SIZE, GIB};
+
+/// A proportional scale-down of the full-size ensemble.
+///
+/// Block universes, request counts and cache capacities all shrink by the
+/// same denominator, which keeps every *ratio* the paper reports (hit
+/// ratios, CDFs, policy rankings) invariant. Absolute device loads are
+/// re-scaled back by [`Scale::upscale`] when compared against real SSD
+/// ratings.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_trace::Scale;
+/// let s = Scale::new(256).unwrap();
+/// assert_eq!(s.shrink(1024), 4);
+/// assert_eq!(s.upscale(4.0), 1024.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scale(u32);
+
+impl Scale {
+    /// Full-size (1:1) scale.
+    pub const FULL: Scale = Scale(1);
+
+    /// Creates a scale with the given denominator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if the denominator is zero.
+    pub fn new(denominator: u32) -> Result<Self, SieveError> {
+        if denominator == 0 {
+            return Err(SieveError::InvalidConfig(
+                "scale denominator must be nonzero".into(),
+            ));
+        }
+        Ok(Scale(denominator))
+    }
+
+    /// Returns the denominator.
+    pub const fn denominator(self) -> u32 {
+        self.0
+    }
+
+    /// Shrinks a full-scale count, keeping at least 1 if the input was
+    /// nonzero.
+    pub fn shrink(self, full: u64) -> u64 {
+        if full == 0 {
+            0
+        } else {
+            (full / self.0 as u64).max(1)
+        }
+    }
+
+    /// Re-scales a measured per-scale quantity back to full-scale units.
+    pub fn upscale(self, scaled: f64) -> f64 {
+        scaled * self.0 as f64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(256)
+    }
+}
+
+/// One volume of a server: its capacity plus the workload modifiers that
+/// make volumes of the same server behave differently (Figure 3(b)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeConfig {
+    /// Volume capacity in GB (full scale).
+    pub size_gb: u64,
+    /// Relative share of the server's requests routed to this volume.
+    pub weight: f64,
+    /// Multiplier on the server's hot-access share for this volume
+    /// (1.0 = same skew as the server; <1 flattens, >1 sharpens).
+    pub hot_share_mult: f64,
+}
+
+impl VolumeConfig {
+    /// Creates a volume with neutral workload modifiers.
+    pub fn new(size_gb: u64) -> Self {
+        VolumeConfig {
+            size_gb,
+            weight: 1.0,
+            hot_share_mult: 1.0,
+        }
+    }
+
+    /// Sets the request-routing weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the hot-share multiplier.
+    #[must_use]
+    pub fn with_hot_share_mult(mut self, mult: f64) -> Self {
+        self.hot_share_mult = mult;
+        self
+    }
+
+    /// Volume capacity in 512-byte blocks at the given scale.
+    pub fn blocks(&self, scale: Scale) -> u64 {
+        scale.shrink(self.size_gb * GIB / BLOCK_SIZE as u64)
+    }
+}
+
+/// One server of the ensemble: identity (Table 1) plus workload profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Short key used in the paper ("Usr", "Prxy", ...).
+    pub key: String,
+    /// Human-readable description ("User home dirs", ...).
+    pub name: String,
+    /// Spindle count (documentation only; reproduced from Table 1).
+    pub spindles: u32,
+    /// Volumes exported by this server.
+    pub volumes: Vec<VolumeConfig>,
+    /// Mean data accessed per full day, GB (full scale).
+    pub daily_gb: f64,
+    /// Base fraction of *block accesses* that target the hot set.
+    pub hot_access_share: f64,
+    /// Day-to-day modulation amplitude of the hot-access share.
+    pub hot_share_amplitude: f64,
+    /// Zipf exponent of popularity within the hot set.
+    pub zipf_s: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Fraction of the popular-access share routed to the quasi-periodic
+    /// *warm* tier (the rest goes to the Zipf head).
+    pub warm_within_hot: f64,
+    /// Target accesses per warm block per full day (sets warm-set size).
+    pub warm_daily_accesses: f64,
+    /// Head-set size as a fraction of the daily cold window.
+    pub hot_set_frac: f64,
+    /// Fraction of the hot window the hot set advances per day.
+    pub drift_per_day: f64,
+    /// Mean accesses per cold block (Poisson density of the cold window).
+    pub cold_density: f64,
+    /// Relative amplitude of the diurnal load wave (0 = flat).
+    pub diurnal_amplitude: f64,
+    /// Hour of peak diurnal load.
+    pub diurnal_peak_hour: f64,
+    /// Expected number of high-intensity burst minutes per day.
+    pub burst_minutes_per_day: f64,
+    /// Load multiplier during a burst minute.
+    pub burst_multiplier: f64,
+}
+
+impl ServerConfig {
+    /// Creates a server with neutral profile defaults; use the `with_*`
+    /// builders to specialize.
+    pub fn new(key: impl Into<String>, name: impl Into<String>, spindles: u32) -> Self {
+        ServerConfig {
+            key: key.into(),
+            name: name.into(),
+            spindles,
+            volumes: Vec::new(),
+            daily_gb: 10.0,
+            hot_access_share: 0.35,
+            hot_share_amplitude: 0.10,
+            zipf_s: 0.90,
+            read_fraction: 0.75,
+            warm_within_hot: 0.55,
+            warm_daily_accesses: 18.0,
+            hot_set_frac: 0.004,
+            drift_per_day: 0.08,
+            cold_density: 0.85,
+            diurnal_amplitude: 0.5,
+            diurnal_peak_hour: 14.0,
+            burst_minutes_per_day: 4.0,
+            burst_multiplier: 6.0,
+        }
+    }
+
+    /// Adds a volume.
+    #[must_use]
+    pub fn with_volume(mut self, volume: VolumeConfig) -> Self {
+        self.volumes.push(volume);
+        self
+    }
+
+    /// Sets mean GB accessed per full day.
+    #[must_use]
+    pub fn with_daily_gb(mut self, gb: f64) -> Self {
+        self.daily_gb = gb;
+        self
+    }
+
+    /// Sets the base hot-access share (popularity skew strength).
+    #[must_use]
+    pub fn with_hot_access_share(mut self, share: f64) -> Self {
+        self.hot_access_share = share;
+        self
+    }
+
+    /// Sets the day-to-day hot-share amplitude.
+    #[must_use]
+    pub fn with_hot_share_amplitude(mut self, amplitude: f64) -> Self {
+        self.hot_share_amplitude = amplitude;
+        self
+    }
+
+    /// Sets the in-head Zipf exponent.
+    #[must_use]
+    pub fn with_zipf_s(mut self, s: f64) -> Self {
+        self.zipf_s = s;
+        self
+    }
+
+    /// Sets the warm-tier share of popular accesses.
+    #[must_use]
+    pub fn with_warm_within_hot(mut self, fraction: f64) -> Self {
+        self.warm_within_hot = fraction;
+        self
+    }
+
+    /// Sets the warm per-block daily access target.
+    #[must_use]
+    pub fn with_warm_daily_accesses(mut self, accesses: f64) -> Self {
+        self.warm_daily_accesses = accesses;
+        self
+    }
+
+    /// Sets the read fraction.
+    #[must_use]
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction;
+        self
+    }
+
+    /// Sets the per-day hot-set drift fraction.
+    #[must_use]
+    pub fn with_drift_per_day(mut self, drift: f64) -> Self {
+        self.drift_per_day = drift;
+        self
+    }
+
+    /// Sets the burst profile.
+    #[must_use]
+    pub fn with_bursts(mut self, minutes_per_day: f64, multiplier: f64) -> Self {
+        self.burst_minutes_per_day = minutes_per_day;
+        self.burst_multiplier = multiplier;
+        self
+    }
+
+    /// Total server capacity in GB (full scale).
+    pub fn size_gb(&self) -> u64 {
+        self.volumes.iter().map(|v| v.size_gb).sum()
+    }
+
+    /// Validates the profile parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] describing the first violated
+    /// constraint (empty volume list, shares outside `(0, 1)`, nonpositive
+    /// densities, ...).
+    pub fn validate(&self) -> Result<(), SieveError> {
+        let fail = |msg: String| Err(SieveError::InvalidConfig(msg));
+        if self.volumes.is_empty() {
+            return fail(format!("server {} has no volumes", self.key));
+        }
+        if !(0.0..1.0).contains(&self.hot_access_share) {
+            return fail(format!("server {}: hot_access_share must be in [0,1)", self.key));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return fail(format!("server {}: read_fraction must be in [0,1]", self.key));
+        }
+        if self.daily_gb <= 0.0 {
+            return fail(format!("server {}: daily_gb must be positive", self.key));
+        }
+        if self.cold_density <= 0.0 {
+            return fail(format!("server {}: cold_density must be positive", self.key));
+        }
+        if self.hot_set_frac <= 0.0 || self.hot_set_frac >= 0.5 {
+            return fail(format!("server {}: hot_set_frac must be in (0,0.5)", self.key));
+        }
+        if !(0.0..1.0).contains(&self.warm_within_hot) {
+            return fail(format!("server {}: warm_within_hot must be in [0,1)", self.key));
+        }
+        if self.warm_daily_accesses <= 0.0 {
+            return fail(format!(
+                "server {}: warm_daily_accesses must be positive",
+                self.key
+            ));
+        }
+        if self.volumes.iter().any(|v| v.weight <= 0.0 || v.size_gb == 0) {
+            return fail(format!("server {}: volumes need positive weight and size", self.key));
+        }
+        Ok(())
+    }
+}
+
+/// The whole ensemble: servers, trace length and scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleConfig {
+    /// The servers (paper order).
+    pub servers: Vec<ServerConfig>,
+    /// Number of calendar days to generate (the paper analyzes 8).
+    pub days: u16,
+    /// Hour-of-day at which day 0 begins (the paper's trace starts at
+    /// 5:00 pm, making day 1 a 7-hour outlier).
+    pub first_day_start_hour: u32,
+    /// Proportional scale-down denominator.
+    pub scale: Scale,
+    /// Master RNG seed; all generation is deterministic given this.
+    pub seed: u64,
+}
+
+impl EnsembleConfig {
+    /// The 13-server ensemble of Table 1 with calibrated workload profiles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sievestore_trace::EnsembleConfig;
+    /// let cfg = EnsembleConfig::msr_like();
+    /// assert_eq!(cfg.servers.len(), 13);
+    /// assert_eq!(cfg.total_volumes(), 36);
+    /// assert_eq!(cfg.total_size_gb(), 6449);
+    /// ```
+    pub fn msr_like() -> Self {
+        let v = VolumeConfig::new;
+        let servers = vec![
+            // key, name, spindles | volumes (GB) | profile
+            ServerConfig::new("Usr", "User home dirs", 16)
+                .with_volume(v(600).with_weight(3.0))
+                .with_volume(v(500).with_weight(2.0))
+                .with_volume(v(267).with_weight(1.0))
+                .with_daily_gb(190.0)
+                .with_hot_access_share(0.52)
+                .with_warm_daily_accesses(20.0)
+                .with_zipf_s(0.95),
+            ServerConfig::new("Proj", "Project dirs", 44)
+                .with_volume(v(600).with_weight(2.0))
+                .with_volume(v(500).with_weight(2.0))
+                .with_volume(v(400).with_weight(1.5))
+                .with_volume(v(350).with_weight(1.0))
+                .with_volume(v(244).with_weight(1.0))
+                .with_daily_gb(280.0)
+                .with_hot_access_share(0.38)
+                .with_warm_daily_accesses(16.0)
+                .with_zipf_s(0.85),
+            ServerConfig::new("Prn", "Print server", 6)
+                .with_volume(v(300).with_weight(2.0))
+                .with_volume(v(152).with_weight(1.0))
+                .with_daily_gb(60.0)
+                .with_hot_access_share(0.32)
+                .with_read_fraction(0.6),
+            ServerConfig::new("Hm", "Hardware monitor", 6)
+                .with_volume(v(20).with_weight(1.0))
+                .with_volume(v(19).with_weight(1.0))
+                .with_daily_gb(32.0)
+                .with_hot_access_share(0.47)
+                .with_warm_daily_accesses(20.0)
+                .with_read_fraction(0.45),
+            ServerConfig::new("Rsrch", "Research projects", 24)
+                .with_volume(v(120).with_weight(1.5))
+                .with_volume(v(100).with_weight(1.0))
+                .with_volume(v(57).with_weight(0.7))
+                .with_daily_gb(50.0)
+                .with_hot_access_share(0.38),
+            ServerConfig::new("Prxy", "Web proxy", 4)
+                .with_volume(v(50).with_weight(3.0))
+                .with_volume(v(39).with_weight(1.0))
+                .with_daily_gb(140.0)
+                .with_hot_access_share(0.90)
+                .with_warm_daily_accesses(28.0)
+                // A proxy's popularity is concentrated in a small object
+                // head rather than a broad warm band.
+                .with_warm_within_hot(0.25)
+                .with_hot_share_amplitude(0.05)
+                .with_zipf_s(1.10)
+                .with_read_fraction(0.85),
+            ServerConfig::new("Src1", "Source control", 12)
+                .with_volume(v(250).with_weight(1.5))
+                .with_volume(v(200).with_weight(1.2))
+                .with_volume(v(105).with_weight(1.0))
+                .with_daily_gb(240.0)
+                .with_hot_access_share(0.14)
+                .with_warm_daily_accesses(12.0)
+                .with_hot_share_amplitude(0.04)
+                .with_zipf_s(0.65),
+            ServerConfig::new("Src2", "Source control", 14)
+                .with_volume(v(160).with_weight(1.5))
+                .with_volume(v(110).with_weight(1.0))
+                .with_volume(v(85).with_weight(1.0))
+                .with_daily_gb(120.0)
+                .with_hot_access_share(0.38),
+            ServerConfig::new("Stg", "Web staging", 6)
+                .with_volume(v(70).with_weight(1.5))
+                .with_volume(v(43).with_weight(1.0))
+                .with_daily_gb(50.0)
+                .with_hot_access_share(0.47)
+                // Large day-to-day swing: skewed on some days, flat on others
+                // (Figure 3(c)).
+                .with_hot_share_amplitude(0.35),
+            ServerConfig::new("Ts", "Terminal server", 2)
+                .with_volume(v(22).with_weight(1.0))
+                .with_daily_gb(12.0)
+                .with_hot_access_share(0.47),
+            ServerConfig::new("Web", "Web/SQL server", 17)
+                // Volume 0 is much more skewed than volume 1 (Figure 3(b)).
+                .with_volume(v(150).with_weight(2.0).with_hot_share_mult(1.8))
+                .with_volume(v(130).with_weight(1.5).with_hot_share_mult(0.45))
+                .with_volume(v(90).with_weight(1.0))
+                .with_volume(v(71).with_weight(0.7))
+                .with_daily_gb(120.0)
+                .with_hot_access_share(0.47)
+                .with_warm_daily_accesses(21.0)
+                .with_read_fraction(0.8),
+            ServerConfig::new("Mds", "Media server", 16)
+                .with_volume(v(300).with_weight(1.5))
+                .with_volume(v(209).with_weight(1.0))
+                .with_daily_gb(60.0)
+                .with_hot_access_share(0.32)
+                .with_warm_daily_accesses(14.0)
+                .with_read_fraction(0.9),
+            ServerConfig::new("Wdev", "Test web server", 12)
+                .with_volume(v(50).with_weight(1.5))
+                .with_volume(v(36).with_weight(1.0))
+                .with_volume(v(30).with_weight(1.0))
+                .with_volume(v(20).with_weight(0.7))
+                .with_daily_gb(32.0)
+                .with_hot_access_share(0.42),
+        ];
+        EnsembleConfig {
+            servers,
+            days: 8,
+            first_day_start_hour: 17,
+            scale: Scale::default(),
+            seed: 0x51EE_5704,
+        }
+    }
+
+    /// A tiny two-server ensemble for fast tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        let servers = vec![
+            ServerConfig::new("A", "Tiny server A", 2)
+                .with_volume(VolumeConfig::new(64))
+                .with_volume(VolumeConfig::new(32).with_hot_share_mult(0.5))
+                .with_daily_gb(4.0)
+                .with_hot_access_share(0.6),
+            ServerConfig::new("B", "Tiny server B", 2)
+                .with_volume(VolumeConfig::new(64))
+                .with_daily_gb(3.0)
+                .with_hot_access_share(0.2),
+        ];
+        EnsembleConfig {
+            servers,
+            days: 3,
+            first_day_start_hour: 0,
+            scale: Scale::new(64).expect("nonzero"),
+            seed,
+        }
+    }
+
+    /// Sets the scale denominator.
+    #[must_use]
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the number of calendar days.
+    #[must_use]
+    pub fn with_days(mut self, days: u16) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total number of volumes across servers.
+    pub fn total_volumes(&self) -> usize {
+        self.servers.iter().map(|s| s.volumes.len()).sum()
+    }
+
+    /// Total number of spindles across servers.
+    pub fn total_spindles(&self) -> u32 {
+        self.servers.iter().map(|s| s.spindles).sum()
+    }
+
+    /// Total ensemble capacity in GB (full scale).
+    pub fn total_size_gb(&self) -> u64 {
+        self.servers.iter().map(|s| s.size_gb()).sum()
+    }
+
+    /// Mean data accessed per full day across the ensemble, GB (full scale).
+    pub fn total_daily_gb(&self) -> f64 {
+        self.servers.iter().map(|s| s.daily_gb).sum()
+    }
+
+    /// Validates every server profile and the global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SieveError> {
+        if self.servers.is_empty() {
+            return Err(SieveError::InvalidConfig("ensemble has no servers".into()));
+        }
+        if self.servers.len() > 256 {
+            return Err(SieveError::InvalidConfig(
+                "ensemble exceeds 256 servers".into(),
+            ));
+        }
+        if self.days == 0 {
+            return Err(SieveError::InvalidConfig("trace needs at least one day".into()));
+        }
+        if self.first_day_start_hour >= 24 {
+            return Err(SieveError::InvalidConfig(
+                "first_day_start_hour must be < 24".into(),
+            ));
+        }
+        for server in &self.servers {
+            server.validate()?;
+            if server.volumes.len() > 16 {
+                return Err(SieveError::InvalidConfig(format!(
+                    "server {} exceeds 16 volumes",
+                    server.key
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig::msr_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msr_like_matches_table1_totals() {
+        let cfg = EnsembleConfig::msr_like();
+        assert_eq!(cfg.servers.len(), 13);
+        assert_eq!(cfg.total_volumes(), 36);
+        assert_eq!(cfg.total_spindles(), 179);
+        assert_eq!(cfg.total_size_gb(), 6449);
+        cfg.validate().expect("default config validates");
+    }
+
+    #[test]
+    fn msr_like_per_server_sizes_match_table1() {
+        let cfg = EnsembleConfig::msr_like();
+        let expect: &[(&str, usize, u32, u64)] = &[
+            ("Usr", 3, 16, 1367),
+            ("Proj", 5, 44, 2094),
+            ("Prn", 2, 6, 452),
+            ("Hm", 2, 6, 39),
+            ("Rsrch", 3, 24, 277),
+            ("Prxy", 2, 4, 89),
+            ("Src1", 3, 12, 555),
+            ("Src2", 3, 14, 355),
+            ("Stg", 2, 6, 113),
+            ("Ts", 1, 2, 22),
+            ("Web", 4, 17, 441),
+            ("Mds", 2, 16, 509),
+            ("Wdev", 4, 12, 136),
+        ];
+        for (i, (key, vols, spindles, gb)) in expect.iter().enumerate() {
+            let s = &cfg.servers[i];
+            assert_eq!(&s.key, key);
+            assert_eq!(s.volumes.len(), *vols, "{key} volumes");
+            assert_eq!(s.spindles, *spindles, "{key} spindles");
+            assert_eq!(s.size_gb(), *gb, "{key} size");
+        }
+    }
+
+    #[test]
+    fn daily_intensity_is_near_paper_mean() {
+        // The paper's introduction reports 1.5-2.5 TB of daily accesses
+        // for the ensemble; the mean sits near the middle of that band.
+        let total = EnsembleConfig::msr_like().total_daily_gb();
+        assert!(
+            (1200.0..=1500.0).contains(&total),
+            "ensemble daily GB {total} should be within the paper's band"
+        );
+    }
+
+    #[test]
+    fn scale_shrinks_proportionally_and_keeps_nonzero() {
+        let s = Scale::new(100).unwrap();
+        assert_eq!(s.shrink(1000), 10);
+        assert_eq!(s.shrink(5), 1);
+        assert_eq!(s.shrink(0), 0);
+        assert_eq!(Scale::FULL.shrink(7), 7);
+        assert!(Scale::new(0).is_err());
+    }
+
+    #[test]
+    fn volume_blocks_uses_scale() {
+        let v = VolumeConfig::new(1); // 1 GB = 2^21 blocks
+        assert_eq!(v.blocks(Scale::FULL), 1 << 21);
+        assert_eq!(v.blocks(Scale::new(2).unwrap()), 1 << 20);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut cfg = EnsembleConfig::tiny(1);
+        cfg.servers[0].hot_access_share = 1.2;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = EnsembleConfig::tiny(1);
+        cfg.servers[0].volumes.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = EnsembleConfig::tiny(1);
+        cfg.days = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = EnsembleConfig::tiny(1);
+        cfg.first_day_start_hour = 24;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = EnsembleConfig::tiny(1);
+        cfg.servers[1].cold_density = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let s = ServerConfig::new("X", "x", 1)
+            .with_volume(VolumeConfig::new(10).with_weight(2.0))
+            .with_daily_gb(5.0)
+            .with_hot_access_share(0.5)
+            .with_hot_share_amplitude(0.2)
+            .with_zipf_s(1.3)
+            .with_read_fraction(0.7)
+            .with_drift_per_day(0.1)
+            .with_bursts(2.0, 8.0);
+        assert_eq!(s.size_gb(), 10);
+        assert_eq!(s.burst_multiplier, 8.0);
+        s.validate().expect("valid");
+    }
+}

@@ -1,0 +1,272 @@
+//! Import of MSR-Cambridge-format block traces.
+//!
+//! The paper's evaluation uses the MSR Cambridge traces (SNIA IOTTA
+//! "MSR Cambridge" collection). Those CSVs have the row shape
+//!
+//! ```text
+//! Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//! ```
+//!
+//! with `Timestamp` in Windows filetime units (100 ns ticks since 1601),
+//! `Type` one of `Read`/`Write`, `Offset`/`Size` in bytes, and
+//! `ResponseTime` in the same 100 ns ticks. This module converts such rows
+//! into [`Request`]s so anyone holding the real traces can feed them
+//! through the same simulator the synthetic substitute drives.
+//!
+//! Hostnames map to [`ServerId`]s in first-seen order (retrievable from
+//! [`MsrReader::servers`]); the first record's timestamp becomes trace
+//! time zero unless an explicit epoch is given.
+
+use std::io::{BufRead, BufReader, Read};
+
+use sievestore_types::{
+    BlockAddr, Micros, ParseRequestError, Request, RequestKind, ServerId, SieveError, VolumeId,
+    BLOCK_SIZE,
+};
+
+/// Windows filetime ticks per microsecond.
+const TICKS_PER_MICRO: u64 = 10;
+
+/// Streaming reader for MSR-Cambridge CSV traces.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_trace::MsrReader;
+///
+/// let csv = "\
+/// 128166372003061629,usr,0,Read,7014609920,24576,41286\n\
+/// 128166372016382155,usr,0,Write,2981888,4096,793\n";
+/// let mut reader = MsrReader::new(csv.as_bytes());
+/// let reqs: Result<Vec<_>, _> = (&mut reader).collect();
+/// let reqs = reqs.unwrap();
+/// assert_eq!(reqs.len(), 2);
+/// assert_eq!(reqs[0].timestamp.as_u64(), 0); // epoch = first record
+/// assert_eq!(reqs[0].len_blocks, 48);        // 24576 B = 48 blocks
+/// assert_eq!(reader.servers(), &["usr".to_string()]);
+/// ```
+#[derive(Debug)]
+pub struct MsrReader<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+    servers: Vec<String>,
+    epoch_ticks: Option<u64>,
+    record: u64,
+}
+
+impl<R: Read> MsrReader<R> {
+    /// Creates a reader; the first record's timestamp becomes time zero.
+    pub fn new(input: R) -> Self {
+        MsrReader {
+            lines: BufReader::new(input).lines(),
+            servers: Vec::new(),
+            epoch_ticks: None,
+            record: 0,
+        }
+    }
+
+    /// Creates a reader with an explicit epoch (Windows filetime ticks),
+    /// e.g. midnight of the first calendar day, so that
+    /// [`Micros::day`](sievestore_types::Micros::day) buckets match the
+    /// paper's calendar-day analysis.
+    pub fn with_epoch_ticks(input: R, epoch_ticks: u64) -> Self {
+        MsrReader {
+            lines: BufReader::new(input).lines(),
+            servers: Vec::new(),
+            epoch_ticks: Some(epoch_ticks),
+            record: 0,
+        }
+    }
+
+    /// Hostnames seen so far, indexed by their assigned [`ServerId`].
+    pub fn servers(&self) -> &[String] {
+        &self.servers
+    }
+
+    fn server_id(&mut self, hostname: &str) -> Result<ServerId, ParseRequestError> {
+        if let Some(idx) = self.servers.iter().position(|h| h == hostname) {
+            return Ok(ServerId::new(idx as u8));
+        }
+        if self.servers.len() >= 256 {
+            return Err(ParseRequestError::new(
+                self.record,
+                "more than 256 distinct hostnames",
+            ));
+        }
+        self.servers.push(hostname.to_string());
+        Ok(ServerId::new((self.servers.len() - 1) as u8))
+    }
+
+    fn parse_line(&mut self, line: &str) -> Result<Option<Request>, SieveError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("Timestamp") {
+            return Ok(None);
+        }
+        let err = |msg: String| ParseRequestError::new(self.record, msg);
+        let mut fields = line.split(',');
+        let mut next = |name: &str| {
+            fields
+                .next()
+                .map(str::trim)
+                .ok_or_else(|| err(format!("missing field {name}")))
+        };
+        let ticks: u64 = next("Timestamp")?
+            .parse()
+            .map_err(|e| err(format!("bad timestamp: {e}")))?;
+        let hostname = next("Hostname")?.to_string();
+        let disk: u8 = next("DiskNumber")?
+            .parse()
+            .map_err(|e| err(format!("bad disk number: {e}")))?;
+        let kind = match next("Type")? {
+            t if t.eq_ignore_ascii_case("read") => RequestKind::Read,
+            t if t.eq_ignore_ascii_case("write") => RequestKind::Write,
+            other => return Err(err(format!("unknown request type '{other}'")).into()),
+        };
+        let offset: u64 = next("Offset")?
+            .parse()
+            .map_err(|e| err(format!("bad offset: {e}")))?;
+        let size: u64 = next("Size")?
+            .parse()
+            .map_err(|e| err(format!("bad size: {e}")))?;
+        let response_ticks: u64 = next("ResponseTime")?
+            .parse()
+            .map_err(|e| err(format!("bad response time: {e}")))?;
+
+        if disk >= VolumeId::MAX_PER_SERVER {
+            return Err(err(format!("disk number {disk} exceeds 16 volumes")).into());
+        }
+        let epoch = *self.epoch_ticks.get_or_insert(ticks);
+        let timestamp = Micros::new(ticks.saturating_sub(epoch) / TICKS_PER_MICRO);
+        let server = self.server_id(&hostname)?;
+        // Byte offsets round down to block granularity; sizes round up, so
+        // partially-covered blocks count in full (conservative, as in §4).
+        let start_block = offset / BLOCK_SIZE as u64;
+        let end_block = (offset + size.max(1)).div_ceil(BLOCK_SIZE as u64);
+        let len = (end_block - start_block).max(1) as u32;
+        let start = BlockAddr::new(server, VolumeId::new(disk), start_block);
+        self.record += 1;
+        Ok(Some(
+            Request::new(timestamp, start, len, kind)
+                .with_response_time(Micros::new(response_ticks / TICKS_PER_MICRO)),
+        ))
+    }
+}
+
+impl<R: Read> Iterator for MsrReader<R> {
+    type Item = Result<Request, SieveError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            match self.parse_line(&line) {
+                Ok(Some(req)) => return Some(Ok(req)),
+                Ok(None) => continue, // header/comment/blank
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+128166372003061629,usr,0,Read,7014609920,24576,41286
+128166372016382155,usr,1,Write,2981888,4096,793
+128166372026382155,proj,0,Read,512,1024,1000
+";
+
+    fn parse_all(input: &str) -> (Vec<Request>, Vec<String>) {
+        let mut reader = MsrReader::new(input.as_bytes());
+        let reqs: Result<Vec<_>, _> = (&mut reader).collect();
+        (reqs.expect("valid sample"), reader.servers().to_vec())
+    }
+
+    #[test]
+    fn parses_header_and_rows() {
+        let (reqs, servers) = parse_all(SAMPLE);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(servers, vec!["usr".to_string(), "proj".to_string()]);
+    }
+
+    #[test]
+    fn epoch_is_first_record() {
+        let (reqs, _) = parse_all(SAMPLE);
+        assert_eq!(reqs[0].timestamp.as_u64(), 0);
+        // Second record: (128166372016382155 - ...629) / 10 ticks.
+        assert_eq!(reqs[1].timestamp.as_u64(), 1_332_052);
+    }
+
+    #[test]
+    fn explicit_epoch_is_respected() {
+        let mut reader =
+            MsrReader::with_epoch_ticks(SAMPLE.as_bytes(), 128166372003061629 - 10_000);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.timestamp.as_u64(), 1_000);
+    }
+
+    #[test]
+    fn blocks_and_kinds_convert() {
+        let (reqs, _) = parse_all(SAMPLE);
+        assert_eq!(reqs[0].start.block, 7014609920 / 512);
+        assert_eq!(reqs[0].len_blocks, 48);
+        assert!(reqs[0].kind.is_read());
+        assert!(reqs[1].kind.is_write());
+        assert_eq!(reqs[1].start.volume.index(), 1);
+        assert_eq!(reqs[1].response_time.as_u64(), 79);
+        // Sub-block, unaligned: offset 512 size 1024 covers blocks 1..3.
+        assert_eq!(reqs[2].start.block, 1);
+        assert_eq!(reqs[2].len_blocks, 2);
+    }
+
+    #[test]
+    fn unaligned_partial_blocks_round_up() {
+        let csv = "1000,host,0,Read,100,100,0\n";
+        let (reqs, _) = parse_all(csv);
+        assert_eq!(reqs[0].start.block, 0);
+        assert_eq!(reqs[0].len_blocks, 1);
+        let csv = "1000,host,0,Read,500,100,0\n"; // straddles blocks 0 and 1
+        let (reqs, _) = parse_all(csv);
+        assert_eq!(reqs[0].len_blocks, 2);
+    }
+
+    #[test]
+    fn zero_size_requests_become_one_block() {
+        let csv = "1000,host,0,Write,1024,0,5\n";
+        let (reqs, _) = parse_all(csv);
+        assert_eq!(reqs[0].len_blocks, 1);
+    }
+
+    #[test]
+    fn bad_rows_surface_as_parse_errors() {
+        for bad in [
+            "notanumber,h,0,Read,0,512,0\n",
+            "1000,h,0,Fetch,0,512,0\n",
+            "1000,h,0,Read,0\n",
+            "1000,h,99,Read,0,512,0\n",
+        ] {
+            let mut reader = MsrReader::new(bad.as_bytes());
+            assert!(reader.next().unwrap().is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let csv = "# comment\n\n1000,h,0,Read,0,512,0\n";
+        let (reqs, _) = parse_all(csv);
+        assert_eq!(reqs.len(), 1);
+    }
+
+    #[test]
+    fn same_hostname_reuses_server_id() {
+        let csv = "1,a,0,Read,0,512,0\n2,b,0,Read,0,512,0\n3,a,0,Read,0,512,0\n";
+        let (reqs, servers) = parse_all(csv);
+        assert_eq!(servers.len(), 2);
+        assert_eq!(reqs[0].start.server, reqs[2].start.server);
+        assert_ne!(reqs[0].start.server, reqs[1].start.server);
+    }
+}

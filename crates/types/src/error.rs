@@ -1,0 +1,129 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by SieveStore components.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::SieveError;
+/// let err = SieveError::InvalidConfig("cache capacity must be nonzero".into());
+/// assert!(err.to_string().contains("capacity"));
+/// ```
+#[derive(Debug)]
+pub enum SieveError {
+    /// A configuration value was rejected at validation time.
+    InvalidConfig(String),
+    /// An underlying I/O operation failed (trace files, spill files).
+    Io(io::Error),
+    /// A trace record could not be decoded.
+    Parse(ParseRequestError),
+}
+
+impl fmt::Display for SieveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SieveError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SieveError::Io(err) => write!(f, "i/o error: {err}"),
+            SieveError::Parse(err) => write!(f, "trace parse error: {err}"),
+        }
+    }
+}
+
+impl Error for SieveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SieveError::Io(err) => Some(err),
+            SieveError::Parse(err) => Some(err),
+            SieveError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SieveError {
+    fn from(err: io::Error) -> Self {
+        SieveError::Io(err)
+    }
+}
+
+impl From<ParseRequestError> for SieveError {
+    fn from(err: ParseRequestError) -> Self {
+        SieveError::Parse(err)
+    }
+}
+
+/// A trace record failed to decode.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::ParseRequestError;
+/// let err = ParseRequestError::new(42, "unknown request kind tag");
+/// assert_eq!(err.record(), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRequestError {
+    record: u64,
+    message: String,
+}
+
+impl ParseRequestError {
+    /// Creates a parse error for the given zero-based record index.
+    pub fn new(record: u64, message: impl Into<String>) -> Self {
+        ParseRequestError {
+            record,
+            message: message.into(),
+        }
+    }
+
+    /// Returns the zero-based index of the record that failed to decode.
+    pub fn record(&self) -> u64 {
+        self.record
+    }
+
+    /// Returns the human-readable failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {}: {}", self.record, self.message)
+    }
+}
+
+impl Error for ParseRequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = SieveError::InvalidConfig("threshold must be positive".into());
+        assert_eq!(
+            err.to_string(),
+            "invalid configuration: threshold must be positive"
+        );
+        let err = SieveError::from(ParseRequestError::new(7, "bad tag"));
+        assert_eq!(err.to_string(), "trace parse error: record 7: bad tag");
+    }
+
+    #[test]
+    fn io_errors_are_chained_as_source() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let err = SieveError::from(inner);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SieveError>();
+        assert_send_sync::<ParseRequestError>();
+    }
+}

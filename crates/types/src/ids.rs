@@ -1,0 +1,288 @@
+//! Identity types: servers, volumes and block addresses.
+//!
+//! A storage ensemble is a set of servers, each exporting one or more block
+//! volumes. An individual 512-byte block is addressed by
+//! `(server, volume, block index)` — the [`BlockAddr`] triple — and can be
+//! packed losslessly into a single `u64` key, [`GlobalBlock`], which is what
+//! caches, sieves and counters use internally.
+
+use std::fmt;
+
+/// Identifies one server in the storage ensemble.
+///
+/// The paper's ensemble has 13 servers; we allow up to 256.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::ServerId;
+/// let s = ServerId::new(7);
+/// assert_eq!(s.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId(u8);
+
+impl ServerId {
+    /// Creates a server id from its ensemble index.
+    pub const fn new(index: u8) -> Self {
+        ServerId(index)
+    }
+
+    /// Returns the ensemble index of this server.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for table lookups.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+impl From<u8> for ServerId {
+    fn from(index: u8) -> Self {
+        ServerId(index)
+    }
+}
+
+/// Identifies one volume within a server.
+///
+/// The paper's servers export between 1 and 5 volumes; we allow up to 16.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::VolumeId;
+/// assert_eq!(VolumeId::new(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VolumeId(u8);
+
+impl VolumeId {
+    /// Maximum number of volumes a single server may export.
+    pub const MAX_PER_SERVER: u8 = 16;
+
+    /// Creates a volume id from its per-server index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= VolumeId::MAX_PER_SERVER`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < Self::MAX_PER_SERVER, "volume index out of range");
+        VolumeId(index)
+    }
+
+    /// Returns the per-server index of this volume.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for table lookups.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vol{}", self.0)
+    }
+}
+
+/// The address of one 512-byte block: `(server, volume, block index)`.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::{BlockAddr, ServerId, VolumeId};
+/// let a = BlockAddr::new(ServerId::new(1), VolumeId::new(0), 99);
+/// assert_eq!(a.block, 99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr {
+    /// Owning server.
+    pub server: ServerId,
+    /// Volume within the server.
+    pub volume: VolumeId,
+    /// Block index within the volume (512-byte units).
+    pub block: u64,
+}
+
+impl BlockAddr {
+    /// Number of bits reserved for the block index inside a [`GlobalBlock`].
+    pub const BLOCK_BITS: u32 = 48;
+
+    /// Largest representable block index (48-bit), i.e. volumes up to 128 PiB.
+    pub const MAX_BLOCK: u64 = (1 << Self::BLOCK_BITS) - 1;
+
+    /// Creates a block address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` exceeds [`BlockAddr::MAX_BLOCK`].
+    pub const fn new(server: ServerId, volume: VolumeId, block: u64) -> Self {
+        assert!(block <= Self::MAX_BLOCK, "block index exceeds 48 bits");
+        BlockAddr {
+            server,
+            volume,
+            block,
+        }
+    }
+
+    /// Returns the address `offset` blocks past this one on the same volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would exceed [`BlockAddr::MAX_BLOCK`].
+    pub const fn offset(self, offset: u64) -> Self {
+        BlockAddr::new(self.server, self.volume, self.block + offset)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.server, self.volume, self.block)
+    }
+}
+
+/// A [`BlockAddr`] packed into a single `u64`.
+///
+/// Layout (most-significant to least-significant):
+/// 8 bits server, 8 bits volume, 48 bits block index. The packing is a
+/// bijection over valid addresses, so `GlobalBlock` is usable as a hash key
+/// or array index seed wherever a compact block identity is needed.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::{BlockAddr, GlobalBlock, ServerId, VolumeId};
+/// let a = BlockAddr::new(ServerId::new(12), VolumeId::new(3), 123_456);
+/// let g = GlobalBlock::from(a);
+/// assert_eq!(BlockAddr::from(g), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalBlock(u64);
+
+impl GlobalBlock {
+    /// Packs the parts of a block address into a key.
+    pub const fn pack(server: ServerId, volume: VolumeId, block: u64) -> Self {
+        assert!(block <= BlockAddr::MAX_BLOCK, "block index exceeds 48 bits");
+        GlobalBlock(
+            ((server.index() as u64) << 56) | ((volume.index() as u64) << 48) | block,
+        )
+    }
+
+    /// Returns the raw packed key.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a key from its raw packed form.
+    pub const fn from_raw(raw: u64) -> Self {
+        GlobalBlock(raw)
+    }
+
+    /// Returns the owning server.
+    pub const fn server(self) -> ServerId {
+        ServerId::new((self.0 >> 56) as u8)
+    }
+
+    /// Returns the volume within the server.
+    pub const fn volume(self) -> VolumeId {
+        VolumeId::new(((self.0 >> 48) & 0xff) as u8)
+    }
+
+    /// Returns the block index within the volume.
+    pub const fn block(self) -> u64 {
+        self.0 & BlockAddr::MAX_BLOCK
+    }
+}
+
+impl From<BlockAddr> for GlobalBlock {
+    fn from(addr: BlockAddr) -> Self {
+        GlobalBlock::pack(addr.server, addr.volume, addr.block)
+    }
+}
+
+impl From<GlobalBlock> for BlockAddr {
+    fn from(key: GlobalBlock) -> Self {
+        BlockAddr::new(key.server(), key.volume(), key.block())
+    }
+}
+
+impl fmt::Display for GlobalBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&BlockAddr::from(*self), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_simple() {
+        let a = BlockAddr::new(ServerId::new(255), VolumeId::new(15), BlockAddr::MAX_BLOCK);
+        assert_eq!(BlockAddr::from(GlobalBlock::from(a)), a);
+    }
+
+    #[test]
+    fn packing_orders_by_server_then_volume_then_block() {
+        let lo = GlobalBlock::pack(ServerId::new(1), VolumeId::new(5), u32::MAX as u64);
+        let hi = GlobalBlock::pack(ServerId::new(2), VolumeId::new(0), 0);
+        assert!(lo < hi);
+        let lo = GlobalBlock::pack(ServerId::new(1), VolumeId::new(1), u32::MAX as u64);
+        let hi = GlobalBlock::pack(ServerId::new(1), VolumeId::new(2), 0);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn oversized_block_index_is_rejected() {
+        let _ = BlockAddr::new(ServerId::new(0), VolumeId::new(0), 1 << 48);
+    }
+
+    #[test]
+    fn offset_advances_block_only() {
+        let a = BlockAddr::new(ServerId::new(3), VolumeId::new(2), 10);
+        let b = a.offset(7);
+        assert_eq!(b.block, 17);
+        assert_eq!(b.server, a.server);
+        assert_eq!(b.volume, a.volume);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_structured() {
+        let a = BlockAddr::new(ServerId::new(3), VolumeId::new(2), 10);
+        assert_eq!(a.to_string(), "srv3/vol2/10");
+        assert_eq!(GlobalBlock::from(a).to_string(), "srv3/vol2/10");
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(server in 0u8..=255, volume in 0u8..16, block in 0u64..=BlockAddr::MAX_BLOCK) {
+            let addr = BlockAddr::new(ServerId::new(server), VolumeId::new(volume), block);
+            let key = GlobalBlock::from(addr);
+            prop_assert_eq!(BlockAddr::from(key), addr);
+            prop_assert_eq!(key.server().index(), server);
+            prop_assert_eq!(key.volume().index(), volume);
+            prop_assert_eq!(key.block(), block);
+        }
+
+        #[test]
+        fn packing_is_injective(a in any::<(u8, u8, u64)>(), b in any::<(u8, u8, u64)>()) {
+            let norm = |(s, v, blk): (u8, u8, u64)| {
+                BlockAddr::new(ServerId::new(s), VolumeId::new(v % 16), blk & BlockAddr::MAX_BLOCK)
+            };
+            let (x, y) = (norm(a), norm(b));
+            prop_assert_eq!(x == y, GlobalBlock::from(x) == GlobalBlock::from(y));
+        }
+    }
+}

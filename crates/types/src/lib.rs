@@ -1,0 +1,79 @@
+//! Shared vocabulary for the SieveStore reproduction.
+//!
+//! This crate defines the small, copyable value types every other crate in
+//! the workspace speaks: block addresses ([`BlockAddr`], [`GlobalBlock`]),
+//! server/volume identity ([`ServerId`], [`VolumeId`]), block-level I/O
+//! requests ([`Request`], [`RequestKind`]) and time units ([`Micros`],
+//! [`Minute`], [`Day`]).
+//!
+//! SieveStore (ISCA 2010) counts storage accesses at 512-byte block
+//! granularity and accounts for SSD device occupancy at 4 KiB page
+//! granularity; the corresponding constants live here
+//! ([`BLOCK_SIZE`], [`PAGE_SIZE`], [`BLOCKS_PER_PAGE`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_types::{BlockAddr, GlobalBlock, Micros, Request, RequestKind, ServerId, VolumeId};
+//!
+//! let addr = BlockAddr::new(ServerId::new(3), VolumeId::new(1), 4096);
+//! let packed = GlobalBlock::from(addr);
+//! assert_eq!(BlockAddr::from(packed), addr);
+//!
+//! let req = Request::new(Micros::new(1_000_000), addr, 8, RequestKind::Read)
+//!     .with_response_time(Micros::new(900));
+//! assert_eq!(req.len_bytes(), 8 * sievestore_types::BLOCK_SIZE as u64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod request;
+pub mod time;
+
+pub use error::{ParseRequestError, SieveError};
+pub use ids::{BlockAddr, GlobalBlock, ServerId, VolumeId};
+pub use request::{Request, RequestKind};
+pub use time::{Day, Micros, Minute};
+
+/// Size of one storage block in bytes (the trace accounting granularity).
+pub const BLOCK_SIZE: usize = 512;
+
+/// Size of one SSD page in bytes (the device IOPS accounting granularity).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Number of 512-byte blocks per 4 KiB SSD page.
+pub const BLOCKS_PER_PAGE: usize = PAGE_SIZE / BLOCK_SIZE;
+
+/// Number of bytes in one gibibyte, used for capacity conversions.
+pub const GIB: u64 = 1 << 30;
+
+/// Converts a capacity in gibibytes to a frame count of 512-byte blocks.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sievestore_types::gib_to_blocks(16), 33_554_432);
+/// ```
+pub const fn gib_to_blocks(gib: u64) -> u64 {
+    gib * GIB / BLOCK_SIZE as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_page_constants_are_consistent() {
+        assert_eq!(BLOCKS_PER_PAGE, 8);
+        assert_eq!(PAGE_SIZE % BLOCK_SIZE, 0);
+    }
+
+    #[test]
+    fn gib_conversion_matches_hand_computation() {
+        // 1 GiB = 2^30 bytes = 2^21 blocks of 512 bytes.
+        assert_eq!(gib_to_blocks(1), 1 << 21);
+        assert_eq!(gib_to_blocks(32), 32 << 21);
+    }
+}

@@ -1,0 +1,254 @@
+//! Time units used by the trace and the simulator.
+//!
+//! Trace timestamps are microseconds since the start of the trace
+//! ([`Micros`]). SSD cost accounting aggregates per wall-clock minute
+//! ([`Minute`]) and experiment reporting aggregates per calendar day
+//! ([`Day`]), following the paper's methodology.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds since the start of the trace.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::Micros;
+/// let t = Micros::new(90_000_000);
+/// assert_eq!(t.as_secs_f64(), 90.0);
+/// assert_eq!(t.minute().index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// Microseconds per second.
+    pub const PER_SEC: u64 = 1_000_000;
+    /// Microseconds per minute.
+    pub const PER_MINUTE: u64 = 60 * Self::PER_SEC;
+    /// Microseconds per hour.
+    pub const PER_HOUR: u64 = 60 * Self::PER_MINUTE;
+    /// Microseconds per day.
+    pub const PER_DAY: u64 = 24 * Self::PER_HOUR;
+
+    /// Creates a timestamp from a raw microsecond count.
+    pub const fn new(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Micros(secs * Self::PER_SEC)
+    }
+
+    /// Creates a timestamp from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        Micros(hours * Self::PER_HOUR)
+    }
+
+    /// Creates a timestamp from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        Micros(days * Self::PER_DAY)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / Self::PER_SEC as f64
+    }
+
+    /// Returns the wall-clock minute this instant falls in.
+    pub const fn minute(self) -> Minute {
+        Minute((self.0 / Self::PER_MINUTE) as u32)
+    }
+
+    /// Returns the calendar day this instant falls in (day 0 is the first).
+    pub const fn day(self) -> Day {
+        Day((self.0 / Self::PER_DAY) as u16)
+    }
+
+    /// Saturating subtraction; clamps at zero rather than wrapping.
+    pub const fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (integer underflow).
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A wall-clock minute index into the trace (the paper's week has 10 080).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::{Micros, Minute};
+/// assert_eq!(Micros::from_days(1).minute(), Minute::new(1440));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Minute(u32);
+
+impl Minute {
+    /// Minutes per day.
+    pub const PER_DAY: u32 = 24 * 60;
+
+    /// Creates a minute index.
+    pub const fn new(index: u32) -> Self {
+        Minute(index)
+    }
+
+    /// Returns the raw minute index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for table lookups.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the calendar day containing this minute.
+    pub const fn day(self) -> Day {
+        Day((self.0 / Self::PER_DAY) as u16)
+    }
+
+    /// Returns the minute-of-day in `0..1440`.
+    pub const fn of_day(self) -> u32 {
+        self.0 % Self::PER_DAY
+    }
+}
+
+impl fmt::Display for Minute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A calendar-day index into the trace (the paper analyzes 8 calendar days).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::Day;
+/// assert_eq!(Day::new(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Day(u16);
+
+impl Day {
+    /// Creates a day index (day 0 is the first calendar day).
+    pub const fn new(index: u16) -> Self {
+        Day(index)
+    }
+
+    /// Returns the raw day index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index widened to `usize` for table lookups.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the next calendar day.
+    pub const fn next(self) -> Day {
+        Day(self.0 + 1)
+    }
+
+    /// Returns the first instant of this day.
+    pub const fn start(self) -> Micros {
+        Micros::from_days(self.0 as u64)
+    }
+
+    /// Returns the first instant of the following day.
+    pub const fn end(self) -> Micros {
+        Micros::from_days(self.0 as u64 + 1)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_to_minute_and_day() {
+        let t = Micros::from_days(3) + Micros::from_hours(2) + Micros::from_secs(61);
+        assert_eq!(t.day(), Day::new(3));
+        assert_eq!(t.minute().of_day(), 2 * 60 + 1);
+        assert_eq!(t.minute().day(), Day::new(3));
+    }
+
+    #[test]
+    fn day_boundaries() {
+        let d = Day::new(5);
+        assert_eq!(d.start().day(), d);
+        assert_eq!(d.end(), d.next().start());
+        assert_eq!(d.end().day(), d.next());
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Micros::from_secs(1);
+        let b = Micros::from_secs(2);
+        assert_eq!(b.saturating_sub(a), Micros::from_secs(1));
+        assert_eq!(a.saturating_sub(b), Micros::new(0));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Micros::from_secs(90);
+        let b = Micros::from_secs(30);
+        assert_eq!((a - b) + b, a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Micros::from_secs(120));
+    }
+
+    #[test]
+    fn week_has_10080_minutes() {
+        assert_eq!(Micros::from_days(7).minute().index(), 10_080);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Micros::from_secs(1).to_string(), "1.000000s");
+        assert_eq!(Minute::new(7).to_string(), "m7");
+        assert_eq!(Day::new(7).to_string(), "day7");
+    }
+}

@@ -1,0 +1,78 @@
+//! The SieveStore appliance as a live TCP service.
+//!
+//! Run with: `cargo run --release --example appliance_server`
+//!
+//! Spins up a node (the paper's Figure-4 box, with TCP standing in for
+//! iSCSI) over a file-backed "ensemble", then drives it from client
+//! connections: a cold scan that the sieve refuses to cache, followed by
+//! a hot working set that earns its frames.
+
+use sievestore::PolicySpec;
+use sievestore_node::{DataCache, FileBacking, NodeClient, NodeServer};
+use sievestore_sieve::TwoTierConfig;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join(format!("sievestore-appliance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let backing = FileBacking::open(dir.join("ensemble.img"))?;
+
+    let policy = PolicySpec::SieveStoreC(
+        TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 14)
+            .with_thresholds(3, 2),
+    );
+    let cache = DataCache::new(backing, policy, 4_096)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+    println!("SieveStore node listening on {}", server.addr());
+
+    let mut client = NodeClient::connect(server.addr())?;
+
+    // Populate some blocks on the ensemble through the node.
+    for key in 0..64u64 {
+        client.write_block(key, &[key as u8; 512])?;
+    }
+
+    // Cold scan: 2,000 one-touch blocks. The sieve bypasses them all.
+    for key in 10_000..12_000u64 {
+        let (_, hit) = client.read_block(key)?;
+        assert!(!hit);
+    }
+    let after_scan = client.stats()?;
+    println!(
+        "after cold scan : {:>5} accesses, {:>4} allocation-writes, {:>4} resident blocks",
+        after_scan.read_misses + after_scan.write_misses + after_scan.read_hits + after_scan.write_hits,
+        after_scan.allocation_writes,
+        after_scan.resident_blocks,
+    );
+
+    // Hot working set: 8 blocks re-read repeatedly earn their frames.
+    let mut hits = 0;
+    for round in 0..10 {
+        for key in 0..8u64 {
+            let (data, hit) = client.read_block(key)?;
+            assert_eq!(data, [key as u8; 512]);
+            hits += hit as u32;
+        }
+        if round == 9 {
+            let s = client.stats()?;
+            println!(
+                "after hot rounds: hit ratio {:>5.1}%, {:>4} allocation-writes, {:>4} resident blocks",
+                100.0 * s.hit_ratio(),
+                s.allocation_writes,
+                s.resident_blocks,
+            );
+        }
+    }
+    println!("hot-set hits in 80 reads: {hits}");
+    println!(
+        "\nThe node bypassed the entire cold scan (zero allocation-writes for\n\
+         2,000 blocks) yet admitted the 8-block hot set after a handful of\n\
+         misses — selective allocation at the storage-network layer."
+    );
+
+    client.quit()?;
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Ensemble-level caching over a synthetic multi-server trace.
+//!
+//! Run with: `cargo run --release --example ensemble_caching`
+//!
+//! Generates a small two-server ensemble trace with drifting hot sets,
+//! then simulates the paper's main contenders over it and prints a
+//! per-day capture table — a miniature of the paper's Figure 5.
+
+use sievestore::PolicySpec;
+use sievestore_sieve::TwoTierConfig;
+use sievestore_sim::{ideal_top_selections, simulate_many, SimConfig};
+use sievestore_trace::{EnsembleConfig, SyntheticTrace};
+use sievestore_types::SieveError;
+
+fn main() -> Result<(), SieveError> {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(2026).with_days(5))?;
+    let scale = trace.config().scale.denominator();
+    let cfg = SimConfig::paper_16gb(scale).with_capacity_blocks(16_384);
+
+    let (selections, _, _) = ideal_top_selections(&trace, 0.01);
+    let results = simulate_many(
+        &trace,
+        vec![
+            PolicySpec::IdealTop1 { selections },
+            PolicySpec::SieveStoreD { threshold: 10 },
+            PolicySpec::SieveStoreC(
+                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
+            ),
+            PolicySpec::Aod,
+            PolicySpec::Wmna,
+        ],
+        &cfg,
+    )?;
+
+    println!(
+        "{} servers, {} days, cache {} frames\n",
+        trace.config().servers.len(),
+        trace.days(),
+        cfg.capacity_blocks
+    );
+    print!("{:<14}", "day");
+    for r in &results {
+        print!("{:>14}", r.policy);
+    }
+    println!("\n{}", "-".repeat(14 + results.len() * 14));
+    for d in 0..trace.days() as usize {
+        print!("{d:<14}");
+        for r in &results {
+            let m = r.days.get(d).copied().unwrap_or_default();
+            print!("{:>13.1}%", 100.0 * m.captured_fraction());
+        }
+        println!();
+    }
+    print!("{:<14}", "alloc-writes");
+    for r in &results {
+        print!("{:>14}", r.total().total_allocation_writes());
+    }
+    println!();
+    println!(
+        "\nSieveStore-D shows 0% on day 0 (it needs one day of logs to bootstrap),\n\
+         then tracks the ideal closely; the unsieved caches pay for every miss\n\
+         with an allocation-write."
+    );
+    Ok(())
+}

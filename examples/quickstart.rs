@@ -1,0 +1,82 @@
+//! Quickstart: build a SieveStore appliance and watch sieving work.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! We feed the appliance a stream with the shape SieveStore is built for —
+//! a small hot set buried in a mass of one-touch cold blocks — and compare
+//! the continuous sieve (SieveStore-C) against allocate-on-demand.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sievestore::{PolicySpec, SieveStore, SieveStoreBuilder};
+use sievestore_sieve::TwoTierConfig;
+use sievestore_types::{Micros, RequestKind, SieveError};
+
+/// 35 % of accesses go to 256 hot blocks; the rest are one-touch.
+fn workload(n: usize, seed: u64) -> Vec<(u64, RequestKind)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_cold = 1_000_000u64;
+    (0..n)
+        .map(|_| {
+            let key = if rng.random::<f64>() < 0.35 {
+                rng.random_range(0..256u64)
+            } else {
+                next_cold += 1;
+                next_cold
+            };
+            let kind = if rng.random::<f64>() < 0.75 {
+                RequestKind::Read
+            } else {
+                RequestKind::Write
+            };
+            (key, kind)
+        })
+        .collect()
+}
+
+fn drive(store: &mut SieveStore, accesses: &[(u64, RequestKind)]) {
+    for (i, &(key, kind)) in accesses.iter().enumerate() {
+        // Spread the stream over two hours of virtual time.
+        let now = Micros::from_secs((i as u64 * 7200) / accesses.len() as u64);
+        store.access(key, kind, now);
+    }
+}
+
+fn main() -> Result<(), SieveError> {
+    let accesses = workload(200_000, 7);
+
+    let mut sieved = SieveStoreBuilder::new()
+        .capacity_blocks(4_096)
+        .policy(PolicySpec::SieveStoreC(
+            TwoTierConfig::paper_default().with_imct_entries(1 << 16),
+        ))
+        .build()?;
+    let mut unsieved = SieveStoreBuilder::new()
+        .capacity_blocks(4_096)
+        .policy(PolicySpec::Aod)
+        .build()?;
+
+    drive(&mut sieved, &accesses);
+    drive(&mut unsieved, &accesses);
+
+    println!("workload: {} block accesses, 35% to 256 hot blocks\n", accesses.len());
+    for store in [&sieved, &unsieved] {
+        let s = store.stats();
+        println!(
+            "{:<14} hit ratio {:5.1}%   allocation-writes {:>7}   resident blocks {:>5}",
+            store.policy_name(),
+            100.0 * s.hit_ratio(),
+            s.allocation_writes,
+            store.len_blocks(),
+        );
+    }
+    println!(
+        "\nThe sieve allocates only blocks that earned a frame (≈ the hot set):\n\
+         ~{}x fewer SSD allocation-writes at a comparable hit ratio. On real\n\
+         ensemble workloads (see the experiments harness) the sieved cache\n\
+         also hits substantially more often, because unsieved churn evicts\n\
+         medium-popularity blocks.",
+        unsieved.stats().allocation_writes / sieved.stats().allocation_writes.max(1)
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+#![warn(missing_docs)]
+
+//! The suite crate hosts workspace-level integration tests and examples.
+//!
+//! It re-exports nothing; depend on the individual `sievestore-*` crates
+//! directly. See `examples/` and `tests/` at the workspace root.

@@ -1,0 +1,110 @@
+//! Cross-crate integration: the appliance's discrete sieve must agree
+//! with an independent count over the paper's offline log substrate, and
+//! the trace codec must round-trip generator output through the
+//! filesystem.
+
+use sievestore::{PolicySpec, SieveStoreBuilder};
+use sievestore_extsort::{AccessCounter, AccessLog};
+use sievestore_trace::{EnsembleConfig, SyntheticTrace, TraceReader, TraceStats, TraceWriter};
+use sievestore_types::Day;
+
+#[test]
+fn appliance_batch_selection_matches_external_log_counts() {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(55)).expect("valid ensemble");
+    let threshold = 10u64;
+
+    // Drive the appliance over day 0.
+    let mut store = SieveStoreBuilder::new()
+        .capacity_blocks(1 << 20)
+        .policy(PolicySpec::SieveStoreD { threshold })
+        .build()
+        .expect("valid appliance");
+    // Independently, log every access the way the paper's offline pass
+    // does: hash-partitioned <address, 1> tuples with periodic reduction.
+    let dir = std::env::temp_dir().join(format!("sievestore-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut log = AccessLog::create(&dir, 8).expect("temp dir");
+
+    let mut i = 0usize;
+    for req in trace.day_requests(Day::new(0)) {
+        for block in req.blocks() {
+            store.access(block.raw(), req.kind, req.timestamp);
+            log.record(block.raw());
+            i += 1;
+            if i.is_multiple_of(100_000) {
+                log.compact().expect("compaction");
+            }
+        }
+    }
+
+    let transition = store
+        .day_boundary(Day::new(1))
+        .expect("discrete policy installs");
+    let mut from_appliance = transition.allocated.clone();
+    from_appliance.sort_unstable();
+
+    let counts = log.finish().expect("log finalize");
+    let from_log = counts.keys_with_at_least(threshold);
+
+    assert_eq!(
+        from_appliance, from_log,
+        "appliance selection must equal offline log reduction"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_survives_filesystem_roundtrip() {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(77)).expect("valid ensemble");
+    let requests = trace.day_requests(Day::new(1));
+
+    let dir = std::env::temp_dir().join(format!("sievestore-traceio-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("day1.sstr");
+
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let mut writer = TraceWriter::with_count(file, requests.len() as u64).expect("header");
+    for r in &requests {
+        writer.write(r).expect("record write");
+    }
+    writer.finish().expect("flush");
+
+    let file = std::fs::File::open(&path).expect("open trace file");
+    let mut reader = TraceReader::new(file).expect("valid header");
+    assert_eq!(reader.declared_count(), Some(requests.len() as u64));
+    let reread: Vec<_> = (&mut reader).map(|r| r.expect("valid record")).collect();
+    assert_eq!(reread, requests);
+
+    // Statistics agree between the in-memory and re-read streams.
+    let direct: TraceStats = requests.iter().collect();
+    let via_disk: TraceStats = reread.iter().collect();
+    assert_eq!(direct.days(), via_disk.days());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn continuous_appliance_hits_grow_monotonically_with_capacity() {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(88)).expect("valid ensemble");
+    let requests = trace.day_requests(Day::new(1));
+    let mut last_hits = 0u64;
+    for capacity in [1 << 8, 1 << 12, 1 << 16] {
+        let mut store = SieveStoreBuilder::new()
+            .capacity_blocks(capacity)
+            .policy(PolicySpec::Aod)
+            .build()
+            .expect("valid appliance");
+        for req in &requests {
+            for block in req.blocks() {
+                store.access(block.raw(), req.kind, req.timestamp);
+            }
+        }
+        let hits = store.stats().hits();
+        assert!(
+            hits >= last_hits,
+            "capacity {capacity}: hits {hits} < smaller cache's {last_hits}"
+        );
+        last_hits = hits;
+    }
+    assert!(last_hits > 0);
+}

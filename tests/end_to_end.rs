@@ -1,0 +1,173 @@
+//! End-to-end integration: the paper's qualitative results must hold on a
+//! small ensemble simulated through the full crate stack.
+
+use sievestore::PolicySpec;
+use sievestore_sieve::TwoTierConfig;
+use sievestore_sim::{
+    ensemble_ideal_capture, ideal_top_selections, per_server_ideal_capture, simulate_many,
+    SimConfig,
+};
+use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
+
+fn small_ensemble() -> SyntheticTrace {
+    // The real 13-server ensemble at a very coarse scale: keeps all the
+    // cross-server structure while staying fast.
+    let cfg = EnsembleConfig::msr_like().with_scale(Scale::new(4096).expect("nonzero"));
+    SyntheticTrace::new(cfg).expect("valid ensemble")
+}
+
+struct Outcomes {
+    ideal: sievestore_sim::SimResult,
+    sieve_d: sievestore_sim::SimResult,
+    sieve_c: sievestore_sim::SimResult,
+    aod: sievestore_sim::SimResult,
+    wmna: sievestore_sim::SimResult,
+    rand_c: sievestore_sim::SimResult,
+}
+
+fn run_all(trace: &SyntheticTrace) -> Outcomes {
+    let scale = trace.config().scale.denominator();
+    let cfg = SimConfig::paper_16gb(scale);
+    let (selections, _, _) = ideal_top_selections(trace, 0.01);
+    let mut results = simulate_many(
+        trace,
+        vec![
+            PolicySpec::IdealTop1 { selections },
+            PolicySpec::SieveStoreD { threshold: 10 },
+            PolicySpec::SieveStoreC(
+                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
+            ),
+            PolicySpec::Aod,
+            PolicySpec::Wmna,
+            PolicySpec::RandSieveC {
+                probability: 0.01,
+                seed: 7,
+            },
+        ],
+        &cfg,
+    )
+    .expect("valid policies");
+    let rand_c = results.pop().expect("six results");
+    let wmna = results.pop().expect("six results");
+    let aod = results.pop().expect("six results");
+    let sieve_c = results.pop().expect("six results");
+    let sieve_d = results.pop().expect("six results");
+    let ideal = results.pop().expect("six results");
+    Outcomes {
+        ideal,
+        sieve_d,
+        sieve_c,
+        aod,
+        wmna,
+        rand_c,
+    }
+}
+
+#[test]
+fn paper_result_shapes_hold_end_to_end() {
+    let trace = small_ensemble();
+    let o = run_all(&trace);
+
+    // Every policy saw the identical access stream.
+    let accesses = o.ideal.total().accesses();
+    for r in [&o.sieve_d, &o.sieve_c, &o.aod, &o.wmna, &o.rand_c] {
+        assert_eq!(r.total().accesses(), accesses, "{}", r.policy);
+    }
+
+    // Result 1 (Fig. 5): sieved ensemble caches capture more than the best
+    // unsieved one; the ideal bounds everything.
+    let capture = |r: &sievestore_sim::SimResult, skip: &[usize]| r.mean_captured_fraction(skip);
+    let best_unsieved = capture(&o.aod, &[]).max(capture(&o.wmna, &[]));
+    let c_capture = capture(&o.sieve_c, &[]);
+    let d_capture = capture(&o.sieve_d, &[0]);
+    let ideal_capture = capture(&o.ideal, &[]);
+    assert!(
+        c_capture > best_unsieved,
+        "SieveStore-C {c_capture} must beat best unsieved {best_unsieved}"
+    );
+    assert!(
+        d_capture > best_unsieved * 0.9,
+        "SieveStore-D {d_capture} should be competitive with unsieved {best_unsieved}"
+    );
+    // The day-by-day top-1% oracle is capacity-limited to ~1% of daily
+    // blocks, while the 16 GB caches hold roughly twice that footprint in
+    // this workload, so the practical sieves may exceed the oracle (the
+    // paper observes the same for SieveStore-C). The oracle must still be
+    // in the same band, not dominated outright.
+    assert!(
+        ideal_capture >= d_capture * 0.7,
+        "ideal {ideal_capture} vs SieveStore-D {d_capture}"
+    );
+    // Random sieving stays well below real sieving (Fig. 5's point).
+    assert!(
+        capture(&o.rand_c, &[]) < c_capture,
+        "RandSieve-C {} must trail SieveStore-C {c_capture}",
+        capture(&o.rand_c, &[])
+    );
+
+    // Result 2 (Fig. 6): allocation-writes drop by orders of magnitude.
+    let alloc = |r: &sievestore_sim::SimResult| r.total().total_allocation_writes();
+    assert!(
+        alloc(&o.sieve_c) * 20 < alloc(&o.wmna).min(alloc(&o.aod)),
+        "sieve-C {} vs unsieved {}",
+        alloc(&o.sieve_c),
+        alloc(&o.wmna).min(alloc(&o.aod))
+    );
+    assert!(
+        alloc(&o.sieve_d) * 20 < alloc(&o.wmna).min(alloc(&o.aod)),
+        "sieve-D {} vs unsieved {}",
+        alloc(&o.sieve_d),
+        alloc(&o.wmna).min(alloc(&o.aod))
+    );
+    // WMNA allocates only read misses, so fewer than AOD.
+    assert!(alloc(&o.wmna) < alloc(&o.aod));
+
+    // Result 3 (Figs. 8-9): the sieved caches need fewer drive-minutes.
+    let mean_occ = |r: &sievestore_sim::SimResult| {
+        let s = r.occupancy.occupancy_series();
+        s.iter().sum::<f64>() / s.len().max(1) as f64
+    };
+    assert!(mean_occ(&o.sieve_c) < mean_occ(&o.wmna));
+    assert!(mean_occ(&o.sieve_d) < mean_occ(&o.wmna));
+}
+
+#[test]
+fn sievestore_d_day_two_recovers_after_bootstrap() {
+    let trace = small_ensemble();
+    let o = run_all(&trace);
+    // Day 0: no hits (empty cache). Day 1 onward: meaningful capture.
+    assert_eq!(o.sieve_d.days[0].hits(), 0);
+    let day1 = o.sieve_d.days[1].captured_fraction();
+    assert!(day1 > 0.05, "day-1 capture {day1}");
+}
+
+#[test]
+fn ensemble_beats_per_server_at_iso_capacity() {
+    let trace = small_ensemble();
+    let ensemble = ensemble_ideal_capture(&trace, 0.01);
+    let per_server = per_server_ideal_capture(&trace, 0.01);
+    // §5.3: ensemble-level capture dominates (the hot blocks concentrate
+    // on different servers on different days).
+    let e = ensemble.mean_fraction();
+    let p = per_server.mean_fraction();
+    assert!(
+        e >= p - 0.01,
+        "ensemble {e} should be at least per-server {p}"
+    );
+}
+
+#[test]
+fn allocation_writes_never_exceed_misses() {
+    let trace = small_ensemble();
+    let o = run_all(&trace);
+    for r in [&o.sieve_c, &o.aod, &o.wmna, &o.rand_c] {
+        let t = r.total();
+        assert!(
+            t.allocation_writes <= t.read_misses + t.write_misses,
+            "{}: {} allocs vs {} misses",
+            r.policy,
+            t.allocation_writes,
+            t.read_misses + t.write_misses
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Network integration: the appliance served over TCP must behave like a
+//! correct, sieving block cache under concurrent clients.
+
+use std::collections::HashMap;
+use std::thread;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sievestore::PolicySpec;
+use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+use sievestore_sieve::TwoTierConfig;
+
+fn block(fill: u8) -> [u8; 512] {
+    [fill; 512]
+}
+
+#[test]
+fn single_client_read_write_and_stats() {
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64).expect("valid appliance");
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind ephemeral port");
+    let mut client = NodeClient::connect(server.addr()).expect("connect");
+
+    // Fresh blocks read as zeroes and miss.
+    let (data, hit) = client.read_block(5).expect("read");
+    assert_eq!(data, block(0));
+    assert!(!hit);
+
+    // Write-through, then hit.
+    let hit = client.write_block(5, &block(0xC3)).expect("write");
+    assert!(hit, "AOD allocated on the read miss, so the write hits");
+    let (data, hit) = client.read_block(5).expect("read");
+    assert_eq!(data, block(0xC3));
+    assert!(hit);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.read_hits, 1);
+    assert_eq!(stats.read_misses, 1);
+    assert_eq!(stats.write_hits, 1);
+    assert!(stats.resident_blocks >= 1);
+    assert!(stats.hit_ratio() > 0.5);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn sieved_node_filters_cold_scans() {
+    let policy = PolicySpec::SieveStoreC(
+        TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 12)
+            .with_thresholds(3, 2),
+    );
+    let cache = DataCache::new(MemBacking::new(), policy, 256).expect("valid appliance");
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let mut client = NodeClient::connect(server.addr()).expect("connect");
+
+    // A one-touch cold scan: nothing earns a frame.
+    for key in 0..500u64 {
+        let (_, hit) = client.read_block(key).expect("read");
+        assert!(!hit, "cold block {key} must miss");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.allocation_writes, 0,
+        "one-touch scan must not allocate"
+    );
+
+    // A hot block earns its frame after repeated misses, then hits.
+    let mut first_hit_at = None;
+    for i in 0..12 {
+        let (_, hit) = client.read_block(9_999).expect("read");
+        if hit {
+            first_hit_at = Some(i);
+            break;
+        }
+    }
+    assert!(first_hit_at.is_some(), "hot block never started hitting");
+
+    client.quit().expect("quit");
+    let final_stats = server.stats();
+    assert!(final_stats.allocation_writes >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_never_see_stale_data() {
+    // Each client owns a disjoint key range, hammers it with writes and
+    // reads, and checks every read against its own shadow copy.
+    let cache =
+        DataCache::new(MemBacking::new(), PolicySpec::Aod, 1 << 10).expect("valid appliance");
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let addr = server.addr();
+
+    let mut handles = Vec::new();
+    for worker in 0..4u64 {
+        handles.push(thread::spawn(move || {
+            let mut client = NodeClient::connect(addr).expect("connect");
+            let mut shadow: HashMap<u64, [u8; 512]> = HashMap::new();
+            let mut rng = SmallRng::seed_from_u64(worker);
+            let base = worker * 1_000;
+            for _ in 0..400 {
+                let key = base + rng.random_range(0..50u64);
+                if rng.random::<bool>() {
+                    let fill = rng.random::<u8>();
+                    client.write_block(key, &block(fill)).expect("write");
+                    shadow.insert(key, block(fill));
+                } else {
+                    let (data, _) = client.read_block(key).expect("read");
+                    let expect = shadow.get(&key).copied().unwrap_or(block(0));
+                    assert_eq!(data, expect, "worker {worker} saw stale key {key}");
+                }
+            }
+            client.quit().expect("quit");
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.accesses(), 4 * 400);
+    server.shutdown();
+}
+
+#[test]
+fn write_back_node_flushes_over_the_wire() {
+    use sievestore_node::WritePolicy;
+
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64)
+        .expect("valid appliance")
+        .with_write_policy(WritePolicy::WriteBack);
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let mut client = NodeClient::connect(server.addr()).expect("connect");
+
+    // Prime residency, then dirty the frames with write hits.
+    for key in 0..5u64 {
+        client.read_block(key).expect("read");
+        client.write_block(key, &block(key as u8 + 1)).expect("write");
+    }
+    let flushed = client.flush().expect("flush");
+    assert_eq!(flushed, 5, "all dirtied frames flush");
+    assert_eq!(client.flush().expect("flush"), 0, "second flush is empty");
+    // Data survives the flush.
+    let (data, _) = client.read_block(3).expect("read");
+    assert_eq!(data, block(4));
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn server_survives_malformed_frames() {
+    use std::io::Write as _;
+
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).expect("valid appliance");
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+
+    // A raw connection sends garbage; the server replies with an error
+    // frame (or closes) without taking the whole node down.
+    {
+        let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+        raw.write_all(&[0xFF; 64]).expect("send garbage");
+        // Whatever happens to this connection, the node must still serve:
+    }
+    let mut client = NodeClient::connect(server.addr()).expect("connect after garbage");
+    client.write_block(1, &block(1)).expect("write");
+    let (data, _) = client.read_block(1).expect("read");
+    assert_eq!(data, block(1));
+    client.quit().expect("quit");
+    server.shutdown();
+}

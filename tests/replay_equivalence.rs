@@ -1,0 +1,103 @@
+//! Cross-validation: replaying a trace through the *data-holding*
+//! appliance must reproduce the simulator's exact policy decisions.
+//!
+//! The simulation engine (`sievestore-sim`) counts outcomes without
+//! payloads; the appliance (`sievestore-node`) moves real bytes. Both sit
+//! on the same `SieveStore` policy core, so for an identical access
+//! sequence their hit/miss/allocation counts must agree exactly — and
+//! the appliance must additionally return correct data for every access.
+
+use sievestore::PolicySpec;
+use sievestore_node::{DataCache, MemBacking};
+use sievestore_sieve::TwoTierConfig;
+use sievestore_sim::{simulate_server, SimConfig};
+use sievestore_trace::{EnsembleConfig, SyntheticTrace};
+use sievestore_types::{Day, RequestKind};
+
+const SERVER: usize = 0;
+const CAPACITY: usize = 8_192;
+
+fn trace() -> SyntheticTrace {
+    SyntheticTrace::new(EnsembleConfig::tiny(31)).expect("valid ensemble")
+}
+
+/// Replays one server's trace through a [`DataCache`], mirroring the
+/// engine's access order and timing exactly.
+fn replay(policy: PolicySpec) -> sievestore::ApplianceStats {
+    let trace = trace();
+    let mut cache =
+        DataCache::new(MemBacking::new(), policy, CAPACITY).expect("valid appliance");
+    for d in 0..trace.days() {
+        let day = Day::new(d);
+        cache.day_boundary(day).expect("in-memory staging");
+        for req in trace.server_day(SERVER, day) {
+            for (i, key) in req.blocks().enumerate() {
+                let now = req.block_completion_time(i as u32);
+                match req.kind {
+                    RequestKind::Read => {
+                        cache.read(key.raw(), now).expect("in-memory read");
+                    }
+                    RequestKind::Write => {
+                        cache
+                            .write(key.raw(), &[0xAB; 512], now)
+                            .expect("in-memory write");
+                    }
+                }
+            }
+        }
+    }
+    *cache.stats()
+}
+
+fn engine(policy: PolicySpec) -> sievestore_sim::DayMetrics {
+    let trace = trace();
+    let cfg = SimConfig::paper_16gb(trace.config().scale.denominator())
+        .with_capacity_blocks(CAPACITY);
+    simulate_server(&trace, SERVER, policy, &cfg)
+        .expect("valid policy")
+        .total()
+}
+
+fn assert_equivalent(policy_for_replay: PolicySpec, policy_for_engine: PolicySpec) {
+    let appliance = replay(policy_for_replay);
+    let simulated = engine(policy_for_engine);
+    assert_eq!(appliance.read_hits, simulated.read_hits, "read hits");
+    assert_eq!(appliance.write_hits, simulated.write_hits, "write hits");
+    assert_eq!(appliance.read_misses, simulated.read_misses, "read misses");
+    assert_eq!(
+        appliance.write_misses, simulated.write_misses,
+        "write misses"
+    );
+    assert_eq!(
+        appliance.allocation_writes,
+        simulated.allocation_writes + simulated.batch_allocations,
+        "allocation-writes"
+    );
+}
+
+#[test]
+fn aod_appliance_matches_simulator_exactly() {
+    assert_equivalent(PolicySpec::Aod, PolicySpec::Aod);
+}
+
+#[test]
+fn wmna_appliance_matches_simulator_exactly() {
+    assert_equivalent(PolicySpec::Wmna, PolicySpec::Wmna);
+}
+
+#[test]
+fn sievestore_c_appliance_matches_simulator_exactly() {
+    let cfg = TwoTierConfig::paper_default().with_imct_entries(1 << 14);
+    assert_equivalent(
+        PolicySpec::SieveStoreC(cfg),
+        PolicySpec::SieveStoreC(cfg),
+    );
+}
+
+#[test]
+fn sievestore_d_appliance_matches_simulator_exactly() {
+    assert_equivalent(
+        PolicySpec::SieveStoreD { threshold: 10 },
+        PolicySpec::SieveStoreD { threshold: 10 },
+    );
+}
