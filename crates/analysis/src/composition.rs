@@ -95,10 +95,7 @@ pub fn jaccard_overlap(a: &[u64], b: &[u64]) -> f64 {
 /// consecutive days, the containment overlap of their top-`fraction`
 /// selections.
 pub fn consecutive_day_overlaps(days: &[BlockCounts], fraction: f64) -> Vec<f64> {
-    let tops: Vec<Vec<u64>> = days
-        .iter()
-        .map(|c| c.top_fraction(fraction).0)
-        .collect();
+    let tops: Vec<Vec<u64>> = days.iter().map(|c| c.top_fraction(fraction).0).collect();
     tops.windows(2)
         .map(|w| containment_overlap(&w[0], &w[1]))
         .collect()

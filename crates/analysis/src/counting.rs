@@ -90,10 +90,7 @@ impl BlockCounts {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn top_fraction(&self, fraction: f64) -> (Vec<u64>, u64) {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let n = (self.counts.len() as f64 * fraction).round() as usize;
         let mut ranked = self.ranked();
         ranked.truncate(n);

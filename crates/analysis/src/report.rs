@@ -101,11 +101,7 @@ impl TextTable {
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), SieveError> {
-        write_csv(
-            path,
-            &self.headers,
-            self.rows.iter().map(|r| r.as_slice()),
-        )
+        write_csv(path, &self.headers, self.rows.iter().map(|r| r.as_slice()))
     }
 }
 
@@ -125,7 +121,15 @@ pub fn write_csv<'a>(
         fs::create_dir_all(parent)?;
     }
     let mut out = BufWriter::new(File::create(path)?);
-    writeln!(out, "{}", headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         writeln!(
             out,

@@ -19,8 +19,8 @@ fn policy_simulation(c: &mut Criterion) {
                 .sum::<u64>()
         })
         .sum();
-    let cfg = SimConfig::paper_16gb(trace.config().scale.denominator())
-        .with_capacity_blocks(16_384);
+    let cfg =
+        SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(16_384);
 
     let mut group = c.benchmark_group("end_to_end_simulation");
     group.sample_size(10);

@@ -56,9 +56,7 @@ fn data_cache_ops(c: &mut Criterion) {
     {
         let mut cache = DataCache::new(
             MemBacking::new(),
-            PolicySpec::SieveStoreC(
-                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
-            ),
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 16)),
             1 << 14,
         )
         .expect("valid appliance");

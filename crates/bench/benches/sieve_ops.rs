@@ -13,10 +13,9 @@ fn two_tier_miss_stream(c: &mut Criterion) {
     let mut group = c.benchmark_group("two_tier_on_miss");
     // Cold: unique keys, the common case — misses die at the IMCT.
     {
-        let mut sieve = TwoTierSieve::new(
-            TwoTierConfig::paper_default().with_imct_entries(1 << 20),
-        )
-        .expect("valid config");
+        let mut sieve =
+            TwoTierSieve::new(TwoTierConfig::paper_default().with_imct_entries(1 << 20))
+                .expect("valid config");
         let mut next = 0u64;
         group.throughput(Throughput::Elements(1));
         group.bench_function("cold_unique_keys", |b| {
@@ -28,10 +27,9 @@ fn two_tier_miss_stream(c: &mut Criterion) {
     }
     // Hot: a small key set that repeatedly graduates to the MCT.
     {
-        let mut sieve = TwoTierSieve::new(
-            TwoTierConfig::paper_default().with_imct_entries(1 << 20),
-        )
-        .expect("valid config");
+        let mut sieve =
+            TwoTierSieve::new(TwoTierConfig::paper_default().with_imct_entries(1 << 20))
+                .expect("valid config");
         let mut rng = SmallRng::seed_from_u64(2);
         group.bench_function("hot_small_set", |b| {
             b.iter(|| {
@@ -55,23 +53,19 @@ fn discrete_record(c: &mut Criterion) {
         })
     });
     for &keys in &[10_000u64, 100_000] {
-        group.bench_with_input(
-            BenchmarkId::new("end_epoch", keys),
-            &keys,
-            |b, &keys| {
-                b.iter_with_setup(
-                    || {
-                        let mut s = DiscreteSieve::in_memory_paper_default();
-                        let mut rng = SmallRng::seed_from_u64(4);
-                        for _ in 0..keys * 3 {
-                            s.record_access(rng.random_range(0..keys));
-                        }
-                        s
-                    },
-                    |mut s| black_box(s.end_epoch(InMemoryCounter::new()).expect("in-memory")),
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("end_epoch", keys), &keys, |b, &keys| {
+            b.iter_with_setup(
+                || {
+                    let mut s = DiscreteSieve::in_memory_paper_default();
+                    let mut rng = SmallRng::seed_from_u64(4);
+                    for _ in 0..keys * 3 {
+                        s.record_access(rng.random_range(0..keys));
+                    }
+                    s
+                },
+                |mut s| black_box(s.end_epoch(InMemoryCounter::new()).expect("in-memory")),
+            )
+        });
     }
     group.finish();
 }

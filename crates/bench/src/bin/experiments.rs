@@ -26,8 +26,26 @@ options:
   --out DIR  CSV output directory (default results/)";
 
 const ALL: [&str; 20] = [
-    "table1", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig3d", "table2", "table3",
-    "fig5", "fig6", "fig7", "fig8", "fig9", "sec5_3", "belady", "latency", "per_server", "sens",
+    "table1",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "sec5_3",
+    "belady",
+    "latency",
+    "per_server",
+    "sens",
 ];
 
 fn main() -> ExitCode {
@@ -93,7 +111,10 @@ fn run() -> Result<(), String> {
     for id in &ids {
         let started = std::time::Instant::now();
         let output = dispatch(&mut harness, id).map_err(|e| format!("{id}: {e}"))?;
-        println!("=== {id} ({:.1}s) ===\n{output}", started.elapsed().as_secs_f64());
+        println!(
+            "=== {id} ({:.1}s) ===\n{output}",
+            started.elapsed().as_secs_f64()
+        );
     }
     Ok(())
 }

@@ -45,9 +45,23 @@ fn run() -> Result<(), String> {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--out" => out = Some(PathBuf::from(value("--out")?)),
-            "--scale" => scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
-            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            "--days" => days = Some(value("--days")?.parse().map_err(|e| format!("bad --days: {e}"))?),
+            "--scale" => {
+                scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--days" => {
+                days = Some(
+                    value("--days")?
+                        .parse()
+                        .map_err(|e| format!("bad --days: {e}"))?,
+                )
+            }
             "--format" => format = value("--format")?,
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -91,7 +91,11 @@ pub fn fig9(h: &mut Harness) -> Result<String, SieveError> {
     }
     sievestore_analysis::write_csv(
         &out_path,
-        &["policy".into(), "minute_rank".into(), "drives_needed".into()],
+        &[
+            "policy".into(),
+            "minute_rank".into(),
+            "drives_needed".into(),
+        ],
         csv_rows.iter().map(|r| r.as_slice()),
     )?;
     Ok(format!(
@@ -152,7 +156,10 @@ pub fn sec5_3(h: &mut Harness) -> Result<String, SieveError> {
     // Endurance check (paper: >10 years under SieveStore's write load).
     let write_bytes_day =
         runs.by_name("SieveStore-C").occupancy.total_write_bytes() / days.max(1) as f64;
-    let years = endurance_years(runs.by_name("SieveStore-C").occupancy.spec(), write_bytes_day);
+    let years = endurance_years(
+        runs.by_name("SieveStore-C").occupancy.spec(),
+        write_bytes_day,
+    );
 
     Ok(format!(
         "Section 5.3: ensemble vs ideal per-server caching (iso-capacity)\n{}\n\

@@ -144,8 +144,7 @@ pub fn per_server_sim(h: &mut Harness) -> Result<String, SieveError> {
         cfg.capacity_blocks,
         &cfg,
     )?;
-    let aod_split =
-        simulate_per_server(h.trace(), |_| PolicySpec::Aod, cfg.capacity_blocks, &cfg)?;
+    let aod_split = simulate_per_server(h.trace(), |_| PolicySpec::Aod, cfg.capacity_blocks, &cfg)?;
 
     let runs = h.policy_runs()?;
     let mut table = TextTable::new(vec![
@@ -154,7 +153,10 @@ pub fn per_server_sim(h: &mut Harness) -> Result<String, SieveError> {
         "allocation-writes".into(),
     ]);
     for (label, result) in [
-        ("ensemble SieveStore-C (shared 16GB)", runs.by_name("SieveStore-C")),
+        (
+            "ensemble SieveStore-C (shared 16GB)",
+            runs.by_name("SieveStore-C"),
+        ),
         ("per-server SieveStore-C (16GB split 13 ways)", &c_split),
         ("ensemble AOD (shared 16GB)", runs.by_name("AOD-16GB")),
         ("per-server AOD (16GB split 13 ways)", &aod_split),

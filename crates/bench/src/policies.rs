@@ -20,7 +20,10 @@ pub fn table2_exp(h: &mut Harness) -> Result<String, SieveError> {
         ideal.mean_captured_fraction(&[])
     };
     let mut out = String::new();
-    for (label, hit) in [("paper parameters (35% hits)", 0.35), ("measured ideal hit rate", measured_hit)] {
+    for (label, hit) in [
+        ("paper parameters (35% hits)", 0.35),
+        ("measured ideal hit rate", measured_hit),
+    ] {
         let mut table = TextTable::new(vec![
             "allocation policy".into(),
             "hits".into(),
@@ -168,7 +171,11 @@ pub fn fig6(h: &mut Harness) -> Result<String, SieveError> {
     let out_path = h.out_path("fig6.csv");
     let runs = h.policy_runs()?;
     let days = runs.day_totals.len();
-    let policies: Vec<&str> = POLICY_ORDER.iter().copied().filter(|&p| p != "Ideal").collect();
+    let policies: Vec<&str> = POLICY_ORDER
+        .iter()
+        .copied()
+        .filter(|&p| p != "Ideal")
+        .collect();
 
     let mut headers = vec!["day".into()];
     headers.extend(policies.iter().map(|p| p.to_string()));
@@ -220,7 +227,11 @@ pub fn fig7(h: &mut Harness) -> Result<String, SieveError> {
     let out_path = h.out_path("fig7.csv");
     let runs = h.policy_runs()?;
     let days = runs.day_totals.len();
-    let policies: Vec<&str> = POLICY_ORDER.iter().copied().filter(|&p| p != "Ideal").collect();
+    let policies: Vec<&str> = POLICY_ORDER
+        .iter()
+        .copied()
+        .filter(|&p| p != "Ideal")
+        .collect();
 
     let mut table = TextTable::new(vec![
         "policy".into(),
@@ -277,8 +288,7 @@ mod tests {
     use super::*;
 
     fn harness() -> Harness {
-        let dir =
-            std::env::temp_dir().join(format!("sievestore-policies-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sievestore-policies-{}", std::process::id()));
         Harness::smoke(dir).unwrap()
     }
 
@@ -310,7 +320,10 @@ mod tests {
     fn sieved_policies_beat_unsieved_on_allocation_writes() {
         let mut h = harness();
         let runs = h.policy_runs().unwrap();
-        let sieved = runs.by_name("SieveStore-C").total().total_allocation_writes();
+        let sieved = runs
+            .by_name("SieveStore-C")
+            .total()
+            .total_allocation_writes();
         let unsieved = runs.by_name("AOD-16GB").total().total_allocation_writes();
         assert!(
             sieved * 10 < unsieved,

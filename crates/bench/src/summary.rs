@@ -111,8 +111,7 @@ mod tests {
 
     #[test]
     fn summary_renders_all_claims() {
-        let dir =
-            std::env::temp_dir().join(format!("sievestore-summary-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sievestore-summary-{}", std::process::id()));
         let mut h = Harness::smoke(&dir).unwrap();
         let out = summary(&mut h).unwrap();
         for needle in [

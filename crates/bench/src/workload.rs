@@ -134,8 +134,7 @@ pub fn fig2bc(h: &Harness) -> Result<String, SieveError> {
                 format!("{:.6}", p.cumulative_fraction),
             ]);
         }
-        let gb = counts.total_accesses() as f64 * 512.0 / (1u64 << 30) as f64
-            * h.scale() as f64;
+        let gb = counts.total_accesses() as f64 * 512.0 / (1u64 << 30) as f64 * h.scale() as f64;
         table.push_row(vec![
             d.to_string(),
             format!("{:.3}", cdf.fraction_at(0.1)),
@@ -146,7 +145,11 @@ pub fn fig2bc(h: &Harness) -> Result<String, SieveError> {
     }
     sievestore_analysis::write_csv(
         h.out_path("fig2b.csv"),
-        &["day".into(), "percentile".into(), "cumulative_fraction".into()],
+        &[
+            "day".into(),
+            "percentile".into(),
+            "cumulative_fraction".into(),
+        ],
         csv_rows.iter().map(|r| r.as_slice()),
     )?;
     // Figure 2(c) is the same data clipped to the top 5%.
@@ -157,7 +160,11 @@ pub fn fig2bc(h: &Harness) -> Result<String, SieveError> {
         .collect();
     sievestore_analysis::write_csv(
         h.out_path("fig2c.csv"),
-        &["day".into(), "percentile".into(), "cumulative_fraction".into()],
+        &[
+            "day".into(),
+            "percentile".into(),
+            "cumulative_fraction".into(),
+        ],
         zoom.iter().map(|r| r.as_slice()),
     )?;
     Ok(format!(
@@ -170,8 +177,7 @@ pub fn fig2bc(h: &Harness) -> Result<String, SieveError> {
 /// CDF top-1 % share for one server on one day.
 #[cfg(test)]
 fn server_day_top1(h: &Harness, server: usize, day: u16) -> f64 {
-    let counts =
-        BlockCounts::from_requests(h.trace().server_day(server, Day::new(day)).iter());
+    let counts = BlockCounts::from_requests(h.trace().server_day(server, Day::new(day)).iter());
     popularity_cdf(&counts, 500).top1_share()
 }
 
@@ -200,8 +206,7 @@ pub fn fig3a(h: &Harness) -> Result<String, SieveError> {
         "top-10% share".into(),
     ]);
     for (label, idx) in [("Prxy", prxy), ("Src1", src1)] {
-        let counts =
-            BlockCounts::from_requests(h.trace().server_day(idx, Day::new(day)).iter());
+        let counts = BlockCounts::from_requests(h.trace().server_day(idx, Day::new(day)).iter());
         let cdf = popularity_cdf(&counts, 500);
         for p in cdf.points() {
             csv_rows.push(vec![
@@ -218,7 +223,11 @@ pub fn fig3a(h: &Harness) -> Result<String, SieveError> {
     }
     sievestore_analysis::write_csv(
         h.out_path("fig3a.csv"),
-        &["server".into(), "percentile".into(), "cumulative_fraction".into()],
+        &[
+            "server".into(),
+            "percentile".into(),
+            "cumulative_fraction".into(),
+        ],
         csv_rows.iter().map(|r| r.as_slice()),
     )?;
     Ok(format!(
@@ -240,11 +249,8 @@ pub fn fig3b(h: &Harness) -> Result<String, SieveError> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     let mut table = TextTable::new(vec!["volume".into(), "top-1% share".into()]);
     for vol in [0u8, 1u8] {
-        let counts = BlockCounts::from_requests(
-            requests
-                .iter()
-                .filter(|r| r.start.volume.index() == vol),
-        );
+        let counts =
+            BlockCounts::from_requests(requests.iter().filter(|r| r.start.volume.index() == vol));
         let cdf = popularity_cdf(&counts, 500);
         for p in cdf.points() {
             csv_rows.push(vec![
@@ -260,7 +266,11 @@ pub fn fig3b(h: &Harness) -> Result<String, SieveError> {
     }
     sievestore_analysis::write_csv(
         h.out_path("fig3b.csv"),
-        &["volume".into(), "percentile".into(), "cumulative_fraction".into()],
+        &[
+            "volume".into(),
+            "percentile".into(),
+            "cumulative_fraction".into(),
+        ],
         csv_rows.iter().map(|r| r.as_slice()),
     )?;
     Ok(format!(
@@ -281,8 +291,7 @@ pub fn fig3c(h: &Harness) -> Result<String, SieveError> {
     let mut shares = Vec::new();
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for d in 0..h.trace().days() {
-        let counts =
-            BlockCounts::from_requests(h.trace().server_day(stg, Day::new(d)).iter());
+        let counts = BlockCounts::from_requests(h.trace().server_day(stg, Day::new(d)).iter());
         let cdf = popularity_cdf(&counts, 500);
         let share = cdf.top1_share();
         shares.push(share);
@@ -297,7 +306,11 @@ pub fn fig3c(h: &Harness) -> Result<String, SieveError> {
     }
     sievestore_analysis::write_csv(
         h.out_path("fig3c.csv"),
-        &["day".into(), "percentile".into(), "cumulative_fraction".into()],
+        &[
+            "day".into(),
+            "percentile".into(),
+            "cumulative_fraction".into(),
+        ],
         csv_rows.iter().map(|r| r.as_slice()),
     )?;
     let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -365,8 +378,7 @@ mod tests {
     use super::*;
 
     fn harness() -> Harness {
-        let dir =
-            std::env::temp_dir().join(format!("sievestore-workload-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sievestore-workload-{}", std::process::id()));
         Harness::smoke(dir).unwrap()
     }
 

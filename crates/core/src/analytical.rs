@@ -115,7 +115,11 @@ pub fn table2_row(policy: AnalyticalPolicy, hit_rate: f64, read_fraction: f64) -
 }
 
 /// All three rows of Table 2 with shared parameters, paper order.
-pub fn table2(hit_rate: f64, read_fraction: f64, epsilon: f64) -> Vec<(AnalyticalPolicy, Table2Row)> {
+pub fn table2(
+    hit_rate: f64,
+    read_fraction: f64,
+    epsilon: f64,
+) -> Vec<(AnalyticalPolicy, Table2Row)> {
     [
         AnalyticalPolicy::AllocateOnDemand,
         AnalyticalPolicy::WriteNoAllocate,

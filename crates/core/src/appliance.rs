@@ -373,10 +373,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_zero_capacity() {
-        assert!(SieveStoreBuilder::new()
-            .capacity_blocks(0)
-            .build()
-            .is_err());
+        assert!(SieveStoreBuilder::new().capacity_blocks(0).build().is_err());
     }
 
     #[test]
@@ -412,9 +409,7 @@ mod tests {
             AccessOutcome::BypassMiss
         );
         assert!(!store.contains(1));
-        assert!(store
-            .access(1, RequestKind::Read, t())
-            .is_allocation());
+        assert!(store.access(1, RequestKind::Read, t()).is_allocation());
         // A write to a resident block is a write hit.
         assert_eq!(store.access(1, RequestKind::Write, t()), AccessOutcome::Hit);
         assert_eq!(store.stats().write_hits, 1);
@@ -482,13 +477,19 @@ mod tests {
         // One hot block eventually earns its frame and then hits.
         let mut allocated_at = None;
         for i in 1..=20 {
-            if store.access(u64::MAX, RequestKind::Read, t()).is_allocation() {
+            if store
+                .access(u64::MAX, RequestKind::Read, t())
+                .is_allocation()
+            {
                 allocated_at = Some(i);
                 break;
             }
         }
         assert_eq!(allocated_at, Some(13), "t1=9 + t2=4 misses");
-        assert_eq!(store.access(u64::MAX, RequestKind::Read, t()), AccessOutcome::Hit);
+        assert_eq!(
+            store.access(u64::MAX, RequestKind::Read, t()),
+            AccessOutcome::Hit
+        );
     }
 
     #[test]
@@ -499,10 +500,7 @@ mod tests {
             PolicySpec::SieveStoreD { threshold: 10 }.name(),
             "SieveStore-D"
         );
-        assert_eq!(
-            PolicySpec::IdealTop1 { selections: vec![] }.name(),
-            "Ideal"
-        );
+        assert_eq!(PolicySpec::IdealTop1 { selections: vec![] }.name(), "Ideal");
     }
 
     #[test]

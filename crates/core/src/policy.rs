@@ -17,7 +17,9 @@
 use std::collections::HashSet;
 
 use sievestore_extsort::InMemoryCounter;
-use sievestore_sieve::{random_block_selection, DiscreteSieve, RandomMissSieve, TwoTierConfig, TwoTierSieve};
+use sievestore_sieve::{
+    random_block_selection, DiscreteSieve, RandomMissSieve, TwoTierConfig, TwoTierSieve,
+};
 use sievestore_types::{Day, Micros, RequestKind, SieveError};
 
 /// Verdict for a missing block.

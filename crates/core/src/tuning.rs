@@ -139,9 +139,7 @@ impl ShardedSieveStore {
         mut policy_for: impl FnMut(usize) -> PolicySpec,
     ) -> Result<Self, SieveError> {
         if shards == 0 {
-            return Err(SieveError::InvalidConfig(
-                "need at least one shard".into(),
-            ));
+            return Err(SieveError::InvalidConfig("need at least one shard".into()));
         }
         let nodes = (0..shards)
             .map(|i| {
@@ -305,7 +303,11 @@ mod tests {
         }
         let installed = group.day_boundary(Day::new(1));
         assert_eq!(installed, 2, "both hot blocks install on their shards");
-        assert!(group.access(1, RequestKind::Read, Micros::from_hours(25)).is_hit());
-        assert!(group.access(2, RequestKind::Read, Micros::from_hours(25)).is_hit());
+        assert!(group
+            .access(1, RequestKind::Read, Micros::from_hours(25))
+            .is_hit());
+        assert!(group
+            .access(2, RequestKind::Read, Micros::from_hours(25))
+            .is_hit());
     }
 }

@@ -398,10 +398,8 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "sievestore-extsort-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("sievestore-extsort-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -481,9 +479,7 @@ mod tests {
 
     #[test]
     fn top_n_orders_by_count_then_key() {
-        let counts: AccessCounts = [(5u64, 3u64), (1, 7), (9, 3), (2, 7)]
-            .into_iter()
-            .collect();
+        let counts: AccessCounts = [(5u64, 3u64), (1, 7), (9, 3), (2, 7)].into_iter().collect();
         assert_eq!(counts.top_n(3), vec![(1, 7), (2, 7), (5, 3)]);
         assert_eq!(counts.top_n(0), vec![]);
         assert_eq!(counts.top_n(10).len(), 4);

@@ -1,0 +1,128 @@
+//! End-to-end demo of the resilient node I/O path.
+//!
+//! Spawns a [`NodeServer`] over a fault-injecting in-memory backing and
+//! walks it through the full health cycle over a real TCP socket:
+//! healthy operation, a transient fault absorbed by client retries, a
+//! sustained fault burst that trips the circuit breaker into degraded
+//! pass-through mode, and probe-back recovery. Finishes with raw-socket
+//! probes showing the wire-level `0xFF` error replies.
+//!
+//! ```sh
+//! cargo run --release -p sievestore-node --example degraded_demo
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sievestore::PolicySpec;
+use sievestore_node::{
+    ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking, NodeClient, NodeConfig,
+    NodeServer, RetryPolicy,
+};
+
+fn main() -> std::io::Result<()> {
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0xDE30));
+    let handle = backing.handle();
+    let cache = DataCache::new(backing, PolicySpec::Aod, 64).expect("valid appliance");
+
+    let config = NodeConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..NodeConfig::default()
+    };
+    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config)?;
+    let addr = server.addr();
+    println!("node listening on {addr} (breaker: threshold 3, cooldown 4)");
+
+    let client_config = ClientConfig {
+        retry: RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        },
+        ..ClientConfig::default()
+    };
+    let mut client = NodeClient::connect_with(addr, client_config)?;
+
+    // Healthy path.
+    client.write_block(1, &[0x11; 512])?;
+    let (data, hit) = client.read_block(1)?;
+    println!(
+        "[healthy]  read key 1 -> first byte {:#04x}, hit={hit}",
+        data[0]
+    );
+
+    // One transient fault: the client retries and succeeds in place.
+    handle.fail_next(1);
+    let (data, _) = client.read_block(2)?;
+    println!(
+        "[transient] read key 2 -> first byte {:#04x} after {} retry(ies), mode {:?}",
+        data[0],
+        client.retries(),
+        client.stats()?.mode
+    );
+
+    // Sustained faults: three consecutive failures trip the breaker.
+    handle.fail_next(3);
+    let (data, _) = client.read_block(3)?;
+    let stats = client.stats()?;
+    println!(
+        "[degraded]  read key 3 -> first byte {:#04x}; mode {:?}, degraded_reads {}",
+        data[0], stats.mode, stats.degraded_reads
+    );
+
+    // Degraded pass-through still serves correct data straight off the
+    // (healed) ensemble, without touching the policy.
+    let (data, _) = client.read_block(1)?;
+    client.write_block(4, &[0x44; 512])?;
+    let stats = client.stats()?;
+    println!(
+        "[degraded]  read key 1 -> {:#04x}; write key 4 ok; degraded_reads {}, degraded_writes {}, mode {:?}",
+        data[0], stats.degraded_reads, stats.degraded_writes, stats.mode
+    );
+
+    // Cooldown spent: the next request probes the cache path and,
+    // finding the backing healthy, closes the breaker.
+    let _ = client.read_block(1)?;
+    let (data, _) = client.read_block(1)?;
+    let stats = client.stats()?;
+    println!(
+        "[recovered] read key 1 -> first byte {:#04x}; mode {:?}, injected errors so far {}",
+        data[0],
+        stats.mode,
+        handle.injected_errors()
+    );
+
+    client.quit()?;
+
+    // Wire-level probes: speak raw bytes to the socket and show the
+    // typed 0xFF error replies a misbehaving client receives.
+    println!("--- raw-socket probes ---");
+    probe_raw(addr, b"\x03\x00\x00\x00abc", "garbage 3-byte frame")?;
+    probe_raw(addr, b"\xff\xff\xff\xffx", "oversized length prefix")?;
+
+    server.shutdown();
+    println!("server shut down cleanly");
+    Ok(())
+}
+
+/// Send raw bytes, print the (possibly error) reply frame.
+fn probe_raw(addr: std::net::SocketAddr, bytes: &[u8], label: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(bytes)?;
+    let mut reply = Vec::new();
+    match stream.read_to_end(&mut reply) {
+        Ok(_) => {}
+        Err(e) => println!("[probe] {label} -> read error: {e}"),
+    }
+    if reply.len() >= 6 && reply[4] == 0xFF {
+        let code = reply[5];
+        let msg = String::from_utf8_lossy(&reply[6..]);
+        println!("[probe] {label} -> 0xFF error reply, code {code:#04x}, message {msg:?}");
+    } else {
+        println!("[probe] {label} -> reply bytes {reply:?}");
+    }
+    Ok(())
+}

@@ -1,11 +1,26 @@
-//! A blocking client for the appliance's wire protocol.
+//! A blocking, fault-tolerant client for the appliance's wire protocol.
+//!
+//! [`NodeClient`] owns a lazily-(re)established TCP connection and wraps
+//! every request in a bounded retry loop:
+//!
+//! * **connect/read/write timeouts** ([`ClientConfig`]) so a hung node
+//!   cannot stall the caller forever;
+//! * **typed errors** ([`NodeError`]) so callers can tell transient
+//!   failures from fatal ones;
+//! * **bounded retries with exponential backoff and deterministic
+//!   jitter** ([`RetryPolicy`]) for transient server errors;
+//! * **transparent reconnects**: a transport failure drops the
+//!   connection, and the next attempt re-dials and re-frames the
+//!   request — block reads and writes are idempotent, so a retried
+//!   request is always safe.
 
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use sievestore_types::BLOCK_SIZE;
+use sievestore_types::{NodeError, BLOCK_SIZE};
 
-use crate::protocol::{Reply, Request};
+use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
 
 /// Appliance statistics as reported over the wire.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,6 +37,12 @@ pub struct NodeStats {
     pub allocation_writes: u64,
     /// Blocks currently resident in the cache.
     pub resident_blocks: u64,
+    /// Reads served in degraded pass-through mode.
+    pub degraded_reads: u64,
+    /// Writes served in degraded pass-through mode.
+    pub degraded_writes: u64,
+    /// The node's current health mode.
+    pub mode: NodeMode,
 }
 
 impl NodeStats {
@@ -37,48 +58,277 @@ impl NodeStats {
     }
 }
 
-/// A blocking connection to a [`NodeServer`](crate::NodeServer).
+/// Bounded-retry schedule for transient failures.
 ///
-/// See [`NodeServer`](crate::NodeServer) for an end-to-end example.
+/// Backoff is exponential from [`RetryPolicy::base_backoff`], capped at
+/// [`RetryPolicy::max_backoff`], with deterministic jitter derived from
+/// the attempt counter so runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, surface the first failure.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (1-based), with
+    /// deterministic jitter from `salt`.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1))
+            .min(self.max_backoff);
+        if exp.is_zero() {
+            return exp;
+        }
+        // SplitMix64 of (salt, attempt): full-strength jitter in
+        // [exp/2, exp), decorrelating concurrent clients without any
+        // global randomness source.
+        let mut z = salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = exp / 2;
+        let span_nanos = half.as_nanos() as u64;
+        let jitter = if span_nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(z % span_nanos)
+        };
+        half + jitter
+    }
+}
+
+/// Connection and retry configuration for a [`NodeClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Budget for establishing (or re-establishing) the TCP connection;
+    /// `None` blocks until the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket timeout; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket timeout; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Retry schedule for transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(1)),
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One live framed connection.
 #[derive(Debug)]
-pub struct NodeClient {
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
-fn unexpected(reply: Reply) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        match reply {
-            Reply::Error { message } => format!("node error: {message}"),
-            other => format!("unexpected reply {other:?}"),
-        },
-    )
+/// A blocking connection to a [`NodeServer`](crate::NodeServer), with
+/// retries, timeouts and transparent reconnection.
+///
+/// See [`NodeServer`](crate::NodeServer) for an end-to-end example.
+#[derive(Debug)]
+pub struct NodeClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    /// Salt for deterministic backoff jitter, advanced per retry.
+    jitter_salt: u64,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl NodeClient {
-    /// Connects to a node.
+    /// Connects to a node with the default [`ClientConfig`].
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+    /// Returns [`NodeError::Connect`] when the address does not resolve
+    /// or the connection cannot be established within the configured
+    /// timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NodeError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a node with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Connect`] when the address does not resolve
+    /// or the connection cannot be established within
+    /// [`ClientConfig::connect_timeout`].
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, NodeError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(NodeError::Connect)?
+            .next()
+            .ok_or_else(|| {
+                NodeError::Connect(io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let mut client = NodeClient {
+            addr,
+            config,
+            conn: None,
+            jitter_salt: addr.port() as u64 ^ 0xD6E8_FEB8_6659_FD93,
+            retries: 0,
+            reconnects: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The resolved address this client (re)connects to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Transient-failure retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed after transport failures (not counting
+    /// the initial connect).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn dial(&mut self) -> Result<Conn, NodeError> {
+        let stream = match self.config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout),
+            None => TcpStream::connect(self.addr),
+        }
+        .map_err(NodeError::Connect)?;
         stream.set_nodelay(true).ok();
-        Ok(NodeClient {
-            reader: BufReader::new(stream.try_clone()?),
+        stream
+            .set_read_timeout(self.config.read_timeout)
+            .map_err(NodeError::Connect)?;
+        stream
+            .set_write_timeout(self.config.write_timeout)
+            .map_err(NodeError::Connect)?;
+        let reader = BufReader::new(stream.try_clone().map_err(NodeError::Connect)?);
+        Ok(Conn {
+            reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Conn, NodeError> {
+        if self.conn.is_none() {
+            let conn = self.dial()?;
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("connection was just installed"))
+    }
+
+    /// One request/reply exchange on the current connection. Transport
+    /// failures poison the connection so the caller reconnects.
+    fn try_once(&mut self, request: &Request) -> Result<Reply, NodeError> {
+        let conn = self.ensure_connected()?;
+        let sent = request
+            .encode(&mut conn.writer)
+            .map_err(NodeError::from_transport);
+        if let Err(e) = sent {
+            self.conn = None;
+            return Err(e);
+        }
+        match Reply::decode(&mut conn.reader).map_err(NodeError::from_transport) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                // The stream is mid-frame or closed; it cannot be reused.
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends `request` with bounded retries; transient server errors are
+    /// retried on the same connection, transport failures force a
+    /// reconnect before the next attempt.
+    fn call(&mut self, request: &Request) -> Result<Reply, NodeError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let had_conn = self.conn.is_some();
+            let error = match self.try_once(request) {
+                Ok(Reply::Error { code, message }) => match code {
+                    ErrorCode::Transient => NodeError::NodeTransient(message),
+                    ErrorCode::Deadline => NodeError::Deadline(message),
+                    ErrorCode::Fatal => return Err(NodeError::NodeFatal(message)),
+                    ErrorCode::Protocol => return Err(NodeError::Protocol(message)),
+                },
+                Ok(reply) => {
+                    if !had_conn && attempt > 1 {
+                        self.reconnects += 1;
+                    }
+                    return Ok(reply);
+                }
+                Err(e) if e.is_transient() => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= self.config.retry.attempts.max(1) {
+                // A single-attempt policy surfaces the raw error; only
+                // actual retry exhaustion gets the wrapper.
+                return Err(if attempt == 1 {
+                    error
+                } else {
+                    NodeError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(error),
+                    }
+                });
+            }
+            self.retries += 1;
+            self.jitter_salt = self.jitter_salt.wrapping_add(1);
+            let pause = self.config.retry.backoff(attempt, self.jitter_salt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
     }
 
     /// Reads one block; returns the payload and whether the cache hit.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and node-side errors.
-    pub fn read_block(&mut self, key: u64) -> io::Result<([u8; BLOCK_SIZE], bool)> {
-        Request::Read { key }.encode(&mut self.writer)?;
-        match Reply::decode(&mut self.reader)? {
+    /// Returns a typed [`NodeError`]; transient failures have already
+    /// been retried per the [`RetryPolicy`].
+    pub fn read_block(&mut self, key: u64) -> Result<([u8; BLOCK_SIZE], bool), NodeError> {
+        match self.call(&Request::Read { key })? {
             Reply::Read { hit, data } => Ok((*data, hit)),
             other => Err(unexpected(other)),
         }
@@ -89,14 +339,14 @@ impl NodeClient {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and node-side errors.
-    pub fn write_block(&mut self, key: u64, data: &[u8; BLOCK_SIZE]) -> io::Result<bool> {
-        Request::Write {
+    /// Returns a typed [`NodeError`]; transient failures have already
+    /// been retried per the [`RetryPolicy`].
+    pub fn write_block(&mut self, key: u64, data: &[u8; BLOCK_SIZE]) -> Result<bool, NodeError> {
+        let request = Request::Write {
             key,
             data: Box::new(*data),
-        }
-        .encode(&mut self.writer)?;
-        match Reply::decode(&mut self.reader)? {
+        };
+        match self.call(&request)? {
             Reply::Write { hit } => Ok(hit),
             other => Err(unexpected(other)),
         }
@@ -106,10 +356,10 @@ impl NodeClient {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and node-side errors.
-    pub fn stats(&mut self) -> io::Result<NodeStats> {
-        Request::Stats.encode(&mut self.writer)?;
-        match Reply::decode(&mut self.reader)? {
+    /// Returns a typed [`NodeError`]; transient failures have already
+    /// been retried per the [`RetryPolicy`].
+    pub fn stats(&mut self) -> Result<NodeStats, NodeError> {
+        match self.call(&Request::Stats)? {
             Reply::Stats {
                 read_hits,
                 write_hits,
@@ -117,6 +367,9 @@ impl NodeClient {
                 write_misses,
                 allocation_writes,
                 resident_blocks,
+                degraded_reads,
+                degraded_writes,
+                mode,
             } => Ok(NodeStats {
                 read_hits,
                 write_hits,
@@ -124,6 +377,9 @@ impl NodeClient {
                 write_misses,
                 allocation_writes,
                 resident_blocks,
+                degraded_reads,
+                degraded_writes,
+                mode,
             }),
             other => Err(unexpected(other)),
         }
@@ -134,23 +390,32 @@ impl NodeClient {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and node-side errors.
-    pub fn flush(&mut self) -> io::Result<u64> {
-        Request::Flush.encode(&mut self.writer)?;
-        match Reply::decode(&mut self.reader)? {
+    /// Returns a typed [`NodeError`]; transient failures have already
+    /// been retried per the [`RetryPolicy`].
+    pub fn flush(&mut self) -> Result<u64, NodeError> {
+        match self.call(&Request::Flush)? {
             Reply::Flush { flushed } => Ok(flushed),
             other => Err(unexpected(other)),
         }
     }
 
-    /// Closes the connection politely.
+    /// Closes the connection politely (best effort, never retried).
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures from the final flush.
-    pub fn quit(mut self) -> io::Result<()> {
-        Request::Quit.encode(&mut self.writer)
+    /// Returns [`NodeError::Transport`] if the goodbye cannot be sent.
+    pub fn quit(mut self) -> Result<(), NodeError> {
+        if let Some(conn) = self.conn.as_mut() {
+            Request::Quit
+                .encode(&mut conn.writer)
+                .map_err(NodeError::from_transport)?;
+        }
+        Ok(())
     }
+}
+
+fn unexpected(reply: Reply) -> NodeError {
+    NodeError::Protocol(format!("unexpected reply {reply:?}"))
 }
 
 #[cfg(test)]
@@ -166,8 +431,57 @@ mod tests {
             write_misses: 0,
             allocation_writes: 2,
             resident_blocks: 5,
+            ..NodeStats::default()
         };
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(NodeStats::default().hit_ratio(), 0.0);
+        assert_eq!(NodeStats::default().mode, NodeMode::Healthy);
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy::default();
+        // Jitter keeps each pause within [exp/2, exp).
+        for attempt in 1..=6 {
+            let exp = policy
+                .base_backoff
+                .saturating_mul(1 << (attempt - 1))
+                .min(policy.max_backoff);
+            let pause = policy.backoff(attempt, 42);
+            assert!(
+                pause >= exp / 2,
+                "attempt {attempt}: {pause:?} < {:?}",
+                exp / 2
+            );
+            assert!(pause < exp, "attempt {attempt}: {pause:?} >= {exp:?}");
+        }
+        // Same salt, same jitter: reproducible schedules.
+        assert_eq!(policy.backoff(3, 7), policy.backoff(3, 7));
+        // Zero base means zero pause (no panics on empty ranges).
+        let zero = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff(1, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_policy_none_is_single_attempt() {
+        assert_eq!(RetryPolicy::none().attempts, 1);
+    }
+
+    #[test]
+    fn connect_fails_cleanly_when_nothing_listens() {
+        // Port 1 on localhost is essentially never bound; expect a typed
+        // connect error, not a panic or a hang.
+        let err = NodeClient::connect_with(
+            "127.0.0.1:1",
+            ClientConfig {
+                connect_timeout: Some(Duration::from_millis(500)),
+                ..ClientConfig::default()
+            },
+        )
+        .expect_err("nothing listens on port 1");
+        assert!(matches!(err, NodeError::Connect(_)));
     }
 }

@@ -1,0 +1,454 @@
+//! Deterministic fault injection for backing stores.
+//!
+//! Every resilience feature of the node — client retries, the server's
+//! circuit breaker, degraded pass-through mode — needs a backing store
+//! that can be *made to fail on demand* to be testable at all.
+//! [`FaultInjectingBacking`] wraps any [`BackingStore`] and injects
+//! failures according to a seeded, deterministic [`FaultPlan`]:
+//!
+//! * **probabilistic errors** — each read/write fails independently with
+//!   a configured probability, driven by a seeded generator so a given
+//!   seed always produces the same failure sequence;
+//! * **fixed schedules** — fail the next *k* operations, or every
+//!   operation in an absolute op-index window;
+//! * **keyed schedules** — fail every access to specific block keys
+//!   (a "bad region" of the device);
+//! * **injected latency** — sleep before serving, to exercise deadlines;
+//! * **torn writes** — persist only a prefix of the block, then fail,
+//!   modelling a power-cut mid-write.
+//!
+//! The wrapper is shared-state: [`FaultInjectingBacking::handle`] returns
+//! a [`FaultHandle`] that can reprogram the plan and read injection
+//! counters while a server owns the store, which is how integration
+//! tests steer a live node through failure and recovery.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_node::{BackingStore, FaultInjectingBacking, FaultPlan, MemBacking};
+//!
+//! let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(42));
+//! let handle = faulty.handle();
+//!
+//! faulty.write_block(1, &[7u8; 512]).unwrap();
+//! handle.fail_next(1);
+//! assert!(faulty.read_block(1).is_err());
+//! assert_eq!(faulty.read_block(1).unwrap(), [7u8; 512]);
+//! assert_eq!(handle.injected_errors(), 1);
+//! ```
+
+use std::collections::HashSet;
+use std::io;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sievestore_types::BLOCK_SIZE;
+
+use crate::backing::{BackingStore, Block};
+
+/// A deterministic schedule of injected faults.
+///
+/// The default plan (any seed, everything else off) injects nothing;
+/// builders switch individual fault classes on.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability that any single read fails.
+    read_error_prob: f64,
+    /// Probability that any single write fails.
+    write_error_prob: f64,
+    /// Fail every op whose global index falls in this window.
+    fail_window: Option<Range<u64>>,
+    /// Fail the next `n` ops regardless of index (decremented live).
+    fail_next: u64,
+    /// Fail every access to these keys.
+    bad_keys: HashSet<u64>,
+    /// Sleep this long before serving any op.
+    latency: Duration,
+    /// Torn writes: persist only this many bytes, then fail. `None`
+    /// disables tearing.
+    torn_write_prefix: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A no-fault plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_error_prob: 0.0,
+            write_error_prob: 0.0,
+            fail_window: None,
+            fail_next: 0,
+            bad_keys: HashSet::new(),
+            latency: Duration::ZERO,
+            torn_write_prefix: None,
+        }
+    }
+
+    /// Fails each read independently with probability `p`.
+    #[must_use]
+    pub fn with_read_error_prob(mut self, p: f64) -> Self {
+        self.read_error_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fails each write independently with probability `p`.
+    #[must_use]
+    pub fn with_write_error_prob(mut self, p: f64) -> Self {
+        self.write_error_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fails every op whose zero-based global index is in `window`.
+    #[must_use]
+    pub fn with_fail_window(mut self, window: Range<u64>) -> Self {
+        self.fail_window = Some(window);
+        self
+    }
+
+    /// Fails every access to `key` (a bad device region).
+    #[must_use]
+    pub fn with_bad_key(mut self, key: u64) -> Self {
+        self.bad_keys.insert(key);
+        self
+    }
+
+    /// Sleeps `latency` before serving each op.
+    #[must_use]
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Makes every *failing* write a torn write that persists only the
+    /// first `prefix` bytes before erroring.
+    #[must_use]
+    pub fn with_torn_writes(mut self, prefix: usize) -> Self {
+        self.torn_write_prefix = Some(prefix.min(BLOCK_SIZE));
+        self
+    }
+}
+
+/// Which half of the [`BackingStore`] interface an op used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+/// Mutable injection state behind the shared handle.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng_state: u64,
+    /// Global op counter (reads + writes), pre-increment.
+    ops: u64,
+    injected_errors: u64,
+}
+
+impl FaultState {
+    /// SplitMix64: deterministic stream derived from the plan seed.
+    fn next_unit(&mut self) -> f64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decides this op's fate; advances counters and the RNG stream.
+    fn decide(&mut self, kind: OpKind, key: u64) -> Decision {
+        let index = self.ops;
+        self.ops += 1;
+        let latency = self.plan.latency;
+        let prob = match kind {
+            OpKind::Read => self.plan.read_error_prob,
+            OpKind::Write => self.plan.write_error_prob,
+        };
+        // One RNG draw per op (even when prob is 0) keeps the stream —
+        // and therefore every downstream decision — aligned with the op
+        // index for a given seed, no matter which knobs are on.
+        let coin = self.next_unit();
+        let scheduled = self.fail_next_hit()
+            || self
+                .plan
+                .fail_window
+                .as_ref()
+                .is_some_and(|w| w.contains(&index))
+            || self.plan.bad_keys.contains(&key);
+        let fail = scheduled || coin < prob;
+        if fail {
+            self.injected_errors += 1;
+        }
+        Decision {
+            fail,
+            latency,
+            torn_prefix: self.plan.torn_write_prefix,
+        }
+    }
+
+    fn fail_next_hit(&mut self) -> bool {
+        if self.plan.fail_next > 0 {
+            self.plan.fail_next -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Outcome of the fault decision for one op.
+struct Decision {
+    fail: bool,
+    latency: Duration,
+    torn_prefix: Option<usize>,
+}
+
+/// A control handle over a live [`FaultInjectingBacking`].
+///
+/// Cloneable and thread-safe; integration tests keep one while the
+/// server owns the wrapped store.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// Replaces the whole plan (op and error counters are preserved,
+    /// the deterministic RNG stream restarts from the new seed).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut state = self.state.lock();
+        state.rng_state = plan.seed;
+        state.plan = plan;
+    }
+
+    /// Fails the next `n` backing ops, then resumes normal service.
+    pub fn fail_next(&self, n: u64) {
+        self.state.lock().plan.fail_next = n;
+    }
+
+    /// Injects `latency` before every subsequent op.
+    pub fn set_latency(&self, latency: Duration) {
+        self.state.lock().plan.latency = latency;
+    }
+
+    /// Stops injecting anything (schedules, probabilities, latency).
+    pub fn heal(&self) {
+        let mut state = self.state.lock();
+        let seed = state.plan.seed;
+        state.plan = FaultPlan::new(seed);
+    }
+
+    /// Total backing ops observed (reads + writes).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Total errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.state.lock().injected_errors
+    }
+}
+
+/// A [`BackingStore`] wrapper that injects deterministic faults.
+///
+/// See the [module docs](self) for the fault model.
+#[derive(Debug)]
+pub struct FaultInjectingBacking<B> {
+    inner: B,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<B: BackingStore> FaultInjectingBacking<B> {
+    /// Wraps `inner` under the given plan.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let state = FaultState {
+            rng_state: plan.seed,
+            plan,
+            ops: 0,
+            injected_errors: 0,
+        };
+        FaultInjectingBacking {
+            inner,
+            state: Arc::new(Mutex::new(state)),
+        }
+    }
+
+    /// A shared control handle for reprogramming faults at runtime.
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn injected(kind: OpKind, key: u64) -> io::Error {
+        let op = match kind {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        };
+        io::Error::other(format!("injected fault: {op} of block {key} failed"))
+    }
+}
+
+impl<B: BackingStore> BackingStore for FaultInjectingBacking<B> {
+    fn read_block(&self, key: u64) -> io::Result<Block> {
+        let decision = self.state.lock().decide(OpKind::Read, key);
+        if !decision.latency.is_zero() {
+            std::thread::sleep(decision.latency);
+        }
+        if decision.fail {
+            return Err(Self::injected(OpKind::Read, key));
+        }
+        self.inner.read_block(key)
+    }
+
+    fn write_block(&self, key: u64, data: &Block) -> io::Result<()> {
+        let decision = self.state.lock().decide(OpKind::Write, key);
+        if !decision.latency.is_zero() {
+            std::thread::sleep(decision.latency);
+        }
+        if decision.fail {
+            if let Some(prefix) = decision.torn_prefix {
+                // A torn write persists a corrupt block: the new prefix
+                // over whatever the store held before.
+                let mut torn = self.inner.read_block(key).unwrap_or([0u8; BLOCK_SIZE]);
+                torn[..prefix].copy_from_slice(&data[..prefix]);
+                let _ = self.inner.write_block(key, &torn);
+            }
+            return Err(Self::injected(OpKind::Write, key));
+        }
+        self.inner.write_block(key, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+
+    fn block(fill: u8) -> Block {
+        [fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(1));
+        faulty.write_block(3, &block(0x33)).unwrap();
+        assert_eq!(faulty.read_block(3).unwrap(), block(0x33));
+        assert_eq!(faulty.handle().injected_errors(), 0);
+        assert_eq!(faulty.handle().ops(), 2);
+    }
+
+    #[test]
+    fn error_probability_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let faulty = FaultInjectingBacking::new(
+                MemBacking::new(),
+                FaultPlan::new(seed).with_read_error_prob(0.5),
+            );
+            (0..64).map(|k| faulty.read_block(k).is_err()).collect()
+        };
+        assert_eq!(run(9), run(9), "same seed, same failure sequence");
+        assert_ne!(run(9), run(10), "different seeds diverge");
+        let failures = run(9).iter().filter(|&&f| f).count();
+        assert!((16..=48).contains(&failures), "got {failures}/64 failures");
+    }
+
+    #[test]
+    fn fail_window_hits_exactly_the_scheduled_ops() {
+        let faulty =
+            FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0).with_fail_window(2..5));
+        let results: Vec<bool> = (0..8).map(|k| faulty.read_block(k).is_err()).collect();
+        assert_eq!(
+            results,
+            vec![false, false, true, true, true, false, false, false]
+        );
+        assert_eq!(faulty.handle().injected_errors(), 3);
+    }
+
+    #[test]
+    fn fail_next_counts_down_and_heals() {
+        let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0));
+        let handle = faulty.handle();
+        handle.fail_next(2);
+        assert!(faulty.read_block(1).is_err());
+        assert!(faulty.write_block(1, &block(1)).is_err());
+        assert!(faulty.read_block(1).is_ok());
+        assert_eq!(handle.injected_errors(), 2);
+    }
+
+    #[test]
+    fn bad_keys_fail_every_access_but_spare_others() {
+        let faulty =
+            FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0).with_bad_key(7));
+        assert!(faulty.read_block(7).is_err());
+        assert!(faulty.write_block(7, &block(1)).is_err());
+        assert!(faulty.write_block(8, &block(8)).is_ok());
+        assert_eq!(faulty.read_block(8).unwrap(), block(8));
+        faulty.handle().heal();
+        assert!(faulty.read_block(7).is_ok());
+    }
+
+    #[test]
+    fn torn_writes_persist_a_corrupt_prefix() {
+        let faulty =
+            FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0).with_torn_writes(16));
+        faulty.write_block(5, &block(0xAA)).unwrap();
+        faulty.handle().fail_next(1);
+        let err = faulty.write_block(5, &block(0xBB)).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The store now holds a torn block: 16 new bytes, old tail.
+        let torn = faulty.read_block(5).unwrap();
+        assert_eq!(&torn[..16], &[0xBB; 16]);
+        assert_eq!(&torn[16..], &[0xAA; BLOCK_SIZE - 16]);
+    }
+
+    #[test]
+    fn latency_is_injected_before_serving() {
+        let faulty = FaultInjectingBacking::new(
+            MemBacking::new(),
+            FaultPlan::new(0).with_latency(Duration::from_millis(30)),
+        );
+        let start = std::time::Instant::now();
+        faulty.read_block(0).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        faulty.handle().set_latency(Duration::ZERO);
+        let start = std::time::Instant::now();
+        faulty.read_block(0).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn file_backing_errors_propagate_through_the_injector() {
+        // The injector composes with the real file-backed store, which is
+        // how FileBacking's error paths become unit-testable.
+        let dir = std::env::temp_dir().join(format!("sievestore-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inner = crate::backing::FileBacking::open(dir.join("faulty.img")).unwrap();
+        let faulty = FaultInjectingBacking::new(inner, FaultPlan::new(3));
+        let handle = faulty.handle();
+
+        faulty.write_block(2, &block(0x22)).unwrap();
+        handle.fail_next(1);
+        let err = faulty.read_block(2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // After the schedule drains, the file data is intact.
+        assert_eq!(faulty.read_block(2).unwrap(), block(0x22));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handles_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultHandle>();
+        assert_send_sync::<FaultInjectingBacking<MemBacking>>();
+    }
+}

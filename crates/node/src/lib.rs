@@ -6,13 +6,18 @@
 //! sieve decides which blocks earn a cache frame. This crate realizes
 //! that physical organization, with TCP standing in for iSCSI:
 //!
-//! * [`protocol`] — the length-prefixed wire protocol;
+//! * [`protocol`] — the length-prefixed wire protocol, with typed
+//!   [`ErrorCode`] replies and a [`NodeMode`] health indicator;
 //! * [`BackingStore`] / [`MemBacking`] / [`FileBacking`] — the ensemble
 //!   behind the cache;
+//! * [`FaultInjectingBacking`] / [`FaultPlan`] — deterministic fault
+//!   injection for exercising every failure path;
 //! * [`DataCache`] — policy decisions wired to actual 512-byte payloads
 //!   (write-through; the cache never holds the only copy);
 //! * [`NodeServer`] / [`NodeClient`] — the TCP front end, one thread per
-//!   connection.
+//!   connection, with per-request deadlines, a circuit breaker into
+//!   degraded pass-through mode ([`NodeConfig`]) and client-side
+//!   retries with reconnection ([`ClientConfig`], [`RetryPolicy`]).
 //!
 //! # Examples
 //!
@@ -40,12 +45,14 @@
 
 pub mod backing;
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
 pub use backing::{BackingStore, Block, FileBacking, MemBacking};
-pub use client::{NodeClient, NodeStats};
-pub use protocol::{Reply, Request};
-pub use server::NodeServer;
+pub use client::{ClientConfig, NodeClient, NodeStats, RetryPolicy};
+pub use faults::{FaultHandle, FaultInjectingBacking, FaultPlan};
+pub use protocol::{ErrorCode, NodeMode, Reply, Request};
+pub use server::{NodeConfig, NodeServer};
 pub use store::{DataCache, DataOutcome, WritePolicy};

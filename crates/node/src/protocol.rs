@@ -13,17 +13,21 @@
 //!          |  0x05 'F'                                 flush dirty frames
 //! reply   :=  0x81 | u8 hit | 512 B data               read reply
 //!          |  0x82 | u8 hit                            write reply
-//!          |  0x83 | 6 x u64 stats                     stats reply
+//!          |  0x83 | 8 x u64 stats | u8 mode           stats reply
 //!          |  0x84 | u64 flushed                       flush reply
-//!          |  0xFF | utf-8 message                     error
+//!          |  0xFF | u8 code | utf-8 message           error
 //! ```
+//!
+//! Error replies carry an [`ErrorCode`] so clients can distinguish
+//! retryable conditions (a backing-store hiccup, an overrun deadline)
+//! from permanent ones without parsing prose.
 //!
 //! Encoding and decoding are symmetric and fully covered by round-trip
 //! tests, including a property test over arbitrary payloads.
 
 use std::io::{self, Read, Write};
 
-use sievestore_types::BLOCK_SIZE;
+use sievestore_types::{ErrorClass, BLOCK_SIZE};
 
 /// Maximum accepted frame payload (guards against corrupt lengths).
 pub const MAX_FRAME: u32 = 4096;
@@ -49,6 +53,81 @@ pub enum Request {
     Quit,
     /// Flush dirty frames to the backing store (write-back nodes).
     Flush,
+}
+
+/// Why the node rejected a request, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A momentary failure (backing hiccup); the client should retry.
+    Transient,
+    /// A permanent failure; retrying will not help.
+    Fatal,
+    /// The client violated the wire protocol.
+    Protocol,
+    /// The request overran its server-side deadline.
+    Deadline,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Transient => 0x01,
+            ErrorCode::Fatal => 0x02,
+            ErrorCode::Protocol => 0x03,
+            ErrorCode::Deadline => 0x04,
+        }
+    }
+
+    fn from_u8(byte: u8) -> io::Result<Self> {
+        match byte {
+            0x01 => Ok(ErrorCode::Transient),
+            0x02 => Ok(ErrorCode::Fatal),
+            0x03 => Ok(ErrorCode::Protocol),
+            0x04 => Ok(ErrorCode::Deadline),
+            other => Err(bad(format!("unknown error code {other:#x}"))),
+        }
+    }
+
+    /// How a client should treat this error.
+    pub fn class(self) -> ErrorClass {
+        match self {
+            ErrorCode::Transient | ErrorCode::Deadline => ErrorClass::Transient,
+            ErrorCode::Fatal => ErrorClass::Fatal,
+            ErrorCode::Protocol => ErrorClass::Protocol,
+        }
+    }
+}
+
+/// The node's health as reported in stats replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeMode {
+    /// Normal operation: the cache allocates and serves hits.
+    #[default]
+    Healthy,
+    /// Circuit breaker open: requests pass through to the ensemble and
+    /// no frames are allocated.
+    Degraded,
+    /// The breaker is about to probe the cache path with a live request.
+    Probing,
+}
+
+impl NodeMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            NodeMode::Healthy => 0,
+            NodeMode::Degraded => 1,
+            NodeMode::Probing => 2,
+        }
+    }
+
+    fn from_u8(byte: u8) -> io::Result<Self> {
+        match byte {
+            0 => Ok(NodeMode::Healthy),
+            1 => Ok(NodeMode::Degraded),
+            2 => Ok(NodeMode::Probing),
+            other => Err(bad(format!("unknown node mode {other:#x}"))),
+        }
+    }
 }
 
 /// A node-to-client reply.
@@ -80,6 +159,12 @@ pub enum Reply {
         allocation_writes: u64,
         /// Blocks currently resident.
         resident_blocks: u64,
+        /// Requests served in degraded pass-through mode (reads).
+        degraded_reads: u64,
+        /// Requests served in degraded pass-through mode (writes).
+        degraded_writes: u64,
+        /// The node's current health mode.
+        mode: NodeMode,
     },
     /// Acknowledgement of a flush with the number of blocks written back.
     Flush {
@@ -88,6 +173,8 @@ pub enum Reply {
     },
     /// The node rejected the request.
     Error {
+        /// Machine-readable classification.
+        code: ErrorCode,
         /// Human-readable reason.
         message: String,
     },
@@ -205,8 +292,11 @@ impl Reply {
                 write_misses,
                 allocation_writes,
                 resident_blocks,
+                degraded_reads,
+                degraded_writes,
+                mode,
             } => {
-                let mut p = Vec::with_capacity(1 + 48);
+                let mut p = Vec::with_capacity(2 + 64);
                 p.push(0x83);
                 for v in [
                     read_hits,
@@ -215,9 +305,12 @@ impl Reply {
                     write_misses,
                     allocation_writes,
                     resident_blocks,
+                    degraded_reads,
+                    degraded_writes,
                 ] {
                     p.extend_from_slice(&v.to_le_bytes());
                 }
+                p.push(mode.to_u8());
                 write_frame(out, &p)
             }
             Reply::Flush { flushed } => {
@@ -226,10 +319,13 @@ impl Reply {
                 p.extend_from_slice(&flushed.to_le_bytes());
                 write_frame(out, &p)
             }
-            Reply::Error { message } => {
-                let mut p = Vec::with_capacity(1 + message.len());
+            Reply::Error { code, message } => {
+                // Error messages must never themselves overflow a frame.
+                let message = &message.as_bytes()[..message.len().min(MAX_FRAME as usize - 2)];
+                let mut p = Vec::with_capacity(2 + message.len());
                 p.push(0xFF);
-                p.extend_from_slice(message.as_bytes());
+                p.push(code.to_u8());
+                p.extend_from_slice(message);
                 write_frame(out, &p)
             }
         }
@@ -261,8 +357,8 @@ impl Reply {
                 Ok(Reply::Write { hit: p[1] != 0 })
             }
             0x83 => {
-                if p.len() != 49 {
-                    return Err(bad("stats reply must be 49 bytes"));
+                if p.len() != 66 {
+                    return Err(bad("stats reply must be 66 bytes"));
                 }
                 let field = |i: usize| {
                     u64::from_le_bytes(p[1 + i * 8..9 + i * 8].try_into().expect("8 bytes"))
@@ -274,6 +370,9 @@ impl Reply {
                     write_misses: field(3),
                     allocation_writes: field(4),
                     resident_blocks: field(5),
+                    degraded_reads: field(6),
+                    degraded_writes: field(7),
+                    mode: NodeMode::from_u8(p[65])?,
                 })
             }
             0x84 => {
@@ -284,9 +383,15 @@ impl Reply {
                     flushed: u64::from_le_bytes(p[1..9].try_into().expect("8 bytes")),
                 })
             }
-            0xFF => Ok(Reply::Error {
-                message: String::from_utf8_lossy(&p[1..]).into_owned(),
-            }),
+            0xFF => {
+                if p.len() < 2 {
+                    return Err(bad("error reply must carry a code"));
+                }
+                Ok(Reply::Error {
+                    code: ErrorCode::from_u8(p[1])?,
+                    message: String::from_utf8_lossy(&p[2..]).into_owned(),
+                })
+            }
             tag => Err(bad(format!("unknown reply tag {tag:#x}"))),
         }
     }
@@ -336,13 +441,47 @@ mod tests {
                 write_misses: 4,
                 allocation_writes: 5,
                 resident_blocks: 6,
+                degraded_reads: 7,
+                degraded_writes: 8,
+                mode: NodeMode::Degraded,
             },
             Reply::Flush { flushed: 12 },
             Reply::Error {
+                code: ErrorCode::Transient,
                 message: "no".into(),
+            },
+            Reply::Error {
+                code: ErrorCode::Deadline,
+                message: String::new(),
             },
         ] {
             assert_eq!(roundtrip_reply(&reply), reply);
+        }
+    }
+
+    #[test]
+    fn error_codes_classify_for_retry() {
+        use sievestore_types::ErrorClass;
+        assert_eq!(ErrorCode::Transient.class(), ErrorClass::Transient);
+        assert_eq!(ErrorCode::Deadline.class(), ErrorClass::Transient);
+        assert_eq!(ErrorCode::Fatal.class(), ErrorClass::Fatal);
+        assert_eq!(ErrorCode::Protocol.class(), ErrorClass::Protocol);
+    }
+
+    #[test]
+    fn oversized_error_messages_are_truncated_to_fit() {
+        let reply = Reply::Error {
+            code: ErrorCode::Fatal,
+            message: "x".repeat(2 * MAX_FRAME as usize),
+        };
+        let mut bytes = Vec::new();
+        reply.encode(&mut bytes).expect("encode truncates");
+        match Reply::decode(&mut bytes.as_slice()).expect("decodes") {
+            Reply::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Fatal);
+                assert_eq!(message.len(), MAX_FRAME as usize - 2);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -401,8 +540,52 @@ mod tests {
 
         #[test]
         fn error_messages_roundtrip(message in "[a-zA-Z0-9 .!?]{0,200}") {
-            let reply = Reply::Error { message: message.clone() };
-            prop_assert_eq!(roundtrip_reply(&reply), Reply::Error { message });
+            let reply = Reply::Error { code: ErrorCode::Transient, message: message.clone() };
+            prop_assert_eq!(
+                roundtrip_reply(&reply),
+                Reply::Error { code: ErrorCode::Transient, message }
+            );
+        }
+
+        /// Arbitrary bytes must never panic the request decoder: every
+        /// outcome is a clean `Ok` or `Err`.
+        #[test]
+        fn request_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let _ = Request::decode(&mut bytes.as_slice());
+        }
+
+        /// Same for the reply decoder (the client's exposure).
+        #[test]
+        fn reply_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let _ = Reply::decode(&mut bytes.as_slice());
+        }
+
+        /// Length-prefixed garbage within frame bounds decodes to an
+        /// error or a request, never a panic; lengths beyond MAX_FRAME
+        /// are always rejected.
+        #[test]
+        fn framed_garbage_never_panics(
+            len in 0u32..(MAX_FRAME * 2),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&len.to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            let result = Request::decode(&mut bytes.as_slice());
+            if len == 0 || len > MAX_FRAME {
+                prop_assert!(result.is_err(), "out-of-bounds length must be rejected");
+            }
+        }
+
+        /// Truncating a valid frame at any point yields an error (EOF or
+        /// invalid data), never a panic or a bogus success.
+        #[test]
+        fn truncated_frames_error_cleanly(key in any::<u64>(), cut in 0usize..12) {
+            let mut bytes = Vec::new();
+            Request::Read { key }.encode(&mut bytes).expect("vec write");
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let truncated = &bytes[..cut];
+            prop_assert!(Request::decode(&mut &*truncated).is_err());
         }
     }
 }

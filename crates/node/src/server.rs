@@ -5,27 +5,152 @@
 //! organization of the paper's Figure 4(c), with TCP standing in for
 //! iSCSI. A background clock maps wall-clock time onto trace time so the
 //! sieving windows advance.
+//!
+//! # Fault handling
+//!
+//! The server never tears down a connection because the *backing store*
+//! failed: backing errors become `0xFF` error replies carrying an
+//! [`ErrorCode`], and a circuit breaker tracks consecutive failures.
+//! After [`NodeConfig::breaker_threshold`] consecutive cache-path
+//! failures the node flips into **degraded pass-through mode**: requests
+//! are served directly against the ensemble (dirty frames stay
+//! authoritative), no frames are allocated, and dirty data is flushed
+//! best-effort. After [`NodeConfig::breaker_cooldown`] degraded requests
+//! the breaker half-opens and the next request probes the cache path;
+//! success closes the breaker, failure re-opens it. Requests that
+//! overrun [`NodeConfig::request_deadline`] are answered with a
+//! `Deadline` error instead of stalling the reply stream.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sievestore_types::Micros;
 
 use crate::backing::BackingStore;
-use crate::protocol::{Reply, Request};
+use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
 use crate::store::DataCache;
+
+/// Resilience tuning for a [`NodeServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Budget per read/write request; overruns are answered with a
+    /// `Deadline` error reply (and count as cache-path failures).
+    pub request_deadline: Duration,
+    /// Close connections idle longer than this between frames; `None`
+    /// keeps idle connections forever. Clients reconnect transparently.
+    pub idle_timeout: Option<Duration>,
+    /// Consecutive cache-path failures before the breaker opens.
+    pub breaker_threshold: u32,
+    /// Degraded requests served before the breaker half-opens and
+    /// probes the cache path again.
+    pub breaker_cooldown: u32,
+    /// Extra best-effort flush rounds for dirty frames on shutdown.
+    pub shutdown_flush_retries: u32,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            request_deadline: Duration::from_millis(250),
+            idle_timeout: None,
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+            shutdown_flush_retries: 3,
+        }
+    }
+}
+
+/// Circuit-breaker state machine.
+///
+/// `Closed` (healthy) counts consecutive failures; at the threshold it
+/// trips to `Open` (degraded pass-through) for a fixed number of
+/// requests, then `HalfOpen` lets exactly one request probe the cache
+/// path: success closes the breaker, failure re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed { failures: u32 },
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+impl Breaker {
+    fn mode(self) -> NodeMode {
+        match self {
+            Breaker::Closed { .. } => NodeMode::Healthy,
+            Breaker::Open { .. } => NodeMode::Degraded,
+            Breaker::HalfOpen => NodeMode::Probing,
+        }
+    }
+}
+
+/// The cache plus breaker, guarded by one mutex so breaker transitions
+/// are atomic with the cache operations they judge.
+struct Guarded<B: BackingStore> {
+    cache: DataCache<B>,
+    breaker: Breaker,
+}
+
+impl<B: BackingStore> Guarded<B> {
+    /// Records a cache-path success; a successful probe (or a healthy
+    /// request) closes the breaker.
+    fn record_success(&mut self) {
+        self.breaker = Breaker::Closed { failures: 0 };
+    }
+
+    /// Records a cache-path failure; at the threshold the breaker opens
+    /// and dirty frames are flushed best-effort while the backing store
+    /// may still be reachable.
+    fn record_failure(&mut self, config: &NodeConfig) {
+        let failures = match self.breaker {
+            Breaker::Closed { failures } => failures + 1,
+            // A failed probe re-opens immediately.
+            Breaker::HalfOpen => config.breaker_threshold,
+            Breaker::Open { remaining } => {
+                self.breaker = Breaker::Open { remaining };
+                return;
+            }
+        };
+        if failures >= config.breaker_threshold.max(1) {
+            self.breaker = Breaker::Open {
+                remaining: config.breaker_cooldown.max(1),
+            };
+            // Entering degraded mode: try to get dirty data to safety
+            // while (or in case) the backing store still responds.
+            let _ = self.cache.flush_best_effort();
+        } else {
+            self.breaker = Breaker::Closed { failures };
+        }
+    }
+
+    /// Consumes one degraded-mode request; at zero the breaker
+    /// half-opens so the next request probes the cache path.
+    fn tick_degraded(&mut self) {
+        if let Breaker::Open { remaining } = self.breaker {
+            let remaining = remaining.saturating_sub(1);
+            self.breaker = if remaining == 0 {
+                Breaker::HalfOpen
+            } else {
+                Breaker::Open { remaining }
+            };
+        }
+    }
+}
 
 /// Shared server state.
 struct Shared<B: BackingStore> {
-    cache: Mutex<DataCache<B>>,
+    guarded: Mutex<Guarded<B>>,
+    config: NodeConfig,
     /// Microseconds of "trace time" per real microsecond can't be known
     /// here, so the server simply timestamps requests with an atomic
     /// logical clock advanced per request plus the caller-supplied base.
     clock_us: AtomicU64,
+    degraded_reads: AtomicU64,
+    degraded_writes: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -61,17 +186,37 @@ pub struct NodeServer<B: BackingStore + 'static> {
 
 impl<B: BackingStore + 'static> NodeServer<B> {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections.
+    /// accepting connections with the default [`NodeConfig`].
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn spawn(addr: &str, cache: DataCache<B>) -> io::Result<Self> {
+        Self::spawn_with_config(addr, cache, NodeConfig::default())
+    }
+
+    /// Binds `addr` and starts accepting connections with an explicit
+    /// resilience configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_config(
+        addr: &str,
+        cache: DataCache<B>,
+        config: NodeConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            cache: Mutex::new(cache),
+            guarded: Mutex::new(Guarded {
+                cache,
+                breaker: Breaker::Closed { failures: 0 },
+            }),
+            config,
             clock_us: AtomicU64::new(0),
+            degraded_reads: AtomicU64::new(0),
+            degraded_writes: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -92,13 +237,21 @@ impl<B: BackingStore + 'static> NodeServer<B> {
 
     /// Aggregate appliance statistics.
     pub fn stats(&self) -> sievestore::ApplianceStats {
-        *self.shared.cache.lock().stats()
+        *self.shared.guarded.lock().cache.stats()
     }
 
-    /// Stops accepting connections and joins the accept thread. In-flight
-    /// connections finish their current request and then close.
+    /// The node's current health mode.
+    pub fn mode(&self) -> NodeMode {
+        self.shared.guarded.lock().breaker.mode()
+    }
+
+    /// Stops accepting connections, joins the accept thread and flushes
+    /// dirty frames best-effort (with retries) so a write-back node does
+    /// not strand the only copy of dirty data. In-flight connections
+    /// finish their current request and then close.
     pub fn shutdown(mut self) {
         self.stop_accepting();
+        self.flush_on_shutdown();
     }
 
     fn stop_accepting(&mut self) {
@@ -109,12 +262,26 @@ impl<B: BackingStore + 'static> NodeServer<B> {
             let _ = handle.join();
         }
     }
+
+    /// Best-effort dirty-frame flush with bounded retries; failures are
+    /// swallowed (shutdown must not panic or hang on a dead backing).
+    fn flush_on_shutdown(&self) {
+        let mut guarded = self.shared.guarded.lock();
+        for _ in 0..=self.shared.config.shutdown_flush_retries {
+            let (_, still_dirty) = guarded.cache.flush_best_effort();
+            if still_dirty == 0 {
+                break;
+            }
+        }
+    }
 }
 
 impl<B: BackingStore + 'static> Drop for NodeServer<B> {
     fn drop(&mut self) {
-        // Non-blocking best effort if shutdown() wasn't called.
+        // Best effort if shutdown() wasn't called: stop accepting and
+        // still try to land dirty frames on the backing store.
         self.stop_accepting();
+        self.flush_on_shutdown();
     }
 }
 
@@ -135,19 +302,143 @@ fn accept_loop<B: BackingStore + 'static>(listener: TcpListener, shared: Arc<Sha
     }
 }
 
+/// Classifies a backing-store failure for the wire. Backing hiccups are
+/// transient from the client's point of view — the retry may hit a
+/// healed device or the degraded path.
+fn classify_backing(err: &io::Error) -> ErrorCode {
+    match err.kind() {
+        io::ErrorKind::InvalidData => ErrorCode::Fatal,
+        _ => ErrorCode::Transient,
+    }
+}
+
+/// Whether a decode failure is the idle timeout firing between frames.
+fn is_idle_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_read<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Reply {
+    let mut guarded = shared.guarded.lock();
+    match guarded.breaker.mode() {
+        NodeMode::Degraded => {
+            guarded.tick_degraded();
+            match guarded.cache.read_bypass(key) {
+                Ok(data) => {
+                    shared.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                    Reply::Read {
+                        hit: false,
+                        data: Box::new(data),
+                    }
+                }
+                Err(e) => Reply::Error {
+                    code: classify_backing(&e),
+                    message: format!("degraded read failed: {e}"),
+                },
+            }
+        }
+        NodeMode::Healthy | NodeMode::Probing => {
+            let started = Instant::now();
+            match guarded.cache.read(key, now) {
+                Ok((data, outcome)) => {
+                    if started.elapsed() > shared.config.request_deadline {
+                        guarded.record_failure(&shared.config);
+                        return Reply::Error {
+                            code: ErrorCode::Deadline,
+                            message: format!(
+                                "read of block {key} overran the {:?} deadline",
+                                shared.config.request_deadline
+                            ),
+                        };
+                    }
+                    guarded.record_success();
+                    Reply::Read {
+                        hit: outcome.hit,
+                        data: Box::new(data),
+                    }
+                }
+                Err(e) => {
+                    guarded.record_failure(&shared.config);
+                    Reply::Error {
+                        code: classify_backing(&e),
+                        message: format!("backing read failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn handle_write<B: BackingStore>(
+    shared: &Shared<B>,
+    key: u64,
+    data: &crate::backing::Block,
+    now: Micros,
+) -> Reply {
+    let mut guarded = shared.guarded.lock();
+    match guarded.breaker.mode() {
+        NodeMode::Degraded => {
+            guarded.tick_degraded();
+            match guarded.cache.write_bypass(key, data) {
+                Ok(()) => {
+                    shared.degraded_writes.fetch_add(1, Ordering::Relaxed);
+                    Reply::Write { hit: false }
+                }
+                Err(e) => Reply::Error {
+                    code: classify_backing(&e),
+                    message: format!("degraded write failed: {e}"),
+                },
+            }
+        }
+        NodeMode::Healthy | NodeMode::Probing => {
+            let started = Instant::now();
+            match guarded.cache.write(key, data, now) {
+                Ok(outcome) => {
+                    if started.elapsed() > shared.config.request_deadline {
+                        guarded.record_failure(&shared.config);
+                        return Reply::Error {
+                            code: ErrorCode::Deadline,
+                            message: format!(
+                                "write of block {key} overran the {:?} deadline",
+                                shared.config.request_deadline
+                            ),
+                        };
+                    }
+                    guarded.record_success();
+                    Reply::Write { hit: outcome.hit }
+                }
+                Err(e) => {
+                    guarded.record_failure(&shared.config);
+                    Reply::Error {
+                        code: classify_backing(&e),
+                        message: format!("backing write failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn serve_connection<B: BackingStore + 'static>(
     stream: TcpStream,
     shared: Arc<Shared<B>>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(shared.config.idle_timeout).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
         let request = match Request::decode(&mut reader) {
             Ok(req) => req,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            // Idle timeout between frames: close quietly. The client
+            // reconnects transparently on its next request.
+            Err(e) if is_idle_timeout(&e) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 Reply::Error {
+                    code: ErrorCode::Protocol,
                     message: e.to_string(),
                 }
                 .encode(&mut writer)?;
@@ -159,41 +450,109 @@ fn serve_connection<B: BackingStore + 'static>(
         // request keeps sieving windows moving deterministically.
         let now = Micros::new(shared.clock_us.fetch_add(1_000, Ordering::Relaxed));
         let reply = match request {
-            Request::Read { key } => match shared.cache.lock().read(key, now) {
-                Ok((data, outcome)) => Reply::Read {
-                    hit: outcome.hit,
-                    data: Box::new(data),
-                },
-                Err(e) => Reply::Error {
-                    message: format!("backing read failed: {e}"),
-                },
-            },
-            Request::Write { key, data } => match shared.cache.lock().write(key, &data, now) {
-                Ok(outcome) => Reply::Write { hit: outcome.hit },
-                Err(e) => Reply::Error {
-                    message: format!("backing write failed: {e}"),
-                },
-            },
+            Request::Read { key } => handle_read(&shared, key, now),
+            Request::Write { key, data } => handle_write(&shared, key, &data, now),
             Request::Stats => {
-                let cache = shared.cache.lock();
-                let s = *cache.stats();
+                let guarded = shared.guarded.lock();
+                let s = *guarded.cache.stats();
                 Reply::Stats {
                     read_hits: s.read_hits,
                     write_hits: s.write_hits,
                     read_misses: s.read_misses,
                     write_misses: s.write_misses,
                     allocation_writes: s.allocation_writes,
-                    resident_blocks: cache.resident_blocks() as u64,
+                    resident_blocks: guarded.cache.resident_blocks() as u64,
+                    degraded_reads: shared.degraded_reads.load(Ordering::Relaxed),
+                    degraded_writes: shared.degraded_writes.load(Ordering::Relaxed),
+                    mode: guarded.breaker.mode(),
                 }
             }
-            Request::Flush => match shared.cache.lock().flush() {
+            Request::Flush => match shared.guarded.lock().cache.flush() {
                 Ok(flushed) => Reply::Flush { flushed },
                 Err(e) => Reply::Error {
+                    code: classify_backing(&e),
                     message: format!("flush failed: {e}"),
                 },
             },
             Request::Quit => return writer.flush(),
         };
         reply.encode(&mut writer)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+
+    fn guarded() -> Guarded<MemBacking> {
+        Guarded {
+            cache: DataCache::new(MemBacking::new(), sievestore::PolicySpec::Aod, 8)
+                .expect("valid cache"),
+            breaker: Breaker::Closed { failures: 0 },
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_recovers_through_probe() {
+        let config = NodeConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            ..NodeConfig::default()
+        };
+        let mut g = guarded();
+        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
+        // Two failures stay closed; the third opens.
+        g.record_failure(&config);
+        g.record_failure(&config);
+        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
+        g.record_failure(&config);
+        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
+        // Cooldown drains per degraded request, then half-open.
+        g.tick_degraded();
+        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
+        g.tick_degraded();
+        assert_eq!(g.breaker.mode(), NodeMode::Probing);
+        // A successful probe closes the breaker.
+        g.record_success();
+        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let config = NodeConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: 1,
+            ..NodeConfig::default()
+        };
+        let mut g = guarded();
+        g.record_failure(&config);
+        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
+        g.tick_degraded();
+        assert_eq!(g.breaker.mode(), NodeMode::Probing);
+        g.record_failure(&config);
+        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let config = NodeConfig {
+            breaker_threshold: 2,
+            ..NodeConfig::default()
+        };
+        let mut g = guarded();
+        g.record_failure(&config);
+        g.record_success();
+        g.record_failure(&config);
+        // Never two *consecutive* failures, so still healthy.
+        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
+    }
+
+    #[test]
+    fn backing_errors_classify_as_transient_for_clients() {
+        let hiccup = io::Error::other("injected fault");
+        assert_eq!(classify_backing(&hiccup), ErrorCode::Transient);
+        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "bad block");
+        assert_eq!(classify_backing(&corrupt), ErrorCode::Fatal);
     }
 }

@@ -121,13 +121,21 @@ impl<B: BackingStore> DataCache<B> {
     }
 
     /// Writes one dirty victim back to the backing store.
+    ///
+    /// On failure the key is re-marked dirty so the data is not lost —
+    /// a later flush (or shutdown retry) will try again.
     fn flush_one(&mut self, key: u64) -> io::Result<()> {
         if self.dirty.remove(&key) {
-            let data = **self
-                .frames
-                .get(&key)
-                .expect("dirty blocks always hold a frame");
-            self.backing.write_block(key, &data)?;
+            // A dirty key without a frame would be an internal
+            // inconsistency; treat it as already-flushed rather than
+            // panicking on a degraded node.
+            let Some(data) = self.frames.get(&key).map(|b| **b) else {
+                return Ok(());
+            };
+            if let Err(e) = self.backing.write_block(key, &data) {
+                self.dirty.insert(key);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -137,8 +145,8 @@ impl<B: BackingStore> DataCache<B> {
     ///
     /// # Errors
     ///
-    /// Propagates backing-store failures; already-flushed blocks stay
-    /// clean.
+    /// Propagates the first backing-store failure; already-flushed
+    /// blocks stay clean, the failed key stays dirty.
     pub fn flush(&mut self) -> io::Result<u64> {
         let keys: Vec<u64> = self.dirty.iter().copied().collect();
         let mut flushed = 0;
@@ -147,6 +155,19 @@ impl<B: BackingStore> DataCache<B> {
             flushed += 1;
         }
         Ok(flushed)
+    }
+
+    /// Best-effort flush: keeps going past individual failures instead
+    /// of aborting on the first one. Returns `(flushed, still_dirty)`.
+    pub fn flush_best_effort(&mut self) -> (u64, u64) {
+        let keys: Vec<u64> = self.dirty.iter().copied().collect();
+        let mut flushed = 0;
+        for key in keys {
+            if self.flush_one(key).is_ok() {
+                flushed += 1;
+            }
+        }
+        (flushed, self.dirty.len() as u64)
     }
 
     /// Applies a policy outcome to the frame map, fetching `fresh` on
@@ -191,10 +212,25 @@ impl<B: BackingStore> DataCache<B> {
     pub fn read(&mut self, key: u64, now: Micros) -> io::Result<(Block, DataOutcome)> {
         let outcome = self.store.access(key, RequestKind::Read, now);
         if outcome.is_hit() {
-            let data = **self.frames.get(&key).unwrap_or_else(|| {
-                unreachable!("policy reported a hit for a frame we do not hold")
-            });
-            return Ok((data, DataOutcome { hit: true, allocated: false }));
+            // A hit without a frame would be an internal inconsistency;
+            // fall back to the backing store instead of panicking.
+            if let Some(data) = self.frames.get(&key).map(|b| **b) {
+                return Ok((
+                    data,
+                    DataOutcome {
+                        hit: true,
+                        allocated: false,
+                    },
+                ));
+            }
+            let data = self.backing.read_block(key)?;
+            return Ok((
+                data,
+                DataOutcome {
+                    hit: false,
+                    allocated: false,
+                },
+            ));
         }
         let data = self.backing.read_block(key)?;
         let result = self.apply_outcome(key, outcome, Some(&data))?;
@@ -233,6 +269,45 @@ impl<B: BackingStore> DataCache<B> {
             _ => self.backing.write_block(key, data)?,
         }
         self.apply_outcome(key, outcome, Some(data))
+    }
+
+    /// Serves a read without consulting the policy or allocating frames
+    /// — the degraded pass-through path.
+    ///
+    /// Dirty frames are authoritative (the backing store holds stale
+    /// data for them), so they are served from memory; everything else
+    /// goes straight to the backing store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures.
+    pub fn read_bypass(&mut self, key: u64) -> io::Result<Block> {
+        if self.dirty.contains(&key) {
+            if let Some(data) = self.frames.get(&key).map(|b| **b) {
+                return Ok(data);
+            }
+        }
+        self.backing.read_block(key)
+    }
+
+    /// Applies a write without consulting the policy or allocating
+    /// frames — the degraded pass-through path.
+    ///
+    /// The backing store is updated first; if the block also has a
+    /// cached frame, the frame is refreshed and its dirty bit cleared so
+    /// later reads (degraded or healthy) cannot see stale data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures; on failure neither the frame
+    /// nor the dirty bit changes.
+    pub fn write_bypass(&mut self, key: u64, data: &Block) -> io::Result<()> {
+        self.backing.write_block(key, data)?;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            **frame = *data;
+        }
+        self.dirty.remove(&key);
+        Ok(())
     }
 
     /// Signals a day boundary; discrete policies batch-install, and the
@@ -349,8 +424,7 @@ mod tests {
         let cfg = sievestore_sieve::TwoTierConfig::paper_default()
             .with_imct_entries(1 << 12)
             .with_thresholds(2, 2);
-        let mut c =
-            DataCache::new(MemBacking::new(), PolicySpec::SieveStoreC(cfg), 64).unwrap();
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::SieveStoreC(cfg), 64).unwrap();
         c.backing().write_block(9, &block(0x99)).unwrap();
         // First misses bypass but still serve correct data.
         for i in 0..3 {
@@ -466,6 +540,76 @@ mod tests {
         c.day_boundary(Day::new(2)).unwrap();
         assert_eq!(c.backing().read_block(8).unwrap(), block(0x88));
         assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn bypass_reads_serve_dirty_frames_and_skip_the_policy() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        // Dirty frame: the cache holds the only copy.
+        c.write(1, &block(0xD1), t(0)).unwrap();
+        assert_eq!(c.backing().read_block(1).unwrap(), block(0));
+        let hits_before = c.stats().hits();
+        // Bypass reads serve the dirty frame, not the stale backing data,
+        // and leave policy counters untouched.
+        assert_eq!(c.read_bypass(1).unwrap(), block(0xD1));
+        assert_eq!(c.stats().hits(), hits_before);
+        // Clean keys come straight from backing.
+        c.backing().write_block(9, &block(0x99)).unwrap();
+        assert_eq!(c.read_bypass(9).unwrap(), block(0x99));
+        assert_eq!(c.resident_blocks(), 1, "bypass reads never allocate");
+    }
+
+    #[test]
+    fn bypass_writes_update_backing_and_refresh_frames() {
+        let mut c = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        c.write(2, &block(0x22), t(0)).unwrap();
+        assert_eq!(c.dirty_blocks(), 1);
+        // The bypass write lands on backing, refreshes the frame and
+        // clears the dirty bit — no stale copy anywhere.
+        c.write_bypass(2, &block(0x33)).unwrap();
+        assert_eq!(c.dirty_blocks(), 0);
+        assert_eq!(c.backing().read_block(2).unwrap(), block(0x33));
+        let (data, o) = c.read(2, t(1)).unwrap();
+        assert!(o.hit);
+        assert_eq!(data, block(0x33));
+        // Non-resident keys go straight through without allocating.
+        c.write_bypass(8, &block(0x88)).unwrap();
+        assert_eq!(c.backing().read_block(8).unwrap(), block(0x88));
+        assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn best_effort_flush_continues_past_failures() {
+        use crate::faults::{FaultInjectingBacking, FaultPlan};
+        let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0));
+        let handle = faulty.handle();
+        let mut c = DataCache::new(faulty, PolicySpec::Aod, 16)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteBack);
+        for key in 0..4 {
+            c.write(key, &block(key as u8 + 1), t(key)).unwrap();
+        }
+        assert_eq!(c.dirty_blocks(), 4);
+        // Two of the four flush writes fail; the other two land.
+        handle.fail_next(2);
+        let (flushed, still_dirty) = c.flush_best_effort();
+        assert_eq!(flushed, 2);
+        assert_eq!(still_dirty, 2);
+        assert_eq!(c.dirty_blocks(), 2);
+        // A retry after healing drains the rest.
+        let (flushed, still_dirty) = c.flush_best_effort();
+        assert_eq!(flushed, 2);
+        assert_eq!(still_dirty, 0);
+        for key in 0..4u64 {
+            assert_eq!(
+                c.backing().inner().read_block(key).unwrap(),
+                block(key as u8 + 1)
+            );
+        }
     }
 
     #[test]

@@ -264,8 +264,8 @@ mod tests {
         assert!(!sieve.on_miss(3, now)); // graduates (zero entry)
         assert!(!sieve.on_miss(3, now)); // precise miss 1
         assert!(sieve.on_miss(3, now)); // precise miss 2: allocate
-        // After allocation the precise entry is removed, so the block must
-        // re-graduate and then re-earn t2 precise misses.
+                                        // After allocation the precise entry is removed, so the block must
+                                        // re-graduate and then re-earn t2 precise misses.
         assert!(!sieve.on_miss(3, now));
         assert!(!sieve.on_miss(3, now));
         assert!(sieve.on_miss(3, now));
@@ -315,7 +315,10 @@ mod tests {
         // 100 distinct blocks, one miss each: IMCT slot count soars, but no
         // individual block reaches 4 precise misses.
         for key in 0..100u64 {
-            assert!(!sieve.on_miss(key, now), "aliased one-touch block allocated");
+            assert!(
+                !sieve.on_miss(key, now),
+                "aliased one-touch block allocated"
+            );
         }
         assert!(sieve.graduated() > 0, "IMCT should graduate under aliasing");
         assert_eq!(sieve.granted(), 0);

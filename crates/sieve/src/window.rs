@@ -197,8 +197,8 @@ mod tests {
         c.record(1); // sub 1: 1
         c.record(2); // sub 2: 1
         c.record(3); // sub 3: 1
-        // Moving to sub 5 skips sub 4 (wraps to slot 0) and lands on slot 1:
-        // slots 0 and 1 are cleared, slots 2 and 3 (subs 2, 3) survive.
+                     // Moving to sub 5 skips sub 4 (wraps to slot 0) and lands on slot 1:
+                     // slots 0 and 1 are cleared, slots 2 and 3 (subs 2, 3) survive.
         assert_eq!(c.record(5), 3);
     }
 

@@ -49,8 +49,8 @@ impl SimConfig {
     /// `scale_denominator` shrinks capacity and upscales reported loads.
     pub fn paper_16gb(scale_denominator: u32) -> Self {
         SimConfig {
-            capacity_blocks: (sievestore_types::gib_to_blocks(16) / scale_denominator as u64)
-                .max(1) as usize,
+            capacity_blocks: (sievestore_types::gib_to_blocks(16) / scale_denominator as u64).max(1)
+                as usize,
             ssd: SsdSpec::x25e(),
             load_multiplier: scale_denominator as f64,
             charge_batch_moves: false,
@@ -347,9 +347,7 @@ mod tests {
             &trace,
             vec![
                 PolicySpec::Aod,
-                PolicySpec::SieveStoreC(
-                    TwoTierConfig::paper_default().with_imct_entries(1 << 16),
-                ),
+                PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 16)),
             ],
             &cfg(&trace, capacity),
         )
@@ -426,12 +424,7 @@ mod tests {
     fn charge_batch_moves_adds_write_load() {
         let trace = tiny();
         let base = cfg(&trace, 16384);
-        let uncharged = simulate(
-            &trace,
-            PolicySpec::SieveStoreD { threshold: 5 },
-            &base,
-        )
-        .unwrap();
+        let uncharged = simulate(&trace, PolicySpec::SieveStoreD { threshold: 5 }, &base).unwrap();
         let charged = simulate(
             &trace,
             PolicySpec::SieveStoreD { threshold: 5 },
@@ -460,7 +453,11 @@ mod tests {
             write_pages += load.write_pages;
         }
         let bpp = BLOCKS_PER_PAGE as u64;
-        assert!(read_pages >= t.read_hits / bpp, "{read_pages} vs {}", t.read_hits);
+        assert!(
+            read_pages >= t.read_hits / bpp,
+            "{read_pages} vs {}",
+            t.read_hits
+        );
         assert!(read_pages <= t.read_hits, "{read_pages} vs {}", t.read_hits);
         let write_blocks = t.write_hits + t.allocation_writes;
         assert!(write_pages >= write_blocks / bpp);
@@ -470,8 +467,24 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let trace = tiny();
-        let a = simulate(&trace, PolicySpec::RandSieveC { probability: 0.01, seed: 3 }, &cfg(&trace, 4096)).unwrap();
-        let b = simulate(&trace, PolicySpec::RandSieveC { probability: 0.01, seed: 3 }, &cfg(&trace, 4096)).unwrap();
+        let a = simulate(
+            &trace,
+            PolicySpec::RandSieveC {
+                probability: 0.01,
+                seed: 3,
+            },
+            &cfg(&trace, 4096),
+        )
+        .unwrap();
+        let b = simulate(
+            &trace,
+            PolicySpec::RandSieveC {
+                probability: 0.01,
+                seed: 3,
+            },
+            &cfg(&trace, 4096),
+        )
+        .unwrap();
         assert_eq!(a.total(), b.total());
     }
 }

@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn totals_sum_days() {
-        let r = result_with_days(vec![metrics(1, 2, 3, 4, 5, 6), metrics(10, 20, 30, 40, 50, 60)]);
+        let r = result_with_days(vec![
+            metrics(1, 2, 3, 4, 5, 6),
+            metrics(10, 20, 30, 40, 50, 60),
+        ]);
         let t = r.total();
         assert_eq!(t.read_hits, 11);
         assert_eq!(t.batch_allocations, 66);
@@ -212,7 +215,10 @@ mod tests {
 
     #[test]
     fn write_blocks_per_day_averages() {
-        let r = result_with_days(vec![metrics(0, 10, 0, 0, 20, 0), metrics(0, 30, 0, 0, 0, 0)]);
+        let r = result_with_days(vec![
+            metrics(0, 10, 0, 0, 20, 0),
+            metrics(0, 30, 0, 0, 0, 0),
+        ]);
         assert!((r.ssd_write_blocks_per_day() - 30.0).abs() < 1e-12);
     }
 }

@@ -49,10 +49,7 @@ impl DayCounts {
     ///
     /// Panics if `fraction` is not in `[0, 1]`.
     pub fn top_fraction(&self, fraction: f64) -> (Vec<u64>, u64) {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let n = (self.counts.len() as f64 * fraction).round() as usize;
         let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
         all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -132,7 +132,8 @@ pub fn simulate_per_server(
             Some(mut acc) => {
                 for (d, m) in result.days.iter().enumerate() {
                     if d >= acc.days.len() {
-                        acc.days.resize(d + 1, crate::metrics::DayMetrics::default());
+                        acc.days
+                            .resize(d + 1, crate::metrics::DayMetrics::default());
                     }
                     let a = &mut acc.days[d];
                     a.read_hits += m.read_hits;
@@ -211,8 +212,7 @@ mod tests {
         for d in 0..t.days() as usize {
             // Tolerate rounding: per-server may select a couple more
             // blocks than the ensemble did.
-            let slack = (per_server.capacity_blocks[d] as i64
-                - ensemble.capacity_blocks[d] as i64)
+            let slack = (per_server.capacity_blocks[d] as i64 - ensemble.capacity_blocks[d] as i64)
                 .max(0) as u64;
             assert!(
                 ensemble.captured[d] + slack * 50 >= per_server.captured[d],
@@ -228,13 +228,8 @@ mod tests {
         let t = trace();
         let cfg = crate::engine::SimConfig::paper_16gb(t.config().scale.denominator());
         let total_capacity = 8192;
-        let per_server = simulate_per_server(
-            &t,
-            |_| sievestore::PolicySpec::Aod,
-            total_capacity,
-            &cfg,
-        )
-        .unwrap();
+        let per_server =
+            simulate_per_server(&t, |_| sievestore::PolicySpec::Aod, total_capacity, &cfg).unwrap();
         assert!(per_server.policy.starts_with("per-server"));
         assert_eq!(per_server.capacity_blocks, total_capacity);
         // Accesses must equal the ensemble's.

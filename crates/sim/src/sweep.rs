@@ -141,7 +141,10 @@ mod tests {
         .unwrap();
         assert_eq!(results.len(), 3);
         // Lower thresholds admit at least as many batch blocks.
-        let batches: Vec<u64> = results.iter().map(|r| r.total().batch_allocations).collect();
+        let batches: Vec<u64> = results
+            .iter()
+            .map(|r| r.total().batch_allocations)
+            .collect();
         assert!(batches[0] >= batches[1]);
         assert!(batches[1] >= batches[2]);
     }

@@ -226,10 +226,7 @@ impl OccupancyTracker {
 
     /// The full per-minute occupancy series (Figure 8's Y values).
     pub fn occupancy_series(&self) -> Vec<f64> {
-        self.minutes
-            .iter()
-            .map(|&l| self.occupancy_of(l))
-            .collect()
+        self.minutes.iter().map(|&l| self.occupancy_of(l)).collect()
     }
 
     /// Drives needed in one minute: the occupancy rounded up.

@@ -17,8 +17,7 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
 use sievestore_types::{
-    BlockAddr, GlobalBlock, Micros, ParseRequestError, Request, RequestKind, SieveError,
-    BLOCK_SIZE,
+    BlockAddr, GlobalBlock, Micros, ParseRequestError, Request, RequestKind, SieveError, BLOCK_SIZE,
 };
 
 const MAGIC: &[u8; 4] = b"SSTR";

@@ -37,8 +37,8 @@ pub mod synth;
 pub mod zipf;
 
 pub use io::{write_csv, TraceReader, TraceWriter};
-pub use msr::MsrReader;
 pub use model::{EnsembleConfig, Scale, ServerConfig, VolumeConfig};
+pub use msr::MsrReader;
 pub use stats::{DayStats, TraceStats};
 pub use synth::{SizeMix, SyntheticTrace, TraceIter};
 pub use zipf::Zipf;

@@ -279,22 +279,37 @@ impl ServerConfig {
             return fail(format!("server {} has no volumes", self.key));
         }
         if !(0.0..1.0).contains(&self.hot_access_share) {
-            return fail(format!("server {}: hot_access_share must be in [0,1)", self.key));
+            return fail(format!(
+                "server {}: hot_access_share must be in [0,1)",
+                self.key
+            ));
         }
         if !(0.0..=1.0).contains(&self.read_fraction) {
-            return fail(format!("server {}: read_fraction must be in [0,1]", self.key));
+            return fail(format!(
+                "server {}: read_fraction must be in [0,1]",
+                self.key
+            ));
         }
         if self.daily_gb <= 0.0 {
             return fail(format!("server {}: daily_gb must be positive", self.key));
         }
         if self.cold_density <= 0.0 {
-            return fail(format!("server {}: cold_density must be positive", self.key));
+            return fail(format!(
+                "server {}: cold_density must be positive",
+                self.key
+            ));
         }
         if self.hot_set_frac <= 0.0 || self.hot_set_frac >= 0.5 {
-            return fail(format!("server {}: hot_set_frac must be in (0,0.5)", self.key));
+            return fail(format!(
+                "server {}: hot_set_frac must be in (0,0.5)",
+                self.key
+            ));
         }
         if !(0.0..1.0).contains(&self.warm_within_hot) {
-            return fail(format!("server {}: warm_within_hot must be in [0,1)", self.key));
+            return fail(format!(
+                "server {}: warm_within_hot must be in [0,1)",
+                self.key
+            ));
         }
         if self.warm_daily_accesses <= 0.0 {
             return fail(format!(
@@ -302,8 +317,15 @@ impl ServerConfig {
                 self.key
             ));
         }
-        if self.volumes.iter().any(|v| v.weight <= 0.0 || v.size_gb == 0) {
-            return fail(format!("server {}: volumes need positive weight and size", self.key));
+        if self
+            .volumes
+            .iter()
+            .any(|v| v.weight <= 0.0 || v.size_gb == 0)
+        {
+            return fail(format!(
+                "server {}: volumes need positive weight and size",
+                self.key
+            ));
         }
         Ok(())
     }
@@ -530,7 +552,9 @@ impl EnsembleConfig {
             ));
         }
         if self.days == 0 {
-            return Err(SieveError::InvalidConfig("trace needs at least one day".into()));
+            return Err(SieveError::InvalidConfig(
+                "trace needs at least one day".into(),
+            ));
         }
         if self.first_day_start_hour >= 24 {
             return Err(SieveError::InvalidConfig(

@@ -202,9 +202,11 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend_agree() {
-        let reqs = [req(0, 0, 8, RequestKind::Read),
+        let reqs = [
+            req(0, 0, 8, RequestKind::Read),
             req(0, 100, 2, RequestKind::Write),
-            req(1, 0, 1, RequestKind::Read)];
+            req(1, 0, 1, RequestKind::Read),
+        ];
         let a: TraceStats = reqs.iter().collect();
         let mut b = TraceStats::new();
         b.extend(reqs.iter().copied());

@@ -22,8 +22,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 use sievestore_types::{
-    BlockAddr, Day, Micros, Request, RequestKind, ServerId, VolumeId, BLOCK_SIZE,
-    BLOCKS_PER_PAGE, GIB,
+    BlockAddr, Day, Micros, Request, RequestKind, ServerId, VolumeId, BLOCKS_PER_PAGE, BLOCK_SIZE,
+    GIB,
 };
 
 use crate::model::{EnsembleConfig, ServerConfig};
@@ -251,13 +251,18 @@ impl SyntheticTrace {
         // smooth drift and the abrupt day-to-day changes of Figure 3(c).
         let wave = (day as f64 * 2.39 + server_idx as f64 * 0.77).sin();
         let noise = rng.random::<f64>() * 2.0 - 1.0;
-        let share = server.hot_access_share
-            + server.hot_share_amplitude * (0.6 * wave + 0.4 * noise);
+        let share =
+            server.hot_access_share + server.hot_share_amplitude * (0.6 * wave + 0.4 * noise);
         share.clamp(0.02, 0.97)
     }
 
     /// Builds the per-minute cumulative load profile for a (server, day).
-    fn minute_profile(&self, server: &ServerConfig, server_idx: usize, day: u16) -> (Vec<f64>, u32) {
+    fn minute_profile(
+        &self,
+        server: &ServerConfig,
+        server_idx: usize,
+        day: u16,
+    ) -> (Vec<f64>, u32) {
         let first_minute = if day == 0 {
             self.config.first_day_start_hour * 60
         } else {
@@ -322,7 +327,9 @@ impl SyntheticTrace {
             pool_base,
             span,
         } = tier;
-        let churn = self.config.servers[server_idx].drift_per_day.clamp(0.0, 1.0);
+        let churn = self.config.servers[server_idx]
+            .drift_per_day
+            .clamp(0.0, 1.0);
         let threshold = (churn * u64::MAX as f64) as u64;
         let mut map = Vec::with_capacity(chunks as usize);
         for rank in 0..chunks {
@@ -383,10 +390,9 @@ impl SyntheticTrace {
             // defeat LRU churn but accumulate within a sieving window).
             let warm_target_blocks = vol_target * warm_share;
             let warm_count = (server.warm_daily_accesses * day_fraction).max(1.0);
-            let warm_chunks = ((warm_target_blocks
-                / (warm_count * HOT_CHUNK_BLOCKS as f64))
-                .round() as u64)
-                .max(2);
+            let warm_chunks =
+                ((warm_target_blocks / (warm_count * HOT_CHUNK_BLOCKS as f64)).round() as u64)
+                    .max(2);
 
             // Random loop handles head + cold.
             let p_req_head = {
@@ -402,29 +408,27 @@ impl SyntheticTrace {
                 }
             };
             let mean_req_blocks = p_req_head * mh + (1.0 - p_req_head) * mc;
-            let random_requests = ((vol_target * (1.0 - warm_share)) / mean_req_blocks)
-                .ceil() as u64;
+            let random_requests =
+                ((vol_target * (1.0 - warm_share)) / mean_req_blocks).ceil() as u64;
 
             // Cold windows live in the upper half of the volume (the lower
             // half holds the head and warm pools) and advance day by day so
             // most cold blocks are fresh each day (compulsory misses
             // dominate, as in the trace).
             let vol_cold_blocks = random_requests as f64 * (1.0 - p_req_head) * mc;
-            let cold_len = ((vol_cold_blocks / server.cold_density) as u64)
-                .clamp(256, capacity / 3);
+            let cold_len =
+                ((vol_cold_blocks / server.cold_density) as u64).clamp(256, capacity / 3);
             let cold_region = capacity / 2;
             let cold_start = {
                 let step = cold_len + cold_len / 3;
-                cold_region
-                    + (day as u64 * step) % (cold_region.saturating_sub(cold_len)).max(1)
+                cold_region + (day as u64 * step) % (cold_region.saturating_sub(cold_len)).max(1)
             };
 
             // Pools: the lower half of the volume, one quarter each for the
             // head and warm tiers, split into one home region plus one
             // fresh remap region per day.
             let span_of = |quarter: u64| {
-                ((quarter / (self.config.days as u64 + 1)) / HOT_CHUNK_BLOCKS
-                    * HOT_CHUNK_BLOCKS)
+                ((quarter / (self.config.days as u64 + 1)) / HOT_CHUNK_BLOCKS * HOT_CHUNK_BLOCKS)
                     .max(HOT_CHUNK_BLOCKS)
             };
             let head_span = span_of(capacity / 4);
@@ -505,8 +509,8 @@ impl SyntheticTrace {
                 let slot = partition_point(&plan.minute_cum, u);
                 let minute_of_day = plan.first_minute + slot as u32;
                 let offset_us = rng.random_range(0..Micros::PER_MINUTE);
-                let timestamp = day_base
-                    + Micros::new(minute_of_day as u64 * Micros::PER_MINUTE + offset_us);
+                let timestamp =
+                    day_base + Micros::new(minute_of_day as u64 * Micros::PER_MINUTE + offset_us);
 
                 // Head requests stay inside one 16-block chunk so the
                 // popularity rank maps to a contiguous block range.
@@ -551,8 +555,7 @@ impl SyntheticTrace {
             // times with long (~1.5-2 h), slightly jittered gaps — the
             // block-device-level reuse pattern left over once a host
             // buffer cache has absorbed all short-distance reuse.
-            let active_start =
-                Micros::new(plan.first_minute as u64 * Micros::PER_MINUTE);
+            let active_start = Micros::new(plan.first_minute as u64 * Micros::PER_MINUTE);
             let active_span = Micros::from_days(1) - active_start;
             for chunk in &vol.warm_map {
                 let n = {
@@ -613,7 +616,10 @@ impl SyntheticTrace {
     ///
     /// Panics if `server_idx` or `day` is out of range.
     pub fn server_day(&self, server_idx: usize, day: Day) -> Vec<Request> {
-        assert!(server_idx < self.config.servers.len(), "server out of range");
+        assert!(
+            server_idx < self.config.servers.len(),
+            "server out of range"
+        );
         assert!(day.index() < self.config.days, "day out of range");
         self.server_day_requests(server_idx, day)
     }
@@ -690,7 +696,11 @@ mod tests {
     fn size_mix_means_are_calibrated() {
         let hot = SizeMix::hot_default();
         let cold = SizeMix::cold_default();
-        assert!((3.0..6.0).contains(&hot.mean_blocks()), "{}", hot.mean_blocks());
+        assert!(
+            (3.0..6.0).contains(&hot.mean_blocks()),
+            "{}",
+            hot.mean_blocks()
+        );
         assert!(
             (20.0..32.0).contains(&cold.mean_blocks()),
             "{}",
@@ -799,7 +809,11 @@ mod tests {
         let trace = tiny_trace(5);
         for req in trace.day_requests(Day::new(0)) {
             assert!(req.response_time.as_u64() >= 3_000);
-            assert!(req.response_time.as_u64() < 200_000, "{}", req.response_time);
+            assert!(
+                req.response_time.as_u64() < 200_000,
+                "{}",
+                req.response_time
+            );
         }
     }
 
@@ -843,7 +857,9 @@ mod tests {
             v.sort_unstable_by_key(|&(_, count)| std::cmp::Reverse(count));
             let n = (v.len() / 100).max(10);
             v.truncate(n);
-            v.into_iter().map(|(b, _)| b).collect::<std::collections::HashSet<u64>>()
+            v.into_iter()
+                .map(|(b, _)| b)
+                .collect::<std::collections::HashSet<u64>>()
         };
         let d1 = hot_set(1);
         let d2 = hot_set(2);
@@ -879,14 +895,12 @@ mod tests {
 
     #[test]
     fn scale_reduces_volume() {
-        let coarse = SyntheticTrace::new(
-            EnsembleConfig::tiny(1).with_scale(Scale::new(64).unwrap()),
-        )
-        .unwrap();
-        let fine = SyntheticTrace::new(
-            EnsembleConfig::tiny(1).with_scale(Scale::new(256).unwrap()),
-        )
-        .unwrap();
+        let coarse =
+            SyntheticTrace::new(EnsembleConfig::tiny(1).with_scale(Scale::new(64).unwrap()))
+                .unwrap();
+        let fine =
+            SyntheticTrace::new(EnsembleConfig::tiny(1).with_scale(Scale::new(256).unwrap()))
+                .unwrap();
         let c = coarse.day_requests(Day::new(1)).len();
         let f = fine.day_requests(Day::new(1)).len();
         assert!(c > 2 * f, "coarse {c} vs fine {f}");

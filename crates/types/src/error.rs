@@ -21,6 +21,8 @@ pub enum SieveError {
     Io(io::Error),
     /// A trace record could not be decoded.
     Parse(ParseRequestError),
+    /// A node request failed (connection, protocol or node-side error).
+    Node(NodeError),
 }
 
 impl fmt::Display for SieveError {
@@ -29,6 +31,7 @@ impl fmt::Display for SieveError {
             SieveError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SieveError::Io(err) => write!(f, "i/o error: {err}"),
             SieveError::Parse(err) => write!(f, "trace parse error: {err}"),
+            SieveError::Node(err) => write!(f, "node error: {err}"),
         }
     }
 }
@@ -38,6 +41,7 @@ impl Error for SieveError {
         match self {
             SieveError::Io(err) => Some(err),
             SieveError::Parse(err) => Some(err),
+            SieveError::Node(err) => Some(err),
             SieveError::InvalidConfig(_) => None,
         }
     }
@@ -52,6 +56,129 @@ impl From<io::Error> for SieveError {
 impl From<ParseRequestError> for SieveError {
     fn from(err: ParseRequestError) -> Self {
         SieveError::Parse(err)
+    }
+}
+
+impl From<NodeError> for SieveError {
+    fn from(err: NodeError) -> Self {
+        SieveError::Node(err)
+    }
+}
+
+/// How a caller should react to a node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The failure is momentary; retrying the same request is safe and
+    /// likely to succeed (connection blips, backing-store hiccups,
+    /// deadline overruns).
+    Transient,
+    /// Retrying will not help; surface the failure to the caller.
+    Fatal,
+    /// One side violated the wire protocol; the connection is suspect
+    /// and the request must not be blindly retried.
+    Protocol,
+}
+
+/// A typed node I/O failure, replacing stringly `io::Error`s on the
+/// client path so callers can tell transient from fatal conditions.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::{ErrorClass, NodeError};
+///
+/// let err = NodeError::NodeTransient("backing read failed".into());
+/// assert_eq!(err.class(), ErrorClass::Transient);
+/// assert!(err.is_transient());
+/// ```
+#[derive(Debug)]
+pub enum NodeError {
+    /// Establishing (or re-establishing) a connection failed.
+    Connect(io::Error),
+    /// The transport failed mid-request; the connection is unusable
+    /// until reconnected, but the request itself may be retried.
+    Transport(io::Error),
+    /// The node reported a transient failure (e.g. a backing-store
+    /// hiccup); safe to retry.
+    NodeTransient(String),
+    /// The node reported a permanent failure; retrying will not help.
+    NodeFatal(String),
+    /// The node could not finish the request within its deadline.
+    Deadline(String),
+    /// A malformed or unexpected frame was seen on the wire.
+    Protocol(String),
+    /// The retry budget ran out; holds the final attempt's error.
+    RetriesExhausted {
+        /// Attempts performed before giving up.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<NodeError>,
+    },
+}
+
+impl NodeError {
+    /// Classifies this error for retry decisions.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            NodeError::Connect(_)
+            | NodeError::Transport(_)
+            | NodeError::NodeTransient(_)
+            | NodeError::Deadline(_) => ErrorClass::Transient,
+            NodeError::NodeFatal(_) | NodeError::RetriesExhausted { .. } => ErrorClass::Fatal,
+            NodeError::Protocol(_) => ErrorClass::Protocol,
+        }
+    }
+
+    /// Whether a retry of the same request is reasonable.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Classifies a raw transport error: connection-lifecycle failures
+    /// are transient (reconnect and retry), data corruption is not.
+    pub fn from_transport(err: io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::InvalidData => NodeError::Protocol(err.to_string()),
+            _ => NodeError::Transport(err),
+        }
+    }
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Connect(err) => write!(f, "connect failed: {err}"),
+            NodeError::Transport(err) => write!(f, "transport failed: {err}"),
+            NodeError::NodeTransient(msg) => write!(f, "node transient error: {msg}"),
+            NodeError::NodeFatal(msg) => write!(f, "node fatal error: {msg}"),
+            NodeError::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
+            NodeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NodeError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl Error for NodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NodeError::Connect(err) | NodeError::Transport(err) => Some(err),
+            NodeError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<NodeError> for io::Error {
+    fn from(err: NodeError) -> Self {
+        let kind = match &err {
+            NodeError::Connect(e) | NodeError::Transport(e) => e.kind(),
+            NodeError::Deadline(_) => io::ErrorKind::TimedOut,
+            NodeError::Protocol(_) => io::ErrorKind::InvalidData,
+            _ => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, err.to_string())
     }
 }
 
@@ -125,5 +252,46 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SieveError>();
         assert_send_sync::<ParseRequestError>();
+        assert_send_sync::<NodeError>();
+    }
+
+    #[test]
+    fn node_error_classification() {
+        let refused = || io::Error::new(io::ErrorKind::ConnectionRefused, "refused");
+        assert!(NodeError::Connect(refused()).is_transient());
+        assert!(NodeError::Transport(refused()).is_transient());
+        assert!(NodeError::Deadline("slow".into()).is_transient());
+        assert_eq!(
+            NodeError::NodeFatal("bad".into()).class(),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            NodeError::Protocol("tag".into()).class(),
+            ErrorClass::Protocol
+        );
+        let exhausted = NodeError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(NodeError::NodeTransient("flaky".into())),
+        };
+        assert_eq!(exhausted.class(), ErrorClass::Fatal);
+        assert!(exhausted.to_string().contains("4 attempts"));
+        assert!(exhausted.source().is_some());
+    }
+
+    #[test]
+    fn transport_classifier_flags_corruption_as_protocol() {
+        let bad = io::Error::new(io::ErrorKind::InvalidData, "garbled frame");
+        assert_eq!(NodeError::from_transport(bad).class(), ErrorClass::Protocol);
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "peer went away");
+        assert!(NodeError::from_transport(eof).is_transient());
+    }
+
+    #[test]
+    fn node_errors_nest_into_sieve_and_io_errors() {
+        let err = SieveError::from(NodeError::Deadline("read".into()));
+        assert!(err.to_string().contains("deadline"));
+        assert!(err.source().is_some());
+        let io_err: io::Error = NodeError::Deadline("read".into()).into();
+        assert_eq!(io_err.kind(), io::ErrorKind::TimedOut);
     }
 }

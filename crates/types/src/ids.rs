@@ -173,9 +173,7 @@ impl GlobalBlock {
     /// Packs the parts of a block address into a key.
     pub const fn pack(server: ServerId, volume: VolumeId, block: u64) -> Self {
         assert!(block <= BlockAddr::MAX_BLOCK, "block index exceeds 48 bits");
-        GlobalBlock(
-            ((server.index() as u64) << 56) | ((volume.index() as u64) << 48) | block,
-        )
+        GlobalBlock(((server.index() as u64) << 56) | ((volume.index() as u64) << 48) | block)
     }
 
     /// Returns the raw packed key.

@@ -32,7 +32,7 @@ pub mod ids;
 pub mod request;
 pub mod time;
 
-pub use error::{ParseRequestError, SieveError};
+pub use error::{ErrorClass, NodeError, ParseRequestError, SieveError};
 pub use ids::{BlockAddr, GlobalBlock, ServerId, VolumeId};
 pub use request::{Request, RequestKind};
 pub use time::{Day, Micros, Minute};

@@ -21,8 +21,8 @@ fn main() -> std::io::Result<()> {
             .with_imct_entries(1 << 14)
             .with_thresholds(3, 2),
     );
-    let cache = DataCache::new(backing, policy, 4_096)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let cache =
+        DataCache::new(backing, policy, 4_096).map_err(|e| std::io::Error::other(e.to_string()))?;
     let server = NodeServer::spawn("127.0.0.1:0", cache)?;
     println!("SieveStore node listening on {}", server.addr());
 
@@ -41,7 +41,10 @@ fn main() -> std::io::Result<()> {
     let after_scan = client.stats()?;
     println!(
         "after cold scan : {:>5} accesses, {:>4} allocation-writes, {:>4} resident blocks",
-        after_scan.read_misses + after_scan.write_misses + after_scan.read_hits + after_scan.write_hits,
+        after_scan.read_misses
+            + after_scan.write_misses
+            + after_scan.read_hits
+            + after_scan.write_hits,
         after_scan.allocation_writes,
         after_scan.resident_blocks,
     );

@@ -22,9 +22,7 @@ fn main() -> Result<(), SieveError> {
     let results = simulate_many(
         &trace,
         vec![
-            PolicySpec::SieveStoreC(
-                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
-            ),
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 16)),
             PolicySpec::Wmna,
         ],
         &cfg,

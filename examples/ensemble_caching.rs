@@ -23,9 +23,7 @@ fn main() -> Result<(), SieveError> {
         vec![
             PolicySpec::IdealTop1 { selections },
             PolicySpec::SieveStoreD { threshold: 10 },
-            PolicySpec::SieveStoreC(
-                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
-            ),
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 16)),
             PolicySpec::Aod,
             PolicySpec::Wmna,
         ],

@@ -59,7 +59,10 @@ fn main() -> Result<(), SieveError> {
     drive(&mut sieved, &accesses);
     drive(&mut unsieved, &accesses);
 
-    println!("workload: {} block accesses, 35% to 256 hot blocks\n", accesses.len());
+    println!(
+        "workload: {} block accesses, 35% to 256 hot blocks\n",
+        accesses.len()
+    );
     for store in [&sieved, &unsieved] {
         let s = store.stats();
         println!(

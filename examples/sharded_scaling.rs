@@ -20,9 +20,7 @@ fn main() -> Result<(), SieveError> {
 
     for shards in [1usize, 2, 4] {
         let mut group = ShardedSieveStore::new(shards, 16_384 / shards, |_| {
-            PolicySpec::SieveStoreC(
-                TwoTierConfig::paper_default().with_imct_entries(1 << 14),
-            )
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 14))
         })?;
         for d in 0..trace.days() {
             group.day_boundary(Day::new(d));
@@ -46,7 +44,9 @@ fn main() -> Result<(), SieveError> {
     // 4k-block budget even as epoch volume swings.
     println!("\nadaptive SieveStore-D threshold (budget 4,096 blocks):");
     let mut controller = AdaptiveThreshold::new(10, 6, 20, 4_096)?;
-    for (epoch, selected) in [12_000u64, 9_000, 6_500, 5_000, 3_800, 1_500, 900].iter().enumerate()
+    for (epoch, selected) in [12_000u64, 9_000, 6_500, 5_000, 3_800, 1_500, 900]
+        .iter()
+        .enumerate()
     {
         let t = controller.observe_epoch(*selected);
         println!("  epoch {epoch}: selected {selected:>6} blocks -> next threshold t={t}");

@@ -7,7 +7,9 @@
 //! analytics that underpin the paper's workload observations O1/O2.
 
 use sievestore_analysis::{popularity_cdf, BlockCounts, PopularityBins};
-use sievestore_trace::{write_csv, EnsembleConfig, SyntheticTrace, TraceReader, TraceStats, TraceWriter};
+use sievestore_trace::{
+    write_csv, EnsembleConfig, SyntheticTrace, TraceReader, TraceStats, TraceWriter,
+};
 use sievestore_types::{Day, SieveError};
 
 fn main() -> Result<(), SieveError> {

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, built on
+//! `std::thread::scope`.
+//!
+//! Only `crossbeam::thread::scope` is provided — the one entry point the
+//! simulation crates use for fan-out over borrowed data. As in crossbeam,
+//! `scope` returns `Err` when any spawned thread panicked instead of
+//! propagating the panic.
+
+/// Scoped threads (the `crossbeam::thread` module surface).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The error payload of a panicked scope.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle; `spawn` borrows data living at least as long as
+    /// the enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam's signature) so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; joins every spawned thread before
+    /// returning. Returns `Err` if any spawned thread (or `f` itself)
+    /// panicked.
+    ///
+    /// # Errors
+    ///
+    /// The boxed panic payload of the first observed panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let mut counts = vec![0u64; 4];
+        thread::scope(|scope| {
+            for c in &mut counts {
+                scope.spawn(move |_| {
+                    *c = 7;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counts, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

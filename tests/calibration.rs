@@ -138,7 +138,10 @@ fn daily_volume_tracks_the_paper_band() {
     }
     // The partial first day is the low outlier.
     let min = daily_gb.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert_eq!(daily_gb[0], min, "day 0 should be the minimum: {daily_gb:?}");
+    assert_eq!(
+        daily_gb[0], min,
+        "day 0 should be the minimum: {daily_gb:?}"
+    );
 }
 
 #[test]

@@ -34,9 +34,7 @@ fn run_all(trace: &SyntheticTrace) -> Outcomes {
         vec![
             PolicySpec::IdealTop1 { selections },
             PolicySpec::SieveStoreD { threshold: 10 },
-            PolicySpec::SieveStoreC(
-                TwoTierConfig::paper_default().with_imct_entries(1 << 16),
-            ),
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 16)),
             PolicySpec::Aod,
             PolicySpec::Wmna,
             PolicySpec::RandSieveC {

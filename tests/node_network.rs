@@ -1,17 +1,35 @@
 //! Network integration: the appliance served over TCP must behave like a
-//! correct, sieving block cache under concurrent clients.
+//! correct, sieving block cache under concurrent clients — and keep
+//! serving correct data while its backing store misbehaves.
 
 use std::collections::HashMap;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sievestore::PolicySpec;
-use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+use sievestore_node::{
+    ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, FileBacking, MemBacking, NodeClient,
+    NodeConfig, NodeMode, NodeServer, RetryPolicy, WritePolicy,
+};
 use sievestore_sieve::TwoTierConfig;
+use sievestore_types::NodeError;
 
 fn block(fill: u8) -> [u8; 512] {
     [fill; 512]
+}
+
+/// A fast deterministic retry schedule for fault tests.
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        },
+        ..ClientConfig::default()
+    }
 }
 
 #[test]
@@ -135,7 +153,9 @@ fn write_back_node_flushes_over_the_wire() {
     // Prime residency, then dirty the frames with write hits.
     for key in 0..5u64 {
         client.read_block(key).expect("read");
-        client.write_block(key, &block(key as u8 + 1)).expect("write");
+        client
+            .write_block(key, &block(key as u8 + 1))
+            .expect("write");
     }
     let flushed = client.flush().expect("flush");
     assert_eq!(flushed, 5, "all dirtied frames flush");
@@ -143,6 +163,265 @@ fn write_back_node_flushes_over_the_wire() {
     // Data survives the flush.
     let (data, _) = client.read_block(3).expect("read");
     assert_eq!(data, block(4));
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// The acceptance scenario: one node over a fault-injected ensemble,
+/// driven deterministically (fixed fault schedules, no probabilities)
+/// through transient errors, sustained errors and recovery.
+#[test]
+fn node_survives_transient_faults_degrades_and_recovers() {
+    let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0xFA07));
+    let handle = faulty.handle();
+    let cache = DataCache::new(faulty, PolicySpec::Aod, 64).expect("valid appliance");
+    let config = NodeConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..NodeConfig::default()
+    };
+    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
+
+    // Baseline: a healthy write-through pass lands data on the ensemble.
+    client.write_block(1, &block(0x11)).expect("healthy write");
+    assert_eq!(client.stats().expect("stats").mode, NodeMode::Healthy);
+
+    // --- Phase 1: a transient error is absorbed by one client retry. ---
+    handle.fail_next(1);
+    let (data, _) = client.read_block(2).expect("retried read succeeds");
+    assert_eq!(data, block(0), "fresh block reads as zeroes after retry");
+    assert_eq!(client.retries(), 1, "exactly one retry absorbed the fault");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.mode,
+        NodeMode::Healthy,
+        "one blip never trips the breaker"
+    );
+    assert_eq!(stats.degraded_reads, 0);
+
+    // --- Phase 2: sustained errors trip the breaker into degraded mode. ---
+    handle.fail_next(3); // exactly the breaker threshold
+                         // Attempts 1-3 fail on the cache path (tripping the breaker); attempt
+                         // 4 is served by degraded pass-through against the healed ensemble.
+    let (data, hit) = client.read_block(3).expect("degraded read succeeds");
+    assert_eq!(data, block(0));
+    assert!(!hit, "degraded pass-through never reports cache hits");
+    assert_eq!(
+        client.retries(),
+        4,
+        "three more retries tripped the breaker"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.mode, NodeMode::Degraded);
+    assert_eq!(stats.degraded_reads, 1);
+    // Snapshot the allocation counter now that the breaker is open (the
+    // failing attempts above already registered in policy metadata).
+    let alloc_before = stats.allocation_writes;
+
+    // Degraded mode still serves correct data (written while healthy)...
+    let (data, _) = client.read_block(1).expect("degraded read of old data");
+    assert_eq!(data, block(0x11), "degraded reads serve ensemble truth");
+    // ...accepts writes...
+    client.write_block(7, &block(0x77)).expect("degraded write");
+    let (data, _) = client.read_block(7).expect("read own degraded write");
+    assert_eq!(data, block(0x77));
+    // ...and never allocates frames.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.allocation_writes, alloc_before,
+        "allocation is frozen while degraded"
+    );
+    assert_eq!(stats.degraded_reads, 3);
+    assert_eq!(stats.degraded_writes, 1);
+    // The cooldown (4 requests) is spent: the breaker is about to probe.
+    assert_eq!(stats.mode, NodeMode::Probing);
+
+    // --- Phase 3: the probe succeeds and the node heals. ---
+    let (data, hit) = client.read_block(1).expect("probe request");
+    assert_eq!(data, block(0x11));
+    assert!(hit, "block 1 is still resident from the healthy phase");
+    assert_eq!(client.stats().expect("stats").mode, NodeMode::Healthy);
+    // Allocation resumes: a fresh key earns a frame again and then hits.
+    let (_, hit) = client.read_block(8).expect("read after recovery");
+    assert!(!hit);
+    let (_, hit) = client.read_block(8).expect("second read after recovery");
+    assert!(hit, "allocation resumed after the breaker closed");
+    assert!(client.stats().expect("stats").allocation_writes > alloc_before);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// Requests that overrun the server deadline get a typed `Deadline`
+/// error instead of stalling the connection.
+#[test]
+fn slow_backing_overruns_the_request_deadline() {
+    let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(1));
+    let handle = faulty.handle();
+    let cache = DataCache::new(faulty, PolicySpec::Aod, 16).expect("valid appliance");
+    let config = NodeConfig {
+        request_deadline: Duration::from_millis(10),
+        breaker_threshold: 100, // keep the breaker out of this test
+        ..NodeConfig::default()
+    };
+    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let no_retry = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let mut client = NodeClient::connect_with(server.addr(), no_retry).expect("connect");
+
+    handle.set_latency(Duration::from_millis(40));
+    let err = client.read_block(5).expect_err("overrun must be reported");
+    assert!(
+        matches!(err, NodeError::Deadline(_)),
+        "expected a deadline error, got {err:?}"
+    );
+    assert!(err.is_transient(), "deadline overruns are retryable");
+
+    // Once the device speeds back up the same request succeeds.
+    handle.set_latency(Duration::ZERO);
+    let (data, _) = client.read_block(5).expect("fast read succeeds");
+    assert_eq!(data, block(0));
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// `connect_timeout` plumbs through `TcpStream::connect_timeout`: dials
+/// to a live node succeed within the budget, dials to a dead port fail
+/// fast with a typed `Connect` error rather than hanging.
+#[test]
+fn connect_timeout_bounds_the_dial() {
+    // A live node accepts within a tight budget.
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).expect("valid appliance");
+    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(250)),
+        ..ClientConfig::default()
+    };
+    let client = NodeClient::connect_with(server.addr(), config).expect("bounded dial succeeds");
+    client.quit().expect("quit");
+    server.shutdown();
+
+    // A dead port (bound, then released) refuses: the bounded dial must
+    // error quickly and with the typed connect variant, never hang.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe port");
+        listener.local_addr().expect("probe addr")
+    };
+    let started = Instant::now();
+    let err = NodeClient::connect_with(dead_addr, config)
+        .expect_err("nothing listens on the released port");
+    assert!(
+        matches!(err, NodeError::Connect(_)),
+        "expected a connect error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "connect_timeout must bound the dial, took {:?}",
+        started.elapsed()
+    );
+}
+
+/// A write-back node must not strand dirty frames on shutdown: the
+/// server flushes them (with retries past injected faults) so the data
+/// survives in the backing file.
+#[test]
+fn shutdown_flushes_dirty_frames_despite_faults() {
+    let dir = std::env::temp_dir().join(format!("sievestore-shutdown-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("node.img");
+    {
+        let inner = FileBacking::open(&path).expect("open backing file");
+        let faulty = FaultInjectingBacking::new(inner, FaultPlan::new(2));
+        let handle = faulty.handle();
+        let cache = DataCache::new(faulty, PolicySpec::Aod, 64)
+            .expect("valid appliance")
+            .with_write_policy(WritePolicy::WriteBack);
+        let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+        let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
+
+        // Allocating write-misses leave dirty frames; the backing file
+        // has never seen this data.
+        for key in 0..4u64 {
+            client
+                .write_block(key, &block(key as u8 + 1))
+                .expect("write");
+        }
+        client.quit().expect("quit");
+
+        // Sabotage the first two flush writes; shutdown's bounded retry
+        // must still land every block.
+        handle.fail_next(2);
+        server.shutdown();
+        assert!(handle.injected_errors() >= 2, "the sabotage actually fired");
+    }
+    // Reopen the file: every dirty frame reached stable storage.
+    let reopened = FileBacking::open(&path).expect("reopen backing file");
+    for key in 0..4u64 {
+        use sievestore_node::BackingStore;
+        assert_eq!(
+            reopened.read_block(key).expect("read"),
+            block(key as u8 + 1),
+            "dirty block {key} was stranded by shutdown"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Dropping a server without calling shutdown() still flushes dirty
+/// frames best-effort.
+#[test]
+fn drop_flushes_dirty_frames() {
+    let dir = std::env::temp_dir().join(format!("sievestore-drop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("node.img");
+    {
+        let cache = DataCache::new(
+            FileBacking::open(&path).expect("open backing file"),
+            PolicySpec::Aod,
+            16,
+        )
+        .expect("valid appliance")
+        .with_write_policy(WritePolicy::WriteBack);
+        let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+        let mut client = NodeClient::connect(server.addr()).expect("connect");
+        client.write_block(9, &block(0x99)).expect("write");
+        client.quit().expect("quit");
+        drop(server);
+    }
+    use sievestore_node::BackingStore;
+    let reopened = FileBacking::open(&path).expect("reopen backing file");
+    assert_eq!(reopened.read_block(9).expect("read"), block(0x99));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The server reaps idle connections; the client notices the dead socket
+/// on its next request and transparently reconnects.
+#[test]
+fn idle_connections_are_reaped_and_clients_reconnect() {
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).expect("valid appliance");
+    let config = NodeConfig {
+        idle_timeout: Some(Duration::from_millis(50)),
+        ..NodeConfig::default()
+    };
+    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
+
+    client.write_block(4, &block(0x44)).expect("write");
+    // Let the server's idle timer reap the connection.
+    thread::sleep(Duration::from_millis(200));
+    // The next request rides a dead socket; the retry loop reconnects
+    // and re-frames it without the caller noticing.
+    let (data, _) = client.read_block(4).expect("read after idle reap");
+    assert_eq!(data, block(0x44));
+    assert!(
+        client.reconnects() >= 1,
+        "the client must have reconnected transparently"
+    );
 
     client.quit().expect("quit");
     server.shutdown();

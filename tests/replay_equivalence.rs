@@ -25,8 +25,7 @@ fn trace() -> SyntheticTrace {
 /// engine's access order and timing exactly.
 fn replay(policy: PolicySpec) -> sievestore::ApplianceStats {
     let trace = trace();
-    let mut cache =
-        DataCache::new(MemBacking::new(), policy, CAPACITY).expect("valid appliance");
+    let mut cache = DataCache::new(MemBacking::new(), policy, CAPACITY).expect("valid appliance");
     for d in 0..trace.days() {
         let day = Day::new(d);
         cache.day_boundary(day).expect("in-memory staging");
@@ -51,8 +50,8 @@ fn replay(policy: PolicySpec) -> sievestore::ApplianceStats {
 
 fn engine(policy: PolicySpec) -> sievestore_sim::DayMetrics {
     let trace = trace();
-    let cfg = SimConfig::paper_16gb(trace.config().scale.denominator())
-        .with_capacity_blocks(CAPACITY);
+    let cfg =
+        SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(CAPACITY);
     simulate_server(&trace, SERVER, policy, &cfg)
         .expect("valid policy")
         .total()
@@ -88,10 +87,7 @@ fn wmna_appliance_matches_simulator_exactly() {
 #[test]
 fn sievestore_c_appliance_matches_simulator_exactly() {
     let cfg = TwoTierConfig::paper_default().with_imct_entries(1 << 14);
-    assert_equivalent(
-        PolicySpec::SieveStoreC(cfg),
-        PolicySpec::SieveStoreC(cfg),
-    );
+    assert_equivalent(PolicySpec::SieveStoreC(cfg), PolicySpec::SieveStoreC(cfg));
 }
 
 #[test]
