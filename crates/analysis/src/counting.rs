@@ -1,9 +1,17 @@
 //! Per-block access counting — the raw material of every Figure 2/3
 //! analysis.
+//!
+//! Counting is a per-key reduction, so it splits cleanly across workers
+//! by hash partition (the paper frames SieveStore-D's offline counting
+//! as exactly this map-reduce shape): [`sharded_block_counts`] buckets a
+//! block stream with [`sievestore_types::shard_of`] — the same partition
+//! function the parallel replay engine routes work with — and
+//! [`BlockCounts::merge`] recombines shard results into a table equal to
+//! the single-pass one.
 
 use std::collections::HashMap;
 
-use sievestore_types::Request;
+use sievestore_types::{shard_of, Request};
 
 /// Access counts per block over some slice of a trace (typically one
 /// calendar day, one server, or one volume).
@@ -112,6 +120,34 @@ impl BlockCounts {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&k, &c)| (k, c))
     }
+
+    /// Folds another count table into this one. Merging is commutative
+    /// and associative (integer sums per key), so shard results combine
+    /// into the same table in any order.
+    pub fn merge(&mut self, other: &BlockCounts) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Counts a block stream split across `shards` hash partitions (keyed by
+/// [`shard_of`], matching the replay engine's worker routing). Shard `s`
+/// of the result counts exactly the keys with `shard_of(key, shards) ==
+/// s`; merging all shards with [`BlockCounts::merge`] reproduces the
+/// single-pass [`BlockCounts::from_blocks`] table.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn sharded_block_counts(blocks: impl Iterator<Item = u64>, shards: usize) -> Vec<BlockCounts> {
+    assert!(shards > 0, "shard count must be nonzero");
+    let mut parts = vec![BlockCounts::new(); shards];
+    for b in blocks {
+        parts[shard_of(b, shards)].record(b);
+    }
+    parts
 }
 
 impl<'a> FromIterator<&'a Request> for BlockCounts {
@@ -160,6 +196,41 @@ mod tests {
         assert_eq!(covered, 10);
         assert!((counts.fraction_with_at_most(1) - 0.99).abs() < 1e-12);
         assert_eq!(counts.fraction_with_at_most(10), 1.0);
+    }
+
+    #[test]
+    fn sharded_counts_merge_to_single_pass_table() {
+        let blocks: Vec<u64> = (0..500u64).map(|i| i * i % 97).collect();
+        let direct = BlockCounts::from_blocks(blocks.iter().copied());
+        for shards in [1usize, 2, 4, 8] {
+            let parts = sharded_block_counts(blocks.iter().copied(), shards);
+            assert_eq!(parts.len(), shards);
+            // Each shard holds only its own partition's keys.
+            for (s, part) in parts.iter().enumerate() {
+                for (k, _) in part.iter() {
+                    assert_eq!(sievestore_types::shard_of(k, shards), s);
+                }
+            }
+            // Merging in any order reproduces the single-pass table.
+            let mut merged = BlockCounts::new();
+            for part in parts.iter().rev() {
+                merged.merge(part);
+            }
+            assert_eq!(merged, direct, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = BlockCounts::from_blocks([1u64, 1, 2].into_iter());
+        let b = BlockCounts::from_blocks([2u64, 3].into_iter());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(2), 2);
+        assert_eq!(ab.total_accesses(), 5);
     }
 
     #[test]

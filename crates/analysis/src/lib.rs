@@ -39,5 +39,5 @@ pub use composition::{
     composition_by_server, consecutive_day_overlaps, containment_overlap, jaccard_overlap,
     ServerShare,
 };
-pub use counting::BlockCounts;
+pub use counting::{sharded_block_counts, BlockCounts};
 pub use report::{pct, thousands, write_csv, TextTable};

@@ -4,13 +4,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
-use sievestore_sim::{simulate, SimConfig};
+use sievestore_sim::{simulate, simulate_sharded, SimConfig};
 use sievestore_trace::{EnsembleConfig, SyntheticTrace};
 use sievestore_types::Day;
 
-fn policy_simulation(c: &mut Criterion) {
-    let trace = SyntheticTrace::new(EnsembleConfig::tiny(9)).expect("valid config");
-    let blocks_per_run: u64 = (0..trace.days())
+fn trace_blocks(trace: &SyntheticTrace) -> u64 {
+    (0..trace.days())
         .map(|d| {
             trace
                 .day_requests(Day::new(d))
@@ -18,7 +17,12 @@ fn policy_simulation(c: &mut Criterion) {
                 .map(|r| r.len_blocks as u64)
                 .sum::<u64>()
         })
-        .sum();
+        .sum()
+}
+
+fn policy_simulation(c: &mut Criterion) {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(9)).expect("valid config");
+    let blocks_per_run = trace_blocks(&trace);
     let cfg =
         SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(16_384);
 
@@ -42,5 +46,36 @@ fn policy_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, policy_simulation);
+/// Sequential vs sharded replay of the same SieveStore-D simulation (the
+/// sharded engine produces identical metrics; this measures the speedup).
+fn replay_modes(c: &mut Criterion) {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(9)).expect("valid config");
+    let blocks_per_run = trace_blocks(&trace);
+    let cfg =
+        SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(16_384);
+    let spec = PolicySpec::SieveStoreD { threshold: 10 };
+
+    let mut group = c.benchmark_group("replay_modes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(blocks_per_run));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(simulate(&trace, spec.clone(), &cfg).expect("valid policy")))
+    });
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    black_box(
+                        simulate_sharded(&trace, spec.clone(), &cfg, shards).expect("valid policy"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_simulation, replay_modes);
 criterion_main!(benches);

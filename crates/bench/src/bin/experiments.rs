@@ -21,9 +21,12 @@ ids:
   all        every experiment above
 
 options:
-  --scale N  trace scale denominator (default 256; smaller = higher fidelity)
-  --seed S   master RNG seed (default 0x51EE5704)
-  --out DIR  CSV output directory (default results/)";
+  --scale N    trace scale denominator (default 256; smaller = higher fidelity)
+  --seed S     master RNG seed (default 0x51EE5704)
+  --out DIR    CSV output directory (default results/)
+  --threads N  replay each simulation with N sharded workers (default 1:
+               the sequential engine; discrete policies are bit-identical
+               at any N)";
 
 const ALL: [&str; 20] = [
     "table1",
@@ -64,6 +67,7 @@ fn run() -> Result<(), String> {
     let mut scale: u32 = 256;
     let mut seed: u64 = 0x51EE_5704;
     let mut out_dir = "results".to_string();
+    let mut threads: usize = 1;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -86,6 +90,13 @@ fn run() -> Result<(), String> {
             "--out" => {
                 out_dir = iter.next().ok_or("--out needs a value")?;
             }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -101,10 +112,14 @@ fn run() -> Result<(), String> {
         ids.push("summary".to_string());
     }
 
-    let mut harness = Harness::new(scale, seed, &out_dir).map_err(|e| e.to_string())?;
+    let mut harness = Harness::new(scale, seed, &out_dir)
+        .map_err(|e| e.to_string())?
+        .with_threads(threads);
     println!(
-        "SieveStore experiments | 13-server ensemble, {} days, scale 1/{scale}, seed {seed:#x}",
-        harness.trace().days()
+        "SieveStore experiments | 13-server ensemble, {} days, scale 1/{scale}, seed {seed:#x}, \
+         replay {:?}",
+        harness.trace().days(),
+        harness.replay_mode()
     );
     println!("CSV output: {out_dir}/\n");
 

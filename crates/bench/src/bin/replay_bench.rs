@@ -1,0 +1,245 @@
+//! Replay-engine throughput benchmark and CI regression gate.
+//!
+//! Replays a fixed seeded synthetic trace through the sequential engine
+//! and the sharded engine at several thread counts, verifies the sharded
+//! per-day metrics are byte-identical to the sequential report, and
+//! writes a machine-readable `BENCH_replay.json` (events/sec, wall time,
+//! per-shard imbalance).
+//!
+//! ```text
+//! cargo run -p sievestore-bench --release --bin replay_bench -- \
+//!     --out results/BENCH_replay.json
+//! cargo run -p sievestore-bench --release --bin replay_bench -- \
+//!     --check ci/BENCH_replay.json --tolerance 0.2
+//! ```
+//!
+//! With `--check`, the fresh measurement is compared against the
+//! committed baseline: any configuration whose events/sec falls more than
+//! `--tolerance` below the baseline fails the run (exit code 1). Speedups
+//! always pass; re-baseline by committing the fresh artifact.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sievestore::PolicySpec;
+use sievestore_bench::replay_json::{compare_reports, ReplayReport, RunReport};
+use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult};
+use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
+
+const USAGE: &str = "\
+usage: replay_bench [--scale N] [--seed S] [--reps R] [--out FILE]
+                    [--check BASELINE] [--tolerance T]
+
+options:
+  --scale N       trace scale denominator (default 2048)
+  --seed S        trace seed (default 0x51EE5704)
+  --reps R        repetitions per configuration; the fastest is reported
+                  (default 3 — damps scheduler noise on shared runners)
+  --out FILE      where to write the report (default BENCH_replay.json)
+  --check FILE    compare against a committed baseline report; exit
+                  nonzero if any configuration's events/sec regresses
+  --tolerance T   allowed fractional regression for --check (default 0.2)";
+
+/// Thread counts timed in addition to the sequential engine.
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut scale: u32 = 2048;
+    let mut seed: u64 = 0x51EE_5704;
+    let mut reps: usize = 3;
+    let mut out = "BENCH_replay.json".to_string();
+    let mut check: Option<String> = None;
+    let mut tolerance: f64 = 0.2;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--reps" => {
+                reps = iter
+                    .next()
+                    .ok_or("--reps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--out" => out = iter.next().ok_or("--out needs a value")?,
+            "--check" => check = Some(iter.next().ok_or("--check needs a value")?),
+            "--tolerance" => {
+                tolerance = iter
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let trace = SyntheticTrace::new(
+        EnsembleConfig::msr_like()
+            .with_scale(Scale::new(scale).map_err(|e| e.to_string())?)
+            .with_seed(seed),
+    )
+    .map_err(|e| e.to_string())?;
+    // SieveStore-D is the paper's headline policy and is bit-identical
+    // under sharding at any thread count, so the differential check below
+    // can demand exact equality.
+    let spec = PolicySpec::SieveStoreD { threshold: 10 };
+    let cfg = SimConfig::paper_16gb(scale);
+    println!(
+        "replay_bench | scale 1/{scale}, seed {seed:#x}, {} days, policy {spec:?}",
+        trace.days()
+    );
+
+    // Every configuration runs `reps` times; the fastest wall time is
+    // reported, which damps transient scheduler noise on shared runners.
+    let mut sequential = None;
+    let mut seq_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let result = simulate(&trace, spec.clone(), &cfg).map_err(|e| e.to_string())?;
+        seq_secs = seq_secs.min(started.elapsed().as_secs_f64());
+        sequential = Some(result);
+    }
+    let sequential = sequential.expect("reps >= 1");
+    let events = sequential.total().accesses();
+    let mut runs = vec![RunReport {
+        mode: "sequential".into(),
+        threads: 1,
+        wall_secs: seq_secs,
+        events_per_sec: events as f64 / seq_secs,
+        imbalance: 1.0,
+    }];
+    print_run(runs.last().expect("just pushed"));
+
+    for &threads in &SHARD_COUNTS {
+        let mut best_secs = f64::INFINITY;
+        let mut imbalance = 1.0;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let (result, stats) =
+                simulate_sharded(&trace, spec.clone(), &cfg, threads).map_err(|e| e.to_string())?;
+            best_secs = best_secs.min(started.elapsed().as_secs_f64());
+            imbalance = stats.imbalance();
+            verify_identical(&sequential, &result, threads)?;
+        }
+        runs.push(RunReport {
+            mode: "sharded".into(),
+            threads,
+            wall_secs: best_secs,
+            events_per_sec: events as f64 / best_secs,
+            imbalance,
+        });
+        print_run(runs.last().expect("just pushed"));
+    }
+
+    let report = ReplayReport {
+        scale,
+        seed,
+        events,
+        runs,
+    };
+    let text = report.to_json();
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+        }
+    }
+    std::fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("report written to {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = ReplayReport::from_json(&baseline_text)
+            .map_err(|e| format!("parsing baseline {baseline_path}: {e}"))?;
+        match compare_reports(&report, &baseline, tolerance) {
+            Ok(lines) => {
+                println!(
+                    "baseline check passed (tolerance {:.0} %):",
+                    tolerance * 100.0
+                );
+                for line in lines {
+                    println!("  {line}");
+                }
+            }
+            Err(failures) => {
+                for failure in &failures {
+                    eprintln!("  {failure}");
+                }
+                eprintln!(
+                    "performance gate failed: {} configuration(s) regressed beyond {:.0} %",
+                    failures.len(),
+                    tolerance * 100.0
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_run(run: &RunReport) {
+    println!(
+        "  {:<10} {} thread(s): {:>10.0} events/s, {:.2}s wall, imbalance {:.3}",
+        run.mode, run.threads, run.events_per_sec, run.wall_secs, run.imbalance
+    );
+}
+
+/// The differential guarantee the bench rides on: a benchmark of a
+/// *wrong* parallel engine is meaningless, so every timed sharded run is
+/// also checked for metric equality with the sequential report.
+fn verify_identical(
+    sequential: &SimResult,
+    sharded: &SimResult,
+    threads: usize,
+) -> Result<(), String> {
+    if sequential.days != sharded.days {
+        return Err(format!(
+            "sharded replay at {threads} threads diverged from the sequential report \
+             ({} vs {} days; first differing day: {:?})",
+            sharded.days.len(),
+            sequential.days.len(),
+            sequential
+                .days
+                .iter()
+                .zip(&sharded.days)
+                .position(|(a, b)| a != b)
+        ));
+    }
+    Ok(())
+}

@@ -15,6 +15,7 @@
 pub mod cost;
 pub mod extensions;
 pub mod policies;
+pub mod replay_json;
 pub mod sens;
 pub mod summary;
 pub mod workload;
@@ -23,7 +24,7 @@ use std::path::{Path, PathBuf};
 
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
-use sievestore_sim::{ideal_top_selections, simulate_many, SimConfig, SimResult};
+use sievestore_sim::{ideal_top_selections, simulate_many, ReplayMode, SimConfig, SimResult};
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
 use sievestore_types::SieveError;
 
@@ -86,6 +87,7 @@ impl PolicyRuns {
 pub struct Harness {
     trace: SyntheticTrace,
     results_dir: PathBuf,
+    replay: ReplayMode,
     runs: Option<PolicyRuns>,
 }
 
@@ -103,8 +105,27 @@ impl Harness {
         Ok(Harness {
             trace: SyntheticTrace::new(config)?,
             results_dir: results_dir.as_ref().to_path_buf(),
+            replay: ReplayMode::Sequential,
             runs: None,
         })
+    }
+
+    /// Replays every simulation with `threads` sharded workers (`0`/`1`
+    /// select the sequential engine). Discrete-policy figures are
+    /// bit-identical at any thread count; continuous policies split the
+    /// cache and RNG per shard, so their figures can deviate slightly
+    /// under capacity pressure (see `sievestore_sim::replay`). Clears
+    /// any cached runs.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.replay = ReplayMode::threads(threads);
+        self.runs = None;
+        self
+    }
+
+    /// The replay mode simulations run with.
+    pub fn replay_mode(&self) -> ReplayMode {
+        self.replay
     }
 
     /// Creates a fast, small-scale harness (for tests and smoke runs).
@@ -154,8 +175,8 @@ impl Harness {
         let imct = imct_entries_for_scale(scale);
         let two_tier = TwoTierConfig::paper_default().with_imct_entries(imct);
 
-        let cfg16 = SimConfig::paper_16gb(scale);
-        let cfg32 = SimConfig::paper_32gb(scale);
+        let cfg16 = SimConfig::paper_16gb(scale).with_replay(self.replay);
+        let cfg32 = SimConfig::paper_32gb(scale).with_replay(self.replay);
 
         let group16 = simulate_many(
             &self.trace,

@@ -158,6 +158,16 @@ impl PolicySpec {
         }
     }
 
+    /// Whether this spec builds a discrete (epoch-batched) policy.
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            PolicySpec::SieveStoreD { .. }
+                | PolicySpec::RandSieveBlkD { .. }
+                | PolicySpec::IdealTop1 { .. }
+        )
+    }
+
     fn build(self) -> Result<Box<dyn AllocationPolicy + Send>, SieveError> {
         Ok(match self {
             PolicySpec::Aod => Box::new(Aod::new()),
@@ -173,6 +183,47 @@ impl PolicySpec {
             PolicySpec::IdealTop1 { selections } => Box::new(IdealTop1::new(selections)),
         })
     }
+
+    /// Builds shard `shard` of a continuous policy split across `shards`
+    /// hash-partitioned replay workers. AOD/WMNA are stateless per key
+    /// and build unchanged; SieveStore-C builds with a sliced IMCT;
+    /// RandSieve-C reseeds per shard (shard 0 keeps the original seed so
+    /// a one-shard run is identical to the sequential policy).
+    ///
+    /// Discrete policies cannot be built per shard — their epoch batch
+    /// cache is a global structure the replay engine synchronizes at day
+    /// boundaries instead.
+    fn build_sharded(
+        self,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Box<dyn AllocationPolicy + Send>, SieveError> {
+        if shard >= shards {
+            return Err(SieveError::InvalidConfig(format!(
+                "shard index {shard} out of range for {shards} shards"
+            )));
+        }
+        Ok(match self {
+            PolicySpec::Aod => Box::new(Aod::new()),
+            PolicySpec::Wmna => Box::new(Wmna::new()),
+            PolicySpec::SieveStoreC(cfg) => Box::new(SieveStoreC::for_shard(cfg, shard, shards)?),
+            PolicySpec::RandSieveC { probability, seed } => {
+                let seed = if shard == 0 {
+                    seed
+                } else {
+                    seed ^ sievestore_types::mix64(shard as u64)
+                };
+                Box::new(RandSieveC::new(probability, seed)?)
+            }
+            discrete => {
+                return Err(SieveError::InvalidConfig(format!(
+                    "discrete policy {} cannot be built per shard; \
+                     the replay engine batches it at epoch boundaries",
+                    discrete.name()
+                )))
+            }
+        })
+    }
 }
 
 /// Builder for [`SieveStore`].
@@ -180,6 +231,7 @@ impl PolicySpec {
 pub struct SieveStoreBuilder {
     capacity_blocks: usize,
     policy: PolicySpec,
+    sharding: Option<(usize, usize)>,
 }
 
 impl SieveStoreBuilder {
@@ -189,10 +241,15 @@ impl SieveStoreBuilder {
         SieveStoreBuilder {
             capacity_blocks: sievestore_types::gib_to_blocks(16) as usize,
             policy: PolicySpec::SieveStoreC(TwoTierConfig::paper_default()),
+            sharding: None,
         }
     }
 
     /// Sets the cache capacity in 512-byte frames.
+    ///
+    /// Under [`SieveStoreBuilder::shard`], this is the *total* capacity
+    /// of the logical cache; the built shard receives its even split
+    /// (remainder frames go to the lowest-numbered shards).
     #[must_use]
     pub fn capacity_blocks(mut self, blocks: usize) -> Self {
         self.capacity_blocks = blocks;
@@ -206,23 +263,47 @@ impl SieveStoreBuilder {
         self
     }
 
+    /// Builds the appliance as shard `shard` of `shards` hash-partitioned
+    /// replay workers: the policy's metastate is sliced to the shard's
+    /// key partition and the capacity is split evenly. Only continuous
+    /// policies support this (discrete policies batch globally at epoch
+    /// boundaries instead — the replay engine handles them separately).
+    #[must_use]
+    pub fn shard(mut self, shard: usize, shards: usize) -> Self {
+        self.sharding = Some((shard, shards));
+        self
+    }
+
     /// Builds the appliance.
     ///
     /// # Errors
     ///
-    /// Returns [`SieveError::InvalidConfig`] for a zero capacity or an
-    /// invalid policy configuration.
+    /// Returns [`SieveError::InvalidConfig`] for a zero capacity, an
+    /// invalid policy configuration, or an unsatisfiable shard split.
     pub fn build(self) -> Result<SieveStore, SieveError> {
         if self.capacity_blocks == 0 {
             return Err(SieveError::InvalidConfig(
                 "cache capacity must be nonzero".into(),
             ));
         }
-        let policy = self.policy.build()?;
+        let (policy, capacity) = match self.sharding {
+            None => (self.policy.build()?, self.capacity_blocks),
+            Some((shard, shards)) => {
+                if shards == 0 {
+                    return Err(SieveError::InvalidConfig("shard count must be > 0".into()));
+                }
+                let base = self.capacity_blocks / shards;
+                let extra = usize::from(shard < self.capacity_blocks % shards);
+                (
+                    self.policy.build_sharded(shard, shards)?,
+                    (base + extra).max(1),
+                )
+            }
+        };
         let cache = if policy.is_discrete() {
-            CacheKind::Batch(BatchCache::new(self.capacity_blocks))
+            CacheKind::Batch(BatchCache::new(capacity))
         } else {
-            CacheKind::Lru(LruCache::new(self.capacity_blocks))
+            CacheKind::Lru(LruCache::new(capacity))
         };
         Ok(SieveStore {
             cache,
@@ -490,6 +571,70 @@ mod tests {
             store.access(u64::MAX, RequestKind::Read, t()),
             AccessOutcome::Hit
         );
+    }
+
+    #[test]
+    fn sharded_builder_splits_capacity_and_routes_policies() {
+        let cfg = TwoTierConfig::paper_default().with_imct_entries(1 << 12);
+        for shard in 0..3usize {
+            let store = SieveStoreBuilder::new()
+                .capacity_blocks(10)
+                .policy(PolicySpec::Aod)
+                .shard(shard, 3)
+                .build()
+                .expect("valid shard");
+            // 10 frames over 3 shards: 4 + 3 + 3.
+            let expect = if shard == 0 { 4 } else { 3 };
+            assert_eq!(store.capacity_blocks(), expect);
+        }
+        // Discrete policies refuse per-shard construction.
+        assert!(SieveStoreBuilder::new()
+            .policy(PolicySpec::SieveStoreD { threshold: 10 })
+            .shard(0, 2)
+            .build()
+            .is_err());
+        // A shard count that does not divide the IMCT is rejected.
+        assert!(SieveStoreBuilder::new()
+            .policy(PolicySpec::SieveStoreC(cfg))
+            .shard(0, 3)
+            .build()
+            .is_err());
+        assert!(SieveStoreBuilder::new()
+            .policy(PolicySpec::Aod)
+            .shard(2, 2)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn one_shard_aod_behaves_like_unsharded() {
+        let mut whole = build(PolicySpec::Aod, 8);
+        let mut sharded = SieveStoreBuilder::new()
+            .capacity_blocks(8)
+            .policy(PolicySpec::Aod)
+            .shard(0, 1)
+            .build()
+            .unwrap();
+        for key in [1u64, 2, 1, 3, 2, 1] {
+            assert_eq!(
+                whole.access(key, RequestKind::Read, t()),
+                sharded.access(key, RequestKind::Read, t())
+            );
+        }
+        assert_eq!(whole.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn spec_discreteness_matches_built_policy() {
+        assert!(!PolicySpec::Aod.is_discrete());
+        assert!(!PolicySpec::SieveStoreC(TwoTierConfig::paper_default()).is_discrete());
+        assert!(PolicySpec::SieveStoreD { threshold: 1 }.is_discrete());
+        assert!(PolicySpec::IdealTop1 { selections: vec![] }.is_discrete());
+        assert!(PolicySpec::RandSieveBlkD {
+            fraction: 0.5,
+            seed: 1
+        }
+        .is_discrete());
     }
 
     #[test]

@@ -169,6 +169,26 @@ impl SieveStoreC {
         })
     }
 
+    /// Creates shard `shard` of the policy split across `shards` parallel
+    /// replay workers: its sieve owns the matching slice of the logical
+    /// IMCT (see [`TwoTierSieve::for_shard`]) and, fed only its
+    /// partition's misses, reproduces the whole sieve's decisions for
+    /// those keys exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `shards` does not divide
+    /// `config.imct_entries` or `shard` is out of range.
+    pub fn for_shard(
+        config: TwoTierConfig,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Self, SieveError> {
+        Ok(SieveStoreC {
+            sieve: TwoTierSieve::for_shard(config, shard, shards)?,
+        })
+    }
+
     /// Access to the underlying sieve (metastate diagnostics).
     pub fn sieve(&self) -> &TwoTierSieve {
         &self.sieve

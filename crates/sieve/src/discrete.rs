@@ -1,7 +1,7 @@
 //! SieveStore-D's access-count discrete batch-allocation (ADBA) sieve.
 //!
 //! All accesses of an epoch are counted (via any
-//! [`AccessCounter`](sievestore_extsort::AccessCounter) — the in-memory
+//! [`AccessCounter`] — the in-memory
 //! map or the paper's hash-partitioned log), and at the epoch boundary the
 //! blocks whose count reached the threshold `t` (paper: `t` = 10 with
 //! one-day epochs) are selected for batch allocation into the next epoch's

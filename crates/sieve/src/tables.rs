@@ -15,19 +15,21 @@
 
 use std::collections::HashMap;
 
-use sievestore_types::Micros;
+use sievestore_types::{mix64, Micros};
 
 use crate::window::{WindowConfig, WindowedCounter};
 
-/// SplitMix64 finalizer; the IMCT slot hash.
-fn mix(key: u64) -> u64 {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// The imprecise (aliased) miss-count table.
+///
+/// Slots are indexed by the workspace-wide [`mix64`] hash. A table can
+/// also be built as one *shard* of a larger logical table
+/// ([`Imct::for_shard`]): shard `s` of `n` owns exactly the global slots
+/// `g` with `g % n == s`, stored contiguously at local index `g / n`.
+/// Because the replay engine routes keys to workers with the same hash
+/// (`shard_of(key, n) == global_slot % n` whenever `n` divides the slot
+/// count), the shard sees every key of its slots and no others — so the
+/// sharded slot states, including aliasing collisions, are bit-identical
+/// to the sequential table's.
 ///
 /// # Examples
 ///
@@ -44,6 +46,10 @@ fn mix(key: u64) -> u64 {
 pub struct Imct {
     entries: Vec<WindowedCounter>,
     config: WindowConfig,
+    /// Modulus of the logical (unsharded) table this one is a slice of.
+    total_slots: u64,
+    /// Number of shards the logical table is split across (1 = whole).
+    stride: u64,
 }
 
 impl Imct {
@@ -57,10 +63,43 @@ impl Imct {
         Imct {
             entries: vec![WindowedCounter::new(config.subwindows); entries],
             config,
+            total_slots: entries as u64,
+            stride: 1,
         }
     }
 
-    /// Number of slots.
+    /// Creates shard `shard` of a logical `total_entries`-slot table split
+    /// across `shards` workers. The shard holds `total_entries / shards`
+    /// slots — the global slots congruent to `shard` modulo `shards` —
+    /// and reproduces the logical table's slot states exactly for every
+    /// key whose global slot it owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `shard >= shards`, or `shards` does not
+    /// divide `total_entries` (divisibility is what aligns slot ownership
+    /// with the `mix64`-based key partition).
+    pub fn for_shard(
+        total_entries: usize,
+        shard: usize,
+        shards: usize,
+        config: WindowConfig,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be nonzero");
+        assert!(shard < shards, "shard index out of range");
+        assert!(
+            total_entries.is_multiple_of(shards) && total_entries > 0,
+            "shard count must divide the imct slot count"
+        );
+        Imct {
+            entries: vec![WindowedCounter::new(config.subwindows); total_entries / shards],
+            config,
+            total_slots: total_entries as u64,
+            stride: shards as u64,
+        }
+    }
+
+    /// Number of slots held locally.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -70,9 +109,12 @@ impl Imct {
         self.entries.is_empty()
     }
 
-    /// The slot a key maps to (exposed for aliasing tests).
+    /// The local slot a key maps to (exposed for aliasing tests). For a
+    /// sharded table this is only meaningful for keys routed to this
+    /// shard (`shard_of(key, shards)` equal to this shard's index).
     pub fn slot_of(&self, key: u64) -> usize {
-        (mix(key) % self.entries.len() as u64) as usize
+        let global = mix64(key) % self.total_slots;
+        (global / self.stride) as usize
     }
 
     /// Records a miss for `key` at time `now`; returns the slot's
@@ -272,6 +314,46 @@ mod tests {
         assert!(mct.remove(5));
         assert!(!mct.remove(5));
         assert!(mct.is_empty());
+    }
+
+    #[test]
+    fn sharded_imct_reproduces_global_slot_states() {
+        // Route keys by shard_of and compare every shard's counts against
+        // the unsharded table — including aliasing within a slot.
+        let total = 64;
+        let shards = 4;
+        let mut whole = Imct::new(total, cfg());
+        let mut parts: Vec<Imct> = (0..shards)
+            .map(|s| Imct::for_shard(total, s, shards, cfg()))
+            .collect();
+        let now = Micros::from_hours(1);
+        for key in 0..5000u64 {
+            let whole_count = whole.record_miss(key, now);
+            let s = sievestore_types::shard_of(key, shards);
+            let part_count = parts[s].record_miss(key, now);
+            assert_eq!(whole_count, part_count, "key {key} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_imct_slot_indices_stay_in_range() {
+        let parts: Vec<Imct> = (0..8)
+            .map(|s| Imct::for_shard(1 << 10, s, 8, cfg()))
+            .collect();
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), 128);
+            for key in 0..2000u64 {
+                if sievestore_types::shard_of(key, 8) == s {
+                    assert!(part.slot_of(key) < part.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn sharded_imct_requires_divisibility() {
+        let _ = Imct::for_shard(100, 0, 3, cfg());
     }
 
     #[test]

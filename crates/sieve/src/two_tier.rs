@@ -1,9 +1,9 @@
 //! The two-tier sieve of SieveStore-C.
 //!
 //! Flow on every cache miss (§3.3): the miss is first counted in the
-//! aliased [`Imct`](crate::Imct). Only once a block's (possibly inflated)
+//! aliased [`Imct`]. Only once a block's (possibly inflated)
 //! IMCT count reaches `t1` does the block graduate to the precise
-//! [`Mct`](crate::Mct), where it must see `t2` *additional* misses within
+//! [`Mct`], where it must see `t2` *additional* misses within
 //! the window before it qualifies for allocation. The paper tunes
 //! `t1` = 9 and `t2` = 4 over an 8-hour window of 4 subwindows, and
 //! reports ~8 GB of metastate for its traces.
@@ -32,8 +32,6 @@ pub struct TwoTierConfig {
     pub window: WindowConfig,
     /// Number of IMCT slots.
     pub imct_entries: usize,
-    /// Prune the MCT after this many misses processed.
-    pub prune_every: u64,
 }
 
 impl TwoTierConfig {
@@ -45,7 +43,6 @@ impl TwoTierConfig {
             t2: 4,
             window: WindowConfig::paper_default(),
             imct_entries: 1 << 20,
-            prune_every: 1 << 20,
         }
     }
 
@@ -86,8 +83,27 @@ impl TwoTierConfig {
                 "sieve thresholds must be positive".into(),
             ));
         }
-        if self.prune_every == 0 {
-            return Err(SieveError::InvalidConfig("prune_every must be > 0".into()));
+        Ok(())
+    }
+
+    /// Validates that this configuration can be split across `shards`
+    /// parallel workers: the shard count must divide the IMCT slot count
+    /// so slot ownership aligns with the `mix64` key partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `shards` is zero or does
+    /// not divide `imct_entries`.
+    pub fn validate_sharding(&self, shards: usize) -> Result<(), SieveError> {
+        self.validate()?;
+        if shards == 0 {
+            return Err(SieveError::InvalidConfig("shard count must be > 0".into()));
+        }
+        if !self.imct_entries.is_multiple_of(shards) {
+            return Err(SieveError::InvalidConfig(format!(
+                "shard count {shards} must divide imct_entries {}",
+                self.imct_entries
+            )));
         }
         Ok(())
     }
@@ -126,6 +142,12 @@ pub struct TwoTierSieve {
     imct: Imct,
     mct: Mct,
     misses_seen: u64,
+    /// Subwindow of the most recent miss; MCT pruning triggers when it
+    /// advances, so prune timing is a function of trace time alone (not
+    /// of how many misses this instance happened to observe — which
+    /// keeps a sharded sieve's per-key state identical to a sequential
+    /// one's).
+    last_sub: Option<u64>,
     /// Diagnostics: how many misses graduated past the IMCT.
     graduated: u64,
     /// Diagnostics: how many allocations were granted.
@@ -145,6 +167,42 @@ impl TwoTierSieve {
             mct: Mct::new(config.window),
             config,
             misses_seen: 0,
+            last_sub: None,
+            graduated: 0,
+            granted: 0,
+        })
+    }
+
+    /// Creates shard `shard` of a sieve split across `shards` parallel
+    /// workers: the IMCT holds this shard's slice of the logical slot
+    /// array ([`Imct::for_shard`]) and the MCT starts empty (it is
+    /// per-key, so hash partitioning splits it trivially).
+    ///
+    /// Fed only the misses of keys with `shard_of(key, shards) == shard`,
+    /// the shard reproduces the whole sieve's decisions for those keys
+    /// exactly — see the sharded-replay design notes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `config` fails validation
+    /// or `shards` does not divide `config.imct_entries`.
+    pub fn for_shard(
+        config: TwoTierConfig,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Self, SieveError> {
+        config.validate_sharding(shards)?;
+        if shard >= shards {
+            return Err(SieveError::InvalidConfig(format!(
+                "shard index {shard} out of range for {shards} shards"
+            )));
+        }
+        Ok(TwoTierSieve {
+            imct: Imct::for_shard(config.imct_entries, shard, shards, config.window),
+            mct: Mct::new(config.window),
+            config,
+            misses_seen: 0,
+            last_sub: None,
             graduated: 0,
             granted: 0,
         })
@@ -160,10 +218,22 @@ impl TwoTierSieve {
     ///
     /// Qualification resets the block's MCT entry, so a block that gets
     /// allocated, evicted and misses again must re-earn its frame.
+    ///
+    /// Stale MCT entries are pruned at subwindow boundaries, before the
+    /// first miss of each new subwindow is processed. Staleness is
+    /// constant within a subwindow, so any key's visible MCT state
+    /// depends only on the subwindow sequence of its own misses — not on
+    /// interleaved misses of other keys.
     pub fn on_miss(&mut self, key: u64, now: Micros) -> bool {
         self.misses_seen += 1;
-        if self.misses_seen.is_multiple_of(self.config.prune_every) {
-            self.mct.prune(now);
+        let sub = self.config.window.subwindow_index(now);
+        match self.last_sub {
+            Some(prev) if sub > prev => {
+                self.mct.prune(now);
+                self.last_sub = Some(sub);
+            }
+            None => self.last_sub = Some(sub),
+            _ => {}
         }
         let imct_count = self.imct.record_miss(key, now);
         if imct_count < self.config.t1 {
@@ -348,6 +418,56 @@ mod tests {
         );
         assert!(sieve.memory_bytes() > 0);
         assert_eq!(sieve.misses_seen(), 10_000);
+    }
+
+    #[test]
+    fn boundary_prune_is_time_driven() {
+        // A stale MCT entry is dropped by the first miss of a later
+        // subwindow, regardless of which key that miss is for.
+        let mut sieve = small(1, 3);
+        sieve.on_miss(1, Micros::from_hours(0));
+        sieve.on_miss(1, Micros::from_hours(0));
+        assert!(sieve.mct_len() > 0);
+        // 20 hours later (10 subwindows), an unrelated key's miss prunes.
+        sieve.on_miss(2, Micros::from_hours(20));
+        assert_eq!(sieve.mct_len(), 1, "only key 2's fresh entry remains");
+    }
+
+    #[test]
+    fn sharded_sieve_matches_whole_sieve_decisions() {
+        let cfg = TwoTierConfig::paper_default()
+            .with_imct_entries(1 << 8)
+            .with_thresholds(3, 2);
+        let shards = 4;
+        let mut whole = TwoTierSieve::new(cfg).unwrap();
+        let mut parts: Vec<TwoTierSieve> = (0..shards)
+            .map(|s| TwoTierSieve::for_shard(cfg, s, shards).unwrap())
+            .collect();
+        // A deterministic mixed stream: repeated hot keys + cold singles,
+        // spread over several subwindows.
+        let mut granted = 0u64;
+        for i in 0..20_000u64 {
+            let key = if i % 3 == 0 { i % 17 } else { i };
+            let now = Micros::from_hours(i / 4000);
+            let s = sievestore_types::shard_of(key, shards);
+            let whole_says = whole.on_miss(key, now);
+            let part_says = parts[s].on_miss(key, now);
+            assert_eq!(whole_says, part_says, "miss {i} key {key} diverged");
+            granted += u64::from(whole_says);
+        }
+        assert!(granted > 0, "stream should grant some allocations");
+        let part_granted: u64 = parts.iter().map(|p| p.granted()).sum();
+        assert_eq!(whole.granted(), part_granted);
+    }
+
+    #[test]
+    fn sharded_sieve_rejects_bad_split() {
+        let cfg = TwoTierConfig::paper_default().with_imct_entries(100);
+        assert!(TwoTierSieve::for_shard(cfg, 0, 3).is_err(), "3 ∤ 100");
+        let cfg = TwoTierConfig::paper_default().with_imct_entries(1 << 8);
+        assert!(TwoTierSieve::for_shard(cfg, 4, 4).is_err(), "index range");
+        assert!(cfg.validate_sharding(0).is_err());
+        assert!(cfg.validate_sharding(4).is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use sievestore_trace::SyntheticTrace;
 use sievestore_types::{Day, Request, SieveError, BLOCKS_PER_PAGE};
 
 use crate::metrics::{DayMetrics, SimResult};
+use crate::replay::{self, ReplayMode};
 
 /// Engine configuration shared by all policies in a run.
 #[derive(Debug, Clone)]
@@ -42,6 +43,9 @@ pub struct SimConfig {
     /// Charge discrete batch moves to the per-minute occupancy (spread
     /// over the boundary hour) instead of assuming slack scheduling.
     pub charge_batch_moves: bool,
+    /// How the engine walks the trace: the sequential reference path or
+    /// hash-partitioned sharded replay (see [`crate::replay`]).
+    pub replay: ReplayMode,
 }
 
 impl SimConfig {
@@ -54,6 +58,7 @@ impl SimConfig {
             ssd: SsdSpec::x25e(),
             load_multiplier: scale_denominator as f64,
             charge_batch_moves: false,
+            replay: ReplayMode::Sequential,
         }
     }
 
@@ -76,6 +81,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_charge_batch_moves(mut self, charge: bool) -> Self {
         self.charge_batch_moves = charge;
+        self
+    }
+
+    /// Selects the replay mode (sequential or sharded).
+    #[must_use]
+    pub fn with_replay(mut self, replay: ReplayMode) -> Self {
+        self.replay = replay;
         self
     }
 }
@@ -229,6 +241,9 @@ pub fn simulate_server(
     spec: PolicySpec,
     cfg: &SimConfig,
 ) -> Result<SimResult, SieveError> {
+    if let ReplayMode::Sharded(n) = cfg.replay {
+        return replay::simulate_server_sharded(trace, server_idx, spec, cfg, n).map(|(r, _)| r);
+    }
     let total_minutes = trace.days() as usize * 24 * 60;
     let name = spec.name().to_string();
     let mut run = Run::new(spec, cfg, total_minutes)?;
@@ -255,6 +270,14 @@ pub fn simulate_many(
     specs: Vec<PolicySpec>,
     cfg: &SimConfig,
 ) -> Result<Vec<SimResult>, SieveError> {
+    if let ReplayMode::Sharded(n) = cfg.replay {
+        // Sharded replay parallelizes *within* each policy, so policies
+        // run one after another instead of fanning out across threads.
+        return specs
+            .into_iter()
+            .map(|spec| replay::simulate_sharded(trace, spec, cfg, n).map(|(r, _)| r))
+            .collect();
+    }
     let total_minutes = trace.days() as usize * 24 * 60;
     let names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
     let mut runs: Vec<Run> = specs

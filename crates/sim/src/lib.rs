@@ -35,6 +35,7 @@ pub mod engine;
 pub mod metrics;
 pub mod oracle;
 pub mod per_server;
+pub mod replay;
 pub mod sweep;
 
 pub use belady::{belady_counterexample, belady_min, belady_selective, pinned_set, OfflineResult};
@@ -45,4 +46,5 @@ pub use per_server::{
     drive_cost_comparison, ensemble_ideal_capture, per_server_ideal_capture, simulate_per_server,
     CaptureSeries,
 };
+pub use replay::{simulate_server_sharded, simulate_sharded, ReplayMode, ReplayStats};
 pub use sweep::{threshold_sweep, window_sweep, SweepPoint};

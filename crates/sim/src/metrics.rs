@@ -58,6 +58,20 @@ impl DayMetrics {
         self.write_hits + self.total_allocation_writes()
     }
 
+    /// Folds another day's counters into this one. All fields are integer
+    /// sums, so merging is commutative and associative — per-shard metrics
+    /// from the parallel replay engine combine into the same totals in any
+    /// order, and ratios ([`Self::captured_fraction`]) are only derived at
+    /// report time from the merged integers.
+    pub fn merge(&mut self, other: &DayMetrics) {
+        self.read_hits += other.read_hits;
+        self.write_hits += other.write_hits;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.allocation_writes += other.allocation_writes;
+        self.batch_allocations += other.batch_allocations;
+    }
+
     /// Folds one block access outcome in.
     pub fn record_access(&mut self, kind: RequestKind, hit: bool, allocated: bool) {
         match (kind, hit) {
@@ -95,12 +109,7 @@ impl SimResult {
     pub fn total(&self) -> DayMetrics {
         let mut t = DayMetrics::default();
         for d in &self.days {
-            t.read_hits += d.read_hits;
-            t.write_hits += d.write_hits;
-            t.read_misses += d.read_misses;
-            t.write_misses += d.write_misses;
-            t.allocation_writes += d.allocation_writes;
-            t.batch_allocations += d.batch_allocations;
+            t.merge(d);
         }
         t
     }
@@ -172,6 +181,25 @@ mod tests {
         d.record_access(RequestKind::Read, false, true);
         d.record_access(RequestKind::Write, false, false);
         assert_eq!(d, metrics(1, 1, 1, 1, 1, 0));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let days = [
+            metrics(1, 2, 3, 4, 5, 6),
+            metrics(7, 0, 1, 0, 9, 0),
+            metrics(0, 0, 100, 0, 0, 3),
+        ];
+        let mut fwd = DayMetrics::default();
+        for d in &days {
+            fwd.merge(d);
+        }
+        let mut rev = DayMetrics::default();
+        for d in days.iter().rev() {
+            rev.merge(d);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, metrics(8, 2, 104, 4, 14, 9));
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub fn drive_cost_comparison(servers: usize, ensemble_drives: u32) -> (u32, u32)
 /// Simulates a *per-server* deployment of one policy (quadrants III/IV of
 /// the paper's Figure 1): the total cache capacity is split evenly across
 /// the servers, each server's requests run against its private cache, and
-/// the per-day metrics are summed.
+/// the per-day metrics and per-minute device loads are combined with the
+/// commutative merges ([`crate::metrics::DayMetrics::merge`],
+/// [`sievestore_ssd::OccupancyTracker::merge`]).
 ///
 /// `spec_for` builds each server's policy (stateful policies must not be
 /// shared across servers).
@@ -130,19 +132,14 @@ pub fn simulate_per_server(
         combined = Some(match combined {
             None => result,
             Some(mut acc) => {
-                for (d, m) in result.days.iter().enumerate() {
-                    if d >= acc.days.len() {
-                        acc.days
-                            .resize(d + 1, crate::metrics::DayMetrics::default());
-                    }
-                    let a = &mut acc.days[d];
-                    a.read_hits += m.read_hits;
-                    a.write_hits += m.write_hits;
-                    a.read_misses += m.read_misses;
-                    a.write_misses += m.write_misses;
-                    a.allocation_writes += m.allocation_writes;
-                    a.batch_allocations += m.batch_allocations;
+                if result.days.len() > acc.days.len() {
+                    acc.days
+                        .resize(result.days.len(), crate::metrics::DayMetrics::default());
                 }
+                for (a, m) in acc.days.iter_mut().zip(&result.days) {
+                    a.merge(m);
+                }
+                acc.occupancy.merge(&result.occupancy);
                 acc
             }
         });

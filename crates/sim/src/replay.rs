@@ -1,0 +1,701 @@
+//! Parallel sharded trace replay with deterministic, merge-identical
+//! metrics.
+//!
+//! The sequential engine ([`crate::simulate`]) processes every block
+//! access in trace order on one thread. This module hash-partitions the
+//! block-id space across `n` worker shards with
+//! [`sievestore_types::shard_of`] — the same partition function
+//! [`sievestore_analysis`-style counting](sievestore_types::shard_of)
+//! uses — so each worker owns a disjoint slice of the sieve metastate and
+//! cache frames and sees its partition's accesses in global trace order
+//! (a subsequence of the sequential stream).
+//!
+//! # Architecture
+//!
+//! * The **coordinator** (caller thread) walks the trace day by day,
+//!   splits each request's blocks by shard, and streams per-shard block
+//!   groups over bounded `crossbeam` channels (backpressure keeps the
+//!   pipeline memory-bounded).
+//! * **Continuous policies** (AOD, WMNA, SieveStore-C, RandSieve-C) are
+//!   built per shard via [`sievestore::SieveStoreBuilder::shard`]: the
+//!   IMCT is slot-sliced so per-key sieve state is bit-identical to the
+//!   whole sieve's, and the LRU capacity is split evenly. Day boundaries
+//!   are no-ops for these policies, so workers run barrier-free.
+//! * **Discrete policies** (SieveStore-D, RandSieve-BlkD, Ideal) keep
+//!   per-shard *bookkeeping* only (epoch access counts / accessed sets);
+//!   the epoch cache itself stays global. At each day boundary the
+//!   coordinator collects every shard's contribution, merges them into
+//!   the exact selection the sequential policy would produce (sorted
+//!   concatenation of disjoint sorted slices), installs it into the one
+//!   [`BatchCache`], and broadcasts the new resident set to the workers
+//!   as an `Arc` snapshot. The boundary is the only synchronization
+//!   point, so batch allocation and epoch rotation stay globally ordered.
+//!
+//! # Determinism
+//!
+//! Per-day [`DayMetrics`] merge with commutative integer sums
+//! ([`DayMetrics::merge`]), so the merged report does not depend on
+//! worker scheduling — replaying the same trace at any shard count is
+//! reproducible, and [`ReplayMode::Sharded`]`(1)` is byte-identical to
+//! the sequential engine for every policy. For `n > 1` the per-key
+//! policy decisions are exact (hash-sliced metastate, global batch
+//! state), which makes discrete policies byte-identical at any shard
+//! count and continuous policies byte-identical whenever capacity is
+//! ample (no evictions); a global LRU's eviction order is inherently
+//! sequential, so under capacity pressure per-shard LRUs are an
+//! approximation. RandSieve-C reseeds per shard (its RNG is consumed in
+//! global miss order, which sharding cannot reproduce). Device
+//! *occupancy* rounds sub-page remainders per request-shard fragment
+//! rather than per request, so sharded page counts are an upper bound of
+//! sequential ones (equal at one shard); all block-level metrics are
+//! unaffected. See DESIGN.md §"Sharded replay" for the full argument.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::thread;
+
+use sievestore::policy::RandSieveBlkD;
+use sievestore::{PolicySpec, SieveStore, SieveStoreBuilder};
+use sievestore_cache::BatchCache;
+use sievestore_extsort::InMemoryCounter;
+use sievestore_sieve::{random_block_selection, DiscreteSieve};
+use sievestore_ssd::OccupancyTracker;
+use sievestore_trace::SyntheticTrace;
+use sievestore_types::{
+    shard_of, Day, Micros, Minute, Request, RequestKind, SieveError, BLOCKS_PER_PAGE,
+};
+
+use crate::engine::SimConfig;
+use crate::metrics::{DayMetrics, SimResult};
+
+/// How the engine walks the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// One thread, strict trace order (the reference engine).
+    #[default]
+    Sequential,
+    /// Hash-partitioned replay across this many worker shards.
+    Sharded(usize),
+}
+
+impl ReplayMode {
+    /// The mode for a requested thread count: `0` or `1` select the
+    /// sequential engine, anything larger shards across that many
+    /// workers.
+    pub fn threads(n: usize) -> Self {
+        if n <= 1 {
+            ReplayMode::Sequential
+        } else {
+            ReplayMode::Sharded(n)
+        }
+    }
+
+    /// Number of replay worker threads this mode uses.
+    pub fn worker_count(self) -> usize {
+        match self {
+            ReplayMode::Sequential => 1,
+            ReplayMode::Sharded(n) => n,
+        }
+    }
+}
+
+/// Execution statistics of one sharded replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Block accesses routed to each shard.
+    pub per_shard_blocks: Vec<u64>,
+}
+
+impl ReplayStats {
+    /// Total block accesses replayed.
+    pub fn total_blocks(&self) -> u64 {
+        self.per_shard_blocks.iter().sum()
+    }
+
+    /// Load imbalance: the busiest shard's share of blocks divided by the
+    /// mean share (1.0 is perfectly balanced). Returns 1.0 when nothing
+    /// was replayed.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_blocks();
+        if total == 0 || self.per_shard_blocks.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_shard_blocks.iter().max().expect("nonempty") as f64;
+        let mean = total as f64 / self.per_shard_blocks.len() as f64;
+        max / mean
+    }
+}
+
+/// One request's blocks restricted to a single shard, with everything a
+/// worker needs to mirror the sequential engine's accounting.
+struct Group {
+    day: Day,
+    minute: Minute,
+    completion_minute: Minute,
+    kind: RequestKind,
+    /// `(block key, per-block access time)` in request order.
+    blocks: Vec<(u64, Micros)>,
+}
+
+enum ToWorker {
+    /// Replay these groups in order.
+    Batch(Vec<Group>),
+    /// Day boundary: send the shard's epoch contribution, then await the
+    /// next `Snapshot` (discrete policies only).
+    Boundary,
+    /// The freshly installed global epoch residency (discrete only).
+    Snapshot(Arc<BatchCache>),
+}
+
+/// Groups buffered per shard before a channel send.
+const BATCH_GROUPS: usize = 1024;
+/// In-flight batches per worker channel (backpressure bound).
+const CHANNEL_DEPTH: usize = 8;
+
+/// Per-shard bookkeeping for discrete policies. Only the *counting* side
+/// lives on the shard; the epoch cache is global at the coordinator.
+enum DiscreteBook {
+    SieveD(DiscreteSieve<InMemoryCounter>),
+    BlkD(HashSet<u64>),
+    Ideal,
+}
+
+impl DiscreteBook {
+    fn record(&mut self, key: u64) {
+        match self {
+            DiscreteBook::SieveD(sieve) => sieve.record_access(key),
+            DiscreteBook::BlkD(accessed) => {
+                accessed.insert(key);
+            }
+            DiscreteBook::Ideal => {}
+        }
+    }
+
+    /// The shard's epoch contribution, sorted ascending — for disjoint
+    /// key partitions, sorting the concatenation of these reproduces the
+    /// sequential policy's selection input exactly.
+    fn contribution(&mut self) -> Vec<u64> {
+        match self {
+            DiscreteBook::SieveD(sieve) => sieve
+                .end_epoch_in_memory()
+                .expect("in-memory counting cannot fail"),
+            DiscreteBook::BlkD(accessed) => {
+                let mut v: Vec<u64> = accessed.drain().collect();
+                v.sort_unstable();
+                v
+            }
+            DiscreteBook::Ideal => Vec::new(),
+        }
+    }
+}
+
+/// Coordinator-side epoch selection logic, mirroring each discrete
+/// policy's `on_day_boundary` over the merged shard contributions.
+enum BatchPlan {
+    SieveD,
+    BlkD {
+        fraction: f64,
+        seed: u64,
+        epoch: u64,
+    },
+    Ideal {
+        selections: Vec<Vec<u64>>,
+    },
+}
+
+impl BatchPlan {
+    fn select(&mut self, day: Day, contributions: Vec<Vec<u64>>) -> Vec<u64> {
+        match self {
+            BatchPlan::SieveD => {
+                // Shards hold disjoint keys, each sorted; the sequential
+                // sieve returns the full sorted list.
+                let mut all: Vec<u64> = contributions.into_iter().flatten().collect();
+                all.sort_unstable();
+                all
+            }
+            BatchPlan::BlkD {
+                fraction,
+                seed,
+                epoch,
+            } => {
+                let mut accessed: Vec<u64> = contributions.into_iter().flatten().collect();
+                accessed.sort_unstable();
+                *epoch += 1;
+                random_block_selection(accessed.into_iter(), *fraction, *seed ^ *epoch)
+            }
+            BatchPlan::Ideal { selections } => {
+                selections.get(day.as_usize()).cloned().unwrap_or_default()
+            }
+        }
+    }
+}
+
+enum WorkerKind {
+    Continuous(SieveStore),
+    Discrete {
+        book: DiscreteBook,
+        resident: Arc<BatchCache>,
+        contribute: Sender<Vec<u64>>,
+    },
+}
+
+/// One replay worker: its policy shard plus its private metrics.
+struct Worker {
+    kind: WorkerKind,
+    days: Vec<DayMetrics>,
+    occupancy: OccupancyTracker,
+}
+
+fn day_slot(days: &mut Vec<DayMetrics>, day: Day) -> &mut DayMetrics {
+    let idx = day.as_usize();
+    if idx >= days.len() {
+        days.resize(idx + 1, DayMetrics::default());
+    }
+    &mut days[idx]
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<ToWorker>) -> (Vec<DayMetrics>, OccupancyTracker) {
+        for msg in rx.iter() {
+            match msg {
+                ToWorker::Batch(groups) => {
+                    for g in &groups {
+                        self.process_group(g);
+                    }
+                }
+                ToWorker::Boundary => {
+                    if let WorkerKind::Discrete {
+                        book, contribute, ..
+                    } = &mut self.kind
+                    {
+                        contribute
+                            .send(book.contribution())
+                            .expect("coordinator outlives workers");
+                    }
+                }
+                ToWorker::Snapshot(cache) => {
+                    if let WorkerKind::Discrete { resident, .. } = &mut self.kind {
+                        *resident = cache;
+                    }
+                }
+            }
+        }
+        (self.days, self.occupancy)
+    }
+
+    /// Mirrors `Run::process_request` for the shard's slice of one
+    /// request. Page accounting rounds per fragment (see module docs).
+    fn process_group(&mut self, g: &Group) {
+        let mut read_hit_blocks = 0u64;
+        let mut write_hit_blocks = 0u64;
+        let mut alloc_blocks = 0u64;
+        for &(key, t) in &g.blocks {
+            let (hit, allocated) = match &mut self.kind {
+                WorkerKind::Continuous(store) => {
+                    let outcome = store.access(key, g.kind, t);
+                    (outcome.is_hit(), outcome.is_allocation())
+                }
+                WorkerKind::Discrete { book, resident, .. } => {
+                    book.record(key);
+                    // Discrete misses never allocate mid-epoch.
+                    (resident.contains(key), false)
+                }
+            };
+            day_slot(&mut self.days, g.day).record_access(g.kind, hit, allocated);
+            if hit {
+                if g.kind.is_read() {
+                    read_hit_blocks += 1;
+                } else {
+                    write_hit_blocks += 1;
+                }
+            }
+            if allocated {
+                alloc_blocks += 1;
+            }
+        }
+        let bpp = BLOCKS_PER_PAGE as u64;
+        if read_hit_blocks > 0 {
+            self.occupancy
+                .record_read_pages(g.minute, read_hit_blocks.div_ceil(bpp));
+        }
+        if write_hit_blocks > 0 {
+            self.occupancy
+                .record_write_pages(g.minute, write_hit_blocks.div_ceil(bpp));
+        }
+        if alloc_blocks > 0 {
+            self.occupancy
+                .record_write_pages(g.completion_minute, alloc_blocks.div_ceil(bpp));
+        }
+    }
+}
+
+/// Simulates one policy over the whole trace with `shards` parallel
+/// workers, returning the merged result and the replay statistics.
+///
+/// # Errors
+///
+/// Returns [`SieveError::InvalidConfig`] for a zero shard count, an
+/// invalid policy configuration, an unsatisfiable metastate split (e.g.
+/// `shards` not dividing SieveStore-C's IMCT), or a worker panic.
+pub fn simulate_sharded(
+    trace: &SyntheticTrace,
+    spec: PolicySpec,
+    cfg: &SimConfig,
+    shards: usize,
+) -> Result<(SimResult, ReplayStats), SieveError> {
+    run_sharded(trace, None, spec, cfg, shards)
+}
+
+/// Sharded variant of [`crate::simulate_server`]: replays a single
+/// server's slice of the trace.
+///
+/// # Errors
+///
+/// As [`simulate_sharded`].
+pub fn simulate_server_sharded(
+    trace: &SyntheticTrace,
+    server_idx: usize,
+    spec: PolicySpec,
+    cfg: &SimConfig,
+    shards: usize,
+) -> Result<(SimResult, ReplayStats), SieveError> {
+    run_sharded(trace, Some(server_idx), spec, cfg, shards)
+}
+
+fn run_sharded(
+    trace: &SyntheticTrace,
+    server: Option<usize>,
+    spec: PolicySpec,
+    cfg: &SimConfig,
+    shards: usize,
+) -> Result<(SimResult, ReplayStats), SieveError> {
+    if shards == 0 {
+        return Err(SieveError::InvalidConfig(
+            "replay shard count must be > 0".into(),
+        ));
+    }
+    if cfg.capacity_blocks == 0 {
+        return Err(SieveError::InvalidConfig(
+            "cache capacity must be nonzero".into(),
+        ));
+    }
+    let total_minutes = trace.days() as usize * 24 * 60;
+    let name = spec.name().to_string();
+    let fresh_tracker = || {
+        OccupancyTracker::new(cfg.ssd.clone(), total_minutes)
+            .with_load_multiplier(cfg.load_multiplier)
+    };
+
+    // Coordinator-side discrete state: the global epoch cache and the
+    // selection plan. `None` for continuous policies.
+    let mut batch: Option<(BatchCache, BatchPlan)> = match &spec {
+        PolicySpec::SieveStoreD { threshold } => {
+            // Validate exactly as the sequential builder would.
+            DiscreteSieve::new(InMemoryCounter::new(), *threshold)?;
+            Some((BatchCache::new(cfg.capacity_blocks), BatchPlan::SieveD))
+        }
+        PolicySpec::RandSieveBlkD { fraction, seed } => {
+            RandSieveBlkD::new(*fraction, *seed)?;
+            Some((
+                BatchCache::new(cfg.capacity_blocks),
+                BatchPlan::BlkD {
+                    fraction: *fraction,
+                    seed: *seed,
+                    epoch: 0,
+                },
+            ))
+        }
+        PolicySpec::IdealTop1 { selections } => Some((
+            BatchCache::new(cfg.capacity_blocks),
+            BatchPlan::Ideal {
+                selections: selections.clone(),
+            },
+        )),
+        _ => None,
+    };
+
+    let (contrib_tx, contrib_rx) = channel::unbounded::<Vec<u64>>();
+    let mut workers = Vec::with_capacity(shards);
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let kind = match (&spec, &batch) {
+            (_, None) => WorkerKind::Continuous(
+                SieveStoreBuilder::new()
+                    .capacity_blocks(cfg.capacity_blocks)
+                    .policy(spec.clone())
+                    .shard(s, shards)
+                    .build()?,
+            ),
+            (PolicySpec::SieveStoreD { threshold }, Some((cache, _))) => WorkerKind::Discrete {
+                book: DiscreteBook::SieveD(DiscreteSieve::new(InMemoryCounter::new(), *threshold)?),
+                resident: Arc::new(cache.clone()),
+                contribute: contrib_tx.clone(),
+            },
+            (PolicySpec::RandSieveBlkD { .. }, Some((cache, _))) => WorkerKind::Discrete {
+                book: DiscreteBook::BlkD(HashSet::new()),
+                resident: Arc::new(cache.clone()),
+                contribute: contrib_tx.clone(),
+            },
+            (_, Some((cache, _))) => WorkerKind::Discrete {
+                book: DiscreteBook::Ideal,
+                resident: Arc::new(cache.clone()),
+                contribute: contrib_tx.clone(),
+            },
+        };
+        workers.push(Worker {
+            kind,
+            days: Vec::new(),
+            occupancy: fresh_tracker(),
+        });
+        let (tx, rx) = channel::bounded::<ToWorker>(CHANNEL_DEPTH);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    drop(contrib_tx);
+
+    // Coordinator-side metrics (batch installs only).
+    let mut coord_days: Vec<DayMetrics> = Vec::new();
+    let mut coord_occ = fresh_tracker();
+    let mut per_shard_blocks = vec![0u64; shards];
+
+    let scope_result = thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .zip(receivers)
+            .map(|(w, rx)| scope.spawn(move |_| w.run(rx)))
+            .collect();
+
+        let mut pending: Vec<Vec<Group>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut scratch: Vec<Vec<(u64, Micros)>> = (0..shards).map(|_| Vec::new()).collect();
+        let send = |tx: &Sender<ToWorker>, msg: ToWorker| {
+            tx.send(msg).expect("replay worker stopped early");
+        };
+
+        for d in 0..trace.days() {
+            let day = Day::new(d);
+            if let Some((cache, plan)) = batch.as_mut() {
+                // Boundary barrier: drain in-flight work, gather every
+                // shard's epoch contribution, install the merged
+                // selection globally, broadcast the new residency.
+                for (tx, groups) in senders.iter().zip(&mut pending) {
+                    if !groups.is_empty() {
+                        send(tx, ToWorker::Batch(std::mem::take(groups)));
+                    }
+                    send(tx, ToWorker::Boundary);
+                }
+                let contributions: Vec<Vec<u64>> = (0..shards)
+                    .map(|_| contrib_rx.recv().expect("all shards contribute"))
+                    .collect();
+                let selection = plan.select(day, contributions);
+                let transition = cache.install_epoch(selection);
+                let moved = transition.allocated.len() as u64;
+                day_slot(&mut coord_days, day).batch_allocations = moved;
+                if cfg.charge_batch_moves && moved > 0 {
+                    // Spread the moves evenly over the first hour of the
+                    // day, exactly as the sequential engine does.
+                    let pages = moved.div_ceil(BLOCKS_PER_PAGE as u64);
+                    let start = day.start().minute();
+                    let per_minute = pages.div_ceil(60);
+                    for m in 0..60u32 {
+                        let minute = Minute::new(start.index() + m);
+                        let chunk = per_minute.min(pages.saturating_sub(per_minute * m as u64));
+                        if chunk == 0 {
+                            break;
+                        }
+                        coord_occ.record_write_pages(minute, chunk);
+                    }
+                }
+                let snapshot = Arc::new(cache.clone());
+                for tx in &senders {
+                    send(tx, ToWorker::Snapshot(snapshot.clone()));
+                }
+            }
+
+            let requests = match server {
+                Some(idx) => trace.server_day(idx, day),
+                None => trace.day_requests(day),
+            };
+            for req in &requests {
+                route_request(req, shards, &mut scratch);
+                for s in 0..shards {
+                    if scratch[s].is_empty() {
+                        continue;
+                    }
+                    per_shard_blocks[s] += scratch[s].len() as u64;
+                    pending[s].push(Group {
+                        day,
+                        minute: req.timestamp.minute(),
+                        completion_minute: req.completion_time().minute(),
+                        kind: req.kind,
+                        blocks: std::mem::take(&mut scratch[s]),
+                    });
+                    if pending[s].len() >= BATCH_GROUPS {
+                        send(
+                            &senders[s],
+                            ToWorker::Batch(std::mem::take(&mut pending[s])),
+                        );
+                    }
+                }
+            }
+        }
+        for (tx, groups) in senders.iter().zip(&mut pending) {
+            if !groups.is_empty() {
+                send(tx, ToWorker::Batch(std::mem::take(groups)));
+            }
+        }
+        drop(senders); // close the channels: workers drain and return
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let shard_results =
+        scope_result.map_err(|_| SieveError::InvalidConfig("replay worker panicked".into()))?;
+
+    let mut days = coord_days;
+    let mut occupancy = coord_occ;
+    for (shard_days, shard_occ) in shard_results {
+        if shard_days.len() > days.len() {
+            days.resize(shard_days.len(), DayMetrics::default());
+        }
+        for (total, d) in days.iter_mut().zip(&shard_days) {
+            total.merge(d);
+        }
+        occupancy.merge(&shard_occ);
+    }
+    Ok((
+        SimResult {
+            policy: name,
+            capacity_blocks: cfg.capacity_blocks,
+            days,
+            occupancy,
+        },
+        ReplayStats { per_shard_blocks },
+    ))
+}
+
+/// Splits one request's blocks into per-shard `(key, access time)` runs,
+/// preserving request order within each shard.
+fn route_request(req: &Request, shards: usize, scratch: &mut [Vec<(u64, Micros)>]) {
+    for (i, key) in req.blocks().enumerate() {
+        let raw = key.raw();
+        scratch[shard_of(raw, shards)].push((raw, req.block_completion_time(i as u32)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use sievestore_sieve::TwoTierConfig;
+    use sievestore_trace::EnsembleConfig;
+
+    fn tiny() -> SyntheticTrace {
+        SyntheticTrace::new(EnsembleConfig::tiny(11)).unwrap()
+    }
+
+    fn cfg(trace: &SyntheticTrace, capacity: usize) -> SimConfig {
+        SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(capacity)
+    }
+
+    #[test]
+    fn threads_helper_picks_mode() {
+        assert_eq!(ReplayMode::threads(0), ReplayMode::Sequential);
+        assert_eq!(ReplayMode::threads(1), ReplayMode::Sequential);
+        assert_eq!(ReplayMode::threads(4), ReplayMode::Sharded(4));
+        assert_eq!(ReplayMode::Sharded(4).worker_count(), 4);
+        assert_eq!(ReplayMode::default(), ReplayMode::Sequential);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let trace = tiny();
+        let err = simulate_sharded(&trace, PolicySpec::Aod, &cfg(&trace, 1024), 0);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn one_shard_matches_sequential_exactly_including_occupancy() {
+        let trace = tiny();
+        let c = cfg(&trace, 4096);
+        for spec in [
+            PolicySpec::Aod,
+            PolicySpec::SieveStoreD { threshold: 5 },
+            PolicySpec::RandSieveC {
+                probability: 0.01,
+                seed: 3,
+            },
+        ] {
+            let seq = simulate(&trace, spec.clone(), &c).unwrap();
+            let (sharded, stats) = simulate_sharded(&trace, spec, &c, 1).unwrap();
+            assert_eq!(seq.days, sharded.days);
+            assert_eq!(stats.per_shard_blocks.len(), 1);
+            for m in 0..seq
+                .occupancy
+                .len_minutes()
+                .max(sharded.occupancy.len_minutes())
+            {
+                let minute = Minute::new(m as u32);
+                assert_eq!(
+                    seq.occupancy.load(minute),
+                    sharded.occupancy.load(minute),
+                    "minute {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_metrics_are_identical_at_any_shard_count() {
+        let trace = tiny();
+        let c = cfg(&trace, 16384).with_charge_batch_moves(true);
+        let seq = simulate(&trace, PolicySpec::SieveStoreD { threshold: 5 }, &c).unwrap();
+        for shards in [2usize, 4, 8] {
+            let (sharded, stats) =
+                simulate_sharded(&trace, PolicySpec::SieveStoreD { threshold: 5 }, &c, shards)
+                    .unwrap();
+            assert_eq!(seq.days, sharded.days, "{shards} shards");
+            assert_eq!(stats.per_shard_blocks.len(), shards);
+            assert_eq!(stats.total_blocks(), seq.total().accesses());
+            assert!(stats.imbalance() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn continuous_sieve_matches_with_ample_capacity() {
+        let trace = tiny();
+        let c = cfg(&trace, 1 << 20);
+        let spec =
+            PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 12));
+        let seq = simulate(&trace, spec.clone(), &c).unwrap();
+        for shards in [2usize, 4] {
+            let (sharded, _) = simulate_sharded(&trace, spec.clone(), &c, shards).unwrap();
+            assert_eq!(seq.days, sharded.days, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn server_slice_replays_shard_identically() {
+        let trace = tiny();
+        // Ample capacity: continuous-policy equality needs the
+        // no-eviction regime (see module docs).
+        let c = cfg(&trace, 1 << 20);
+        let seq = crate::engine::simulate_server(&trace, 0, PolicySpec::Wmna, &c).unwrap();
+        let (sharded, _) = simulate_server_sharded(&trace, 0, PolicySpec::Wmna, &c, 4).unwrap();
+        assert_eq!(seq.days, sharded.days);
+    }
+
+    #[test]
+    fn imbalance_of_empty_stats_is_one() {
+        assert_eq!(ReplayStats::default().imbalance(), 1.0);
+        let stats = ReplayStats {
+            per_shard_blocks: vec![30, 10],
+        };
+        assert_eq!(stats.total_blocks(), 40);
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,7 +1,11 @@
 //! Parallel parameter sweeps (the §5.1 sensitivity study).
 //!
 //! A sweep runs one simulation per parameter point; points are independent
-//! so they fan out across threads. [`sweep`] is the generic harness;
+//! so they fan out across threads. (This is parallelism *across* points;
+//! to parallelize *within* one simulation instead, set
+//! [`crate::ReplayMode::Sharded`] on the [`SimConfig`] — sweeps honour the
+//! configured replay mode per point, and sharded metrics merge to the
+//! same report.) [`sweep`] is the generic harness;
 //! [`threshold_sweep`] and [`window_sweep`] are the two studies the paper
 //! summarizes: SieveStore-D is insensitive to thresholds in the 8–20
 //! range (but degrades below ~8), and SieveStore-C degrades for windows
@@ -182,6 +186,21 @@ mod tests {
         assert_eq!(points[1].label, "W=8h");
         for p in &points {
             assert!(p.result.total().accesses() > 0);
+        }
+    }
+
+    #[test]
+    fn threshold_sweep_is_replay_mode_invariant() {
+        let t = trace();
+        let sequential = cfg(&t);
+        let sharded = sequential
+            .clone()
+            .with_replay(crate::replay::ReplayMode::Sharded(4));
+        let a = threshold_sweep(&t, &[5, 10], &sequential, 2).unwrap();
+        let b = threshold_sweep(&t, &[5, 10], &sharded, 2).unwrap();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.label, pb.label);
+            assert_eq!(pa.result.days, pb.result.days);
         }
     }
 

@@ -204,6 +204,22 @@ impl OccupancyTracker {
         self.slot(minute).write_pages += pages;
     }
 
+    /// Folds another tracker's per-minute loads into this one with
+    /// elementwise integer adds (growing to the longer series). Merging
+    /// is commutative and associative, so per-shard trackers from the
+    /// parallel replay engine combine into the same series in any order.
+    /// The receiver keeps its own spec and load multiplier.
+    pub fn merge(&mut self, other: &OccupancyTracker) {
+        if other.minutes.len() > self.minutes.len() {
+            self.minutes
+                .resize(other.minutes.len(), MinuteLoad::default());
+        }
+        for (mine, theirs) in self.minutes.iter_mut().zip(&other.minutes) {
+            mine.read_pages += theirs.read_pages;
+            mine.write_pages += theirs.write_pages;
+        }
+    }
+
     /// The raw load recorded for a minute.
     pub fn load(&self, minute: Minute) -> MinuteLoad {
         self.minutes
@@ -377,6 +393,28 @@ mod tests {
         assert_eq!(t.len_minutes(), 11);
         assert_eq!(t.load(Minute::new(10)).write_pages, 5);
         assert_eq!(t.load(Minute::new(100)), MinuteLoad::default());
+    }
+
+    #[test]
+    fn merge_sums_loads_and_grows_to_longer_series() {
+        let mut a = OccupancyTracker::new(SsdSpec::x25e(), 2);
+        a.record_read_pages(Minute::new(0), 10);
+        a.record_write_pages(Minute::new(1), 3);
+        let mut b = OccupancyTracker::new(SsdSpec::x25e(), 4);
+        b.record_read_pages(Minute::new(0), 5);
+        b.record_write_pages(Minute::new(3), 7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.len_minutes(), 4);
+        assert_eq!(ab.load(Minute::new(0)).read_pages, 15);
+        assert_eq!(ab.load(Minute::new(1)).write_pages, 3);
+        assert_eq!(ab.load(Minute::new(3)).write_pages, 7);
+        // Commutative: merging the other way yields the same series.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for m in 0..4 {
+            assert_eq!(ab.load(Minute::new(m)), ba.load(Minute::new(m)));
+        }
     }
 
     #[test]

@@ -60,6 +60,54 @@ pub const fn gib_to_blocks(gib: u64) -> u64 {
     gib * GIB / BLOCK_SIZE as u64
 }
 
+/// The SplitMix64 finalizer — the canonical block-key hash of the
+/// workspace.
+///
+/// Every consumer that buckets block keys (the sieve's IMCT slots, the
+/// analysis crate's sharded counting, the parallel replay engine's
+/// worker partitioning) uses this one mixer, so a key's bucket in one
+/// subsystem determines its bucket in every other. That shared structure
+/// is what lets the replay engine slice the IMCT by slot and still
+/// reproduce the sequential sieve's aliasing bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// // Deterministic and well-mixed: distinct keys spread across residues.
+/// let a = sievestore_types::mix64(1);
+/// assert_eq!(a, sievestore_types::mix64(1));
+/// assert_ne!(a, sievestore_types::mix64(2));
+/// ```
+pub const fn mix64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The worker shard a block key belongs to when hash-partitioned across
+/// `shards` workers (the replay engine's and `analysis`'s partition
+/// function).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::shard_of;
+///
+/// assert_eq!(shard_of(42, 1), 0);
+/// assert!(shard_of(42, 4) < 4);
+/// // Stable: the same key always lands on the same shard.
+/// assert_eq!(shard_of(42, 4), shard_of(42, 4));
+/// ```
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be nonzero");
+    (mix64(key) % shards as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +123,36 @@ mod tests {
         // 1 GiB = 2^30 bytes = 2^21 blocks of 512 bytes.
         assert_eq!(gib_to_blocks(1), 1 << 21);
         assert_eq!(gib_to_blocks(32), 32 << 21);
+    }
+
+    #[test]
+    fn mix64_matches_splitmix_reference() {
+        // Reference values of the SplitMix64 finalizer (Steele et al.),
+        // pinning the exact constants other subsystems rely on.
+        assert_eq!(mix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn shard_of_partitions_and_is_total() {
+        for key in 0..1000u64 {
+            assert_eq!(shard_of(key, 1), 0);
+            let s = shard_of(key, 7);
+            assert!(s < 7);
+        }
+        // The partition is reasonably balanced for sequential keys.
+        let mut per_shard = [0usize; 4];
+        for key in 0..4000u64 {
+            per_shard[shard_of(key, 4)] += 1;
+        }
+        for &n in &per_shard {
+            assert!((800..1200).contains(&n), "imbalanced: {per_shard:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn shard_of_rejects_zero_shards() {
+        let _ = shard_of(1, 0);
     }
 }

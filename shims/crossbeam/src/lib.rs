@@ -1,10 +1,15 @@
-//! Offline stand-in for the `crossbeam` scoped-thread API, built on
-//! `std::thread::scope`.
+//! Offline stand-in for the `crossbeam` scoped-thread and channel APIs,
+//! built on `std::thread::scope` and `std::sync::mpsc`.
 //!
-//! Only `crossbeam::thread::scope` is provided — the one entry point the
-//! simulation crates use for fan-out over borrowed data. As in crossbeam,
-//! `scope` returns `Err` when any spawned thread panicked instead of
-//! propagating the panic.
+//! Two surfaces are provided — the two entry points the simulation
+//! crates use:
+//!
+//! * [`thread::scope`] — scoped fan-out over borrowed data. As in
+//!   crossbeam, `scope` returns `Err` when any spawned thread panicked
+//!   instead of propagating the panic.
+//! * [`channel`] — `unbounded`/`bounded` MPSC channels with crossbeam's
+//!   `Sender`/`Receiver` names, used by the sharded replay engine to
+//!   stream work to its partition workers.
 
 /// Scoped threads (the `crossbeam::thread` module surface).
 pub mod thread {
@@ -49,9 +54,92 @@ pub mod thread {
     }
 }
 
+/// MPSC channels (the `crossbeam::channel` module surface).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a channel. Cloneable; all clones feed the same
+    /// receiver.
+    pub struct Sender<T>(SenderKind<T>);
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(s) => s.send(value),
+                SenderKind::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once every sender is dropped and the
+        /// channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending value without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when no value is waiting, or
+        /// [`TryRecvError::Disconnected`] once every sender is dropped
+        /// and the channel is drained.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over received values until the channel closes.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight values;
+    /// senders block when it is full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::thread;
+    use super::{channel, thread};
 
     #[test]
     fn scope_joins_borrowing_threads() {
@@ -73,6 +161,51 @@ mod tests {
             scope.spawn(|_| panic!("worker down"));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn unbounded_channel_carries_values_across_threads() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        thread::scope(|scope| {
+            let tx2 = tx.clone();
+            scope.spawn(move |_| {
+                for i in 0..10 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let sum: u64 = rx.iter().sum();
+            assert_eq!(sum, 45);
+        })
+        .expect("no panics");
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_and_delivers_in_order() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        })
+        .expect("no panics");
+    }
+
+    #[test]
+    fn receiver_reports_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(matches!(
+            rx.try_recv(),
+            Err(channel::TryRecvError::Disconnected)
+        ));
+        assert!(rx.recv().is_err());
     }
 
     #[test]

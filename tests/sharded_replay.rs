@@ -1,0 +1,171 @@
+//! Differential tests: the sharded replay engine must report the same
+//! metrics as the sequential engine.
+//!
+//! The sequential `Run` is the reference semantics; `ReplayMode::Sharded`
+//! is an optimization and must never change a figure. Discrete policies
+//! (SieveStore-D, RandSieve-BlkD, IdealTop1) are bit-identical at *any*
+//! shard count because all allocation happens in globally ordered epoch
+//! batches. Continuous policies split cache capacity and sieve slots per
+//! shard, so equality holds in the ample-capacity (no-eviction) regime —
+//! which is what these tests pin — and at one shard unconditionally.
+
+use proptest::prelude::*;
+use sievestore::PolicySpec;
+use sievestore_sieve::TwoTierConfig;
+use sievestore_sim::{simulate, simulate_sharded, ReplayMode, SimConfig};
+use sievestore_trace::{EnsembleConfig, SyntheticTrace};
+
+/// Large enough that no policy under the tiny traces ever evicts.
+const AMPLE_CAPACITY: usize = 1 << 20;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg(trace: &SyntheticTrace, capacity: usize) -> SimConfig {
+    SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(capacity)
+}
+
+/// Asserts sequential and sharded runs produce identical per-day metrics
+/// for every shard count, and that `with_replay` dispatch agrees with the
+/// direct `simulate_sharded` entry point.
+fn assert_identical(trace: &SyntheticTrace, spec: &PolicySpec, capacity: usize) {
+    let base = cfg(trace, capacity);
+    let sequential = simulate(trace, spec.clone(), &base).expect("sequential run");
+    for shards in SHARD_COUNTS {
+        let (sharded, stats) =
+            simulate_sharded(trace, spec.clone(), &base, shards).expect("sharded run");
+        assert_eq!(
+            sequential.days, sharded.days,
+            "{spec:?} diverged at {shards} shards"
+        );
+        assert_eq!(
+            stats.total_blocks(),
+            sequential.total().accesses(),
+            "{spec:?}: shard routing dropped blocks at {shards} shards"
+        );
+        let dispatched = simulate(
+            trace,
+            spec.clone(),
+            &base.clone().with_replay(ReplayMode::Sharded(shards)),
+        )
+        .expect("dispatched run");
+        assert_eq!(sequential.days, dispatched.days);
+    }
+}
+
+#[test]
+fn aod_is_shard_count_invariant() {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(101)).unwrap();
+    assert_identical(&trace, &PolicySpec::Aod, AMPLE_CAPACITY);
+}
+
+#[test]
+fn wmna_is_shard_count_invariant() {
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(103)).unwrap();
+    assert_identical(&trace, &PolicySpec::Wmna, AMPLE_CAPACITY);
+}
+
+#[test]
+fn sievestore_d_is_shard_count_invariant_even_under_eviction() {
+    // Discrete batch allocation is coordinated globally, so equality
+    // holds even with a small cache that overflows at epoch installs.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(107)).unwrap();
+    assert_identical(&trace, &PolicySpec::SieveStoreD { threshold: 5 }, 2_048);
+    assert_identical(
+        &trace,
+        &PolicySpec::SieveStoreD { threshold: 10 },
+        AMPLE_CAPACITY,
+    );
+}
+
+#[test]
+fn rand_sieve_blkd_is_shard_count_invariant() {
+    // The coordinator owns the epoch counter and the seeded selection, so
+    // the random discrete baseline is exactly reproducible too.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(109)).unwrap();
+    assert_identical(
+        &trace,
+        &PolicySpec::RandSieveBlkD {
+            fraction: 0.05,
+            seed: 0xB10C,
+        },
+        4_096,
+    );
+}
+
+#[test]
+fn sievestore_c_matches_with_ample_capacity() {
+    // IMCT slot-slicing requires shards | imct_entries; 1 << 12 divides
+    // by every count in SHARD_COUNTS.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(113)).unwrap();
+    let spec = PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 12));
+    assert_identical(&trace, &spec, AMPLE_CAPACITY);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random traces, every policy family, shards 1/2/4/8: per-day
+    /// metrics are identical to the sequential engine.
+    #[test]
+    fn random_traces_replay_identically(
+        trace_seed in 0u64..1_000_000,
+        policy_idx in 0usize..4,
+        threshold in 2u64..12,
+    ) {
+        let trace = SyntheticTrace::new(EnsembleConfig::tiny(trace_seed)).unwrap();
+        let spec = match policy_idx {
+            0 => PolicySpec::Aod,
+            1 => PolicySpec::SieveStoreD { threshold },
+            2 => PolicySpec::RandSieveBlkD { fraction: 0.02, seed: trace_seed ^ 0xFEED },
+            _ => PolicySpec::SieveStoreC(
+                TwoTierConfig::paper_default().with_imct_entries(1 << 12),
+            ),
+        };
+        // Discrete policies tolerate eviction pressure; continuous ones
+        // need the no-eviction regime for exact equality.
+        let capacity = match spec {
+            PolicySpec::SieveStoreD { .. } | PolicySpec::RandSieveBlkD { .. } => 4_096,
+            _ => AMPLE_CAPACITY,
+        };
+        let base = cfg(&trace, capacity);
+        let sequential = simulate(&trace, spec.clone(), &base).expect("sequential run");
+        for shards in SHARD_COUNTS {
+            let (sharded, _) =
+                simulate_sharded(&trace, spec.clone(), &base, shards).expect("sharded run");
+            prop_assert_eq!(
+                &sequential.days,
+                &sharded.days,
+                "{:?} diverged at {} shards on trace seed {}",
+                spec,
+                shards,
+                trace_seed
+            );
+        }
+    }
+
+    /// Occupancy (per-minute device load) also matches at one shard —
+    /// the sharded path with a single worker is the sequential semantics.
+    #[test]
+    fn single_shard_occupancy_matches(trace_seed in 0u64..1_000_000) {
+        let trace = SyntheticTrace::new(EnsembleConfig::tiny(trace_seed)).unwrap();
+        let base = cfg(&trace, 4_096);
+        let spec = PolicySpec::SieveStoreD { threshold: 5 };
+        let sequential = simulate(&trace, spec.clone(), &base).expect("sequential run");
+        let (sharded, _) =
+            simulate_sharded(&trace, spec, &base, 1).expect("sharded run");
+        prop_assert_eq!(sequential.days, sharded.days);
+        prop_assert_eq!(
+            sequential.occupancy.len_minutes(),
+            sharded.occupancy.len_minutes()
+        );
+        for m in 0..sequential.occupancy.len_minutes() {
+            let minute = sievestore_types::Minute::new(m as u32);
+            prop_assert_eq!(
+                sequential.occupancy.load(minute),
+                sharded.occupancy.load(minute),
+                "minute {} diverged",
+                m
+            );
+        }
+    }
+}
