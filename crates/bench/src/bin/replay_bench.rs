@@ -17,18 +17,33 @@
 //! committed baseline: any configuration whose events/sec falls more than
 //! `--tolerance` below the baseline fails the run (exit code 1). Speedups
 //! always pass; re-baseline by committing the fresh artifact.
+//!
+//! With `--require-scaling`, the run additionally asserts that the widest
+//! sharded configuration beats the sequential engine — strictly on hosts
+//! with two or more cores (CI runners), and within a bounded overhead
+//! (≥ 50 % of sequential) on single-core hosts where parallel speedup is
+//! physically impossible and only coordination overhead can be measured.
+//!
+//! Besides the end-to-end replays, each run times a set of hot-path
+//! micro-benchmarks (`U64Map` insert/get, `LruCache` touch/insert,
+//! `Mct::record_miss`) and embeds the ns/op figures in the report so a
+//! replay regression can be localized to a structure. Micro figures are
+//! informational only; they are never gated.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sievestore::PolicySpec;
-use sievestore_bench::replay_json::{compare_reports, ReplayReport, RunReport};
+use sievestore_bench::replay_json::{compare_reports, MicroReport, ReplayReport, RunReport};
+use sievestore_cache::LruCache;
+use sievestore_sieve::{Mct, WindowConfig};
 use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult};
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
+use sievestore_types::{mix64, Micros, U64Map};
 
 const USAGE: &str = "\
 usage: replay_bench [--scale N] [--seed S] [--reps R] [--out FILE]
-                    [--check BASELINE] [--tolerance T]
+                    [--check BASELINE] [--tolerance T] [--require-scaling]
 
 options:
   --scale N       trace scale denominator (default 2048)
@@ -38,7 +53,11 @@ options:
   --out FILE      where to write the report (default BENCH_replay.json)
   --check FILE    compare against a committed baseline report; exit
                   nonzero if any configuration's events/sec regresses
-  --tolerance T   allowed fractional regression for --check (default 0.2)";
+  --tolerance T   allowed fractional regression for --check (default 0.2)
+  --require-scaling
+                  exit nonzero unless the widest sharded run beats the
+                  sequential engine (>= 2 cores) or stays within 50 % of
+                  it (single-core hosts)";
 
 /// Thread counts timed in addition to the sequential engine.
 const SHARD_COUNTS: [usize; 2] = [2, 4];
@@ -61,6 +80,7 @@ fn run() -> Result<ExitCode, String> {
     let mut out = "BENCH_replay.json".to_string();
     let mut check: Option<String> = None;
     let mut tolerance: f64 = 0.2;
+    let mut require_scaling = false;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -101,6 +121,7 @@ fn run() -> Result<ExitCode, String> {
                     return Err("--tolerance must be in [0, 1)".into());
                 }
             }
+            "--require-scaling" => require_scaling = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -167,11 +188,14 @@ fn run() -> Result<ExitCode, String> {
         print_run(runs.last().expect("just pushed"));
     }
 
+    let micro = micro_phase(reps);
+
     let report = ReplayReport {
         scale,
         seed,
         events,
         runs,
+        micro,
     };
     let text = report.to_json();
     if let Some(parent) = std::path::Path::new(&out).parent() {
@@ -210,7 +234,155 @@ fn run() -> Result<ExitCode, String> {
             }
         }
     }
+
+    if require_scaling {
+        let wide_threads = *SHARD_COUNTS.last().expect("non-empty shard list");
+        let seq = report
+            .run_with_threads(1)
+            .expect("sequential run is always first");
+        let wide = report
+            .run_with_threads(wide_threads)
+            .expect("widest sharded run was just timed");
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // With at least two cores the sharded engine must genuinely beat
+        // the sequential one. On a single core parallel speedup is
+        // physically impossible — workers merely time-slice with the
+        // coordinator — so the assertion degrades to a catastrophic-
+        // regression bound: sharded keeps at least half the sequential
+        // throughput.
+        let (floor, criterion) = if cores >= 2 {
+            (seq.events_per_sec, "sharded must beat sequential")
+        } else {
+            (0.5 * seq.events_per_sec, "overhead bounded at 50 %")
+        };
+        let ratio = wide.events_per_sec / seq.events_per_sec;
+        if wide.events_per_sec < floor {
+            eprintln!(
+                "scaling gate failed on {cores} core(s) ({criterion}): \
+                 sharded({wide_threads}) {:.0} events/s is {ratio:.2}x sequential \
+                 {:.0} — floor {floor:.0}",
+                wide.events_per_sec, seq.events_per_sec
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!(
+            "scaling gate passed on {cores} core(s) ({criterion}): \
+             sharded({wide_threads}) is {ratio:.2}x sequential"
+        );
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Operations per micro-benchmark repetition.
+const MICRO_OPS: u64 = 1 << 20;
+
+/// Resident key-set size for the steady-state micros (power of two).
+const MICRO_KEYS: u64 = 1 << 16;
+
+/// Fastest-of-`reps` wall time for `f`, scaled to ns per operation.
+fn best_ns(reps: usize, ops: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best * 1e9 / ops as f64
+}
+
+/// Times the structures the replay hot path is built from, so an
+/// end-to-end regression in the gated events/sec figure can be localized
+/// without a profiler. Key streams come from [`mix64`] — deterministic,
+/// cheap, and uncorrelated with the map's own hash.
+fn micro_phase(reps: usize) -> Vec<MicroReport> {
+    use std::hint::black_box;
+    println!("hot-path micro-benchmarks ({MICRO_OPS} ops, fastest of {reps}):");
+    let mut micro = Vec::new();
+    let mut record = |name: &str, ns_per_op: f64| {
+        println!("  {name:<16} {ns_per_op:>7.1} ns/op");
+        micro.push(MicroReport {
+            name: name.into(),
+            ns_per_op,
+        });
+    };
+
+    // Growth-inclusive inserts: a fresh map filled with distinct keys.
+    record(
+        "u64map_insert",
+        best_ns(reps, MICRO_OPS, || {
+            let mut map = U64Map::new();
+            for i in 0..MICRO_OPS {
+                map.insert(mix64(i), i as u32);
+            }
+            black_box(map.len());
+        }),
+    );
+
+    let mut map = U64Map::new();
+    for i in 0..MICRO_OPS {
+        map.insert(mix64(i), i as u32);
+    }
+    record(
+        "u64map_get",
+        best_ns(reps, MICRO_OPS, || {
+            let mut sum = 0u64;
+            for i in 0..MICRO_OPS {
+                if let Some(&v) = map.get(mix64(i)) {
+                    sum += u64::from(v);
+                }
+            }
+            black_box(sum);
+        }),
+    );
+
+    // Hit path: touches cycling through a resident working set.
+    let mut lru = LruCache::new(MICRO_KEYS as usize);
+    for i in 0..MICRO_KEYS {
+        lru.insert(mix64(i));
+    }
+    record(
+        "lru_touch",
+        best_ns(reps, MICRO_OPS, || {
+            let mut hits = 0u64;
+            for i in 0..MICRO_OPS {
+                hits += u64::from(lru.touch(mix64(i & (MICRO_KEYS - 1))));
+            }
+            black_box(hits);
+        }),
+    );
+
+    // Allocation path: distinct keys through a full cache, so every
+    // insert past warm-up also evicts the LRU victim.
+    record(
+        "lru_insert",
+        best_ns(reps, MICRO_OPS, || {
+            let mut lru = LruCache::new(MICRO_KEYS as usize);
+            let mut evicted = 0u64;
+            for i in 0..MICRO_OPS {
+                evicted += u64::from(lru.insert(mix64(i)).is_some());
+            }
+            black_box(evicted);
+        }),
+    );
+
+    // Steady-state misses against a bounded tracked set: after the first
+    // lap every key resolves to an existing slab counter.
+    let mut mct = Mct::new(WindowConfig::paper_default());
+    let now = Micros::from_hours(1);
+    record(
+        "mct_record_miss",
+        best_ns(reps, MICRO_OPS, || {
+            let mut total = 0u64;
+            for i in 0..MICRO_OPS {
+                total += u64::from(mct.record_miss(mix64(i & (MICRO_KEYS - 1)), now));
+            }
+            black_box(total);
+        }),
+    );
+
+    micro
 }
 
 fn print_run(run: &RunReport) {

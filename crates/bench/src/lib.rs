@@ -204,7 +204,7 @@ impl Harness {
         // Rename to the disambiguated report labels.
         for (result, &name) in results.iter_mut().zip(POLICY_ORDER.iter()) {
             if name.ends_with("GB") {
-                result.policy = name.to_string();
+                result.policy = name.into();
             }
         }
         Ok(PolicyRuns {
@@ -236,8 +236,8 @@ mod tests {
         let accesses: Vec<u64> = runs.results.iter().map(|r| r.total().accesses()).collect();
         assert!(accesses.windows(2).all(|w| w[0] == w[1]), "{accesses:?}");
         // Labels are disambiguated.
-        assert_eq!(runs.by_name("AOD-32GB").policy, "AOD-32GB");
-        assert_eq!(runs.by_name("Ideal").policy, "Ideal");
+        assert_eq!(&*runs.by_name("AOD-32GB").policy, "AOD-32GB");
+        assert_eq!(&*runs.by_name("Ideal").policy, "Ideal");
         // 32 GB caches are twice as large.
         assert_eq!(
             runs.by_name("AOD-32GB").capacity_blocks,

@@ -287,6 +287,20 @@ pub struct RunReport {
     pub imbalance: f64,
 }
 
+/// One hot-path micro-benchmark result inside a [`ReplayReport`].
+///
+/// Micro figures are informational: they localize a replay regression to
+/// a specific structure (map, LRU, MCT) but are not gated by
+/// [`compare_reports`] — ns/op on shared runners is too noisy for a hard
+/// floor, and the end-to-end events/sec gate already bounds the damage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroReport {
+    /// Operation name, e.g. `"lru_touch"`.
+    pub name: String,
+    /// Nanoseconds per operation (fastest repetition).
+    pub ns_per_op: f64,
+}
+
 /// The full `BENCH_replay.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayReport {
@@ -298,6 +312,8 @@ pub struct ReplayReport {
     pub events: u64,
     /// One entry per timed configuration.
     pub runs: Vec<RunReport>,
+    /// Hot-path micro-benchmarks (absent in pre-micro reports).
+    pub micro: Vec<MicroReport>,
 }
 
 /// Schema tag written into every report.
@@ -323,6 +339,20 @@ impl ReplayReport {
                                 ("wall_secs".into(), Json::Num(r.wall_secs)),
                                 ("events_per_sec".into(), Json::Num(r.events_per_sec)),
                                 ("imbalance".into(), Json::Num(r.imbalance)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "micro".into(),
+                Json::Arr(
+                    self.micro
+                        .iter()
+                        .map(|m| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(m.name.clone())),
+                                ("ns_per_op".into(), Json::Num(m.ns_per_op)),
                             ])
                         })
                         .collect(),
@@ -376,11 +406,32 @@ impl ReplayReport {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // `micro` is optional so pre-micro baselines still parse.
+        let micro = doc
+            .get("micro")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|m| {
+                Ok(MicroReport {
+                    name: m
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("micro entry missing name")?
+                        .to_string(),
+                    ns_per_op: m
+                        .get("ns_per_op")
+                        .and_then(Json::as_f64)
+                        .ok_or("micro entry missing ns_per_op")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         Ok(ReplayReport {
             scale: num("scale")? as u32,
             seed: num("seed")? as u64,
             events: num("events")? as u64,
             runs,
+            micro,
         })
     }
 
@@ -465,6 +516,10 @@ mod tests {
                     imbalance: 1.07,
                 },
             ],
+            micro: vec![MicroReport {
+                name: "lru_touch".into(),
+                ns_per_op: 14.2,
+            }],
         }
     }
 
@@ -506,6 +561,22 @@ mod tests {
         ]);
         let back = Json::parse(&v.to_pretty()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pre_micro_baselines_still_parse() {
+        // Reports written before the micro section existed have no
+        // "micro" key; they must keep parsing (as an empty list) so a
+        // refreshed binary can gate against an old committed baseline.
+        let mut doc = Json::parse(&report().to_json()).unwrap();
+        if let Json::Obj(entries) = &mut doc {
+            entries.retain(|(k, _)| k != "micro");
+        }
+        let back = ReplayReport::from_json(&doc.to_pretty()).unwrap();
+        assert!(back.micro.is_empty());
+        assert_eq!(back.runs, report().runs);
+        // Micro figures are informational: they never gate.
+        assert!(compare_reports(&back, &report(), 0.2).is_ok());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! logical eviction-then-reallocation cancels out and no data moves; only
 //! the genuinely new blocks incur allocation-writes.
 
-use std::collections::HashSet;
+use sievestore_types::U64Set;
 
 /// Summary of one epoch installation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub struct EpochTransition {
 #[derive(Debug, Clone)]
 pub struct BatchCache {
     capacity: usize,
-    resident: HashSet<u64>,
+    resident: U64Set,
 }
 
 impl BatchCache {
@@ -56,7 +56,7 @@ impl BatchCache {
         assert!(capacity > 0, "cache capacity must be nonzero");
         BatchCache {
             capacity,
-            resident: HashSet::new(),
+            resident: U64Set::new(),
         }
     }
 
@@ -77,7 +77,7 @@ impl BatchCache {
 
     /// Whether `key` is resident this epoch.
     pub fn contains(&self, key: u64) -> bool {
-        self.resident.contains(&key)
+        self.resident.contains(key)
     }
 
     /// Replaces the resident set with `selected`, computing the transition.
@@ -85,13 +85,13 @@ impl BatchCache {
     /// capacity is truncated (in iteration order) and reported in
     /// [`EpochTransition::overflowed`].
     pub fn install_epoch(&mut self, selected: impl IntoIterator<Item = u64>) -> EpochTransition {
-        let mut next: HashSet<u64> = HashSet::new();
+        let mut next = U64Set::new();
         let mut allocated = Vec::new();
         let mut retained = 0u64;
         let mut overflowed = 0u64;
         for key in selected {
             if next.len() >= self.capacity {
-                if !next.contains(&key) {
+                if !next.contains(key) {
                     overflowed += 1;
                 }
                 continue;
@@ -99,7 +99,7 @@ impl BatchCache {
             if !next.insert(key) {
                 continue; // duplicate in the selection
             }
-            if self.resident.contains(&key) {
+            if self.resident.contains(key) {
                 retained += 1;
             } else {
                 allocated.push(key);
@@ -117,7 +117,7 @@ impl BatchCache {
 
     /// Iterates over resident keys in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.resident.iter().copied()
+        self.resident.iter()
     }
 }
 

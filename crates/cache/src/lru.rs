@@ -7,8 +7,12 @@
 //! threaded through a slab of slots, so `touch`, `insert` and `remove` are
 //! all O(1); a 16 GB cache is 33.5 M frames at full scale and ~130 K at the
 //! default 1/256 scale, both comfortably in memory.
+//!
+//! The key→slot index is a [`U64Map`] — the workspace's open-addressing
+//! table — rather than `std::collections::HashMap`, because `touch` runs
+//! once per trace event and SipHash dominates the lookup at that rate.
 
-use std::collections::HashMap;
+use sievestore_types::U64Map;
 
 /// Sentinel for "no slot".
 const NIL: u32 = u32::MAX;
@@ -37,7 +41,7 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<u64, u32>,
+    map: U64Map<u32>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     /// Most-recently-used slot.
@@ -60,7 +64,10 @@ impl LruCache {
         );
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            // Sized to the real capacity: a full-scale 33.5M-frame cache
+            // must never rehash mid-replay (the old `min(1 << 20)` cap
+            // silently under-reserved above 1M frames).
+            map: U64Map::with_capacity(capacity),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -85,7 +92,7 @@ impl LruCache {
 
     /// Whether `key` is resident (does not affect recency).
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.map.contains_key(key)
     }
 
     /// Unlinks a slot from the recency list.
@@ -125,7 +132,7 @@ impl LruCache {
     /// Marks `key` as most recently used. Returns `true` if it was
     /// resident (a hit), `false` otherwise (no state change).
     pub fn touch(&mut self, key: u64) -> bool {
-        match self.map.get(&key) {
+        match self.map.get(key) {
             Some(&idx) => {
                 if self.head != idx {
                     self.unlink(idx);
@@ -149,7 +156,7 @@ impl LruCache {
             debug_assert_ne!(lru, NIL, "full cache must have a tail");
             let victim = self.slots[lru as usize].key;
             self.unlink(lru);
-            self.map.remove(&victim);
+            self.map.remove(victim);
             self.free.push(lru);
             Some(victim)
         } else {
@@ -177,7 +184,7 @@ impl LruCache {
 
     /// Removes `key`; returns whether it was resident.
     pub fn remove(&mut self, key: u64) -> bool {
-        match self.map.remove(&key) {
+        match self.map.remove(key) {
             Some(idx) => {
                 self.unlink(idx);
                 self.free.push(idx);

@@ -42,12 +42,11 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 
-use sievestore_types::SieveError;
+use sievestore_types::{SieveError, U64Map};
 
 /// Common interface over access counters (external log or in-memory map).
 pub trait AccessCounter {
@@ -68,7 +67,7 @@ pub trait AccessCounter {
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessCounts {
-    counts: HashMap<u64, u64>,
+    counts: U64Map<u64>,
 }
 
 impl AccessCounts {
@@ -79,7 +78,7 @@ impl AccessCounts {
 
     /// Returns the access count for `key` (0 if never seen).
     pub fn get(&self, key: u64) -> u64 {
-        self.counts.get(&key).copied().unwrap_or(0)
+        self.counts.get(key).copied().unwrap_or(0)
     }
 
     /// Number of distinct keys observed.
@@ -94,7 +93,7 @@ impl AccessCounts {
 
     /// Total number of recorded accesses.
     pub fn total_accesses(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().map(|(_, &c)| c).sum()
     }
 
     /// Keys whose count is at least `threshold`, sorted ascending.
@@ -105,8 +104,8 @@ impl AccessCounts {
         let mut keys: Vec<u64> = self
             .counts
             .iter()
-            .filter(|(_, &c)| c >= threshold)
-            .map(|(&k, _)| k)
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(k, _)| k)
             .collect();
         keys.sort_unstable();
         keys
@@ -114,7 +113,7 @@ impl AccessCounts {
 
     /// The `n` most-accessed keys (ties broken by key), descending count.
     pub fn top_n(&self, n: usize) -> Vec<(u64, u64)> {
-        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(k, &c)| (k, c)).collect();
         all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
@@ -122,15 +121,15 @@ impl AccessCounts {
 
     /// Iterates over `(key, count)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().map(|(&k, &c)| (k, c))
+        self.counts.iter().map(|(k, &c)| (k, c))
     }
 }
 
 impl FromIterator<(u64, u64)> for AccessCounts {
     fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
-        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut counts: U64Map<u64> = U64Map::new();
         for (k, c) in iter {
-            *counts.entry(k).or_insert(0) += c;
+            *counts.get_or_insert_with(k, || 0) += c;
         }
         AccessCounts { counts }
     }
@@ -150,7 +149,7 @@ impl FromIterator<(u64, u64)> for AccessCounts {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct InMemoryCounter {
-    counts: HashMap<u64, u64>,
+    counts: U64Map<u64>,
 }
 
 impl InMemoryCounter {
@@ -161,13 +160,13 @@ impl InMemoryCounter {
 
     /// Current count for a key (0 if never seen).
     pub fn get(&self, key: u64) -> u64 {
-        self.counts.get(&key).copied().unwrap_or(0)
+        self.counts.get(key).copied().unwrap_or(0)
     }
 }
 
 impl AccessCounter for InMemoryCounter {
     fn record(&mut self, key: u64) {
-        *self.counts.entry(key).or_insert(0) += 1;
+        *self.counts.get_or_insert_with(key, || 0) += 1;
     }
 
     fn finish(self) -> Result<AccessCounts, SieveError> {
@@ -304,12 +303,12 @@ impl AccessLog {
     ///
     /// Propagates I/O failures.
     pub fn finish(mut self) -> Result<AccessCounts, SieveError> {
-        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut counts: U64Map<u64> = U64Map::new();
         for i in 0..self.partitions {
             self.writers[i].flush()?;
             let tuples = read_tuples(&partition_path(&self.dir, i))?;
             for (k, c) in reduce(tuples) {
-                *counts.entry(k).or_insert(0) += c;
+                *counts.get_or_insert_with(k, || 0) += c;
             }
         }
         Ok(AccessCounts { counts })

@@ -13,9 +13,7 @@
 //!   block, populated only for blocks that already passed the IMCT
 //!   threshold, and pruned periodically to drop stale entries.
 
-use std::collections::HashMap;
-
-use sievestore_types::{mix64, Micros};
+use sievestore_types::{mix64, Micros, U64Map};
 
 use crate::window::{WindowConfig, WindowedCounter};
 
@@ -140,6 +138,14 @@ impl Imct {
 
 /// The precise miss-count table.
 ///
+/// Counters live in a slab (`Vec<WindowedCounter>`) indexed by an
+/// open-addressing [`U64Map`] from block key to slab slot. Pruned or
+/// removed entries push their slot onto a free list and the counter is
+/// [`reset`](WindowedCounter::reset) on reuse, so its subwindow buffer is
+/// allocated exactly once per slot for the lifetime of the table —
+/// steady-state churn (blocks graduating in, going stale, being pruned)
+/// allocates nothing.
+///
 /// # Examples
 ///
 /// ```
@@ -154,7 +160,12 @@ impl Imct {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mct {
-    entries: HashMap<u64, WindowedCounter>,
+    /// Block key → slab slot.
+    index: U64Map<u32>,
+    /// Counter storage; slots are recycled through `free`.
+    slab: Vec<WindowedCounter>,
+    /// Slab slots whose entries were pruned or removed, ready for reuse.
+    free: Vec<u32>,
     config: WindowConfig,
 }
 
@@ -162,19 +173,36 @@ impl Mct {
     /// Creates an empty table.
     pub fn new(config: WindowConfig) -> Self {
         Mct {
-            entries: HashMap::new(),
+            index: U64Map::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             config,
         }
     }
 
     /// Number of tracked blocks.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether no block is tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Grabs a reset counter slot, reusing a freed one when available.
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize].reset();
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("mct slab exceeds u32 slots");
+                self.slab.push(WindowedCounter::new(self.config.subwindows));
+                slot
+            }
+        }
     }
 
     /// Ensures an entry exists for `key` (zero count, live at `now`);
@@ -182,55 +210,73 @@ impl Mct {
     /// from the IMCT: the graduating miss itself does not count toward
     /// the *additional* `t2` misses.
     pub fn ensure(&mut self, key: u64, now: Micros) -> bool {
-        let sub = self.config.subwindow_index(now);
-        match self.entries.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => true,
-            std::collections::hash_map::Entry::Vacant(v) => {
-                let mut c = WindowedCounter::new(self.config.subwindows);
-                c.observe(sub);
-                v.insert(c);
-                false
-            }
+        if self.index.contains_key(key) {
+            return true;
         }
+        let sub = self.config.subwindow_index(now);
+        let slot = self.alloc_slot();
+        self.slab[slot as usize].observe(sub);
+        self.index.insert(key, slot);
+        false
     }
 
     /// Records a miss for `key`; returns `key`'s exact in-window count.
     pub fn record_miss(&mut self, key: u64, now: Micros) -> u32 {
         let sub = self.config.subwindow_index(now);
-        self.entries
-            .entry(key)
-            .or_insert_with(|| WindowedCounter::new(self.config.subwindows))
-            .record(sub)
+        let slot = match self.index.get(key) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.alloc_slot();
+                self.index.insert(key, slot);
+                slot
+            }
+        };
+        self.slab[slot as usize].record(sub)
     }
 
     /// `key`'s exact in-window count without recording.
     pub fn peek(&mut self, key: u64, now: Micros) -> u32 {
         let sub = self.config.subwindow_index(now);
-        match self.entries.get_mut(&key) {
-            Some(c) => c.total(sub),
+        match self.index.get(key) {
+            Some(&slot) => self.slab[slot as usize].total(sub),
             None => 0,
         }
     }
 
     /// Drops entries whose whole window has expired ("periodically we
     /// prune the MCT to eliminate stale blocks"). Returns how many were
-    /// removed.
+    /// removed. Freed counter slots are recycled by later insertions.
     pub fn prune(&mut self, now: Micros) -> usize {
         let sub = self.config.subwindow_index(now);
-        let before = self.entries.len();
-        self.entries.retain(|_, c| !c.is_stale(sub));
-        before - self.entries.len()
+        let before = self.index.len();
+        let (slab, free) = (&mut self.slab, &mut self.free);
+        self.index.retain(|_, slot| {
+            let stale = slab[*slot as usize].is_stale(sub);
+            if stale {
+                free.push(*slot);
+            }
+            !stale
+        });
+        before - self.index.len()
     }
 
     /// Removes a specific key (used when a block gets allocated and no
     /// longer needs miss tracking).
     pub fn remove(&mut self, key: u64) -> bool {
-        self.entries.remove(&key).is_some()
+        match self.index.remove(key) {
+            Some(slot) => {
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Approximate resident size in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * (self.config.subwindows as usize * 4 + 48)
+        self.index.memory_bytes()
+            + self.slab.len() * (self.config.subwindows as usize * 4 + 24)
+            + self.free.len() * 4
     }
 }
 
@@ -238,6 +284,7 @@ impl Mct {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashMap;
 
     fn cfg() -> WindowConfig {
         WindowConfig::paper_default()

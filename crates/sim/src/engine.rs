@@ -20,6 +20,8 @@
 //! generating each day's requests only once, processing the policies in
 //! parallel with crossbeam's scoped threads.
 
+use std::sync::Arc;
+
 use crossbeam::thread;
 
 use sievestore::{PolicySpec, SieveStore, SieveStoreBuilder};
@@ -186,7 +188,7 @@ impl Run {
         }
     }
 
-    fn finish(self, policy: String, capacity_blocks: usize) -> SimResult {
+    fn finish(self, policy: Arc<str>, capacity_blocks: usize) -> SimResult {
         SimResult {
             policy,
             capacity_blocks,
@@ -245,7 +247,7 @@ pub fn simulate_server(
         return replay::simulate_server_sharded(trace, server_idx, spec, cfg, n).map(|(r, _)| r);
     }
     let total_minutes = trace.days() as usize * 24 * 60;
-    let name = spec.name().to_string();
+    let name: Arc<str> = Arc::from(spec.name());
     let mut run = Run::new(spec, cfg, total_minutes)?;
     for d in 0..trace.days() {
         let day = Day::new(d);
@@ -279,7 +281,7 @@ pub fn simulate_many(
             .collect();
     }
     let total_minutes = trace.days() as usize * 24 * 60;
-    let names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
+    let names: Vec<Arc<str>> = specs.iter().map(|s| Arc::from(s.name())).collect();
     let mut runs: Vec<Run> = specs
         .into_iter()
         .map(|s| Run::new(s, cfg, total_minutes))
@@ -358,8 +360,8 @@ mod tests {
         .unwrap();
         let accesses: Vec<u64> = results.iter().map(|r| r.total().accesses()).collect();
         assert!(accesses.windows(2).all(|w| w[0] == w[1]));
-        assert_eq!(results[0].policy, "AOD");
-        assert_eq!(results[2].policy, "SieveStore-D");
+        assert_eq!(&*results[0].policy, "AOD");
+        assert_eq!(&*results[2].policy, "SieveStore-D");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Per-day simulation metrics and result containers.
 
+use std::sync::Arc;
+
 use sievestore_ssd::OccupancyTracker;
 use sievestore_types::{Day, RequestKind};
 
@@ -89,8 +91,13 @@ impl DayMetrics {
 /// The full outcome of simulating one policy over one trace.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    /// Policy report name.
-    pub policy: String,
+    /// Policy report name. `Arc<str>` rather than `String`: names start
+    /// as `&'static str` from [`PolicySpec::name`]-style sources and get
+    /// copied into every result, sweep point and report row — sharing one
+    /// allocation keeps that plumbing clone-free.
+    ///
+    /// [`PolicySpec::name`]: https://docs.rs/sievestore
+    pub policy: Arc<str>,
     /// Cache capacity in 512-B frames.
     pub capacity_blocks: usize,
     /// Per-day metrics, indexed by calendar day.

@@ -145,7 +145,7 @@ pub fn simulate_per_server(
         });
     }
     let mut result = combined.expect("ensemble has at least one server");
-    result.policy = format!("per-server {}", result.policy);
+    result.policy = format!("per-server {}", result.policy).into();
     result.capacity_blocks = total_capacity_blocks;
     Ok(result)
 }

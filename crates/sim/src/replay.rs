@@ -50,7 +50,6 @@
 //! sequential ones (equal at one shard); all block-level metrics are
 //! unaffected. See DESIGN.md §"Sharded replay" for the full argument.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, Sender};
@@ -64,7 +63,7 @@ use sievestore_sieve::{random_block_selection, DiscreteSieve};
 use sievestore_ssd::OccupancyTracker;
 use sievestore_trace::SyntheticTrace;
 use sievestore_types::{
-    shard_of, Day, Micros, Minute, Request, RequestKind, SieveError, BLOCKS_PER_PAGE,
+    shard_of, Day, Micros, Minute, Request, RequestKind, SieveError, U64Set, BLOCKS_PER_PAGE,
 };
 
 use crate::engine::SimConfig;
@@ -149,16 +148,70 @@ enum ToWorker {
     Snapshot(Arc<BatchCache>),
 }
 
-/// Groups buffered per shard before a channel send.
+/// Groups buffered per shard before a channel send. Large enough that the
+/// channel round-trip amortizes to noise per event, small enough that a
+/// batch (~56 bytes/group header plus recycled block buffers) stays cheap
+/// to shuttle and the consumer pipeline stays busy.
 const BATCH_GROUPS: usize = 1024;
 /// In-flight batches per worker channel (backpressure bound).
 const CHANNEL_DEPTH: usize = 8;
+
+/// Buffer-recycling protocol: workers return every processed batch here
+/// (groups cleared, `Vec` capacities intact) and the coordinator reuses
+/// them for subsequent sends, so steady-state replay allocates no group
+/// or batch buffers at all — only the warmup builds them.
+struct BufferPool {
+    groups: Vec<Group>,
+    batches: Vec<Vec<Group>>,
+    returns: Receiver<Vec<Group>>,
+}
+
+impl BufferPool {
+    fn new(returns: Receiver<Vec<Group>>) -> Self {
+        BufferPool {
+            groups: Vec::new(),
+            batches: Vec::new(),
+            returns,
+        }
+    }
+
+    /// Harvests every batch the workers have returned so far.
+    fn reclaim(&mut self) {
+        while let Ok(mut batch) = self.returns.try_recv() {
+            debug_assert!(batch.iter().all(|g| g.blocks.is_empty()));
+            self.groups.append(&mut batch);
+            self.batches.push(batch);
+        }
+    }
+
+    /// A group with empty (possibly pre-sized) `blocks`, recycled when
+    /// available.
+    fn group(&mut self, day: Day, req: &Request) -> Group {
+        let mut g = self.groups.pop().unwrap_or_else(|| Group {
+            day,
+            minute: req.timestamp.minute(),
+            completion_minute: req.completion_time().minute(),
+            kind: req.kind,
+            blocks: Vec::new(),
+        });
+        g.day = day;
+        g.minute = req.timestamp.minute();
+        g.completion_minute = req.completion_time().minute();
+        g.kind = req.kind;
+        g
+    }
+
+    /// An empty batch `Vec`, recycled when available.
+    fn batch(&mut self) -> Vec<Group> {
+        self.batches.pop().unwrap_or_default()
+    }
+}
 
 /// Per-shard bookkeeping for discrete policies. Only the *counting* side
 /// lives on the shard; the epoch cache is global at the coordinator.
 enum DiscreteBook {
     SieveD(DiscreteSieve<InMemoryCounter>),
-    BlkD(HashSet<u64>),
+    BlkD(U64Set),
     Ideal,
 }
 
@@ -182,8 +235,9 @@ impl DiscreteBook {
                 .end_epoch_in_memory()
                 .expect("in-memory counting cannot fail"),
             DiscreteBook::BlkD(accessed) => {
-                let mut v: Vec<u64> = accessed.drain().collect();
+                let mut v: Vec<u64> = accessed.iter().collect();
                 v.sort_unstable();
+                accessed.clear(); // keeps the table allocation for the next epoch
                 v
             }
             DiscreteBook::Ideal => Vec::new(),
@@ -246,6 +300,8 @@ struct Worker {
     kind: WorkerKind,
     days: Vec<DayMetrics>,
     occupancy: OccupancyTracker,
+    /// Processed batches go back to the coordinator for reuse.
+    recycle: Sender<Vec<Group>>,
 }
 
 fn day_slot(days: &mut Vec<DayMetrics>, day: Day) -> &mut DayMetrics {
@@ -260,10 +316,14 @@ impl Worker {
     fn run(mut self, rx: Receiver<ToWorker>) -> (Vec<DayMetrics>, OccupancyTracker) {
         for msg in rx.iter() {
             match msg {
-                ToWorker::Batch(groups) => {
-                    for g in &groups {
+                ToWorker::Batch(mut groups) => {
+                    for g in &mut groups {
                         self.process_group(g);
+                        g.blocks.clear();
                     }
+                    // Return the batch for reuse; the coordinator may
+                    // already be gone during the final drain.
+                    let _ = self.recycle.send(groups);
                 }
                 ToWorker::Boundary => {
                     if let WorkerKind::Discrete {
@@ -382,7 +442,7 @@ fn run_sharded(
         ));
     }
     let total_minutes = trace.days() as usize * 24 * 60;
-    let name = spec.name().to_string();
+    let name: Arc<str> = Arc::from(spec.name());
     let fresh_tracker = || {
         OccupancyTracker::new(cfg.ssd.clone(), total_minutes)
             .with_load_multiplier(cfg.load_multiplier)
@@ -417,6 +477,7 @@ fn run_sharded(
     };
 
     let (contrib_tx, contrib_rx) = channel::unbounded::<Vec<u64>>();
+    let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<Group>>();
     let mut workers = Vec::with_capacity(shards);
     let mut senders = Vec::with_capacity(shards);
     let mut receivers = Vec::with_capacity(shards);
@@ -435,7 +496,7 @@ fn run_sharded(
                 contribute: contrib_tx.clone(),
             },
             (PolicySpec::RandSieveBlkD { .. }, Some((cache, _))) => WorkerKind::Discrete {
-                book: DiscreteBook::BlkD(HashSet::new()),
+                book: DiscreteBook::BlkD(U64Set::new()),
                 resident: Arc::new(cache.clone()),
                 contribute: contrib_tx.clone(),
             },
@@ -449,12 +510,14 @@ fn run_sharded(
             kind,
             days: Vec::new(),
             occupancy: fresh_tracker(),
+            recycle: recycle_tx.clone(),
         });
         let (tx, rx) = channel::bounded::<ToWorker>(CHANNEL_DEPTH);
         senders.push(tx);
         receivers.push(rx);
     }
     drop(contrib_tx);
+    drop(recycle_tx);
 
     // Coordinator-side metrics (batch installs only).
     let mut coord_days: Vec<DayMetrics> = Vec::new();
@@ -470,6 +533,7 @@ fn run_sharded(
 
         let mut pending: Vec<Vec<Group>> = (0..shards).map(|_| Vec::new()).collect();
         let mut scratch: Vec<Vec<(u64, Micros)>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut pool = BufferPool::new(recycle_rx);
         let send = |tx: &Sender<ToWorker>, msg: ToWorker| {
             tx.send(msg).expect("replay worker stopped early");
         };
@@ -519,23 +583,24 @@ fn run_sharded(
                 None => trace.day_requests(day),
             };
             for req in &requests {
+                pool.reclaim();
                 route_request(req, shards, &mut scratch);
                 for s in 0..shards {
                     if scratch[s].is_empty() {
                         continue;
                     }
                     per_shard_blocks[s] += scratch[s].len() as u64;
-                    pending[s].push(Group {
-                        day,
-                        minute: req.timestamp.minute(),
-                        completion_minute: req.completion_time().minute(),
-                        kind: req.kind,
-                        blocks: std::mem::take(&mut scratch[s]),
-                    });
+                    // Swap the routed blocks into a recycled group: the
+                    // group's cleared buffer becomes the next request's
+                    // scratch, so neither side ever reallocates.
+                    let mut group = pool.group(day, req);
+                    std::mem::swap(&mut group.blocks, &mut scratch[s]);
+                    pending[s].push(group);
                     if pending[s].len() >= BATCH_GROUPS {
+                        let replacement = pool.batch();
                         send(
                             &senders[s],
-                            ToWorker::Batch(std::mem::take(&mut pending[s])),
+                            ToWorker::Batch(std::mem::replace(&mut pending[s], replacement)),
                         );
                     }
                 }

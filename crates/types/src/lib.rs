@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fastmap;
 pub mod ids;
 pub mod request;
 pub mod time;
 
 pub use error::{ErrorClass, NodeError, ParseRequestError, SieveError};
+pub use fastmap::{U64Map, U64Set};
 pub use ids::{BlockAddr, GlobalBlock, ServerId, VolumeId};
 pub use request::{Request, RequestKind};
 pub use time::{Day, Micros, Minute};
