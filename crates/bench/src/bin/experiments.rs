@@ -26,7 +26,11 @@ options:
   --out DIR    CSV output directory (default results/)
   --threads N  replay each simulation with N sharded workers (default 1:
                the sequential engine; discrete policies are bit-identical
-               at any N)";
+               at any N)
+  --obs        enable runtime metrics recording; writes one day-boundary
+               snapshot JSONL per policy run plus the registry totals
+               (obs_metrics.json) to the output dir (hot-path counters
+               need a build with --features obs)";
 
 const ALL: [&str; 20] = [
     "table1",
@@ -68,6 +72,7 @@ fn run() -> Result<(), String> {
     let mut seed: u64 = 0x51EE_5704;
     let mut out_dir = "results".to_string();
     let mut threads: usize = 1;
+    let mut obs = false;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -97,6 +102,7 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--obs" => obs = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -104,8 +110,11 @@ fn run() -> Result<(), String> {
             id => ids.push(id.to_string()),
         }
     }
-    if ids.is_empty() {
+    if ids.is_empty() && !obs {
         return Err("no experiment ids given".into());
+    }
+    if obs {
+        sievestore_types::obs::set_enabled(true);
     }
     if ids.iter().any(|i| i == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
@@ -130,6 +139,21 @@ fn run() -> Result<(), String> {
             "=== {id} ({:.1}s) ===\n{output}",
             started.elapsed().as_secs_f64()
         );
+    }
+
+    if obs {
+        let paths = harness
+            .write_day_snapshots()
+            .map_err(|e| format!("writing day snapshots: {e}"))?;
+        println!("=== obs ===");
+        for path in &paths {
+            println!("day snapshots: {}", path.display());
+        }
+        let metrics = sievestore_types::obs::global().snapshot().to_json_line();
+        let metrics_path = std::path::Path::new(&out_dir).join("obs_metrics.json");
+        std::fs::write(&metrics_path, format!("{metrics}\n"))
+            .map_err(|e| format!("writing {}: {e}", metrics_path.display()))?;
+        println!("registry totals: {}", metrics_path.display());
     }
     Ok(())
 }

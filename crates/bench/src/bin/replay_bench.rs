@@ -29,6 +29,13 @@
 //! `Mct::record_miss`) and embeds the ns/op figures in the report so a
 //! replay regression can be localized to a structure. Micro figures are
 //! informational only; they are never gated.
+//!
+//! Every report also embeds the day-boundary snapshot export
+//! (`sievestore-day-snapshot/v1` JSONL) for the sequential run, and the
+//! differential check requires the sharded engines to reproduce it
+//! byte-for-byte. With `--obs`, runtime metrics recording is switched on
+//! and the observability-registry totals are embedded as diagnostics
+//! (full counters need a build with `--features obs`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,13 +44,14 @@ use sievestore::PolicySpec;
 use sievestore_bench::replay_json::{compare_reports, MicroReport, ReplayReport, RunReport};
 use sievestore_cache::LruCache;
 use sievestore_sieve::{Mct, WindowConfig};
-use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult};
+use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult, SnapshotLog};
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
 use sievestore_types::{mix64, Micros, U64Map};
 
 const USAGE: &str = "\
 usage: replay_bench [--scale N] [--seed S] [--reps R] [--out FILE]
                     [--check BASELINE] [--tolerance T] [--require-scaling]
+                    [--obs]
 
 options:
   --scale N       trace scale denominator (default 2048)
@@ -57,7 +65,10 @@ options:
   --require-scaling
                   exit nonzero unless the widest sharded run beats the
                   sequential engine (>= 2 cores) or stays within 50 % of
-                  it (single-core hosts)";
+                  it (single-core hosts)
+  --obs           enable runtime metrics recording and embed the
+                  observability-registry totals in the report (hot-path
+                  counters need a build with --features obs)";
 
 /// Thread counts timed in addition to the sequential engine.
 const SHARD_COUNTS: [usize; 2] = [2, 4];
@@ -81,6 +92,7 @@ fn run() -> Result<ExitCode, String> {
     let mut check: Option<String> = None;
     let mut tolerance: f64 = 0.2;
     let mut require_scaling = false;
+    let mut obs = false;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -122,6 +134,7 @@ fn run() -> Result<ExitCode, String> {
                 }
             }
             "--require-scaling" => require_scaling = true,
+            "--obs" => obs = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -141,6 +154,9 @@ fn run() -> Result<ExitCode, String> {
     // can demand exact equality.
     let spec = PolicySpec::SieveStoreD { threshold: 10 };
     let cfg = SimConfig::paper_16gb(scale);
+    if obs {
+        sievestore_types::obs::set_enabled(true);
+    }
     println!(
         "replay_bench | scale 1/{scale}, seed {seed:#x}, {} days, policy {spec:?}",
         trace.days()
@@ -157,6 +173,9 @@ fn run() -> Result<ExitCode, String> {
         sequential = Some(result);
     }
     let sequential = sequential.expect("reps >= 1");
+    // Built outside the timed region; the sharded runs below must
+    // reproduce these bytes exactly.
+    let snapshot_log = SnapshotLog::from_result(&sequential);
     let events = sequential.total().accesses();
     let mut runs = vec![RunReport {
         mode: "sequential".into(),
@@ -176,7 +195,7 @@ fn run() -> Result<ExitCode, String> {
                 simulate_sharded(&trace, spec.clone(), &cfg, threads).map_err(|e| e.to_string())?;
             best_secs = best_secs.min(started.elapsed().as_secs_f64());
             imbalance = stats.imbalance();
-            verify_identical(&sequential, &result, threads)?;
+            verify_identical(&sequential, &snapshot_log, &result, threads)?;
         }
         runs.push(RunReport {
             mode: "sharded".into(),
@@ -188,6 +207,17 @@ fn run() -> Result<ExitCode, String> {
         print_run(runs.last().expect("just pushed"));
     }
 
+    // Registry totals are captured before the micro phase so the
+    // instrumented structures exercised there don't pollute the replay
+    // figures.
+    let obs_metrics = if obs {
+        let line = sievestore_types::obs::global().snapshot().to_json_line();
+        println!("obs registry: {line}");
+        Some(line)
+    } else {
+        None
+    };
+
     let micro = micro_phase(reps);
 
     let report = ReplayReport {
@@ -196,6 +226,8 @@ fn run() -> Result<ExitCode, String> {
         events,
         runs,
         micro,
+        day_snapshots_jsonl: Some(snapshot_log.to_jsonl()),
+        obs_metrics,
     };
     let text = report.to_json();
     if let Some(parent) = std::path::Path::new(&out).parent() {
@@ -394,9 +426,11 @@ fn print_run(run: &RunReport) {
 
 /// The differential guarantee the bench rides on: a benchmark of a
 /// *wrong* parallel engine is meaningless, so every timed sharded run is
-/// also checked for metric equality with the sequential report.
+/// also checked for metric equality with the sequential report — both the
+/// per-day counters and the exported day-snapshot JSONL bytes.
 fn verify_identical(
     sequential: &SimResult,
+    sequential_log: &SnapshotLog,
     sharded: &SimResult,
     threads: usize,
 ) -> Result<(), String> {
@@ -411,6 +445,13 @@ fn verify_identical(
                 .iter()
                 .zip(&sharded.days)
                 .position(|(a, b)| a != b)
+        ));
+    }
+    let sharded_jsonl = SnapshotLog::from_result(sharded).to_jsonl();
+    if sequential_log.to_jsonl() != sharded_jsonl {
+        return Err(format!(
+            "day-snapshot JSONL at {threads} threads is not byte-identical to the \
+             sequential export despite equal day metrics"
         ));
     }
     Ok(())

@@ -24,7 +24,9 @@ use std::path::{Path, PathBuf};
 
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
-use sievestore_sim::{ideal_top_selections, simulate_many, ReplayMode, SimConfig, SimResult};
+use sievestore_sim::{
+    ideal_top_selections, simulate_many, ReplayMode, SimConfig, SimResult, SnapshotLog,
+};
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
 use sievestore_types::SieveError;
 
@@ -167,6 +169,38 @@ impl Harness {
             self.runs = Some(self.compute_policy_runs()?);
         }
         Ok(self.runs.as_ref().expect("just computed"))
+    }
+
+    /// Writes one day-boundary snapshot log (`sievestore-day-snapshot/v1`
+    /// JSONL) per policy run under the results dir, returning the paths.
+    /// For discrete policies the bytes are identical at any replay thread
+    /// count, so these files double as cross-configuration fixtures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation-construction and file-write errors.
+    pub fn write_day_snapshots(&mut self) -> Result<Vec<PathBuf>, SieveError> {
+        let dir = self.results_dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let runs = self.policy_runs()?;
+        let mut paths = Vec::new();
+        for result in &runs.results {
+            let slug: String = result
+                .policy
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = dir.join(format!("snapshots_{slug}.jsonl"));
+            std::fs::write(&path, SnapshotLog::from_result(result).to_jsonl())?;
+            paths.push(path);
+        }
+        Ok(paths)
     }
 
     fn compute_policy_runs(&self) -> Result<PolicyRuns, SieveError> {

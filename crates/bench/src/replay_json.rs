@@ -314,6 +314,16 @@ pub struct ReplayReport {
     pub runs: Vec<RunReport>,
     /// Hot-path micro-benchmarks (absent in pre-micro reports).
     pub micro: Vec<MicroReport>,
+    /// Day-boundary snapshot export (`sievestore-day-snapshot/v1` JSON
+    /// Lines, embedded verbatim). Deterministic for the benchmark's
+    /// discrete policy: byte-identical at any shard count. Absent in
+    /// pre-observability reports.
+    pub day_snapshots_jsonl: Option<String>,
+    /// Observability-registry totals (one
+    /// `sievestore_types::obs::MetricsSnapshot` JSON line) when the
+    /// benchmark ran with runtime metrics enabled. Wall-clock figures in
+    /// here are diagnostics, never gated and never deterministic.
+    pub obs_metrics: Option<String>,
 }
 
 /// Schema tag written into every report.
@@ -322,7 +332,7 @@ pub const REPLAY_SCHEMA: &str = "sievestore-replay-bench/v1";
 impl ReplayReport {
     /// Serializes to the committed JSON format.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut entries = vec![
             ("schema".into(), Json::Str(REPLAY_SCHEMA.into())),
             ("scale".into(), Json::Num(self.scale as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
@@ -358,8 +368,14 @@ impl ReplayReport {
                         .collect(),
                 ),
             ),
-        ])
-        .to_pretty()
+        ];
+        if let Some(jsonl) = &self.day_snapshots_jsonl {
+            entries.push(("day_snapshots_jsonl".into(), Json::Str(jsonl.clone())));
+        }
+        if let Some(metrics) = &self.obs_metrics {
+            entries.push(("obs_metrics".into(), Json::Str(metrics.clone())));
+        }
+        Json::Obj(entries).to_pretty()
     }
 
     /// Parses a report document.
@@ -432,6 +448,16 @@ impl ReplayReport {
             events: num("events")? as u64,
             runs,
             micro,
+            // Both observability sections are optional so pre-obs
+            // baselines (and obs-less runs) still parse.
+            day_snapshots_jsonl: doc
+                .get("day_snapshots_jsonl")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            obs_metrics: doc
+                .get("obs_metrics")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 
@@ -520,6 +546,11 @@ mod tests {
                 name: "lru_touch".into(),
                 ns_per_op: 14.2,
             }],
+            day_snapshots_jsonl: Some(
+                "{\"schema\":\"sievestore-day-snapshot/v1\",\"policy\":\"sievestore-d\",\"capacity_blocks\":64,\"days\":1}\n{\"day\":0,\"read_hits\":3,\"write_hits\":1,\"read_misses\":2,\"write_misses\":0,\"allocation_writes\":1,\"batch_allocations\":1,\"cum_read_hits\":3,\"cum_write_hits\":1,\"cum_read_misses\":2,\"cum_write_misses\":0,\"cum_allocation_writes\":1,\"cum_batch_allocations\":1}\n"
+                    .into(),
+            ),
+            obs_metrics: Some("{\"counters\":{\"replay_events_routed\":6}}".into()),
         }
     }
 
@@ -576,6 +607,23 @@ mod tests {
         assert!(back.micro.is_empty());
         assert_eq!(back.runs, report().runs);
         // Micro figures are informational: they never gate.
+        assert!(compare_reports(&back, &report(), 0.2).is_ok());
+    }
+
+    #[test]
+    fn pre_obs_baselines_still_parse() {
+        // Reports written before the observability sections existed have
+        // neither "day_snapshots_jsonl" nor "obs_metrics"; they must keep
+        // parsing (as None) and gating just like pre-micro baselines.
+        let mut doc = Json::parse(&report().to_json()).unwrap();
+        if let Json::Obj(entries) = &mut doc {
+            entries.retain(|(k, _)| k != "day_snapshots_jsonl" && k != "obs_metrics");
+        }
+        let back = ReplayReport::from_json(&doc.to_pretty()).unwrap();
+        assert!(back.day_snapshots_jsonl.is_none());
+        assert!(back.obs_metrics.is_none());
+        assert_eq!(back.runs, report().runs);
+        // Observability payloads are diagnostics: they never gate.
         assert!(compare_reports(&back, &report(), 0.2).is_ok());
     }
 

@@ -7,7 +7,7 @@
 //! logical eviction-then-reallocation cancels out and no data moves; only
 //! the genuinely new blocks incur allocation-writes.
 
-use sievestore_types::U64Set;
+use sievestore_types::{obs_count, obs_gauge_adjust, U64Set};
 
 /// Summary of one epoch installation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -77,7 +77,13 @@ impl BatchCache {
 
     /// Whether `key` is resident this epoch.
     pub fn contains(&self, key: u64) -> bool {
-        self.resident.contains(key)
+        let hit = self.resident.contains(key);
+        if hit {
+            obs_count!(CacheHits, 1);
+        } else {
+            obs_count!(CacheMisses, 1);
+        }
+        hit
     }
 
     /// Replaces the resident set with `selected`, computing the transition.
@@ -106,6 +112,10 @@ impl BatchCache {
             }
         }
         let evicted = (self.resident.len() as u64) - retained;
+        obs_count!(CacheEvictions, evicted);
+        // Adjust (not set): sharded replays keep one BatchCache per shard
+        // and the deltas must sum into a meaningful ensemble total.
+        obs_gauge_adjust!(CacheResidentFrames, allocated.len() as i64 - evicted as i64);
         self.resident = next;
         EpochTransition {
             allocated,

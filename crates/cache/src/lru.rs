@@ -12,7 +12,7 @@
 //! table — rather than `std::collections::HashMap`, because `touch` runs
 //! once per trace event and SipHash dominates the lookup at that rate.
 
-use sievestore_types::U64Map;
+use sievestore_types::{obs_count, obs_gauge_adjust, U64Map};
 
 /// Sentinel for "no slot".
 const NIL: u32 = u32::MAX;
@@ -129,9 +129,10 @@ impl LruCache {
         self.head = idx;
     }
 
-    /// Marks `key` as most recently used. Returns `true` if it was
-    /// resident (a hit), `false` otherwise (no state change).
-    pub fn touch(&mut self, key: u64) -> bool {
+    /// Promotes `key` to MRU if resident; the uninstrumented core of
+    /// [`touch`](LruCache::touch), shared with `insert` so internal
+    /// promotions never count as accesses.
+    fn promote(&mut self, key: u64) -> bool {
         match self.map.get(key) {
             Some(&idx) => {
                 if self.head != idx {
@@ -144,11 +145,23 @@ impl LruCache {
         }
     }
 
+    /// Marks `key` as most recently used. Returns `true` if it was
+    /// resident (a hit), `false` otherwise (no state change).
+    pub fn touch(&mut self, key: u64) -> bool {
+        let hit = self.promote(key);
+        if hit {
+            obs_count!(CacheHits, 1);
+        } else {
+            obs_count!(CacheMisses, 1);
+        }
+        hit
+    }
+
     /// Inserts `key` as most recently used, evicting the LRU entry if the
     /// cache is full. Returns the evicted key, if any. Inserting a resident
     /// key just refreshes its recency (never evicts).
     pub fn insert(&mut self, key: u64) -> Option<u64> {
-        if self.touch(key) {
+        if self.promote(key) {
             return None;
         }
         let evicted = if self.map.len() >= self.capacity {
@@ -162,6 +175,11 @@ impl LruCache {
         } else {
             None
         };
+        if evicted.is_some() {
+            obs_count!(CacheEvictions, 1);
+        } else {
+            obs_gauge_adjust!(CacheResidentFrames, 1);
+        }
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx as usize].key = key;
@@ -188,6 +206,7 @@ impl LruCache {
             Some(idx) => {
                 self.unlink(idx);
                 self.free.push(idx);
+                obs_gauge_adjust!(CacheResidentFrames, -1);
                 true
             }
             None => false,
@@ -206,6 +225,7 @@ impl LruCache {
 
     /// Drops every resident frame.
     pub fn clear(&mut self) {
+        obs_gauge_adjust!(CacheResidentFrames, -(self.map.len() as i64));
         self.map.clear();
         self.slots.clear();
         self.free.clear();

@@ -18,7 +18,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use sievestore_types::{NodeError, BLOCK_SIZE};
+use sievestore_types::{obs_count, NodeError, BLOCK_SIZE};
 
 use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
 
@@ -294,6 +294,7 @@ impl NodeClient {
                 Ok(reply) => {
                     if !had_conn && attempt > 1 {
                         self.reconnects += 1;
+                        obs_count!(ClientReconnects, 1);
                     }
                     return Ok(reply);
                 }
@@ -313,6 +314,7 @@ impl NodeClient {
                 });
             }
             self.retries += 1;
+            obs_count!(ClientRetries, 1);
             self.jitter_salt = self.jitter_salt.wrapping_add(1);
             let pause = self.config.retry.backoff(attempt, self.jitter_salt);
             if !pause.is_zero() {

@@ -29,7 +29,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use sievestore_types::Micros;
+use sievestore_types::obs::{Event, EventSink, FieldValue, NoopSink};
+use sievestore_types::{obs_count, obs_enabled, obs_observe, Micros};
 
 use crate::backing::BackingStore;
 use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
@@ -88,24 +89,39 @@ impl Breaker {
     }
 }
 
+/// Stable lowercase state names for structured breaker events.
+fn mode_name(mode: NodeMode) -> &'static str {
+    match mode {
+        NodeMode::Healthy => "healthy",
+        NodeMode::Degraded => "degraded",
+        NodeMode::Probing => "probing",
+    }
+}
+
 /// The cache plus breaker, guarded by one mutex so breaker transitions
 /// are atomic with the cache operations they judge.
 struct Guarded<B: BackingStore> {
     cache: DataCache<B>,
     breaker: Breaker,
+    /// Destination for structured breaker-transition events. Sinks run
+    /// under the guarded mutex, so they must be cheap and non-blocking.
+    sink: Arc<dyn EventSink>,
 }
 
 impl<B: BackingStore> Guarded<B> {
     /// Records a cache-path success; a successful probe (or a healthy
     /// request) closes the breaker.
     fn record_success(&mut self) {
+        let from = self.breaker;
         self.breaker = Breaker::Closed { failures: 0 };
+        self.on_transition(from);
     }
 
     /// Records a cache-path failure; at the threshold the breaker opens
     /// and dirty frames are flushed best-effort while the backing store
     /// may still be reachable.
     fn record_failure(&mut self, config: &NodeConfig) {
+        let from = self.breaker;
         let failures = match self.breaker {
             Breaker::Closed { failures } => failures + 1,
             // A failed probe re-opens immediately.
@@ -125,19 +141,43 @@ impl<B: BackingStore> Guarded<B> {
         } else {
             self.breaker = Breaker::Closed { failures };
         }
+        self.on_transition(from);
     }
 
     /// Consumes one degraded-mode request; at zero the breaker
     /// half-opens so the next request probes the cache path.
     fn tick_degraded(&mut self) {
         if let Breaker::Open { remaining } = self.breaker {
+            let from = self.breaker;
             let remaining = remaining.saturating_sub(1);
             self.breaker = if remaining == 0 {
                 Breaker::HalfOpen
             } else {
                 Breaker::Open { remaining }
             };
+            self.on_transition(from);
         }
+    }
+
+    /// Emits exactly one structured event per *mode* change (internal
+    /// state updates that keep the mode, like a failure streak growing
+    /// under threshold or the cooldown counting down, stay silent).
+    fn on_transition(&self, from: Breaker) {
+        let to = self.breaker;
+        if from.mode() == to.mode() {
+            return;
+        }
+        if to.mode() == NodeMode::Degraded {
+            obs_count!(NodeBreakerTrips, 1);
+        }
+        if to.mode() == NodeMode::Healthy {
+            obs_count!(NodeBreakerRecoveries, 1);
+        }
+        self.sink.record(
+            &Event::new("node.breaker.transition")
+                .with("from", FieldValue::Str(mode_name(from.mode())))
+                .with("to", FieldValue::Str(mode_name(to.mode()))),
+        );
     }
 }
 
@@ -206,12 +246,33 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         cache: DataCache<B>,
         config: NodeConfig,
     ) -> io::Result<Self> {
+        Self::spawn_observed(addr, cache, config, Arc::new(NoopSink))
+    }
+
+    /// Binds `addr` with an explicit configuration *and* a structured
+    /// event sink receiving every circuit-breaker mode transition
+    /// (`node.breaker.transition` events with `from`/`to` fields).
+    ///
+    /// The sink runs inline on request threads while the cache mutex is
+    /// held, so it must be cheap and non-blocking (see
+    /// [`sievestore_types::obs::EventSink`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_observed(
+        addr: &str,
+        cache: DataCache<B>,
+        config: NodeConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             guarded: Mutex::new(Guarded {
                 cache,
                 breaker: Breaker::Closed { failures: 0 },
+                sink,
             }),
             config,
             clock_us: AtomicU64::new(0),
@@ -321,6 +382,16 @@ fn is_idle_timeout(err: &io::Error) -> bool {
 }
 
 fn handle_read<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Reply {
+    let observed = obs_enabled!().then(Instant::now);
+    let reply = handle_read_inner(shared, key, now);
+    obs_count!(NodeReads, 1);
+    if let Some(started) = observed {
+        obs_observe!(NodeReadNanos, started.elapsed().as_nanos() as u64);
+    }
+    reply
+}
+
+fn handle_read_inner<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Reply {
     let mut guarded = shared.guarded.lock();
     match guarded.breaker.mode() {
         NodeMode::Degraded => {
@@ -328,6 +399,7 @@ fn handle_read<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Re
             match guarded.cache.read_bypass(key) {
                 Ok(data) => {
                     shared.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                    obs_count!(NodeDegraded, 1);
                     Reply::Read {
                         hit: false,
                         data: Box::new(data),
@@ -345,6 +417,7 @@ fn handle_read<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Re
                 Ok((data, outcome)) => {
                     if started.elapsed() > shared.config.request_deadline {
                         guarded.record_failure(&shared.config);
+                        obs_count!(NodeDeadlineOverruns, 1);
                         return Reply::Error {
                             code: ErrorCode::Deadline,
                             message: format!(
@@ -377,6 +450,21 @@ fn handle_write<B: BackingStore>(
     data: &crate::backing::Block,
     now: Micros,
 ) -> Reply {
+    let observed = obs_enabled!().then(Instant::now);
+    let reply = handle_write_inner(shared, key, data, now);
+    obs_count!(NodeWrites, 1);
+    if let Some(started) = observed {
+        obs_observe!(NodeWriteNanos, started.elapsed().as_nanos() as u64);
+    }
+    reply
+}
+
+fn handle_write_inner<B: BackingStore>(
+    shared: &Shared<B>,
+    key: u64,
+    data: &crate::backing::Block,
+    now: Micros,
+) -> Reply {
     let mut guarded = shared.guarded.lock();
     match guarded.breaker.mode() {
         NodeMode::Degraded => {
@@ -384,6 +472,7 @@ fn handle_write<B: BackingStore>(
             match guarded.cache.write_bypass(key, data) {
                 Ok(()) => {
                     shared.degraded_writes.fetch_add(1, Ordering::Relaxed);
+                    obs_count!(NodeDegraded, 1);
                     Reply::Write { hit: false }
                 }
                 Err(e) => Reply::Error {
@@ -398,6 +487,7 @@ fn handle_write<B: BackingStore>(
                 Ok(outcome) => {
                     if started.elapsed() > shared.config.request_deadline {
                         guarded.record_failure(&shared.config);
+                        obs_count!(NodeDeadlineOverruns, 1);
                         return Reply::Error {
                             code: ErrorCode::Deadline,
                             message: format!(
@@ -486,10 +576,15 @@ mod tests {
     use crate::backing::MemBacking;
 
     fn guarded() -> Guarded<MemBacking> {
+        guarded_with_sink(Arc::new(NoopSink))
+    }
+
+    fn guarded_with_sink(sink: Arc<dyn EventSink>) -> Guarded<MemBacking> {
         Guarded {
             cache: DataCache::new(MemBacking::new(), sievestore::PolicySpec::Aod, 8)
                 .expect("valid cache"),
             breaker: Breaker::Closed { failures: 0 },
+            sink,
         }
     }
 
@@ -546,6 +641,48 @@ mod tests {
         g.record_failure(&config);
         // Never two *consecutive* failures, so still healthy.
         assert_eq!(g.breaker.mode(), NodeMode::Healthy);
+    }
+
+    #[test]
+    fn breaker_emits_exactly_one_event_per_mode_transition() {
+        use sievestore_types::obs::CapturingSink;
+        let sink = Arc::new(CapturingSink::new());
+        let config = NodeConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: 1,
+            ..NodeConfig::default()
+        };
+        let mut g = guarded_with_sink(sink.clone());
+        // Sub-threshold failure and already-closed success: no events.
+        g.record_failure(&config);
+        g.record_success();
+        g.record_success();
+        assert!(sink.events().is_empty(), "mode never changed");
+        // Trip: healthy -> degraded (two consecutive failures).
+        g.record_failure(&config);
+        g.record_failure(&config);
+        // Cooldown: degraded -> probing, then probe success -> healthy.
+        g.tick_degraded();
+        g.record_success();
+        let events = sink.take();
+        let transitions: Vec<(String, String)> = events
+            .iter()
+            .map(|e| {
+                (
+                    e.field("from").expect("from").to_string(),
+                    e.field("to").expect("to").to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                ("healthy".into(), "degraded".into()),
+                ("degraded".into(), "probing".into()),
+                ("probing".into(), "healthy".into()),
+            ]
+        );
+        assert!(events.iter().all(|e| e.name == "node.breaker.transition"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `t1` = 9 and `t2` = 4 over an 8-hour window of 4 subwindows, and
 //! reports ~8 GB of metastate for its traces.
 
-use sievestore_types::{Micros, SieveError};
+use sievestore_types::{obs_count, obs_gauge_set, Micros, SieveError};
 
 use crate::tables::{Imct, Mct};
 use crate::window::WindowConfig;
@@ -237,22 +237,29 @@ impl TwoTierSieve {
         }
         let imct_count = self.imct.record_miss(key, now);
         if imct_count < self.config.t1 {
+            obs_count!(SieveRejections, 1);
             return false;
         }
         self.graduated += 1;
+        obs_count!(SieveGraduations, 1);
         if !self.mct.ensure(key, now) {
             // The miss that first graduates a block past the IMCT does not
             // count toward the *additional* t2 precise misses.
+            obs_count!(SieveRejections, 1);
+            obs_gauge_set!(MctTrackedBlocks, self.mct.len() as i64);
             return false;
         }
         let mct_count = self.mct.record_miss(key, now);
-        if mct_count >= self.config.t2 {
+        let admitted = mct_count >= self.config.t2;
+        if admitted {
             self.granted += 1;
             self.mct.remove(key);
-            true
+            obs_count!(SieveAdmissions, 1);
         } else {
-            false
+            obs_count!(SieveRejections, 1);
         }
+        obs_gauge_set!(MctTrackedBlocks, self.mct.len() as i64);
+        admitted
     }
 
     /// Total misses processed.

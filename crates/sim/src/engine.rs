@@ -31,6 +31,7 @@ use sievestore_types::{Day, Request, SieveError, BLOCKS_PER_PAGE};
 
 use crate::metrics::{DayMetrics, SimResult};
 use crate::replay::{self, ReplayMode};
+use crate::snapshot::SnapshotLog;
 
 /// Engine configuration shared by all policies in a run.
 #[derive(Debug, Clone)]
@@ -228,6 +229,46 @@ pub fn simulate(
 ) -> Result<SimResult, SieveError> {
     let mut results = simulate_many(trace, vec![spec], cfg)?;
     Ok(results.pop().expect("one spec yields one result"))
+}
+
+/// Simulates one policy while exporting a deterministic day-boundary
+/// [`SnapshotLog`].
+///
+/// In sequential mode each day's snapshot is emitted *online*, as soon
+/// as the day finishes; in sharded mode the log is derived from the
+/// merged result. For discrete policies the two serialize to identical
+/// bytes at any shard count — see [`crate::snapshot`] for the contract
+/// (and `tests/sharded_replay.rs` for the pin).
+///
+/// # Errors
+///
+/// Returns [`SieveError::InvalidConfig`] if the policy or capacity is
+/// invalid.
+pub fn simulate_with_snapshots(
+    trace: &SyntheticTrace,
+    spec: PolicySpec,
+    cfg: &SimConfig,
+) -> Result<(SimResult, SnapshotLog), SieveError> {
+    if let ReplayMode::Sharded(n) = cfg.replay {
+        let (result, _stats) = replay::simulate_sharded(trace, spec, cfg, n)?;
+        let log = SnapshotLog::from_result(&result);
+        return Ok((result, log));
+    }
+    let total_minutes = trace.days() as usize * 24 * 60;
+    let name: Arc<str> = Arc::from(spec.name());
+    let mut run = Run::new(spec, cfg, total_minutes)?;
+    let mut log = SnapshotLog::new(name.clone(), cfg.capacity_blocks);
+    for d in 0..trace.days() {
+        let day = Day::new(d);
+        run.on_day_boundary(day);
+        for req in trace.day_requests(day) {
+            run.process_request(&req);
+        }
+        // Day `d`'s counters are final here: accesses land on the issue
+        // day and batch installs were charged at this day's boundary.
+        log.push_day(run.days.get(d as usize).copied().unwrap_or_default());
+    }
+    Ok((run.finish(name, cfg.capacity_blocks), log))
 }
 
 /// Simulates one policy over a *single server's* slice of the trace

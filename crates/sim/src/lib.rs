@@ -36,10 +36,11 @@ pub mod metrics;
 pub mod oracle;
 pub mod per_server;
 pub mod replay;
+pub mod snapshot;
 pub mod sweep;
 
 pub use belady::{belady_counterexample, belady_min, belady_selective, pinned_set, OfflineResult};
-pub use engine::{simulate, simulate_many, simulate_server, SimConfig};
+pub use engine::{simulate, simulate_many, simulate_server, simulate_with_snapshots, SimConfig};
 pub use metrics::{DayMetrics, SimResult};
 pub use oracle::{day_counts, ideal_top_selections, server_day_counts, DayCounts};
 pub use per_server::{
@@ -47,4 +48,5 @@ pub use per_server::{
     CaptureSeries,
 };
 pub use replay::{simulate_server_sharded, simulate_sharded, ReplayMode, ReplayStats};
+pub use snapshot::{DaySnapshot, SnapshotLog, SNAPSHOT_SCHEMA};
 pub use sweep::{threshold_sweep, window_sweep, SweepPoint};

@@ -63,7 +63,8 @@ use sievestore_sieve::{random_block_selection, DiscreteSieve};
 use sievestore_ssd::OccupancyTracker;
 use sievestore_trace::SyntheticTrace;
 use sievestore_types::{
-    shard_of, Day, Micros, Minute, Request, RequestKind, SieveError, U64Set, BLOCKS_PER_PAGE,
+    obs_count, obs_enabled, obs_observe, shard_of, Day, Micros, Minute, Request, RequestKind,
+    SieveError, U64Set, BLOCKS_PER_PAGE,
 };
 
 use crate::engine::SimConfig;
@@ -179,6 +180,7 @@ impl BufferPool {
     fn reclaim(&mut self) {
         while let Ok(mut batch) = self.returns.try_recv() {
             debug_assert!(batch.iter().all(|g| g.blocks.is_empty()));
+            obs_count!(ReplayBatchesRecycled, 1);
             self.groups.append(&mut batch);
             self.batches.push(batch);
         }
@@ -314,7 +316,25 @@ fn day_slot(days: &mut Vec<DayMetrics>, day: Day) -> &mut DayMetrics {
 
 impl Worker {
     fn run(mut self, rx: Receiver<ToWorker>) -> (Vec<DayMetrics>, OccupancyTracker) {
-        for msg in rx.iter() {
+        loop {
+            // With observability live, time how long this worker sits
+            // blocked on its input channel (starvation signal); the plain
+            // path stays a bare `recv` with no clock reads.
+            let msg = if obs_enabled!() {
+                let waited = std::time::Instant::now();
+                match rx.recv() {
+                    Ok(msg) => {
+                        obs_observe!(ReplayChannelWaitNanos, waited.elapsed().as_nanos() as u64);
+                        msg
+                    }
+                    Err(_) => break,
+                }
+            } else {
+                match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                }
+            };
             match msg {
                 ToWorker::Batch(mut groups) => {
                     for g in &mut groups {
@@ -540,12 +560,15 @@ fn run_sharded(
 
         for d in 0..trace.days() {
             let day = Day::new(d);
+            obs_count!(ReplayDayBoundaries, 1);
             if let Some((cache, plan)) = batch.as_mut() {
+                let barrier_started = obs_enabled!().then(std::time::Instant::now);
                 // Boundary barrier: drain in-flight work, gather every
                 // shard's epoch contribution, install the merged
                 // selection globally, broadcast the new residency.
                 for (tx, groups) in senders.iter().zip(&mut pending) {
                     if !groups.is_empty() {
+                        obs_count!(ReplayBatchesSent, 1);
                         send(tx, ToWorker::Batch(std::mem::take(groups)));
                     }
                     send(tx, ToWorker::Boundary);
@@ -576,6 +599,9 @@ fn run_sharded(
                 for tx in &senders {
                     send(tx, ToWorker::Snapshot(snapshot.clone()));
                 }
+                if let Some(started) = barrier_started {
+                    obs_observe!(ReplayDayBarrierNanos, started.elapsed().as_nanos() as u64);
+                }
             }
 
             let requests = match server {
@@ -590,6 +616,7 @@ fn run_sharded(
                         continue;
                     }
                     per_shard_blocks[s] += scratch[s].len() as u64;
+                    obs_count!(ReplayEventsRouted, scratch[s].len() as u64);
                     // Swap the routed blocks into a recycled group: the
                     // group's cleared buffer becomes the next request's
                     // scratch, so neither side ever reallocates.
@@ -598,6 +625,7 @@ fn run_sharded(
                     pending[s].push(group);
                     if pending[s].len() >= BATCH_GROUPS {
                         let replacement = pool.batch();
+                        obs_count!(ReplayBatchesSent, 1);
                         send(
                             &senders[s],
                             ToWorker::Batch(std::mem::replace(&mut pending[s], replacement)),
@@ -608,6 +636,7 @@ fn run_sharded(
         }
         for (tx, groups) in senders.iter().zip(&mut pending) {
             if !groups.is_empty() {
+                obs_count!(ReplayBatchesSent, 1);
                 send(tx, ToWorker::Batch(std::mem::take(groups)));
             }
         }

@@ -30,6 +30,7 @@
 pub mod error;
 pub mod fastmap;
 pub mod ids;
+pub mod obs;
 pub mod request;
 pub mod time;
 

@@ -1,0 +1,1099 @@
+//! Zero-dependency observability: a lock-free metrics registry and
+//! lightweight structured event tracing.
+//!
+//! The replay engine processes tens of millions of block accesses per
+//! second, so the only affordable instrumentation is the kind that costs
+//! ~nothing when it is off. This module provides exactly that:
+//!
+//! * a **fixed-schema [`Registry`]** of atomic counters ([`CounterId`]),
+//!   gauges ([`GaugeId`]) and log-bucketed histograms ([`HistId`]) —
+//!   no locks, no allocation, no registration step; every metric is an
+//!   enum-indexed slot in a static array;
+//! * **[`MetricsSnapshot`]** — a plain-integer copy of the registry whose
+//!   [`merge`](MetricsSnapshot::merge) is commutative and associative, so
+//!   per-shard snapshots combine into the same totals in any order (the
+//!   same contract `DayMetrics` follows in the simulator);
+//! * **structured events** ([`Event`]) delivered to a pluggable
+//!   [`EventSink`] — no-op, stderr, JSONL file, or a capturing sink for
+//!   tests.
+//!
+//! # Cost model
+//!
+//! Instrumented call sites go through [`count`] / [`observe`], which test
+//! one `AtomicBool` with a relaxed load and branch away when runtime
+//! recording is off ([`set_enabled`]). Crates additionally compile their
+//! call sites behind an `obs` cargo feature (via the [`obs_count!`] and
+//! [`obs_observe!`] macros), so a default build carries no instrumentation
+//! at all. The hierarchy is:
+//!
+//! | build                  | runtime flag | per-event cost              |
+//! |------------------------|--------------|-----------------------------|
+//! | default (no `obs`)     | —            | zero (code compiled out)    |
+//! | `--features obs`       | disabled     | one relaxed load + branch   |
+//! | `--features obs`       | enabled      | one relaxed `fetch_add`     |
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_types::obs::{self, CounterId, Registry};
+//!
+//! // Private registries are cheap and need no global state:
+//! let reg = Registry::new();
+//! reg.add(CounterId::CacheHits, 3);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter(CounterId::CacheHits), 3);
+//!
+//! // Snapshot merges are commutative:
+//! let mut a = reg.snapshot();
+//! let b = reg.snapshot();
+//! a.merge(&b);
+//! assert_eq!(a.counter(CounterId::CacheHits), 6);
+//! # let _ = obs::enabled();
+//! ```
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+// ---------------------------------------------------------------------------
+// Metric identifiers
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters tracked by a [`Registry`].
+///
+/// The set is a fixed schema: adding a metric means adding a variant
+/// here (and to [`CounterId::ALL`]), which keeps the registry lock-free
+/// and snapshot serialization deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterId {
+    /// Block accesses routed to replay workers by the coordinator.
+    ReplayEventsRouted,
+    /// Batches of request groups sent over worker channels.
+    ReplayBatchesSent,
+    /// Processed batches returned to the coordinator's buffer pool.
+    ReplayBatchesRecycled,
+    /// Day boundaries crossed by the replay coordinator.
+    ReplayDayBoundaries,
+    /// LRU cache hits (`touch` found the key resident).
+    CacheHits,
+    /// LRU cache misses (`touch` missed).
+    CacheMisses,
+    /// LRU evictions performed by `insert`.
+    CacheEvictions,
+    /// Sieve decisions that rejected a miss (allocation-writes avoided).
+    SieveRejections,
+    /// Sieve decisions that admitted a block (allocation granted).
+    SieveAdmissions,
+    /// Misses that graduated past the imprecise IMCT tier.
+    SieveGraduations,
+    /// Read requests served by a node (any path).
+    NodeReads,
+    /// Write requests served by a node (any path).
+    NodeWrites,
+    /// Requests served in degraded pass-through mode.
+    NodeDegraded,
+    /// Requests answered with a `Deadline` error.
+    NodeDeadlineOverruns,
+    /// Circuit-breaker trips into the open (degraded) state.
+    NodeBreakerTrips,
+    /// Circuit-breaker recoveries back to the closed (healthy) state.
+    NodeBreakerRecoveries,
+    /// Client-side transient-failure retries.
+    ClientRetries,
+    /// Client-side transparent reconnects.
+    ClientReconnects,
+}
+
+impl CounterId {
+    /// Every counter, in canonical (serialization) order.
+    pub const ALL: [CounterId; 18] = [
+        CounterId::ReplayEventsRouted,
+        CounterId::ReplayBatchesSent,
+        CounterId::ReplayBatchesRecycled,
+        CounterId::ReplayDayBoundaries,
+        CounterId::CacheHits,
+        CounterId::CacheMisses,
+        CounterId::CacheEvictions,
+        CounterId::SieveRejections,
+        CounterId::SieveAdmissions,
+        CounterId::SieveGraduations,
+        CounterId::NodeReads,
+        CounterId::NodeWrites,
+        CounterId::NodeDegraded,
+        CounterId::NodeDeadlineOverruns,
+        CounterId::NodeBreakerTrips,
+        CounterId::NodeBreakerRecoveries,
+        CounterId::ClientRetries,
+        CounterId::ClientReconnects,
+    ];
+
+    /// The counter's stable snake-case name (used in snapshots and JSON).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::ReplayEventsRouted => "replay_events_routed",
+            CounterId::ReplayBatchesSent => "replay_batches_sent",
+            CounterId::ReplayBatchesRecycled => "replay_batches_recycled",
+            CounterId::ReplayDayBoundaries => "replay_day_boundaries",
+            CounterId::CacheHits => "cache_hits",
+            CounterId::CacheMisses => "cache_misses",
+            CounterId::CacheEvictions => "cache_evictions",
+            CounterId::SieveRejections => "sieve_rejections",
+            CounterId::SieveAdmissions => "sieve_admissions",
+            CounterId::SieveGraduations => "sieve_graduations",
+            CounterId::NodeReads => "node_reads",
+            CounterId::NodeWrites => "node_writes",
+            CounterId::NodeDegraded => "node_degraded",
+            CounterId::NodeDeadlineOverruns => "node_deadline_overruns",
+            CounterId::NodeBreakerTrips => "node_breaker_trips",
+            CounterId::NodeBreakerRecoveries => "node_breaker_recoveries",
+            CounterId::ClientRetries => "client_retries",
+            CounterId::ClientReconnects => "client_reconnects",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Point-in-time gauges tracked by a [`Registry`].
+///
+/// Gauges are set (not accumulated) by their owner. In snapshot merges
+/// they *sum*, which is meaningful when each contributor owns a disjoint
+/// share of the quantity (per-shard resident frames, per-shard tracked
+/// blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GaugeId {
+    /// Frames currently resident in LRU caches.
+    CacheResidentFrames,
+    /// Blocks currently tracked precisely by MCTs.
+    MctTrackedBlocks,
+}
+
+impl GaugeId {
+    /// Every gauge, in canonical (serialization) order.
+    pub const ALL: [GaugeId; 2] = [GaugeId::CacheResidentFrames, GaugeId::MctTrackedBlocks];
+
+    /// The gauge's stable snake-case name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GaugeId::CacheResidentFrames => "cache_resident_frames",
+            GaugeId::MctTrackedBlocks => "mct_tracked_blocks",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Log-bucketed histograms tracked by a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistId {
+    /// Nanoseconds a replay worker waited on its input channel per recv.
+    ReplayChannelWaitNanos,
+    /// Nanoseconds the coordinator spent inside one day-boundary barrier.
+    ReplayDayBarrierNanos,
+    /// Node server read-request service time in nanoseconds.
+    NodeReadNanos,
+    /// Node server write-request service time in nanoseconds.
+    NodeWriteNanos,
+}
+
+impl HistId {
+    /// Every histogram, in canonical (serialization) order.
+    pub const ALL: [HistId; 4] = [
+        HistId::ReplayChannelWaitNanos,
+        HistId::ReplayDayBarrierNanos,
+        HistId::NodeReadNanos,
+        HistId::NodeWriteNanos,
+    ];
+
+    /// The histogram's stable snake-case name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistId::ReplayChannelWaitNanos => "replay_channel_wait_ns",
+            HistId::ReplayDayBarrierNanos => "replay_day_barrier_ns",
+            HistId::NodeReadNanos => "node_read_ns",
+            HistId::NodeWriteNanos => "node_write_ns",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Buckets per histogram: bucket `0` holds zero values, bucket `i > 0`
+/// holds values with `i` significant bits (`2^(i-1) ..= 2^i - 1`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value lands in (log2 bucketing, like `DayMetrics`' day
+/// slots this is a pure function of the value, so merged histograms are
+/// scheduling-independent).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::obs::bucket_of;
+/// assert_eq!(bucket_of(0), 0);
+/// assert_eq!(bucket_of(1), 1);
+/// assert_eq!(bucket_of(2), 2);
+/// assert_eq!(bucket_of(3), 2);
+/// assert_eq!(bucket_of(1024), 11);
+/// ```
+pub const fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The smallest value falling into `bucket` (inverse of [`bucket_of`]).
+pub const fn bucket_floor(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// A lock-free, mergeable, log-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-integer copy of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A plain-integer copy of a [`Histogram`]; merges are element-wise sums
+/// (commutative and associative).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`] for the bucketing).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub const fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Folds another snapshot in (element-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+    }
+
+    /// A conservative (lower-bound) estimate of the `q`-quantile:
+    /// the floor of the bucket where the cumulative count crosses
+    /// `q * count`. Returns `None` for an empty histogram; `q` is clamped
+    /// to `[0, 1]`.
+    pub fn quantile_floor(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_floor(i));
+            }
+        }
+        Some(bucket_floor(HIST_BUCKETS - 1))
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                map.entry(&bucket_floor(i), &n);
+            }
+        }
+        map.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry and snapshot
+// ---------------------------------------------------------------------------
+
+/// A lock-free metrics registry: one atomic slot per [`CounterId`] /
+/// [`GaugeId`] / [`HistId`]. Constructible in `const` contexts, so it can
+/// live in a `static` or as a cheap private instance.
+#[derive(Debug)]
+pub struct Registry {
+    counters: [AtomicU64; CounterId::ALL.len()],
+    gauges: [AtomicI64; GaugeId::ALL.len()],
+    hists: [Histogram; HistId::ALL.len()],
+}
+
+impl Registry {
+    /// An all-zero registry.
+    pub const fn new() -> Self {
+        Registry {
+            counters: [const { AtomicU64::new(0) }; CounterId::ALL.len()],
+            gauges: [const { AtomicI64::new(0) }; GaugeId::ALL.len()],
+            hists: [const { Histogram::new() }; HistId::ALL.len()],
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counters[id.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sets a gauge to `value`.
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, value: i64) {
+        self.gauges[id.index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts a gauge by `delta`.
+    #[inline]
+    pub fn adjust_gauge(&self, id: GaugeId, delta: i64) {
+        self.gauges[id.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, id: GaugeId) -> i64 {
+        self.gauges[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one histogram sample.
+    #[inline]
+    pub fn record(&self, id: HistId, value: u64) {
+        self.hists[id.index()].record(value);
+    }
+
+    /// The live histogram for `id`.
+    pub fn histogram(&self, id: HistId) -> &Histogram {
+        &self.hists[id.index()]
+    }
+
+    /// A plain-integer copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::empty();
+        for id in CounterId::ALL {
+            snap.counters[id.index()] = self.counter(id);
+        }
+        for id in GaugeId::ALL {
+            snap.gauges[id.index()] = self.gauge(id);
+        }
+        for id in HistId::ALL {
+            snap.hists[id.index()] = self.hists[id.index()].snapshot();
+        }
+        snap
+    }
+
+    /// Zeroes every counter, gauge and histogram.
+    pub fn reset(&self) {
+        for counter in &self.counters {
+            counter.store(0, Ordering::Relaxed);
+        }
+        for gauge in &self.gauges {
+            gauge.store(0, Ordering::Relaxed);
+        }
+        for hist in &self.hists {
+            hist.reset();
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// A plain-integer copy of a [`Registry`].
+///
+/// Merging sums every slot, so merges are commutative and associative:
+/// per-shard snapshots combine into the same totals in any order, exactly
+/// like the simulator's `DayMetrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; CounterId::ALL.len()],
+    gauges: [i64; GaugeId::ALL.len()],
+    hists: [HistogramSnapshot; HistId::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot.
+    pub const fn empty() -> Self {
+        MetricsSnapshot {
+            counters: [0; CounterId::ALL.len()],
+            gauges: [0; GaugeId::ALL.len()],
+            hists: [HistogramSnapshot::empty(); HistId::ALL.len()],
+        }
+    }
+
+    /// A counter's value.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.index()]
+    }
+
+    /// Sets a counter's value (snapshot assembly).
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        self.counters[id.index()] = value;
+    }
+
+    /// A gauge's value.
+    pub fn gauge(&self, id: GaugeId) -> i64 {
+        self.gauges[id.index()]
+    }
+
+    /// Sets a gauge's value (snapshot assembly).
+    pub fn set_gauge(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.index()] = value;
+    }
+
+    /// A histogram's bucket counts.
+    pub fn histogram(&self, id: HistId) -> &HistogramSnapshot {
+        &self.hists[id.index()]
+    }
+
+    /// Mutable access to a histogram's bucket counts (snapshot assembly).
+    pub fn histogram_mut(&mut self, id: HistId) -> &mut HistogramSnapshot {
+        &mut self.hists[id.index()]
+    }
+
+    /// Whether every slot is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.gauges.iter().all(|&g| g == 0)
+            && self.hists.iter().all(|h| h.count() == 0)
+    }
+
+    /// Folds another snapshot in: counters, gauges and histogram buckets
+    /// all sum element-wise. Commutative and associative.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.gauges.iter_mut().zip(&other.gauges) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(&other.hists) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// One deterministic JSON line: integers only, fixed key order
+    /// (the canonical `ALL` orders), zero-valued entries skipped. Two
+    /// snapshots with equal contents serialize to identical bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for id in CounterId::ALL {
+            let v = self.counter(id);
+            if v != 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{v}", id.name()));
+            }
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for id in GaugeId::ALL {
+            let v = self.gauge(id);
+            if v != 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{v}", id.name()));
+            }
+        }
+        out.push_str("},\"hists\":{");
+        let mut first = true;
+        for id in HistId::ALL {
+            let h = self.histogram(id);
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{{", id.name()));
+            let mut first_bucket = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n != 0 {
+                    if !first_bucket {
+                        out.push(',');
+                    }
+                    first_bucket = false;
+                    out.push_str(&format!("\"{}\":{n}", bucket_floor(i)));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot::empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry + runtime switch
+// ---------------------------------------------------------------------------
+
+static GLOBAL: Registry = Registry::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-global registry instrumented hot paths write to.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Turns runtime metric recording on or off (off by default). With
+/// recording off, every instrumented call site costs one relaxed atomic
+/// load and a predictable branch.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether runtime metric recording is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to a global counter if recording is enabled.
+#[inline]
+pub fn count(id: CounterId, n: u64) {
+    if enabled() {
+        GLOBAL.add(id, n);
+    }
+}
+
+/// Records a global histogram sample if recording is enabled.
+#[inline]
+pub fn observe(id: HistId, value: u64) {
+    if enabled() {
+        GLOBAL.record(id, value);
+    }
+}
+
+/// Sets a global gauge if recording is enabled.
+#[inline]
+pub fn gauge_set(id: GaugeId, value: i64) {
+    if enabled() {
+        GLOBAL.set_gauge(id, value);
+    }
+}
+
+/// Adjusts a global gauge if recording is enabled.
+#[inline]
+pub fn gauge_adjust(id: GaugeId, delta: i64) {
+    if enabled() {
+        GLOBAL.adjust_gauge(id, delta);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured events
+// ---------------------------------------------------------------------------
+
+/// One field value on a structured [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A short string field (state names, error classes).
+    Str(&'static str),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A structured trace event: a static name plus a handful of typed
+/// fields. Events are cheap to build (fields live in a small `Vec`) and
+/// only built at all when a sink is installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Dotted event name, e.g. `"node.breaker.transition"`.
+    pub name: &'static str,
+    /// Key/value fields in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// An event with no fields yet.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder-style).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: FieldValue) -> Self {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// The first field with `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// One deterministic JSON line (string values are static identifiers,
+    /// so no escaping is needed).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!("{{\"event\":\"{}\"", self.name);
+        for (key, value) in &self.fields {
+            match value {
+                FieldValue::Str(s) => out.push_str(&format!(",\"{key}\":\"{s}\"")),
+                other => out.push_str(&format!(",\"{key}\":{other}")),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A destination for structured [`Event`]s.
+///
+/// Sinks must be cheap and non-panicking: they run inline on the
+/// emitting thread (server request handlers, replay coordinator).
+pub trait EventSink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Writes one JSON line per event to stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn record(&self, event: &Event) {
+        eprintln!("{}", event.to_json_line());
+    }
+}
+
+/// Appends one JSON line per event to an owned writer (typically a file).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl JsonlSink {
+    /// A sink writing JSONL to `writer`.
+    pub fn new(writer: Box<dyn std::io::Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// A sink appending to the file at `path` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink::new(Box::new(file)))
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writeln!(writer, "{}", event.to_json_line());
+        }
+    }
+}
+
+/// Buffers every event in memory — the assertion surface for tests.
+#[derive(Debug, Default)]
+pub struct CapturingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CapturingSink {
+    /// An empty capturing sink.
+    pub fn new() -> Self {
+        CapturingSink::default()
+    }
+
+    /// A copy of every event captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("capturing sink poisoned").clone()
+    }
+
+    /// Drains and returns the captured events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("capturing sink poisoned"))
+    }
+
+    /// Captured events with the given name.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+}
+
+impl EventSink for CapturingSink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("capturing sink poisoned")
+            .push(event.clone());
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn EventSink>>> = RwLock::new(None);
+
+/// Installs the process-global event sink (replacing any previous one)
+/// and turns event emission on.
+pub fn set_sink(sink: Arc<dyn EventSink>) {
+    *SINK.write().expect("sink lock poisoned") = Some(sink);
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Removes the global sink; [`emit`] becomes a cheap no-op again.
+pub fn clear_sink() {
+    TRACING.store(false, Ordering::Release);
+    *SINK.write().expect("sink lock poisoned") = None;
+}
+
+/// Whether a global sink is installed.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Acquire)
+}
+
+/// Delivers an event to the global sink, if one is installed. The
+/// disabled path is one atomic load and a branch; callers should build
+/// the [`Event`] lazily behind [`tracing_enabled`] when fields are
+/// expensive.
+pub fn emit(event: &Event) {
+    if !tracing_enabled() {
+        return;
+    }
+    let guard = SINK.read().expect("sink lock poisoned");
+    if let Some(sink) = guard.as_ref() {
+        sink.record(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros
+// ---------------------------------------------------------------------------
+//
+// These expand `cfg!(feature = "obs")` in the *invoking* crate, so each
+// instrumented crate gates its own call sites behind its own `obs`
+// feature while the disabled path still type-checks (the compile-out
+// branch can't rot). The macros live here (and are `#[macro_export]`ed
+// from the crate root) so every crate shares one spelling.
+
+/// `true` when the invoking crate compiled with its `obs` feature *and*
+/// runtime recording is enabled — the guard for instrumentation with
+/// setup cost (e.g. reading a clock).
+#[macro_export]
+macro_rules! obs_enabled {
+    () => {
+        cfg!(feature = "obs") && $crate::obs::enabled()
+    };
+}
+
+/// Adds `$n` to the global counter `CounterId::$id` when the invoking
+/// crate's `obs` feature is on (and recording is enabled at runtime).
+#[macro_export]
+macro_rules! obs_count {
+    ($id:ident, $n:expr) => {
+        if cfg!(feature = "obs") {
+            $crate::obs::count($crate::obs::CounterId::$id, $n);
+        }
+    };
+}
+
+/// Records `$value` in the global histogram `HistId::$id` when the
+/// invoking crate's `obs` feature is on (and recording is enabled).
+#[macro_export]
+macro_rules! obs_observe {
+    ($id:ident, $value:expr) => {
+        if cfg!(feature = "obs") {
+            $crate::obs::observe($crate::obs::HistId::$id, $value);
+        }
+    };
+}
+
+/// Sets the global gauge `GaugeId::$id` when the invoking crate's `obs`
+/// feature is on (and recording is enabled).
+#[macro_export]
+macro_rules! obs_gauge_set {
+    ($id:ident, $value:expr) => {
+        if cfg!(feature = "obs") {
+            $crate::obs::gauge_set($crate::obs::GaugeId::$id, $value);
+        }
+    };
+}
+
+/// Adjusts the global gauge `GaugeId::$id` by `$delta` when the invoking
+/// crate's `obs` feature is on (and recording is enabled).
+#[macro_export]
+macro_rules! obs_gauge_adjust {
+    ($id:ident, $delta:expr) => {
+        if cfg!(feature = "obs") {
+            $crate::obs::gauge_adjust($crate::obs::GaugeId::$id, $delta);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let floor = bucket_floor(b);
+            assert_eq!(bucket_of(floor), b, "floor of bucket {b} round-trips");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[10], 2); // 1000 has 10 significant bits
+        h.reset();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn quantile_floor_is_conservative() {
+        let mut snap = HistogramSnapshot::empty();
+        assert_eq!(snap.quantile_floor(0.5), None);
+        // 10 samples in bucket 4 (values 8..=15), 10 in bucket 8.
+        snap.buckets[4] = 10;
+        snap.buckets[8] = 10;
+        assert_eq!(snap.quantile_floor(0.0), Some(bucket_floor(4)));
+        assert_eq!(snap.quantile_floor(0.5), Some(bucket_floor(4)));
+        assert_eq!(snap.quantile_floor(0.51), Some(bucket_floor(8)));
+        assert_eq!(snap.quantile_floor(1.0), Some(bucket_floor(8)));
+    }
+
+    #[test]
+    fn registry_counters_gauges_hists() {
+        let reg = Registry::new();
+        reg.add(CounterId::CacheHits, 2);
+        reg.add(CounterId::CacheHits, 3);
+        reg.set_gauge(GaugeId::CacheResidentFrames, 7);
+        reg.adjust_gauge(GaugeId::CacheResidentFrames, -2);
+        reg.record(HistId::NodeReadNanos, 100);
+        assert_eq!(reg.counter(CounterId::CacheHits), 5);
+        assert_eq!(reg.gauge(GaugeId::CacheResidentFrames), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(CounterId::CacheHits), 5);
+        assert_eq!(snap.gauge(GaugeId::CacheResidentFrames), 5);
+        assert_eq!(snap.histogram(HistId::NodeReadNanos).count(), 1);
+        assert!(!snap.is_empty());
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let reg = Registry::new();
+        reg.add(CounterId::SieveRejections, 4);
+        reg.set_gauge(GaugeId::MctTrackedBlocks, 3);
+        reg.record(HistId::NodeWriteNanos, 9);
+        let mut a = reg.snapshot();
+        let b = reg.snapshot();
+        a.merge(&b);
+        assert_eq!(a.counter(CounterId::SieveRejections), 8);
+        assert_eq!(a.gauge(GaugeId::MctTrackedBlocks), 6);
+        assert_eq!(a.histogram(HistId::NodeWriteNanos).count(), 2);
+    }
+
+    #[test]
+    fn json_line_is_deterministic_and_skips_zeros() {
+        let mut snap = MetricsSnapshot::empty();
+        assert_eq!(
+            snap.to_json_line(),
+            "{\"counters\":{},\"gauges\":{},\"hists\":{}}"
+        );
+        snap.set_counter(CounterId::CacheHits, 12);
+        snap.set_gauge(GaugeId::MctTrackedBlocks, -1);
+        snap.histogram_mut(HistId::NodeReadNanos).buckets[3] = 2;
+        let line = snap.to_json_line();
+        assert_eq!(
+            line,
+            "{\"counters\":{\"cache_hits\":12},\"gauges\":{\"mct_tracked_blocks\":-1},\
+             \"hists\":{\"node_read_ns\":{\"4\":2}}}"
+        );
+        // Equal snapshots serialize to identical bytes.
+        assert_eq!(line, snap.clone().to_json_line());
+    }
+
+    #[test]
+    fn global_recording_respects_the_runtime_flag() {
+        // The global registry is shared across tests in this binary, so
+        // assert on deltas of a counter this test owns exclusively.
+        let before = global().counter(CounterId::ReplayDayBoundaries);
+        let was = enabled();
+        set_enabled(false);
+        count(CounterId::ReplayDayBoundaries, 1);
+        assert_eq!(global().counter(CounterId::ReplayDayBoundaries), before);
+        set_enabled(true);
+        count(CounterId::ReplayDayBoundaries, 2);
+        assert_eq!(global().counter(CounterId::ReplayDayBoundaries), before + 2);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn events_serialize_and_capture() {
+        let event = Event::new("node.breaker.transition")
+            .with("from", FieldValue::Str("healthy"))
+            .with("to", FieldValue::Str("degraded"))
+            .with("failures", FieldValue::U64(3));
+        assert_eq!(
+            event.to_json_line(),
+            "{\"event\":\"node.breaker.transition\",\"from\":\"healthy\",\
+             \"to\":\"degraded\",\"failures\":3}"
+        );
+        assert_eq!(event.field("to"), Some(&FieldValue::Str("degraded")));
+        let sink = CapturingSink::new();
+        sink.record(&event);
+        sink.record(&Event::new("other"));
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.named("node.breaker.transition").len(), 1);
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.record(&Event::new("a").with("x", FieldValue::I64(-4)));
+        sink.record(&Event::new("b"));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"event\":\"a\",\"x\":-4}\n{\"event\":\"b\"}\n");
+    }
+}

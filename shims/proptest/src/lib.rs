@@ -4,8 +4,9 @@
 //! the slice of the proptest API the workspace uses: the [`proptest!`]
 //! macro, [`prop_assert!`]/[`prop_assert_eq!`], integer-range and tuple
 //! strategies, [`collection::vec`]/[`collection::hash_set`],
-//! [`prop_oneof!`], [`Just`], `prop_map`, simple `"[class]{m,n}"` string
-//! patterns, and [`ProptestConfig`].
+//! [`prop_oneof!`], [`Just`], `prop_map`/`prop_flat_map`/`prop_filter`,
+//! [`sample::select`], simple `"[class]{m,n}"` string patterns, and
+//! [`ProptestConfig`].
 //!
 //! Semantics: each property runs `cases` times with inputs drawn from a
 //! deterministic per-test RNG. There is **no shrinking** — a failing case
@@ -101,6 +102,33 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Chains a dependent strategy: `f` maps each drawn value to the
+    /// strategy the final value is drawn from (e.g. a length draw
+    /// followed by a vector of exactly that length).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards drawn values failing `pred`, redrawing in their place.
+    /// `whence` labels the filter in the panic raised if the predicate
+    /// keeps rejecting (the shim has no global rejection budget).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
     /// Boxes the strategy (used by [`prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -132,6 +160,56 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Bounded redraws keep a mis-specified filter loud instead of
+        // hanging the test runner.
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive draws; loosen the \
+             source strategy or the predicate",
+            self.whence
+        );
     }
 }
 
@@ -194,6 +272,41 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Wrapping u64 arithmetic handles negative bounds: the
+                // offset is drawn below the true span and added back onto
+                // the start modulo 2^64.
+                let span = (self.end as i64 as u64).wrapping_sub(self.start as i64 as u64);
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i64 as u64)
+                    .wrapping_sub(lo as i64 as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
 
 /// Values with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
@@ -437,6 +550,33 @@ pub mod collection {
     }
 }
 
+/// Value-sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::*;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// A uniform choice among the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(
+            !options.is_empty(),
+            "sample::select needs at least one option"
+        );
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Drives one property: `cases` deterministic runs, panicking with a
 /// replayable case index on the first failure.
 pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
@@ -598,6 +738,52 @@ mod tests {
         ]) {
             prop_assert!(v == 100 || v < 10);
             prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_draws_dependent_strategies(
+            xs in (1usize..6).prop_flat_map(|len| super::collection::vec(0u8..10, len)),
+        ) {
+            prop_assert!((1..6).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn filter_redraws_rejected_values(
+            odd in (0u64..100).prop_filter("odd only", |v| v % 2 == 1),
+        ) {
+            prop_assert_eq!(odd % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected 1000 consecutive draws")]
+    fn impossible_filter_panics_with_its_label() {
+        let mut rng = super::TestRng::new(7);
+        let never = (0u64..10).prop_filter("never", |_| false);
+        let _ = Strategy::generate(&never, &mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn signed_ranges_generate_in_bounds(
+            x in -50i64..-10,
+            y in -3i8..=3,
+        ) {
+            prop_assert!((-50..-10).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn select_draws_only_listed_values(
+            v in super::sample::select(vec![2u32, 3, 5, 7]),
+        ) {
+            prop_assert!([2, 3, 5, 7].contains(&v));
         }
     }
 }

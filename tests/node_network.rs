@@ -254,6 +254,89 @@ fn node_survives_transient_faults_degrades_and_recovers() {
     server.shutdown();
 }
 
+/// State-machine pin for the breaker's observability: driven over TCP
+/// through Closed → Open → HalfOpen → Closed, the server emits exactly
+/// one structured `node.breaker.transition` event per mode change — and
+/// none for mode-preserving updates (healthy traffic, absorbed blips,
+/// degraded requests that merely spend cooldown).
+#[test]
+fn breaker_transitions_emit_exactly_one_event_each_over_the_wire() {
+    use std::sync::Arc;
+
+    use sievestore_types::obs::{CapturingSink, FieldValue};
+
+    fn transition(event: &sievestore_types::obs::Event) -> (String, String) {
+        let field = |key: &str| match event.field(key) {
+            Some(FieldValue::Str(s)) => s.to_string(),
+            other => panic!("field {key} missing or non-string: {other:?}"),
+        };
+        (field("from"), field("to"))
+    }
+
+    let faulty = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0x0B5E));
+    let handle = faulty.handle();
+    let cache = DataCache::new(faulty, PolicySpec::Aod, 64).expect("valid appliance");
+    let config = NodeConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..NodeConfig::default()
+    };
+    let sink = Arc::new(CapturingSink::new());
+    let server = NodeServer::spawn_observed("127.0.0.1:0", cache, config, sink.clone())
+        .expect("bind ephemeral port");
+    let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
+
+    // Healthy traffic and a single absorbed blip preserve Closed: no
+    // events.
+    client.write_block(1, &block(0x11)).expect("healthy write");
+    handle.fail_next(1);
+    client.read_block(2).expect("retried read succeeds");
+    assert!(
+        sink.named("node.breaker.transition").is_empty(),
+        "mode-preserving updates must not emit transition events"
+    );
+
+    // Threshold sustained failures: Closed → Open, exactly one event.
+    handle.fail_next(3);
+    client.read_block(3).expect("degraded read succeeds");
+    let events = sink.named("node.breaker.transition");
+    assert_eq!(events.len(), 1, "trip must emit exactly one event");
+    assert_eq!(
+        transition(&events[0]),
+        ("healthy".into(), "degraded".into())
+    );
+
+    // Spending the rest of the cooldown stays Degraded until the last
+    // tick flips to Probing: one more event, not one per request.
+    for _ in 0..3 {
+        client.read_block(1).expect("degraded read");
+    }
+    let events = sink.named("node.breaker.transition");
+    assert_eq!(
+        events.len(),
+        2,
+        "cooldown expiry must emit exactly one event"
+    );
+    assert_eq!(
+        transition(&events[1]),
+        ("degraded".into(), "probing".into())
+    );
+
+    // The successful probe heals the node: Probing → Healthy.
+    client.read_block(1).expect("probe request");
+    let events = sink.named("node.breaker.transition");
+    assert_eq!(events.len(), 3, "recovery must emit exactly one event");
+    assert_eq!(transition(&events[2]), ("probing".into(), "healthy".into()));
+    assert_eq!(client.stats().expect("stats").mode, NodeMode::Healthy);
+
+    // Healed traffic is quiet again.
+    client.read_block(1).expect("healthy read");
+    assert_eq!(sink.named("node.breaker.transition").len(), 3);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
 /// Requests that overrun the server deadline get a typed `Deadline`
 /// error instead of stalling the connection.
 #[test]

@@ -12,7 +12,9 @@
 use proptest::prelude::*;
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
-use sievestore_sim::{simulate, simulate_sharded, ReplayMode, SimConfig};
+use sievestore_sim::{
+    simulate, simulate_sharded, simulate_with_snapshots, ReplayMode, SimConfig, SnapshotLog,
+};
 use sievestore_trace::{EnsembleConfig, SyntheticTrace};
 
 /// Large enough that no policy under the tiny traces ever evicts.
@@ -90,6 +92,36 @@ fn rand_sieve_blkd_is_shard_count_invariant() {
         },
         4_096,
     );
+}
+
+#[test]
+fn day_snapshot_jsonl_is_byte_identical_across_shard_counts() {
+    // The exporter's determinism contract: for a discrete policy the
+    // day-boundary snapshot log has the same bytes whether it was emitted
+    // online by the sequential engine or derived from any sharded run —
+    // even under eviction pressure (small capacity forces epoch
+    // overflow).
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(127)).unwrap();
+    let spec = PolicySpec::SieveStoreD { threshold: 5 };
+    let base = cfg(&trace, 2_048);
+    let (sequential, online) =
+        simulate_with_snapshots(&trace, spec.clone(), &base).expect("sequential run");
+    assert_eq!(
+        online.to_jsonl(),
+        SnapshotLog::from_result(&sequential).to_jsonl(),
+        "online emission must match post-hoc derivation"
+    );
+    assert_eq!(online.days.len(), sequential.days.len());
+    for shards in SHARD_COUNTS {
+        let sharded_cfg = base.clone().with_replay(ReplayMode::Sharded(shards));
+        let (_, derived) =
+            simulate_with_snapshots(&trace, spec.clone(), &sharded_cfg).expect("sharded run");
+        assert_eq!(
+            online.to_jsonl().as_bytes(),
+            derived.to_jsonl().as_bytes(),
+            "snapshot bytes diverged at {shards} shards"
+        );
+    }
 }
 
 #[test]
