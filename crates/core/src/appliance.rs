@@ -396,6 +396,31 @@ impl SieveStore {
         }
     }
 
+    /// Installs `keys` as resident without consulting the policy or
+    /// touching the stats — crash recovery rebuilding a warm cache from
+    /// durable media. Keys beyond capacity may be dropped or evict
+    /// earlier ones (recovering into a smaller cache than the one that
+    /// crashed); callers should re-check [`SieveStore::contains`] for
+    /// each key afterwards.
+    ///
+    /// LRU caches insert in iteration order (later keys end up more
+    /// recently used); epoch-batched caches install the set as the
+    /// current epoch's selection.
+    pub fn warm(&mut self, keys: impl IntoIterator<Item = u64>) {
+        match &mut self.cache {
+            CacheKind::Lru(c) => {
+                for key in keys {
+                    if !c.contains(key) {
+                        c.insert(key);
+                    }
+                }
+            }
+            CacheKind::Batch(c) => {
+                c.install_epoch(keys);
+            }
+        }
+    }
+
     /// The policy's report name.
     pub fn policy_name(&self) -> &str {
         self.policy.name()

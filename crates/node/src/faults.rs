@@ -329,10 +329,303 @@ impl<B: BackingStore> BackingStore for FaultInjectingBacking<B> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-point harness for durable media
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 step shared by the fault and crash harnesses.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic power-cut schedule for [`Media`](crate::durable::Media) devices.
+///
+/// Steps are counted globally across every device sharing one
+/// [`CrashHandle`]: each `write_at`, `truncate` and `sync` is one step,
+/// so `crash_at_step(k)` places the cut at the *k*-th media mutation of
+/// the whole durable store — sweeping `k` exercises every write/fsync
+/// point of a workload.
+///
+/// At the cut, writes not yet made durable by a `sync` survive only per
+/// a seeded coin (the page cache lost the rest), the in-flight write may
+/// be torn to a seeded prefix, and a configurable number of bits rot in
+/// the surviving bytes. Every subsequent operation fails with a
+/// "simulated power cut" error until the device is rebooted from its
+/// surviving image.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    seed: u64,
+    crash_at_step: Option<u64>,
+    torn_tail: bool,
+    bit_rot_flips: u32,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes (baseline runs).
+    pub fn no_crash(seed: u64) -> Self {
+        CrashPlan {
+            seed,
+            crash_at_step: None,
+            torn_tail: false,
+            bit_rot_flips: 0,
+        }
+    }
+
+    /// Cuts power at the zero-based global mutation step `step`.
+    #[must_use]
+    pub fn crash_at_step(mut self, step: u64) -> Self {
+        self.crash_at_step = Some(step);
+        self
+    }
+
+    /// Tears the in-flight write at the cut to a seeded prefix instead
+    /// of dropping or keeping it whole.
+    #[must_use]
+    pub fn with_torn_tail(mut self) -> Self {
+        self.torn_tail = true;
+        self
+    }
+
+    /// Flips `flips` seeded bits in the crashing device's surviving
+    /// bytes at the cut (bit rot discovered on the next boot).
+    #[must_use]
+    pub fn with_bit_rot(mut self, flips: u32) -> Self {
+        self.bit_rot_flips = flips;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct CrashState {
+    plan: CrashPlan,
+    rng: u64,
+    steps: u64,
+    crashed: bool,
+}
+
+/// Shared crash clock for the devices of one durable store.
+#[derive(Debug, Clone)]
+pub struct CrashHandle {
+    state: Arc<Mutex<CrashState>>,
+}
+
+impl CrashHandle {
+    /// Creates the shared clock for `plan`.
+    pub fn new(plan: CrashPlan) -> Self {
+        CrashHandle {
+            state: Arc::new(Mutex::new(CrashState {
+                rng: plan.seed,
+                plan,
+                steps: 0,
+                crashed: false,
+            })),
+        }
+    }
+
+    /// Whether the power cut has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Media mutation steps observed so far (the sweep bound: a full
+    /// no-crash run's step count is the number of distinct crash points).
+    pub fn steps(&self) -> u64 {
+        self.state.lock().steps
+    }
+}
+
+/// A snapshot handle onto a [`CrashPointMedia`]'s *durable* bytes — what
+/// a reboot would find. Stays valid after the store owning the media is
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct MediaImage {
+    durable: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MediaImage {
+    /// The bytes that survived (copy).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.durable.lock().clone()
+    }
+
+    /// Flips one bit in the surviving image — targeted bit-rot injection
+    /// for scrub tests.
+    pub fn flip_bit(&self, offset: usize, bit: u8) {
+        let mut bytes = self.durable.lock();
+        if offset < bytes.len() {
+            bytes[offset] ^= 1 << (bit & 7);
+        }
+    }
+}
+
+/// One not-yet-durable mutation.
+#[derive(Debug)]
+enum PendingOp {
+    Write { offset: u64, data: Vec<u8> },
+    Truncate { len: u64 },
+}
+
+fn apply_op(bytes: &mut Vec<u8>, op: &PendingOp) {
+    match op {
+        PendingOp::Write { offset, data } => {
+            let end = *offset as usize + data.len();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            bytes[*offset as usize..end].copy_from_slice(data);
+        }
+        PendingOp::Truncate { len } => bytes.resize(*len as usize, 0),
+    }
+}
+
+/// In-memory [`Media`](crate::durable::Media) with page-cache semantics and a deterministic
+/// power cut — the durable-tier counterpart of
+/// [`FaultInjectingBacking`]. See [`CrashPlan`] for the fault model.
+#[derive(Debug)]
+pub struct CrashPointMedia {
+    /// What reads observe (the page cache view).
+    visible: Vec<u8>,
+    /// What survives the cut; shared with [`MediaImage`].
+    durable: Arc<Mutex<Vec<u8>>>,
+    pending: Vec<PendingOp>,
+    handle: CrashHandle,
+}
+
+impl CrashPointMedia {
+    /// An empty device on the shared crash clock.
+    pub fn new(handle: CrashHandle) -> Self {
+        Self::with_initial(Vec::new(), handle)
+    }
+
+    /// A device booted from `bytes` (a previous cut's surviving image).
+    pub fn with_initial(bytes: Vec<u8>, handle: CrashHandle) -> Self {
+        CrashPointMedia {
+            visible: bytes.clone(),
+            durable: Arc::new(Mutex::new(bytes)),
+            pending: Vec::new(),
+            handle,
+        }
+    }
+
+    /// The reboot-surviving image handle.
+    pub fn image(&self) -> MediaImage {
+        MediaImage {
+            durable: Arc::clone(&self.durable),
+        }
+    }
+
+    fn power_cut_err() -> io::Error {
+        io::Error::other("simulated power cut")
+    }
+
+    /// Counts one mutation step; fires the power cut when scheduled.
+    /// `in_flight` is the write being attempted at the cut (torn per the
+    /// plan), `None` for sync/truncate steps.
+    fn step(&mut self, in_flight: Option<&PendingOp>) -> io::Result<()> {
+        let mut state = self.handle.state.lock();
+        if state.crashed {
+            return Err(Self::power_cut_err());
+        }
+        let step = state.steps;
+        state.steps += 1;
+        if state.plan.crash_at_step != Some(step) {
+            return Ok(());
+        }
+        state.crashed = true;
+        // The cut: unsynced writes survive per a seeded coin, in order.
+        let mut durable = self.durable.lock();
+        for op in &self.pending {
+            if splitmix(&mut state.rng) & 1 == 0 {
+                apply_op(&mut durable, op);
+            }
+        }
+        self.pending.clear();
+        // The in-flight write survives torn (seeded prefix) or not at all.
+        if let Some(PendingOp::Write { offset, data }) = in_flight {
+            if state.plan.torn_tail && !data.is_empty() {
+                let keep = (splitmix(&mut state.rng) as usize) % data.len();
+                if keep > 0 {
+                    apply_op(
+                        &mut durable,
+                        &PendingOp::Write {
+                            offset: *offset,
+                            data: data[..keep].to_vec(),
+                        },
+                    );
+                }
+            }
+        }
+        // Bit rot in whatever survived.
+        if !durable.is_empty() {
+            for _ in 0..state.plan.bit_rot_flips {
+                let pos = (splitmix(&mut state.rng) as usize) % durable.len();
+                let bit = (splitmix(&mut state.rng) & 7) as u8;
+                durable[pos] ^= 1 << bit;
+            }
+        }
+        Err(Self::power_cut_err())
+    }
+}
+
+impl crate::durable::Media for CrashPointMedia {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        if self.handle.crashed() {
+            return Err(Self::power_cut_err());
+        }
+        buf.fill(0);
+        let offset = offset as usize;
+        if offset < self.visible.len() {
+            let available = (self.visible.len() - offset).min(buf.len());
+            buf[..available].copy_from_slice(&self.visible[offset..offset + available]);
+        }
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let op = PendingOp::Write {
+            offset,
+            data: data.to_vec(),
+        };
+        self.step(Some(&op))?;
+        apply_op(&mut self.visible, &op);
+        self.pending.push(op);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.step(None)?;
+        let mut durable = self.durable.lock();
+        for op in self.pending.drain(..) {
+            apply_op(&mut durable, &op);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        if self.handle.crashed() {
+            return Err(Self::power_cut_err());
+        }
+        Ok(self.visible.len() as u64)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let op = PendingOp::Truncate { len };
+        self.step(None)?;
+        apply_op(&mut self.visible, &op);
+        self.pending.push(op);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backing::MemBacking;
+    use crate::durable::Media;
 
     fn block(fill: u8) -> Block {
         [fill; BLOCK_SIZE]
@@ -450,5 +743,84 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FaultHandle>();
         assert_send_sync::<FaultInjectingBacking<MemBacking>>();
+    }
+
+    #[test]
+    fn crash_media_synced_writes_survive_unsynced_may_not() {
+        let handle = CrashHandle::new(CrashPlan::no_crash(7).crash_at_step(3));
+        let mut media = CrashPointMedia::new(handle.clone());
+        let image = media.image();
+
+        media.write_at(0, b"durable!").unwrap(); // step 0
+        media.sync().unwrap(); // step 1
+        media.write_at(8, b"maybe").unwrap(); // step 2 (never synced)
+        let err = media.write_at(16, b"never").unwrap_err(); // step 3: cut
+        assert_eq!(err.to_string(), "simulated power cut");
+        assert!(handle.crashed());
+
+        // Everything fails after the cut.
+        let mut buf = [0u8; 8];
+        assert!(media.read_at(0, &mut buf).is_err());
+        assert!(media.sync().is_err());
+
+        // The synced write is in the surviving image; the in-flight write
+        // at the cut is not (no torn tail configured).
+        let bytes = image.bytes();
+        assert_eq!(&bytes[..8.min(bytes.len())], b"durable!");
+        assert!(bytes.len() <= 16, "in-flight write must not survive whole");
+    }
+
+    #[test]
+    fn crash_media_reads_see_pending_writes_before_cut() {
+        let handle = CrashHandle::new(CrashPlan::no_crash(1));
+        let mut media = CrashPointMedia::new(handle);
+        media.write_at(0, b"page cache").unwrap();
+        let mut buf = [0u8; 10];
+        media.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"page cache");
+        // Past-EOF reads zero-fill.
+        let mut tail = [0xFFu8; 4];
+        media.read_at(100, &mut tail).unwrap();
+        assert_eq!(tail, [0u8; 4]);
+    }
+
+    #[test]
+    fn crash_media_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let handle =
+                CrashHandle::new(CrashPlan::no_crash(seed).crash_at_step(4).with_torn_tail());
+            let mut media = CrashPointMedia::new(handle);
+            let image = media.image();
+            for i in 0..4u64 {
+                media.write_at(i * 64, &[i as u8 + 1; 64]).unwrap();
+            }
+            let _ = media.write_at(256, &[9u8; 64]);
+            image.bytes()
+        };
+        assert_eq!(run(11), run(11));
+        assert_eq!(run(12), run(12));
+    }
+
+    #[test]
+    fn crash_steps_count_across_shared_devices() {
+        let handle = CrashHandle::new(CrashPlan::no_crash(5));
+        let mut a = CrashPointMedia::new(handle.clone());
+        let mut b = CrashPointMedia::new(handle.clone());
+        a.write_at(0, &[1]).unwrap();
+        b.write_at(0, &[2]).unwrap();
+        a.sync().unwrap();
+        b.truncate(0).unwrap();
+        assert_eq!(handle.steps(), 4);
+    }
+
+    #[test]
+    fn crash_media_image_bit_flip_is_targeted() {
+        let handle = CrashHandle::new(CrashPlan::no_crash(5));
+        let mut media = CrashPointMedia::new(handle);
+        let image = media.image();
+        media.write_at(0, &[0u8; 8]).unwrap();
+        media.sync().unwrap();
+        image.flip_bit(3, 2);
+        assert_eq!(image.bytes()[3], 0b100);
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod backing;
 pub mod client;
+pub mod durable;
 pub mod faults;
 pub mod protocol;
 pub mod server;
@@ -52,7 +53,14 @@ pub mod store;
 
 pub use backing::{BackingStore, Block, FileBacking, MemBacking};
 pub use client::{ClientConfig, NodeClient, NodeStats, RetryPolicy};
-pub use faults::{FaultHandle, FaultInjectingBacking, FaultPlan};
+pub use durable::{
+    crc64, DurableMediaSet, DurableStore, FileMedia, Media, MemMedia, Recovery, RecoveryReport,
+    ScrubPass,
+};
+pub use faults::{
+    CrashHandle, CrashPlan, CrashPointMedia, FaultHandle, FaultInjectingBacking, FaultPlan,
+    MediaImage,
+};
 pub use protocol::{ErrorCode, NodeMode, Reply, Request};
 pub use server::{NodeConfig, NodeServer};
 pub use store::{DataCache, DataOutcome, WritePolicy};

@@ -52,6 +52,12 @@ pub struct NodeConfig {
     pub breaker_cooldown: u32,
     /// Extra best-effort flush rounds for dirty frames on shutdown.
     pub shutdown_flush_retries: u32,
+    /// Interval between background scrub passes over the durable
+    /// segment; `None` disables the scrubber. Only meaningful for nodes
+    /// with a durable store attached (see [`NodeServer::spawn_durable`]).
+    pub scrub_interval: Option<Duration>,
+    /// Slots verified per scrub pass.
+    pub scrub_batch: u32,
 }
 
 impl Default for NodeConfig {
@@ -62,6 +68,8 @@ impl Default for NodeConfig {
             breaker_threshold: 3,
             breaker_cooldown: 8,
             shutdown_flush_retries: 3,
+            scrub_interval: None,
+            scrub_batch: 256,
         }
     }
 }
@@ -137,7 +145,7 @@ impl<B: BackingStore> Guarded<B> {
             };
             // Entering degraded mode: try to get dirty data to safety
             // while (or in case) the backing store still responds.
-            let _ = self.cache.flush_best_effort();
+            self.flush_round("breaker_open");
         } else {
             self.breaker = Breaker::Closed { failures };
         }
@@ -157,6 +165,25 @@ impl<B: BackingStore> Guarded<B> {
             };
             self.on_transition(from);
         }
+    }
+
+    /// Runs one best-effort flush round, surfacing what a silent swallow
+    /// would hide: frames still dirty after the round are counted
+    /// (`node_flush_failures`) and reported as one structured
+    /// `node.flush.failed` event per round. Returns how many frames
+    /// remain dirty.
+    fn flush_round(&mut self, context: &'static str) -> u64 {
+        let (flushed, still_dirty) = self.cache.flush_best_effort();
+        if still_dirty > 0 {
+            obs_count!(NodeFlushFailures, still_dirty);
+            self.sink.record(
+                &Event::new("node.flush.failed")
+                    .with("context", FieldValue::Str(context))
+                    .with("flushed", FieldValue::U64(flushed))
+                    .with("still_dirty", FieldValue::U64(still_dirty)),
+            );
+        }
+        still_dirty
     }
 
     /// Emits exactly one structured event per *mode* change (internal
@@ -222,6 +249,10 @@ pub struct NodeServer<B: BackingStore + 'static> {
     shared: Arc<Shared<B>>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    scrub_thread: Option<JoinHandle<()>>,
+    /// Shutdown flush already ran (explicit `shutdown()`), so the
+    /// `Drop` fallback must not repeat the rounds.
+    flushed: bool,
 }
 
 impl<B: BackingStore + 'static> NodeServer<B> {
@@ -266,12 +297,92 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         config: NodeConfig,
         sink: Arc<dyn EventSink>,
     ) -> io::Result<Self> {
+        Self::spawn_inner(addr, cache, config, sink, Breaker::Closed { failures: 0 })
+    }
+
+    /// Binds `addr` over a durable frame store: opens (or formats) the
+    /// media, runs crash recovery, warms the cache with the survivors
+    /// and starts serving. Emits a `node.recovery.complete` event with
+    /// the recovery counters.
+    ///
+    /// If the media is unrecoverable (wrong magic, bad geometry, dead
+    /// device), the node does **not** refuse to start: it falls back to
+    /// a memory-only cache, emits `node.recovery.failed`, and begins
+    /// life with the breaker open — serving degraded pass-through
+    /// against the backing store until the normal probe path closes the
+    /// breaker. Returns `None` in place of the report in that case.
+    ///
+    /// When [`NodeConfig::scrub_interval`] is set, a background scrubber
+    /// thread sweeps [`NodeConfig::scrub_batch`] slots per interval,
+    /// quarantining rotted frames before they are ever served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and invalid cache configuration.
+    #[allow(clippy::too_many_arguments)] // one positional knob per spawn concern; a builder would hide the contract
+    pub fn spawn_durable(
+        addr: &str,
+        backing: B,
+        policy: sievestore::PolicySpec,
+        capacity_blocks: usize,
+        write_policy: crate::store::WritePolicy,
+        media: crate::durable::DurableMediaSet,
+        config: NodeConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> io::Result<(Self, Option<crate::durable::RecoveryReport>)> {
+        let mut cache = DataCache::new(backing, policy, capacity_blocks)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            .with_write_policy(write_policy);
+        let started = obs_enabled!().then(Instant::now);
+        match crate::durable::DurableStore::open(media, capacity_blocks) {
+            Ok(recovery) => {
+                let report = cache.attach_recovery(recovery);
+                if let Some(t) = started {
+                    obs_observe!(DurableRecoveryNanos, t.elapsed().as_nanos() as u64);
+                }
+                sink.record(
+                    &Event::new("node.recovery.complete")
+                        .with("recovered", FieldValue::U64(report.recovered))
+                        .with("quarantined", FieldValue::U64(report.quarantined))
+                        .with("lost_dirty", FieldValue::U64(report.lost_dirty))
+                        .with("journal_records", FieldValue::U64(report.journal_records))
+                        .with("generation", FieldValue::U64(report.generation as u64)),
+                );
+                let server =
+                    Self::spawn_inner(addr, cache, config, sink, Breaker::Closed { failures: 0 })?;
+                Ok((server, Some(report)))
+            }
+            Err(err) => {
+                obs_count!(DurableMediaErrors, 1);
+                sink.record(
+                    &Event::new("node.recovery.failed")
+                        .with("error", FieldValue::Str(err.kind_name())),
+                );
+                // Unrecoverable media: serve memory-only, starting in
+                // degraded pass-through; the probe path restores
+                // healthy mode on its own.
+                let breaker = Breaker::Open {
+                    remaining: config.breaker_cooldown.max(1),
+                };
+                let server = Self::spawn_inner(addr, cache, config, sink, breaker)?;
+                Ok((server, None))
+            }
+        }
+    }
+
+    fn spawn_inner(
+        addr: &str,
+        cache: DataCache<B>,
+        config: NodeConfig,
+        sink: Arc<dyn EventSink>,
+        breaker: Breaker,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             guarded: Mutex::new(Guarded {
                 cache,
-                breaker: Breaker::Closed { failures: 0 },
+                breaker,
                 sink,
             }),
             config,
@@ -284,10 +395,18 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         let accept_thread = std::thread::spawn(move || {
             accept_loop(listener, accept_shared);
         });
+        let scrub_thread = config.scrub_interval.map(|interval| {
+            let scrub_shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                scrub_loop(scrub_shared, interval);
+            })
+        });
         Ok(NodeServer {
             shared,
             addr,
             accept_thread: Some(accept_thread),
+            scrub_thread,
+            flushed: false,
         })
     }
 
@@ -322,18 +441,32 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.scrub_thread.take() {
+            let _ = handle.join();
+        }
     }
 
-    /// Best-effort dirty-frame flush with bounded retries; failures are
-    /// swallowed (shutdown must not panic or hang on a dead backing).
-    fn flush_on_shutdown(&self) {
+    /// Best-effort dirty-frame flush with bounded retries; failures must
+    /// not panic or hang shutdown on a dead backing, but neither may
+    /// they vanish silently — each failed round is counted
+    /// (`node_flush_failures`) and emits one `node.flush.failed` event,
+    /// and frames that never land remain journaled on the durable store
+    /// (when attached) for the next incarnation to recover.
+    fn flush_on_shutdown(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
         let mut guarded = self.shared.guarded.lock();
         for _ in 0..=self.shared.config.shutdown_flush_retries {
-            let (_, still_dirty) = guarded.cache.flush_best_effort();
-            if still_dirty == 0 {
+            if guarded.flush_round("shutdown") == 0 {
                 break;
             }
         }
+        // Mark the durable journal cleanly shut down so the next open
+        // recovers warm. Best-effort: on failure the next recovery is
+        // merely colder (clean frames dropped), never incorrect.
+        let _ = guarded.cache.shutdown_durable();
     }
 }
 
@@ -343,6 +476,30 @@ impl<B: BackingStore + 'static> Drop for NodeServer<B> {
         // still try to land dirty frames on the backing store.
         self.stop_accepting();
         self.flush_on_shutdown();
+    }
+}
+
+/// Background scrubber: sweeps the durable segment in bounded passes so
+/// bit rot is quarantined before a request can ever be served from it.
+/// Sleeps in short ticks so shutdown is never delayed a full interval.
+fn scrub_loop<B: BackingStore + 'static>(shared: Arc<Shared<B>>, interval: Duration) {
+    let tick = Duration::from_millis(10).min(interval);
+    let mut elapsed = Duration::ZERO;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let mut guarded = shared.guarded.lock();
+        let pass = guarded.cache.scrub(shared.config.scrub_batch);
+        if !pass.quarantined.is_empty() {
+            guarded.sink.record(
+                &Event::new("node.scrub.quarantined")
+                    .with("frames", FieldValue::U64(pass.quarantined.len() as u64)),
+            );
+        }
     }
 }
 

@@ -15,14 +15,36 @@
 //!   write-hot blocks), with the frame marked dirty and flushed to the
 //!   backing store on eviction, on epoch replacement or on an explicit
 //!   [`DataCache::flush`].
+//!
+//! # Durability
+//!
+//! [`DataCache::new_durable`] attaches a [`DurableStore`] — the
+//! checksummed on-disk frame store of [`crate::durable`] — and the cache
+//! then mirrors every frame mutation onto it. Restart recovery
+//! ([`DurableStore::open`]) replays the metadata journal, verifies every
+//! frame checksum and hands the survivors back; `new_durable` warms the
+//! policy with them so the node resumes with its working set intact.
+//!
+//! The mirroring discipline follows the data's exposure:
+//!
+//! * **dirty frames** (write-back: the cache holds the only copy) are
+//!   made durable *before* the write is acknowledged — a put failure
+//!   fails the write;
+//! * **clean frames** (a second copy exists on the backing store) are
+//!   mirrored best-effort — a media failure is counted
+//!   (`durable_media_errors`) and the frame simply will not survive a
+//!   restart.
 
-use std::collections::HashMap;
 use std::io;
+use std::time::Instant;
 
 use sievestore::{AccessOutcome, ApplianceStats, PolicySpec, SieveStore, SieveStoreBuilder};
-use sievestore_types::{Day, Micros, RequestKind, SieveError};
+use sievestore_types::{
+    obs_count, obs_enabled, obs_observe, Day, Micros, RequestKind, SieveError, U64Map, U64Set,
+};
 
 use crate::backing::{BackingStore, Block};
+use crate::durable::{DurableMediaSet, DurableStore, Recovery, RecoveryReport, ScrubPass};
 
 /// When writes reach the backing store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,10 +86,17 @@ pub struct DataOutcome {
 /// ```
 pub struct DataCache<B: BackingStore> {
     store: SieveStore,
-    frames: HashMap<u64, Box<Block>>,
-    dirty: std::collections::HashSet<u64>,
+    /// Resident payloads. `U64Map` needs `V: Default` for vacant slots,
+    /// so the boxed frame rides inside an `Option` (a vacant slot costs
+    /// a null pointer, not a 512-byte allocation).
+    frames: U64Map<Option<Box<Block>>>,
+    dirty: U64Set,
     write_policy: WritePolicy,
     backing: B,
+    /// The crash-consistent on-disk mirror, when attached.
+    durable: Option<DurableStore>,
+    /// Where the next scrub pass resumes.
+    scrub_cursor: u32,
 }
 
 impl<B: BackingStore> std::fmt::Debug for DataCache<B> {
@@ -78,6 +107,7 @@ impl<B: BackingStore> std::fmt::Debug for DataCache<B> {
             .field("dirty", &self.dirty.len())
             .field("write_policy", &self.write_policy)
             .field("capacity", &self.store.capacity_blocks())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
@@ -96,11 +126,81 @@ impl<B: BackingStore> DataCache<B> {
                 .capacity_blocks(capacity_blocks)
                 .policy(policy)
                 .build()?,
-            frames: HashMap::new(),
-            dirty: std::collections::HashSet::new(),
+            frames: U64Map::new(),
+            dirty: U64Set::new(),
             write_policy: WritePolicy::WriteThrough,
             backing,
+            durable: None,
+            scrub_cursor: 0,
         })
+    }
+
+    /// Creates a cache backed by a durable frame store, recovering
+    /// whatever a previous incarnation persisted.
+    ///
+    /// Recovery replays the metadata journal against the checksummed
+    /// segment, quarantines torn or rotted frames, then warms the policy
+    /// with the survivors (oldest sequence first, so recency order
+    /// approximates the pre-crash state). Recovered dirty frames — data
+    /// the backing store has never seen — re-enter the dirty set and are
+    /// flushed through the normal write-back paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for an invalid policy, or
+    /// [`SieveError::Durable`] when the media is unrecoverable (wrong
+    /// magic, mismatched geometry, I/O failure). Callers that can serve
+    /// without durability should fall back to [`DataCache::new`].
+    pub fn new_durable(
+        backing: B,
+        policy: PolicySpec,
+        capacity_blocks: usize,
+        media: DurableMediaSet,
+    ) -> Result<(Self, RecoveryReport), SieveError> {
+        let mut cache = Self::new(backing, policy, capacity_blocks)?;
+        let started = obs_enabled!().then(Instant::now);
+        let recovery = DurableStore::open(media, capacity_blocks)?;
+        let report = cache.attach_recovery(recovery);
+        if let Some(t) = started {
+            obs_observe!(DurableRecoveryNanos, t.elapsed().as_nanos() as u64);
+        }
+        Ok((cache, report))
+    }
+
+    /// Installs a completed [`Recovery`]: adopts the durable store, warms
+    /// the policy with the recovered frames and rebuilds the dirty set.
+    pub(crate) fn attach_recovery(&mut self, recovery: Recovery) -> RecoveryReport {
+        let Recovery {
+            store: durable,
+            frames,
+            report,
+        } = recovery;
+        self.durable = Some(durable);
+        self.store.warm(frames.iter().map(|f| f.key));
+        for frame in frames {
+            if self.store.contains(frame.key) {
+                if frame.dirty {
+                    self.dirty.insert(frame.key);
+                }
+                self.frames.insert(frame.key, Some(frame.data));
+            } else if frame.dirty {
+                // The policy would not take the frame back (epoch
+                // overflow); its data exists nowhere else, so it keeps
+                // its frame and dirty bit — reads serve it over the
+                // stale backing copy and flushes drain it normally.
+                self.dirty.insert(frame.key);
+                self.frames.insert(frame.key, Some(frame.data));
+            } else if let Some(d) = self.durable.as_mut() {
+                // Clean and not re-admitted: retire the durable copy.
+                if d.evict(frame.key).is_err() {
+                    obs_count!(DurableMediaErrors, 1);
+                }
+            }
+        }
+        obs_count!(DurableRecoveredFrames, report.recovered);
+        obs_count!(DurableQuarantinedFrames, report.quarantined);
+        obs_count!(DurableLostDirtyFrames, report.lost_dirty);
+        report
     }
 
     /// Selects the write policy (default: write-through).
@@ -120,22 +220,94 @@ impl<B: BackingStore> DataCache<B> {
         self.dirty.len()
     }
 
+    /// The attached durable store, if any.
+    pub fn durable(&self) -> Option<&DurableStore> {
+        self.durable.as_ref()
+    }
+
+    /// Writes a clean-shutdown marker to the durable journal (if one is
+    /// attached), letting the next open trust recovered clean frames.
+    /// Idempotent; also invoked best-effort on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates media failures; the next recovery then treats the
+    /// shutdown as unclean, which is safe (merely colder).
+    pub fn shutdown_durable(&mut self) -> io::Result<()> {
+        match self.durable.as_mut() {
+            Some(d) => d.shutdown(),
+            None => Ok(()),
+        }
+    }
+
+    /// A copy of `key`'s resident payload.
+    fn frame_copy(&self, key: u64) -> Option<Block> {
+        self.frames.get(key).and_then(|f| f.as_deref()).copied()
+    }
+
+    /// Mirrors a frame onto the durable tier.
+    ///
+    /// `dirty` data (the only copy) propagates failures so callers never
+    /// acknowledge an un-persisted write; clean mirrors are best-effort.
+    fn durable_put(&mut self, key: u64, data: &Block, dirty: bool) -> io::Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        match d.put(key, data, dirty) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                obs_count!(DurableMediaErrors, 1);
+                if dirty {
+                    Err(e)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Retires `key` from the durable tier, best-effort.
+    ///
+    /// On failure the stale durable copy survives a restart as a clean
+    /// extra frame — recovery re-admits or quarantines it; it can never
+    /// shadow newer data because recovery's journal replay orders by
+    /// sequence.
+    fn durable_evict(&mut self, key: u64) {
+        if let Some(d) = self.durable.as_mut() {
+            if d.evict(key).is_err() {
+                obs_count!(DurableMediaErrors, 1);
+            }
+        }
+    }
+
+    /// Records on the durable tier that `key` reached the backing store,
+    /// best-effort: if the record fails, a restart re-flushes the frame —
+    /// an idempotent extra write, never data loss.
+    fn durable_mark_clean(&mut self, key: u64) {
+        if let Some(d) = self.durable.as_mut() {
+            if d.mark_clean(key).is_err() {
+                obs_count!(DurableMediaErrors, 1);
+            }
+        }
+    }
+
     /// Writes one dirty victim back to the backing store.
     ///
     /// On failure the key is re-marked dirty so the data is not lost —
     /// a later flush (or shutdown retry) will try again.
     fn flush_one(&mut self, key: u64) -> io::Result<()> {
-        if self.dirty.remove(&key) {
+        if self.dirty.remove(key) {
             // A dirty key without a frame would be an internal
             // inconsistency; treat it as already-flushed rather than
             // panicking on a degraded node.
-            let Some(data) = self.frames.get(&key).map(|b| **b) else {
+            let Some(data) = self.frame_copy(key) else {
                 return Ok(());
             };
             if let Err(e) = self.backing.write_block(key, &data) {
                 self.dirty.insert(key);
                 return Err(e);
             }
+            self.durable_mark_clean(key);
         }
         Ok(())
     }
@@ -148,7 +320,7 @@ impl<B: BackingStore> DataCache<B> {
     /// Propagates the first backing-store failure; already-flushed
     /// blocks stay clean, the failed key stays dirty.
     pub fn flush(&mut self) -> io::Result<u64> {
-        let keys: Vec<u64> = self.dirty.iter().copied().collect();
+        let keys: Vec<u64> = self.dirty.iter().collect();
         let mut flushed = 0;
         for key in keys {
             self.flush_one(key)?;
@@ -160,7 +332,7 @@ impl<B: BackingStore> DataCache<B> {
     /// Best-effort flush: keeps going past individual failures instead
     /// of aborting on the first one. Returns `(flushed, still_dirty)`.
     pub fn flush_best_effort(&mut self) -> (u64, u64) {
-        let keys: Vec<u64> = self.dirty.iter().copied().collect();
+        let keys: Vec<u64> = self.dirty.iter().collect();
         let mut flushed = 0;
         for key in keys {
             if self.flush_one(key).is_ok() {
@@ -170,13 +342,51 @@ impl<B: BackingStore> DataCache<B> {
         (flushed, self.dirty.len() as u64)
     }
 
+    /// Runs one bounded scrub pass over the durable segment, verifying
+    /// frame checksums. Quarantined frames whose payload is still
+    /// resident in memory are healed (re-written to a fresh slot); the
+    /// rest will be re-fetched from the backing store on next access.
+    ///
+    /// Returns an empty pass when no durable store is attached or the
+    /// media fails entirely (the failure is counted).
+    pub fn scrub(&mut self, max_slots: u32) -> ScrubPass {
+        let cursor = self.scrub_cursor;
+        let pass = match self.durable.as_mut() {
+            Some(d) => match d.scrub(cursor, max_slots) {
+                Ok(pass) => pass,
+                Err(_) => {
+                    obs_count!(DurableMediaErrors, 1);
+                    return ScrubPass::default();
+                }
+            },
+            None => return ScrubPass::default(),
+        };
+        self.scrub_cursor = pass.next_slot;
+        obs_count!(DurableScrubbedFrames, pass.verified);
+        obs_count!(DurableQuarantinedFrames, pass.quarantined.len() as u64);
+        for &key in &pass.quarantined {
+            if let Some(data) = self.frame_copy(key) {
+                let dirty = self.dirty.contains(key);
+                // Best-effort even for dirty frames: the in-memory copy
+                // and dirty bit still protect the data if this fails.
+                let _ = self.durable_put(key, &data, dirty);
+            }
+        }
+        pass
+    }
+
     /// Applies a policy outcome to the frame map, fetching `fresh` on
     /// allocation; dirty victims are flushed before their frame drops.
+    ///
+    /// `dirty_alloc` marks the allocation's payload as existing nowhere
+    /// else (a write-back allocating write): it is made durable before
+    /// the frame installs and joins the dirty set.
     fn apply_outcome(
         &mut self,
         key: u64,
         outcome: AccessOutcome,
         fresh: Option<&Block>,
+        dirty_alloc: bool,
     ) -> io::Result<DataOutcome> {
         Ok(match outcome {
             AccessOutcome::Hit => DataOutcome {
@@ -190,10 +400,15 @@ impl<B: BackingStore> DataCache<B> {
             AccessOutcome::AllocatedMiss { evicted } => {
                 if let Some(victim) = evicted {
                     self.flush_one(victim)?;
-                    self.frames.remove(&victim);
+                    self.frames.remove(victim);
+                    self.durable_evict(victim);
                 }
                 if let Some(data) = fresh {
-                    self.frames.insert(key, Box::new(*data));
+                    self.durable_put(key, data, dirty_alloc)?;
+                    if dirty_alloc {
+                        self.dirty.insert(key);
+                    }
+                    self.frames.insert(key, Some(Box::new(*data)));
                 }
                 DataOutcome {
                     hit: false,
@@ -214,7 +429,7 @@ impl<B: BackingStore> DataCache<B> {
         if outcome.is_hit() {
             // A hit without a frame would be an internal inconsistency;
             // fall back to the backing store instead of panicking.
-            if let Some(data) = self.frames.get(&key).map(|b| **b) {
+            if let Some(data) = self.frame_copy(key) {
                 return Ok((
                     data,
                     DataOutcome {
@@ -232,28 +447,40 @@ impl<B: BackingStore> DataCache<B> {
                 },
             ));
         }
-        let data = self.backing.read_block(key)?;
-        let result = self.apply_outcome(key, outcome, Some(&data))?;
+        // A dirty frame is authoritative even when the policy calls the
+        // access a miss (recovery can leave a dirty frame the policy did
+        // not re-admit): never serve the stale backing copy over it.
+        let data = match self.frame_copy(key) {
+            Some(data) if self.dirty.contains(key) => data,
+            _ => self.backing.read_block(key)?,
+        };
+        let result = self.apply_outcome(key, outcome, Some(&data), false)?;
         Ok((data, result))
     }
 
     /// Writes one block through the cache, honouring the write policy.
     ///
+    /// Under write-back, dirty data is made durable (when a durable
+    /// store is attached) *before* this method returns — the
+    /// acknowledgement never precedes persistence.
+    ///
     /// # Errors
     ///
-    /// Propagates backing-store failures.
+    /// Propagates backing-store and durable-store failures.
     pub fn write(&mut self, key: u64, data: &Block, now: Micros) -> io::Result<DataOutcome> {
         let outcome = self.store.access(key, RequestKind::Write, now);
         if outcome.is_hit() {
             match self.write_policy {
                 WritePolicy::WriteThrough => {
                     self.backing.write_block(key, data)?;
+                    self.durable_put(key, data, false)?;
                 }
                 WritePolicy::WriteBack => {
+                    self.durable_put(key, data, true)?;
                     self.dirty.insert(key);
                 }
             }
-            self.frames.insert(key, Box::new(*data));
+            self.frames.insert(key, Some(Box::new(*data)));
             return Ok(DataOutcome {
                 hit: true,
                 allocated: false,
@@ -262,13 +489,18 @@ impl<B: BackingStore> DataCache<B> {
         // Misses: a bypass goes straight to the ensemble; an allocation
         // installs the fresh data (dirty under write-back — the backing
         // store has never seen it).
-        match (self.write_policy, outcome.is_allocation()) {
-            (WritePolicy::WriteBack, true) => {
-                self.dirty.insert(key);
+        let dirty_alloc = self.write_policy == WritePolicy::WriteBack && outcome.is_allocation();
+        if !dirty_alloc {
+            self.backing.write_block(key, data)?;
+            // A lingering frame (e.g. a recovered dirty frame the policy
+            // no longer admits) must not go stale behind this write.
+            if let Some(frame) = self.frames.get_mut(key).and_then(|f| f.as_deref_mut()) {
+                *frame = *data;
+                self.dirty.remove(key);
+                self.durable_put(key, data, false)?;
             }
-            _ => self.backing.write_block(key, data)?,
         }
-        self.apply_outcome(key, outcome, Some(data))
+        self.apply_outcome(key, outcome, Some(data), dirty_alloc)
     }
 
     /// Serves a read without consulting the policy or allocating frames
@@ -282,8 +514,8 @@ impl<B: BackingStore> DataCache<B> {
     ///
     /// Propagates backing-store failures.
     pub fn read_bypass(&mut self, key: u64) -> io::Result<Block> {
-        if self.dirty.contains(&key) {
-            if let Some(data) = self.frames.get(&key).map(|b| **b) {
+        if self.dirty.contains(key) {
+            if let Some(data) = self.frame_copy(key) {
                 return Ok(data);
             }
         }
@@ -303,10 +535,19 @@ impl<B: BackingStore> DataCache<B> {
     /// nor the dirty bit changes.
     pub fn write_bypass(&mut self, key: u64, data: &Block) -> io::Result<()> {
         self.backing.write_block(key, data)?;
-        if let Some(frame) = self.frames.get_mut(&key) {
-            **frame = *data;
+        let had_frame = match self.frames.get_mut(key).and_then(|f| f.as_deref_mut()) {
+            Some(frame) => {
+                *frame = *data;
+                true
+            }
+            None => false,
+        };
+        self.dirty.remove(key);
+        if had_frame {
+            // Refresh the durable copy too (and clear its dirty flag);
+            // best-effort — the backing store already holds the data.
+            let _ = self.durable_put(key, data, false);
         }
-        self.dirty.remove(&key);
         Ok(())
     }
 
@@ -326,16 +567,17 @@ impl<B: BackingStore> DataCache<B> {
         let evicted: Vec<u64> = self
             .frames
             .keys()
-            .copied()
             .filter(|key| !self.store.contains(*key))
             .collect();
         for key in evicted {
             self.flush_one(key)?;
-            self.frames.remove(&key);
+            self.frames.remove(key);
+            self.durable_evict(key);
         }
         for key in &transition.allocated {
             let data = self.backing.read_block(*key)?;
-            self.frames.insert(*key, Box::new(data));
+            self.durable_put(*key, &data, false)?;
+            self.frames.insert(*key, Some(Box::new(data)));
         }
         Ok(transition.allocated.len() as u64)
     }
@@ -361,12 +603,23 @@ impl<B: BackingStore> DataCache<B> {
     }
 }
 
+impl<B: BackingStore> Drop for DataCache<B> {
+    /// Marks the durable journal cleanly shut down, best-effort: if the
+    /// marker cannot be written (media already failed), the next open
+    /// recovers as an unclean shutdown — colder, never incorrect.
+    fn drop(&mut self) {
+        let _ = self.shutdown_durable();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backing::MemBacking;
+    use crate::durable::MemMedia;
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};
+    use std::collections::HashMap;
 
     fn block(fill: u8) -> Block {
         [fill; 512]
@@ -657,5 +910,189 @@ mod tests {
             }
         }
         assert!(c.stats().hits() > 0);
+    }
+
+    // -- durable tier wiring ------------------------------------------------
+
+    /// Runs a workload against a durable cache, then "restarts" by
+    /// re-opening a cache over the surviving media bytes (orderly
+    /// shutdown: the clean-shutdown marker is written first).
+    fn reopen(
+        mut cache: DataCache<MemBacking>,
+        policy: PolicySpec,
+        capacity: usize,
+        write_policy: WritePolicy,
+    ) -> (DataCache<MemBacking>, RecoveryReport) {
+        cache.shutdown_durable().unwrap();
+        let backing = {
+            // Clone the backing contents into a fresh MemBacking.
+            let old = cache.backing();
+            let fresh = MemBacking::new();
+            for key in 0..64u64 {
+                let data = old.read_block(key).unwrap();
+                if data != [0u8; 512] {
+                    fresh.write_block(key, &data).unwrap();
+                }
+            }
+            fresh
+        };
+        let media = cache
+            .durable()
+            .expect("durable attached")
+            .clone_media_bytes()
+            .unwrap();
+        let set = DurableMediaSet {
+            frames: Box::new(MemMedia::from_bytes(media.0)),
+            journal_a: Box::new(MemMedia::from_bytes(media.1)),
+            journal_b: Box::new(MemMedia::from_bytes(media.2)),
+        };
+        let (cache, report) = DataCache::new_durable(backing, policy, capacity, set).unwrap();
+        (cache.with_write_policy(write_policy), report)
+    }
+
+    #[test]
+    fn durable_cache_round_trips_and_recovers_warm() {
+        let (mut c, report) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            8,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.journal_records, 0);
+        for key in 0..5u64 {
+            c.write(key, &block(key as u8 + 1), t(key)).unwrap();
+        }
+        let resident_before = c.resident_blocks();
+
+        let (mut c2, report) = reopen(c, PolicySpec::Aod, 8, WritePolicy::WriteThrough);
+        assert_eq!(report.recovered, resident_before as u64);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(c2.resident_blocks(), resident_before);
+        // Recovered frames serve hits with the right payloads.
+        for key in 0..5u64 {
+            let (data, o) = c2.read(key, t(100 + key)).unwrap();
+            assert!(o.hit, "key {key} should be warm");
+            assert_eq!(data, block(key as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn durable_write_back_dirty_data_survives_restart() {
+        let (c, _) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            8,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        let mut c = c.with_write_policy(WritePolicy::WriteBack);
+        c.write(3, &block(0xD3), t(0)).unwrap();
+        assert_eq!(c.dirty_blocks(), 1);
+        // The backing store has never seen the data...
+        assert_eq!(c.backing().read_block(3).unwrap(), block(0));
+
+        // ...yet after a restart the dirty frame is back, and a flush
+        // lands it.
+        let (mut c2, report) = reopen(c, PolicySpec::Aod, 8, WritePolicy::WriteBack);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(c2.dirty_blocks(), 1);
+        let (data, _) = c2.read(3, t(1)).unwrap();
+        assert_eq!(data, block(0xD3));
+        c2.flush().unwrap();
+        assert_eq!(c2.backing().read_block(3).unwrap(), block(0xD3));
+    }
+
+    #[test]
+    fn durable_flush_marks_clean_so_restart_does_not_reflush() {
+        let (c, _) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            8,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        let mut c = c.with_write_policy(WritePolicy::WriteBack);
+        c.write(1, &block(0x11), t(0)).unwrap();
+        c.flush().unwrap();
+        let (c2, _) = reopen(c, PolicySpec::Aod, 8, WritePolicy::WriteBack);
+        assert_eq!(c2.dirty_blocks(), 0, "flushed frame must recover clean");
+        assert_eq!(c2.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn durable_eviction_retires_the_victims_durable_copy() {
+        let (mut c, _) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            2,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        c.write(1, &block(1), t(0)).unwrap();
+        c.write(2, &block(2), t(1)).unwrap();
+        c.write(3, &block(3), t(2)).unwrap(); // evicts 1
+        let d = c.durable().unwrap();
+        assert!(!d.contains(1), "evicted key must leave the durable store");
+        assert!(d.contains(2) && d.contains(3));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn durable_scrub_heals_from_resident_frames() {
+        let (mut c, _) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            8,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        for key in 0..4u64 {
+            c.write(key, &block(key as u8 + 1), t(key)).unwrap();
+        }
+        // A clean pass verifies everything.
+        let pass = c.scrub(64);
+        assert_eq!(pass.verified, 4);
+        assert!(pass.quarantined.is_empty());
+        // Cursor wraps: a second pass scans again.
+        let pass = c.scrub(64);
+        assert_eq!(pass.verified, 4);
+    }
+
+    #[test]
+    fn durable_mixed_workload_restart_agrees_with_shadow() {
+        let (c, _) = DataCache::new_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            8,
+            DurableMediaSet::in_memory(),
+        )
+        .unwrap();
+        let mut c = c.with_write_policy(WritePolicy::WriteBack);
+        let mut shadow: HashMap<u64, Block> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(99);
+        for i in 0..2_000u64 {
+            let key = rng.random_range(0..24u64);
+            if rng.random::<bool>() {
+                let fill = rng.random::<u8>();
+                c.write(key, &block(fill), t(i)).unwrap();
+                shadow.insert(key, block(fill));
+            } else {
+                let (data, _) = c.read(key, t(i)).unwrap();
+                let expect = shadow.get(&key).copied().unwrap_or(block(0));
+                assert_eq!(data, expect, "stale data for key {key} at step {i}");
+            }
+        }
+        let resident = c.resident_blocks();
+        let (mut c2, report) = reopen(c, PolicySpec::Aod, 8, WritePolicy::WriteBack);
+        assert_eq!(report.recovered as usize, resident);
+        // Every read after restart still agrees with the shadow.
+        for i in 0..200u64 {
+            let key = i % 24;
+            let (data, _) = c2.read(key, t(10_000 + i)).unwrap();
+            let expect = shadow.get(&key).copied().unwrap_or(block(0));
+            assert_eq!(data, expect, "stale data for key {key} after restart");
+        }
     }
 }

@@ -23,6 +23,8 @@ pub enum SieveError {
     Parse(ParseRequestError),
     /// A node request failed (connection, protocol or node-side error).
     Node(NodeError),
+    /// The durable cache tier failed (media, format or corruption).
+    Durable(DurableError),
 }
 
 impl fmt::Display for SieveError {
@@ -32,6 +34,7 @@ impl fmt::Display for SieveError {
             SieveError::Io(err) => write!(f, "i/o error: {err}"),
             SieveError::Parse(err) => write!(f, "trace parse error: {err}"),
             SieveError::Node(err) => write!(f, "node error: {err}"),
+            SieveError::Durable(err) => write!(f, "durable store error: {err}"),
         }
     }
 }
@@ -42,8 +45,15 @@ impl Error for SieveError {
             SieveError::Io(err) => Some(err),
             SieveError::Parse(err) => Some(err),
             SieveError::Node(err) => Some(err),
+            SieveError::Durable(err) => Some(err),
             SieveError::InvalidConfig(_) => None,
         }
+    }
+}
+
+impl From<DurableError> for SieveError {
+    fn from(err: DurableError) -> Self {
+        SieveError::Durable(err)
     }
 }
 
@@ -179,6 +189,107 @@ impl From<NodeError> for io::Error {
             _ => io::ErrorKind::Other,
         };
         io::Error::new(kind, err.to_string())
+    }
+}
+
+/// A failure in the durable cache tier (the on-disk frame segment and
+/// metadata journal behind a node's data cache).
+///
+/// Media errors are distinguished from *format* problems: an
+/// [`DurableError::Io`] may heal on retry, a bad magic/version means the
+/// files belong to a different (or future) build, and corruption is
+/// detected — never served — via per-record checksums.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_types::DurableError;
+/// let err = DurableError::Corrupt {
+///     what: "frame slot 3",
+///     detail: "crc mismatch".into(),
+/// };
+/// assert!(err.to_string().contains("frame slot 3"));
+/// ```
+#[derive(Debug)]
+pub enum DurableError {
+    /// The underlying media (file, simulated device) failed.
+    Io(io::Error),
+    /// A file did not start with the expected magic bytes.
+    BadMagic {
+        /// Which file ("segment", "journal").
+        what: &'static str,
+    },
+    /// The on-disk format version is not one this build understands.
+    UnsupportedVersion {
+        /// The version found on media.
+        found: u16,
+        /// The newest version this build reads.
+        supported: u16,
+    },
+    /// A checksummed record failed verification.
+    Corrupt {
+        /// What was being read ("segment header", "frame slot 7", …).
+        what: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
+    /// The store's slot geometry does not match the caller's capacity.
+    Geometry(String),
+}
+
+impl DurableError {
+    /// A stable lowercase name for the error class, for structured
+    /// events and metrics labels.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DurableError::Io(_) => "io",
+            DurableError::BadMagic { .. } => "bad_magic",
+            DurableError::UnsupportedVersion { .. } => "unsupported_version",
+            DurableError::Corrupt { .. } => "corrupt",
+            DurableError::Geometry(_) => "geometry",
+        }
+    }
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(err) => write!(f, "media i/o failed: {err}"),
+            DurableError::BadMagic { what } => write!(f, "bad magic in {what} file"),
+            DurableError::UnsupportedVersion { found, supported } => {
+                write!(f, "format version {found} unsupported (max {supported})")
+            }
+            DurableError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
+            DurableError::Geometry(msg) => write!(f, "slot geometry mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for DurableError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DurableError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(err: io::Error) -> Self {
+        DurableError::Io(err)
+    }
+}
+
+impl From<DurableError> for io::Error {
+    fn from(err: DurableError) -> Self {
+        match err {
+            DurableError::Io(e) => e,
+            // Format and corruption problems are data errors: retrying
+            // the same bytes cannot help.
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
     }
 }
 

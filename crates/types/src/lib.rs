@@ -34,7 +34,7 @@ pub mod obs;
 pub mod request;
 pub mod time;
 
-pub use error::{ErrorClass, NodeError, ParseRequestError, SieveError};
+pub use error::{DurableError, ErrorClass, NodeError, ParseRequestError, SieveError};
 pub use fastmap::{U64Map, U64Set};
 pub use ids::{BlockAddr, GlobalBlock, ServerId, VolumeId};
 pub use request::{Request, RequestKind};

@@ -22,8 +22,8 @@
 //! Instrumented call sites go through [`count`] / [`observe`], which test
 //! one `AtomicBool` with a relaxed load and branch away when runtime
 //! recording is off ([`set_enabled`]). Crates additionally compile their
-//! call sites behind an `obs` cargo feature (via the [`obs_count!`] and
-//! [`obs_observe!`] macros), so a default build carries no instrumentation
+//! call sites behind an `obs` cargo feature (via the [`obs_count!`](crate::obs_count) and
+//! [`obs_observe!`](crate::obs_observe) macros), so a default build carries no instrumentation
 //! at all. The hierarchy is:
 //!
 //! | build                  | runtime flag | per-event cost              |
@@ -103,11 +103,25 @@ pub enum CounterId {
     ClientRetries,
     /// Client-side transparent reconnects.
     ClientReconnects,
+    /// Dirty frames left stranded by a failed shutdown-flush round.
+    NodeFlushFailures,
+    /// Frames restored (warm) from durable media on recovery.
+    DurableRecoveredFrames,
+    /// Frames quarantined for failed checksums (torn/rotted media).
+    DurableQuarantinedFrames,
+    /// Dirty frames whose only copy was lost to corrupt media.
+    DurableLostDirtyFrames,
+    /// Frames whose checksum a scrub pass verified.
+    DurableScrubbedFrames,
+    /// Durable-media write/sync failures observed by the cache.
+    DurableMediaErrors,
+    /// Records appended to the durable metadata journal.
+    DurableJournalRecords,
 }
 
 impl CounterId {
     /// Every counter, in canonical (serialization) order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 25] = [
         CounterId::ReplayEventsRouted,
         CounterId::ReplayBatchesSent,
         CounterId::ReplayBatchesRecycled,
@@ -126,6 +140,13 @@ impl CounterId {
         CounterId::NodeBreakerRecoveries,
         CounterId::ClientRetries,
         CounterId::ClientReconnects,
+        CounterId::NodeFlushFailures,
+        CounterId::DurableRecoveredFrames,
+        CounterId::DurableQuarantinedFrames,
+        CounterId::DurableLostDirtyFrames,
+        CounterId::DurableScrubbedFrames,
+        CounterId::DurableMediaErrors,
+        CounterId::DurableJournalRecords,
     ];
 
     /// The counter's stable snake-case name (used in snapshots and JSON).
@@ -149,6 +170,13 @@ impl CounterId {
             CounterId::NodeBreakerRecoveries => "node_breaker_recoveries",
             CounterId::ClientRetries => "client_retries",
             CounterId::ClientReconnects => "client_reconnects",
+            CounterId::NodeFlushFailures => "node_flush_failures",
+            CounterId::DurableRecoveredFrames => "durable_recovered_frames",
+            CounterId::DurableQuarantinedFrames => "durable_quarantined_frames",
+            CounterId::DurableLostDirtyFrames => "durable_lost_dirty_frames",
+            CounterId::DurableScrubbedFrames => "durable_scrubbed_frames",
+            CounterId::DurableMediaErrors => "durable_media_errors",
+            CounterId::DurableJournalRecords => "durable_journal_records",
         }
     }
 
@@ -199,15 +227,18 @@ pub enum HistId {
     NodeReadNanos,
     /// Node server write-request service time in nanoseconds.
     NodeWriteNanos,
+    /// Durable-store crash-recovery wall time in nanoseconds.
+    DurableRecoveryNanos,
 }
 
 impl HistId {
     /// Every histogram, in canonical (serialization) order.
-    pub const ALL: [HistId; 4] = [
+    pub const ALL: [HistId; 5] = [
         HistId::ReplayChannelWaitNanos,
         HistId::ReplayDayBarrierNanos,
         HistId::NodeReadNanos,
         HistId::NodeWriteNanos,
+        HistId::DurableRecoveryNanos,
     ];
 
     /// The histogram's stable snake-case name.
@@ -217,6 +248,7 @@ impl HistId {
             HistId::ReplayDayBarrierNanos => "replay_day_barrier_ns",
             HistId::NodeReadNanos => "node_read_ns",
             HistId::NodeWriteNanos => "node_write_ns",
+            HistId::DurableRecoveryNanos => "durable_recovery_ns",
         }
     }
 

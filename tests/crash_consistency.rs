@@ -1,0 +1,658 @@
+//! Crash-consistency property suite for the durable cache tier.
+//!
+//! Every schedule runs a deterministic workload against a
+//! [`DataCache`] whose durable media is a set of [`CrashPointMedia`]
+//! devices sharing one crash clock, cuts power at a chosen media
+//! mutation step (optionally tearing the in-flight write and rotting
+//! surviving bits), reboots from the surviving bytes and asserts the
+//! three crash-consistency invariants:
+//!
+//! 1. **No corrupt frame is ever served** — every byte returned, before
+//!    or after the crash, is a value some acknowledged or in-flight
+//!    write produced (or the backing store's zero block); never torn or
+//!    rotted garbage.
+//! 2. **Write-through data is never lost** — an acknowledged
+//!    write-through write is readable after restart.
+//! 3. **Write-back dirty data acked after a journaled dirty record
+//!    survives restart** — an acknowledged write-back write is readable
+//!    after restart with exactly the acknowledged payload.
+//!
+//! The schedule count defaults to 250 and follows the `CRASH_SCHEDULES`
+//! environment variable (CI pins it).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sievestore::PolicySpec;
+use sievestore_node::{
+    BackingStore, Block, CrashHandle, CrashPlan, CrashPointMedia, DataCache, DurableMediaSet,
+    FaultInjectingBacking, FaultPlan, MediaImage, MemBacking, MemMedia, NodeClient, NodeConfig,
+    NodeMode, NodeServer, RecoveryReport, WritePolicy,
+};
+use sievestore_types::obs::{CapturingSink, FieldValue};
+use sievestore_types::{Micros, SieveError};
+
+const CAPACITY: usize = 8;
+const KEY_SPACE: u64 = 16;
+const OPS: u64 = 40;
+
+fn block(fill: u8) -> Block {
+    [fill; 512]
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A durable cache on crash-point media, plus the handles needed to cut
+/// power and reboot from the survivors.
+struct Rig {
+    /// `None` when the cut landed during open-time recovery/compaction
+    /// (before the workload could start) — itself a crash point worth
+    /// covering.
+    cache: Option<DataCache<MemBacking>>,
+    handle: CrashHandle,
+    images: (MediaImage, MediaImage, MediaImage),
+}
+
+/// Formats a fresh durable store on plain memory media and returns its
+/// bytes, so the crash clock covers reopen + workload rather than mkfs.
+fn fresh_formatted_bytes() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let media = DurableMediaSet::in_memory();
+    let (cache, _) = DataCache::new_durable(MemBacking::new(), PolicySpec::Aod, CAPACITY, media)
+        .expect("fresh media formats cleanly");
+    cache.durable().unwrap().clone_media_bytes().unwrap()
+}
+
+fn build_rig(plan: CrashPlan, policy: WritePolicy) -> Rig {
+    let formatted = fresh_formatted_bytes();
+    let handle = CrashHandle::new(plan);
+    let frames = CrashPointMedia::with_initial(formatted.0, handle.clone());
+    let journal_a = CrashPointMedia::with_initial(formatted.1, handle.clone());
+    let journal_b = CrashPointMedia::with_initial(formatted.2, handle.clone());
+    let images = (frames.image(), journal_a.image(), journal_b.image());
+    let media = DurableMediaSet {
+        frames: Box::new(frames),
+        journal_a: Box::new(journal_a),
+        journal_b: Box::new(journal_b),
+    };
+    let cache = match DataCache::new_durable(MemBacking::new(), PolicySpec::Aod, CAPACITY, media) {
+        Ok((cache, _)) => Some(cache.with_write_policy(policy)),
+        Err(e) => {
+            assert!(handle.crashed(), "open failed without a power cut: {e}");
+            None
+        }
+    };
+    Rig {
+        cache,
+        handle,
+        images,
+    }
+}
+
+/// What the workload observed before the cut.
+struct WorkloadTrace {
+    /// key → last *acknowledged* payload.
+    shadow: HashMap<u64, Block>,
+    /// key → every fill byte ever attempted for it (acked or not).
+    seen_fills: HashMap<u64, Vec<u8>>,
+    /// The write that was in flight when the cut landed, if any.
+    in_flight: Option<(u64, Block)>,
+    crashed: bool,
+}
+
+fn empty_trace(crashed: bool) -> WorkloadTrace {
+    WorkloadTrace {
+        shadow: HashMap::new(),
+        seen_fills: HashMap::new(),
+        in_flight: None,
+        crashed,
+    }
+}
+
+/// Runs the deterministic workload until completion or power cut.
+fn run_workload(
+    cache: &mut DataCache<MemBacking>,
+    handle: &CrashHandle,
+    workload_seed: u64,
+) -> WorkloadTrace {
+    let mut rng = workload_seed;
+    let mut trace = WorkloadTrace {
+        shadow: HashMap::new(),
+        seen_fills: HashMap::new(),
+        in_flight: None,
+        crashed: false,
+    };
+    for i in 0..OPS {
+        let r = splitmix(&mut rng);
+        let key = r % KEY_SPACE;
+        let op = (r >> 8) % 10;
+        let now = Micros::from_secs(i);
+        if op < 6 {
+            let fill = (r >> 16) as u8;
+            trace.seen_fills.entry(key).or_default().push(fill);
+            match cache.write(key, &block(fill), now) {
+                Ok(_) => {
+                    trace.shadow.insert(key, block(fill));
+                }
+                Err(e) => {
+                    assert!(handle.crashed(), "write failed without a power cut: {e}");
+                    trace.in_flight = Some((key, block(fill)));
+                }
+            }
+        } else if op < 9 {
+            match cache.read(key, now) {
+                Ok((data, _)) => {
+                    let expect = trace.shadow.get(&key).copied().unwrap_or(block(0));
+                    assert_eq!(data, expect, "pre-crash read of key {key} is stale");
+                }
+                Err(e) => {
+                    assert!(handle.crashed(), "read failed without a power cut: {e}");
+                }
+            }
+        } else {
+            // A flush is allowed to fail only at the cut.
+            if let Err(e) = cache.flush() {
+                assert!(handle.crashed(), "flush failed without a power cut: {e}");
+            }
+        }
+        if handle.crashed() {
+            trace.crashed = true;
+            break;
+        }
+    }
+    trace
+}
+
+/// Clones the ensemble's contents (the backing store survives the cut —
+/// only the node's own durable media loses power).
+fn clone_backing(cache: &DataCache<MemBacking>) -> MemBacking {
+    let fresh = MemBacking::new();
+    for key in 0..KEY_SPACE {
+        let data = cache.backing().read_block(key).unwrap();
+        if data != block(0) {
+            fresh.write_block(key, &data).unwrap();
+        }
+    }
+    fresh
+}
+
+/// Reboots a cache from the surviving media bytes.
+fn reboot(
+    images: &(MediaImage, MediaImage, MediaImage),
+    backing: MemBacking,
+    policy: WritePolicy,
+) -> Result<(DataCache<MemBacking>, RecoveryReport), SieveError> {
+    let media = DurableMediaSet {
+        frames: Box::new(MemMedia::from_bytes(images.0.bytes())),
+        journal_a: Box::new(MemMedia::from_bytes(images.1.bytes())),
+        journal_b: Box::new(MemMedia::from_bytes(images.2.bytes())),
+    };
+    DataCache::new_durable(backing, PolicySpec::Aod, CAPACITY, media)
+        .map(|(c, r)| (c.with_write_policy(policy), r))
+}
+
+/// Invariant 1: every payload the rebooted cache serves must be a value
+/// some write produced for that key (acked or in-flight) or the zero
+/// block — never torn or rotted garbage.
+fn assert_no_garbage(cache: &mut DataCache<MemBacking>, trace: &WorkloadTrace) {
+    for key in 0..KEY_SPACE {
+        let (data, _) = cache.read(key, Micros::from_secs(1_000 + key)).unwrap();
+        let fill = data[0];
+        let uniform = data.iter().all(|&b| b == fill);
+        assert!(
+            uniform,
+            "key {key}: non-uniform payload can only be garbage"
+        );
+        let legal = fill == 0
+            || trace
+                .seen_fills
+                .get(&key)
+                .is_some_and(|fills| fills.contains(&fill));
+        assert!(legal, "key {key}: served fill {fill:#x} was never written");
+    }
+}
+
+/// Runs one full crash schedule and checks all invariants.
+fn run_schedule(schedule: u64, crash_at: u64, policy: WritePolicy, torn: bool, rot: u32) {
+    let mut plan = CrashPlan::no_crash(schedule).crash_at_step(crash_at);
+    if torn {
+        plan = plan.with_torn_tail();
+    }
+    if rot > 0 {
+        plan = plan.with_bit_rot(rot);
+    }
+    let mut rig = build_rig(plan, policy);
+    let workload_seed = 1 + schedule / 97; // several crash points share a workload
+    let (trace, backing) = match rig.cache.take() {
+        Some(mut cache) => {
+            let trace = run_workload(&mut cache, &rig.handle, workload_seed);
+            let backing = clone_backing(&cache);
+            (trace, backing)
+        }
+        // The cut landed inside open-time recovery — nothing was acked,
+        // the backing is empty, and reboot must still succeed.
+        None => (empty_trace(true), MemBacking::new()),
+    };
+
+    let rebooted = reboot(&rig.images, backing, policy);
+    let (mut cache, report) = match rebooted {
+        Ok(ok) => ok,
+        Err(e) => {
+            // Unrecoverable media is only legal under bit rot (a flipped
+            // header bit); a pure power cut must always recover.
+            assert!(rot > 0, "schedule {schedule}: clean cut unrecoverable: {e}");
+            return;
+        }
+    };
+
+    if rot == 0 {
+        // A pure power cut (even with a torn in-flight write) can only
+        // lose *unacknowledged* state: fresh-slot writes and the
+        // un-synced journal tail. Nothing acked is quarantined or lost.
+        assert_eq!(
+            report.quarantined, 0,
+            "schedule {schedule}: acked frame quarantined without bit rot"
+        );
+        assert_eq!(
+            report.lost_dirty, 0,
+            "schedule {schedule}: acked dirty frame lost without bit rot"
+        );
+        // Invariants 2 and 3: every acknowledged write is readable with
+        // exactly the acknowledged payload. The in-flight write (never
+        // acked) may read as either its old or its attempted value.
+        for (&key, &expect) in &trace.shadow {
+            let (data, _) = cache.read(key, Micros::from_secs(2_000 + key)).unwrap();
+            if let Some((in_key, attempted)) = trace.in_flight {
+                if in_key == key {
+                    assert!(
+                        data == expect || data == attempted,
+                        "schedule {schedule}: in-flight key {key} reads neither old nor new"
+                    );
+                    continue;
+                }
+            }
+            assert_eq!(
+                data, expect,
+                "schedule {schedule}: acked write to key {key} lost (policy {policy:?})"
+            );
+        }
+    }
+    // Invariant 1 holds regardless of rot.
+    assert_no_garbage(&mut cache, &trace);
+}
+
+/// Counts the media mutation steps of an uncut run, bounding the sweep.
+fn steps_for(policy: WritePolicy, workload_seed: u64) -> u64 {
+    let mut rig = build_rig(CrashPlan::no_crash(0), policy);
+    let mut cache = rig.cache.take().expect("no cut in the dry run");
+    let trace = run_workload(&mut cache, &rig.handle, workload_seed);
+    assert!(!trace.crashed);
+    rig.handle.steps()
+}
+
+fn schedule_count() -> u64 {
+    std::env::var("CRASH_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+}
+
+#[test]
+fn power_cut_schedules_preserve_all_invariants_write_back() {
+    let schedules = schedule_count();
+    let mut ran = 0u64;
+    let mut sweep = 0u64;
+    while ran < schedules {
+        let workload_seed = 1 + sweep / 97;
+        let total = steps_for(WritePolicy::WriteBack, workload_seed);
+        let crash_at = sweep % total;
+        let torn = sweep.is_multiple_of(2);
+        let rot = if sweep % 11 == 7 { 2 } else { 0 };
+        run_schedule(sweep, crash_at, WritePolicy::WriteBack, torn, rot);
+        ran += 1;
+        sweep += 1;
+    }
+    assert!(ran >= schedules);
+}
+
+#[test]
+fn power_cut_schedules_preserve_all_invariants_write_through() {
+    // Write-through mirrors are best-effort, so the cut is invisible to
+    // the workload: every op keeps succeeding against the backing store
+    // and nothing acked can be lost (invariant 2).
+    let schedules = schedule_count() / 5;
+    for sweep in 0..schedules {
+        let workload_seed = 1 + sweep / 29;
+        let total = steps_for(WritePolicy::WriteThrough, workload_seed);
+        run_schedule(
+            10_000 + sweep,
+            sweep % total,
+            WritePolicy::WriteThrough,
+            sweep % 2 == 1,
+            if sweep % 13 == 5 { 1 } else { 0 },
+        );
+    }
+}
+
+#[test]
+fn clean_restart_recovers_the_full_resident_set_warm() {
+    // Acceptance: after an orderly run (no crash), restart recovers a
+    // warm cache whose resident-frame count equals the pre-shutdown
+    // count, and every frame serves the right payload as a hit.
+    let mut rig = build_rig(CrashPlan::no_crash(42), WritePolicy::WriteBack);
+    let mut cache = rig.cache.take().expect("no cut");
+    let trace = run_workload(&mut cache, &rig.handle, 3);
+    assert!(!trace.crashed);
+    let resident_before = cache.resident_blocks();
+    assert!(resident_before > 0);
+    let backing = clone_backing(&cache);
+    drop(cache);
+
+    let (mut cache, report) = reboot(&rig.images, backing, WritePolicy::WriteBack).unwrap();
+    assert_eq!(report.recovered as usize, resident_before);
+    assert_eq!(cache.resident_blocks(), resident_before);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.lost_dirty, 0);
+    for (&key, &expect) in &trace.shadow {
+        let (data, outcome) = cache.read(key, Micros::from_secs(5_000 + key)).unwrap();
+        assert_eq!(data, expect);
+        // Keys that were resident before shutdown are warm hits now.
+        if report.recovered > 0 && outcome.hit {
+            assert_eq!(data, expect);
+        }
+    }
+}
+
+#[test]
+fn targeted_bit_rot_is_quarantined_never_served() {
+    // Rot one resident frame's payload on the "disk", reboot, and make
+    // sure recovery quarantines it and the read falls back to backing.
+    let mut rig = build_rig(CrashPlan::no_crash(7), WritePolicy::WriteThrough);
+    let mut live = rig.cache.take().expect("no cut");
+    for key in 0..4u64 {
+        live.write(key, &block(key as u8 + 0x10), Micros::from_secs(key))
+            .unwrap();
+    }
+    let resident = live.resident_blocks();
+    let backing = clone_backing(&live);
+    drop(live);
+
+    // Flip one bit in every possible frame-slot payload region so at
+    // least one occupied slot rots (slot assignment is an internal
+    // detail).
+    const FILE_HEADER_LEN: usize = 24;
+    const FRAME_RECORD_LEN: usize = 544;
+    let seg_len = rig.images.0.bytes().len();
+    let mut offset = FILE_HEADER_LEN + 100;
+    while offset < seg_len {
+        rig.images.0.flip_bit(offset, 3);
+        offset += FRAME_RECORD_LEN;
+    }
+
+    let (mut cache, report) = reboot(&rig.images, backing, WritePolicy::WriteThrough).unwrap();
+    assert_eq!(report.quarantined as usize, resident, "all slots rotted");
+    assert_eq!(report.lost_dirty, 0, "write-through: backing has a copy");
+    // Every key still reads correctly — re-fetched from backing, the
+    // rotted payloads are never served.
+    for key in 0..4u64 {
+        let (data, _) = cache.read(key, Micros::from_secs(100 + key)).unwrap();
+        assert_eq!(data, block(key as u8 + 0x10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-level integration: shutdown flush under faults, degraded start,
+// background scrub.
+// ---------------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sievestore-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn shutdown_flush_failures_are_reported_and_recovered_from_journal() {
+    // Satellite: a write-back node whose backing store fails every
+    // shutdown flush round must (a) report each failed round as a
+    // structured event rather than swallowing it, and (b) leave the
+    // dirty frames journaled so the next open restores them.
+    let dir = temp_dir("flushfail");
+    std::fs::remove_dir_all(&dir).ok();
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(9));
+    let faults = backing.handle();
+    let sink = Arc::new(CapturingSink::new());
+    let config = NodeConfig {
+        shutdown_flush_retries: 2,
+        ..NodeConfig::default()
+    };
+    let (server, report) = NodeServer::spawn_durable(
+        "127.0.0.1:0",
+        backing,
+        PolicySpec::Aod,
+        64,
+        WritePolicy::WriteBack,
+        DurableMediaSet::open_dir(&dir).unwrap(),
+        config,
+        sink.clone(),
+    )
+    .unwrap();
+    assert_eq!(report.expect("fresh media opens").recovered, 0);
+
+    let mut client = NodeClient::connect(server.addr()).unwrap();
+    for key in 0..6u64 {
+        client.write_block(key, &block(0x40 + key as u8)).unwrap();
+    }
+    client.quit().unwrap();
+
+    // Every backing write now fails: all flush rounds come up short.
+    faults.set_plan(FaultPlan::new(9).with_write_error_prob(1.0));
+    server.shutdown();
+
+    let failed = sink.named("node.flush.failed");
+    assert_eq!(
+        failed.len(),
+        3,
+        "one event per failed round (1 + shutdown_flush_retries)"
+    );
+    for event in &failed {
+        let context = event
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "context")
+            .expect("context field");
+        assert!(matches!(context.1, FieldValue::Str("shutdown")));
+        let still_dirty = event
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "still_dirty")
+            .expect("still_dirty field");
+        assert!(matches!(still_dirty.1, FieldValue::U64(6)));
+    }
+
+    // Reopen from the journal: the dirty frames' only copy survives.
+    let (cache, report) = DataCache::new_durable(
+        MemBacking::new(),
+        PolicySpec::Aod,
+        64,
+        DurableMediaSet::open_dir(&dir).unwrap(),
+    )
+    .unwrap();
+    let mut cache_wb = cache.with_write_policy(WritePolicy::WriteBack);
+    assert_eq!(report.recovered, 6, "all dirty frames restored");
+    assert_eq!(report.lost_dirty, 0);
+    for key in 0..6u64 {
+        let (data, _) = cache_wb.read(key, Micros::from_secs(key)).unwrap();
+        assert_eq!(data, block(0x40 + key as u8), "dirty payload survives");
+    }
+    // With the backing healed, the recovered frames flush through.
+    assert_eq!(cache_wb.flush().unwrap(), 6);
+    for key in 0..6u64 {
+        assert_eq!(
+            cache_wb.backing().read_block(key).unwrap(),
+            block(0x40 + key as u8)
+        );
+    }
+    drop(cache_wb);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unrecoverable_media_starts_degraded_and_still_serves() {
+    // Garbage on the durable media must not take the node down: it
+    // starts in degraded pass-through with the breaker open, emits a
+    // recovery-failed event, and serves reads/writes from backing.
+    let media = DurableMediaSet {
+        frames: Box::new(MemMedia::from_bytes(vec![0xAB; 4096])),
+        journal_a: Box::new(MemMedia::new()),
+        journal_b: Box::new(MemMedia::new()),
+    };
+    let sink = Arc::new(CapturingSink::new());
+    let (server, report) = NodeServer::spawn_durable(
+        "127.0.0.1:0",
+        MemBacking::new(),
+        PolicySpec::Aod,
+        16,
+        WritePolicy::WriteThrough,
+        media,
+        NodeConfig::default(),
+        sink.clone(),
+    )
+    .unwrap();
+    assert!(report.is_none(), "no recovery happened");
+    assert_eq!(server.mode(), NodeMode::Degraded);
+    assert_eq!(sink.named("node.recovery.failed").len(), 1);
+    assert!(sink.named("node.recovery.complete").is_empty());
+
+    let mut client = NodeClient::connect(server.addr()).unwrap();
+    client.write_block(3, &block(0x33)).unwrap();
+    let (data, _) = client.read_block(3).unwrap();
+    assert_eq!(data, block(0x33), "degraded node still serves from backing");
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn recovery_on_start_emits_completion_event() {
+    let dir = temp_dir("recoverevt");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let (server, _) = NodeServer::spawn_durable(
+            "127.0.0.1:0",
+            MemBacking::new(),
+            PolicySpec::Aod,
+            16,
+            WritePolicy::WriteThrough,
+            DurableMediaSet::open_dir(&dir).unwrap(),
+            NodeConfig::default(),
+            Arc::new(CapturingSink::new()),
+        )
+        .unwrap();
+        let mut client = NodeClient::connect(server.addr()).unwrap();
+        for key in 0..5u64 {
+            client.write_block(key, &block(key as u8 + 1)).unwrap();
+        }
+        client.quit().unwrap();
+        server.shutdown();
+    }
+    let sink = Arc::new(CapturingSink::new());
+    let (server, report) = NodeServer::spawn_durable(
+        "127.0.0.1:0",
+        MemBacking::new(),
+        PolicySpec::Aod,
+        16,
+        WritePolicy::WriteThrough,
+        DurableMediaSet::open_dir(&dir).unwrap(),
+        NodeConfig::default(),
+        sink.clone(),
+    )
+    .unwrap();
+    let report = report.expect("media recovered");
+    assert_eq!(report.recovered, 5, "orderly shutdown recovers warm");
+    assert_eq!(server.mode(), NodeMode::Healthy);
+    let events = sink.named("node.recovery.complete");
+    assert_eq!(events.len(), 1);
+    let recovered = events[0]
+        .fields
+        .iter()
+        .find(|(k, _)| *k == "recovered")
+        .expect("recovered field");
+    assert!(matches!(recovered.1, FieldValue::U64(5)));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_scrub_quarantines_rot_and_reads_stay_correct() {
+    let dir = temp_dir("scrub");
+    std::fs::remove_dir_all(&dir).ok();
+    let sink = Arc::new(CapturingSink::new());
+    let config = NodeConfig {
+        scrub_interval: Some(Duration::from_millis(5)),
+        scrub_batch: 1024,
+        ..NodeConfig::default()
+    };
+    let (server, _) = NodeServer::spawn_durable(
+        "127.0.0.1:0",
+        MemBacking::new(),
+        PolicySpec::Aod,
+        16,
+        WritePolicy::WriteThrough,
+        DurableMediaSet::open_dir(&dir).unwrap(),
+        config,
+        sink.clone(),
+    )
+    .unwrap();
+    let mut client = NodeClient::connect(server.addr()).unwrap();
+    for key in 0..4u64 {
+        client.write_block(key, &block(0x60 + key as u8)).unwrap();
+    }
+
+    // Rot every slot's payload region behind the server's back.
+    const FILE_HEADER_LEN: u64 = 24;
+    const FRAME_RECORD_LEN: u64 = 544;
+    {
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join("frames.seg"))
+            .unwrap();
+        let len = file.metadata().unwrap().len();
+        let mut offset = FILE_HEADER_LEN + 200;
+        while offset < len {
+            file.seek(SeekFrom::Start(offset)).unwrap();
+            let mut byte = [0u8; 1];
+            file.read_exact(&mut byte).unwrap();
+            byte[0] ^= 0x10;
+            file.seek(SeekFrom::Start(offset)).unwrap();
+            file.write_all(&byte).unwrap();
+            offset += FRAME_RECORD_LEN;
+        }
+        file.sync_all().unwrap();
+    }
+
+    // The scrubber must notice within a couple of seconds.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while sink.named("node.scrub.quarantined").is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scrubber never quarantined the rotted slots"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Reads stay correct throughout: resident frames in memory are
+    // authoritative and the rotted on-disk copies are never served.
+    for key in 0..4u64 {
+        let (data, _) = client.read_block(key).unwrap();
+        assert_eq!(data, block(0x60 + key as u8));
+    }
+    client.quit().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
