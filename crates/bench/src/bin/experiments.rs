@@ -9,7 +9,7 @@
 
 use std::process::ExitCode;
 
-use sievestore_bench::{cost, extensions, policies, sens, summary, workload, Harness};
+use sievestore_bench::{cost, extensions, policies, sens, shadow, summary, workload, Harness};
 
 const USAGE: &str = "\
 usage: experiments [--scale N] [--seed S] [--out DIR] <id>...
@@ -18,6 +18,8 @@ ids:
   table1 fig2a fig2b fig2c fig3a fig3b fig3c fig3d
   table2 table3 fig5 fig6 fig7 fig8 fig9 sec5_3 sens summary
   belady latency per_server   (extensions beyond the paper's figures)
+  shadow     continuous policies under LRU and SIEVE eviction, side by
+             side, with per-policy day-snapshot JSONL under <out>/shadow/
   all        every experiment above
 
 options:
@@ -27,12 +29,15 @@ options:
   --threads N  replay each simulation with N sharded workers (default 1:
                the sequential engine; discrete policies are bit-identical
                at any N)
+  --eviction P continuous caches replace frames with policy P: 'lru'
+               (default) or 'sieve' (lock-free hit path); discrete
+               policies use the epoch-batch cache regardless
   --obs        enable runtime metrics recording; writes one day-boundary
                snapshot JSONL per policy run plus the registry totals
                (obs_metrics.json) to the output dir (hot-path counters
                need a build with --features obs)";
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "table1",
     "fig2a",
     "fig2b",
@@ -53,6 +58,7 @@ const ALL: [&str; 20] = [
     "latency",
     "per_server",
     "sens",
+    "shadow",
 ];
 
 fn main() -> ExitCode {
@@ -72,6 +78,7 @@ fn run() -> Result<(), String> {
     let mut seed: u64 = 0x51EE_5704;
     let mut out_dir = "results".to_string();
     let mut threads: usize = 1;
+    let mut eviction = sievestore_sim::EvictionPolicy::default();
     let mut obs = false;
     let mut ids: Vec<String> = Vec::new();
 
@@ -102,6 +109,13 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--eviction" => {
+                eviction = iter
+                    .next()
+                    .ok_or("--eviction needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --eviction: {e}"))?;
+            }
             "--obs" => obs = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -123,12 +137,14 @@ fn run() -> Result<(), String> {
 
     let mut harness = Harness::new(scale, seed, &out_dir)
         .map_err(|e| e.to_string())?
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_eviction(eviction);
     println!(
         "SieveStore experiments | 13-server ensemble, {} days, scale 1/{scale}, seed {seed:#x}, \
-         replay {:?}",
+         replay {:?}, eviction {}",
         harness.trace().days(),
-        harness.replay_mode()
+        harness.replay_mode(),
+        harness.eviction()
     );
     println!("CSV output: {out_dir}/\n");
 
@@ -179,6 +195,7 @@ fn dispatch(h: &mut Harness, id: &str) -> Result<String, String> {
         "latency" => extensions::latency(h),
         "per_server" => extensions::per_server_sim(h),
         "sens" => sens::sensitivity(h),
+        "shadow" => shadow::shadow(h),
         "summary" => summary::summary(h),
         other => return Err(format!("unknown experiment id '{other}'")),
     };

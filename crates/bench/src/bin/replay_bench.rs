@@ -16,19 +16,23 @@
 //! With `--check`, the fresh measurement is compared against the
 //! committed baseline: any configuration whose events/sec falls more than
 //! `--tolerance` below the baseline fails the run (exit code 1). Speedups
-//! always pass; re-baseline by committing the fresh artifact.
+//! always pass; re-baseline with `--write-baseline`, which rewrites
+//! `ci/BENCH_replay.json` from the fresh measurement in one command.
 //!
-//! With `--require-scaling`, the run additionally asserts that the widest
-//! sharded configuration beats the sequential engine — strictly on hosts
-//! with two or more cores (CI runners), and within a bounded overhead
-//! (≥ 50 % of sequential) on single-core hosts where parallel speedup is
-//! physically impossible and only coordination overhead can be measured.
+//! With `--require-scaling`, the run additionally gates on multi-core
+//! speedup, tiered by the host's core count: with four or more cores
+//! (CI's perf runners) the widest sharded configuration must beat the
+//! sequential engine by at least `--min-speedup` (default 1.3×) — a hard
+//! requirement, no escape hatch; with two or three cores it must merely
+//! beat sequential; on a single core, where parallel speedup is
+//! physically impossible and only coordination overhead can be measured,
+//! the bound degrades to keeping ≥ 50 % of sequential throughput.
 //!
 //! Besides the end-to-end replays, each run times a set of hot-path
 //! micro-benchmarks (`U64Map` insert/get, `LruCache` touch/insert,
-//! `Mct::record_miss`) and embeds the ns/op figures in the report so a
-//! replay regression can be localized to a structure. Micro figures are
-//! informational only; they are never gated.
+//! `SieveCache` touch/insert, `Mct::record_miss`) and embeds the ns/op
+//! figures in the report so a replay regression can be localized to a
+//! structure. Micro figures are informational only; they are never gated.
 //!
 //! Every report also embeds the day-boundary snapshot export
 //! (`sievestore-day-snapshot/v1` JSONL) for the sequential run, and the
@@ -36,21 +40,29 @@
 //! byte-for-byte. With `--obs`, runtime metrics recording is switched on
 //! and the observability-registry totals are embedded as diagnostics
 //! (full counters need a build with `--features obs`).
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (GitHub Actions), a markdown table
+//! of events/sec per mode — with deltas against the `--check` baseline —
+//! is appended to it, so the perf job's numbers show up on the run's
+//! summary page without digging through logs.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sievestore::PolicySpec;
 use sievestore_bench::replay_json::{compare_reports, MicroReport, ReplayReport, RunReport};
-use sievestore_cache::LruCache;
+use sievestore_cache::{LruCache, SieveCache};
 use sievestore_sieve::{Mct, WindowConfig};
-use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult, SnapshotLog};
+use sievestore_sim::{
+    simulate, simulate_sharded, EvictionPolicy, SimConfig, SimResult, SnapshotLog,
+};
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
 use sievestore_types::{mix64, Micros, U64Map};
 
 const USAGE: &str = "\
 usage: replay_bench [--scale N] [--seed S] [--reps R] [--out FILE]
                     [--check BASELINE] [--tolerance T] [--require-scaling]
+                    [--min-speedup X] [--write-baseline] [--eviction P]
                     [--obs]
 
 options:
@@ -64,11 +76,24 @@ options:
   --tolerance T   allowed fractional regression for --check (default 0.2)
   --require-scaling
                   exit nonzero unless the widest sharded run beats the
-                  sequential engine (>= 2 cores) or stays within 50 % of
-                  it (single-core hosts)
+                  sequential engine by --min-speedup (>= 4 cores), beats
+                  it at all (2-3 cores), or stays within 50 % of it
+                  (single-core hosts)
+  --min-speedup X sharded-over-sequential ratio required on >= 4 cores
+                  (default 1.3)
+  --write-baseline
+                  also write the fresh report to ci/BENCH_replay.json,
+                  so re-baselining the committed gate is one command
+  --eviction P    eviction policy for the continuous caches: 'lru'
+                  (default) or 'sieve'; the gated replay is discrete, so
+                  this only affects the eviction micro-benchmarks' labels
+                  and any continuous diagnostics
   --obs           enable runtime metrics recording and embed the
                   observability-registry totals in the report (hot-path
                   counters need a build with --features obs)";
+
+/// The committed CI baseline `--write-baseline` refreshes.
+const CI_BASELINE: &str = "ci/BENCH_replay.json";
 
 /// Thread counts timed in addition to the sequential engine.
 const SHARD_COUNTS: [usize; 2] = [2, 4];
@@ -92,6 +117,9 @@ fn run() -> Result<ExitCode, String> {
     let mut check: Option<String> = None;
     let mut tolerance: f64 = 0.2;
     let mut require_scaling = false;
+    let mut min_speedup: f64 = 1.3;
+    let mut write_baseline = false;
+    let mut eviction = EvictionPolicy::default();
     let mut obs = false;
 
     let mut iter = std::env::args().skip(1);
@@ -134,6 +162,24 @@ fn run() -> Result<ExitCode, String> {
                 }
             }
             "--require-scaling" => require_scaling = true,
+            "--min-speedup" => {
+                min_speedup = iter
+                    .next()
+                    .ok_or("--min-speedup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-speedup: {e}"))?;
+                if min_speedup < 1.0 {
+                    return Err("--min-speedup must be at least 1.0".into());
+                }
+            }
+            "--write-baseline" => write_baseline = true,
+            "--eviction" => {
+                eviction = iter
+                    .next()
+                    .ok_or("--eviction needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --eviction: {e}"))?;
+            }
             "--obs" => obs = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -153,7 +199,7 @@ fn run() -> Result<ExitCode, String> {
     // under sharding at any thread count, so the differential check below
     // can demand exact equality.
     let spec = PolicySpec::SieveStoreD { threshold: 10 };
-    let cfg = SimConfig::paper_16gb(scale);
+    let cfg = SimConfig::paper_16gb(scale).with_eviction(eviction);
     if obs {
         sievestore_types::obs::set_enabled(true);
     }
@@ -238,12 +284,34 @@ fn run() -> Result<ExitCode, String> {
     std::fs::write(&out, &text).map_err(|e| format!("writing {out}: {e}"))?;
     println!("report written to {out}");
 
-    if let Some(baseline_path) = check {
-        let baseline_text = std::fs::read_to_string(&baseline_path)
-            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
-        let baseline = ReplayReport::from_json(&baseline_text)
-            .map_err(|e| format!("parsing baseline {baseline_path}: {e}"))?;
-        match compare_reports(&report, &baseline, tolerance) {
+    if write_baseline {
+        if let Some(parent) = std::path::Path::new(CI_BASELINE).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+            }
+        }
+        std::fs::write(CI_BASELINE, &text).map_err(|e| format!("writing {CI_BASELINE}: {e}"))?;
+        println!("baseline refreshed at {CI_BASELINE}");
+    }
+
+    let baseline = match &check {
+        Some(path) => {
+            let baseline_text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading baseline {path}: {e}"))?;
+            Some(
+                ReplayReport::from_json(&baseline_text)
+                    .map_err(|e| format!("parsing baseline {path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+
+    // The markdown summary goes up regardless of whether the gates below
+    // pass: failed runs are exactly the ones whose numbers matter.
+    write_step_summary(&report, baseline.as_ref());
+
+    if let Some(baseline) = &baseline {
+        match compare_reports(&report, baseline, tolerance) {
             Ok(lines) => {
                 println!(
                     "baseline check passed (tolerance {:.0} %):",
@@ -278,16 +346,26 @@ fn run() -> Result<ExitCode, String> {
         let cores = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        // With at least two cores the sharded engine must genuinely beat
-        // the sequential one. On a single core parallel speedup is
-        // physically impossible — workers merely time-slice with the
-        // coordinator — so the assertion degrades to a catastrophic-
-        // regression bound: sharded keeps at least half the sequential
-        // throughput.
-        let (floor, criterion) = if cores >= 2 {
-            (seq.events_per_sec, "sharded must beat sequential")
+        // Tiered by what the host can physically show. Four or more
+        // cores (the CI perf runners) must demonstrate a real win — the
+        // sharded engine has no reason to exist otherwise. Two or three
+        // cores must still beat sequential, just without the margin. On
+        // a single core parallel speedup is impossible — workers merely
+        // time-slice with the coordinator — so the assertion degrades to
+        // a catastrophic-regression bound: sharded keeps at least half
+        // the sequential throughput.
+        let (floor, criterion) = if cores >= 4 {
+            (
+                min_speedup * seq.events_per_sec,
+                format!("sharded must beat sequential by {min_speedup:.2}x"),
+            )
+        } else if cores >= 2 {
+            (seq.events_per_sec, "sharded must beat sequential".into())
         } else {
-            (0.5 * seq.events_per_sec, "overhead bounded at 50 %")
+            (
+                0.5 * seq.events_per_sec,
+                "overhead bounded at 50 %".to_string(),
+            )
         };
         let ratio = wide.events_per_sec / seq.events_per_sec;
         if wide.events_per_sec < floor {
@@ -305,6 +383,59 @@ fn run() -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Appends a markdown events/sec table to `$GITHUB_STEP_SUMMARY` when the
+/// environment provides one (GitHub Actions), including deltas against
+/// the `--check` baseline when available. Best-effort: summary failures
+/// never fail the benchmark.
+fn write_step_summary(report: &ReplayReport, baseline: Option<&ReplayReport>) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut md = String::from("### Replay throughput\n\n");
+    md.push_str(&format!(
+        "`{}` events, scale 1/{}, seed {:#x}\n\n",
+        report.events, report.scale, report.seed
+    ));
+    md.push_str("| mode | threads | events/s | vs baseline |\n");
+    md.push_str("| --- | ---: | ---: | ---: |\n");
+    for run in &report.runs {
+        let delta = baseline
+            .and_then(|b| b.run_with_threads(run.threads))
+            .map(|b| {
+                format!(
+                    "{:+.1} %",
+                    (run.events_per_sec / b.events_per_sec - 1.0) * 100.0
+                )
+            })
+            .unwrap_or_else(|| "—".into());
+        md.push_str(&format!(
+            "| {} | {} | {:.0} | {} |\n",
+            run.mode, run.threads, run.events_per_sec, delta
+        ));
+    }
+    if let (Some(seq), Some(wide)) = (
+        report.run_with_threads(1),
+        report.runs.iter().rfind(|r| r.threads > 1),
+    ) {
+        md.push_str(&format!(
+            "\nsharded({}) / sequential = **{:.2}x**\n",
+            wide.threads,
+            wide.events_per_sec / seq.events_per_sec
+        ));
+    }
+    use std::io::Write as _;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        let _ = writeln!(file, "{md}");
+    }
 }
 
 /// Operations per micro-benchmark repetition.
@@ -394,6 +525,37 @@ fn micro_phase(reps: usize) -> Vec<MicroReport> {
             let mut evicted = 0u64;
             for i in 0..MICRO_OPS {
                 evicted += u64::from(lru.insert(mix64(i)).is_some());
+            }
+            black_box(evicted);
+        }),
+    );
+
+    // SIEVE hit path: one map probe plus a relaxed visited-bit store —
+    // no list surgery, so this should undercut lru_touch.
+    let mut sieve = SieveCache::new(MICRO_KEYS as usize);
+    for i in 0..MICRO_KEYS {
+        sieve.insert(mix64(i));
+    }
+    record(
+        "sieve_touch",
+        best_ns(reps, MICRO_OPS, || {
+            let mut hits = 0u64;
+            for i in 0..MICRO_OPS {
+                hits += u64::from(sieve.touch(mix64(i & (MICRO_KEYS - 1))));
+            }
+            black_box(hits);
+        }),
+    );
+
+    // SIEVE allocation path: distinct keys through a full cache; every
+    // insert past warm-up walks the hand and evicts.
+    record(
+        "sieve_insert",
+        best_ns(reps, MICRO_OPS, || {
+            let mut sieve = SieveCache::new(MICRO_KEYS as usize);
+            let mut evicted = 0u64;
+            for i in 0..MICRO_OPS {
+                evicted += u64::from(sieve.insert(mix64(i)).is_some());
             }
             black_box(evicted);
         }),

@@ -17,6 +17,7 @@ pub mod extensions;
 pub mod policies;
 pub mod replay_json;
 pub mod sens;
+pub mod shadow;
 pub mod summary;
 pub mod workload;
 
@@ -25,7 +26,8 @@ use std::path::{Path, PathBuf};
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
 use sievestore_sim::{
-    ideal_top_selections, simulate_many, ReplayMode, SimConfig, SimResult, SnapshotLog,
+    ideal_top_selections, simulate_many, EvictionPolicy, ReplayMode, SimConfig, SimResult,
+    SnapshotLog,
 };
 use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
 use sievestore_types::SieveError;
@@ -90,6 +92,7 @@ pub struct Harness {
     trace: SyntheticTrace,
     results_dir: PathBuf,
     replay: ReplayMode,
+    eviction: EvictionPolicy,
     runs: Option<PolicyRuns>,
 }
 
@@ -108,6 +111,7 @@ impl Harness {
             trace: SyntheticTrace::new(config)?,
             results_dir: results_dir.as_ref().to_path_buf(),
             replay: ReplayMode::Sequential,
+            eviction: EvictionPolicy::default(),
             runs: None,
         })
     }
@@ -128,6 +132,22 @@ impl Harness {
     /// The replay mode simulations run with.
     pub fn replay_mode(&self) -> ReplayMode {
         self.replay
+    }
+
+    /// Switches the eviction policy the continuous caches replace with
+    /// (LRU by default, SIEVE's lock-free hit path as the alternative).
+    /// Discrete policies use the epoch-batch cache regardless. Clears
+    /// any cached runs.
+    #[must_use]
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self.runs = None;
+        self
+    }
+
+    /// The eviction policy simulations run with.
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
     }
 
     /// Creates a fast, small-scale harness (for tests and smoke runs).
@@ -209,8 +229,12 @@ impl Harness {
         let imct = imct_entries_for_scale(scale);
         let two_tier = TwoTierConfig::paper_default().with_imct_entries(imct);
 
-        let cfg16 = SimConfig::paper_16gb(scale).with_replay(self.replay);
-        let cfg32 = SimConfig::paper_32gb(scale).with_replay(self.replay);
+        let cfg16 = SimConfig::paper_16gb(scale)
+            .with_replay(self.replay)
+            .with_eviction(self.eviction);
+        let cfg32 = SimConfig::paper_32gb(scale)
+            .with_replay(self.replay)
+            .with_eviction(self.eviction);
 
         let group16 = simulate_many(
             &self.trace,

@@ -4,25 +4,20 @@
 //! RandSieve-C) all share one cache organization: fully associative over
 //! 512-byte frames with LRU replacement (§4). This implementation keeps a
 //! hash map from block key to slot plus an intrusive doubly-linked list
-//! threaded through a slab of slots, so `touch`, `insert` and `remove` are
-//! all O(1); a 16 GB cache is 33.5 M frames at full scale and ~130 K at the
-//! default 1/256 scale, both comfortably in memory.
+//! threaded through a slab of slots — the `FrameList` (`frames.rs`)
+//! bookkeeping shared with [`SieveCache`](crate::SieveCache) — so
+//! `touch`, `insert` and `remove` are all O(1); a 16 GB cache is 33.5 M
+//! frames at full scale and ~130 K at the default 1/256 scale, both
+//! comfortably in memory.
 //!
-//! The key→slot index is a [`U64Map`] — the workspace's open-addressing
-//! table — rather than `std::collections::HashMap`, because `touch` runs
-//! once per trace event and SipHash dominates the lookup at that rate.
+//! The key→slot index is a [`sievestore_types::U64Map`] — the workspace's
+//! open-addressing table — rather than `std::collections::HashMap`,
+//! because `touch` runs once per trace event and SipHash dominates the
+//! lookup at that rate.
 
-use sievestore_types::{obs_count, obs_gauge_adjust, U64Map};
+use sievestore_types::{obs_count, obs_gauge_adjust};
 
-/// Sentinel for "no slot".
-const NIL: u32 = u32::MAX;
-
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: u64,
-    prev: u32,
-    next: u32,
-}
+use crate::frames::{FrameList, IterFromHead, NIL};
 
 /// A fully-associative LRU cache over packed block keys.
 ///
@@ -40,14 +35,8 @@ struct Slot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LruCache {
-    capacity: usize,
-    map: U64Map<u32>,
-    slots: Vec<Slot>,
-    free: Vec<u32>,
-    /// Most-recently-used slot.
-    head: u32,
-    /// Least-recently-used slot.
-    tail: u32,
+    /// Head = most-recently-used, tail = least-recently-used.
+    frames: FrameList<()>,
 }
 
 impl LruCache {
@@ -57,88 +46,38 @@ impl LruCache {
     ///
     /// Panics if `capacity == 0` or exceeds `u32::MAX - 1` slots.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be nonzero");
-        assert!(
-            capacity < u32::MAX as usize,
-            "cache capacity exceeds slot index range"
-        );
         LruCache {
-            capacity,
-            // Sized to the real capacity: a full-scale 33.5M-frame cache
-            // must never rehash mid-replay (the old `min(1 << 20)` cap
-            // silently under-reserved above 1M frames).
-            map: U64Map::with_capacity(capacity),
-            slots: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            frames: FrameList::new(capacity),
         }
     }
 
     /// Maximum number of resident frames.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.frames.capacity()
     }
 
     /// Number of resident frames.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.frames.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.frames.is_empty()
     }
 
     /// Whether `key` is resident (does not affect recency).
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(key)
-    }
-
-    /// Unlinks a slot from the recency list.
-    fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let s = &self.slots[idx as usize];
-            (s.prev, s.next)
-        };
-        if prev != NIL {
-            self.slots[prev as usize].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next as usize].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-    }
-
-    /// Links a slot at the MRU head.
-    fn link_front(&mut self, idx: u32) {
-        let old_head = self.head;
-        {
-            let s = &mut self.slots[idx as usize];
-            s.prev = NIL;
-            s.next = old_head;
-        }
-        if old_head != NIL {
-            self.slots[old_head as usize].prev = idx;
-        } else {
-            self.tail = idx;
-        }
-        self.head = idx;
+        self.frames.contains(key)
     }
 
     /// Promotes `key` to MRU if resident; the uninstrumented core of
     /// [`touch`](LruCache::touch), shared with `insert` so internal
     /// promotions never count as accesses.
     fn promote(&mut self, key: u64) -> bool {
-        match self.map.get(key) {
-            Some(&idx) => {
-                if self.head != idx {
-                    self.unlink(idx);
-                    self.link_front(idx);
-                }
+        match self.frames.index_of(key) {
+            Some(idx) => {
+                self.frames.move_to_front(idx);
                 true
             }
             None => false,
@@ -164,14 +103,10 @@ impl LruCache {
         if self.promote(key) {
             return None;
         }
-        let evicted = if self.map.len() >= self.capacity {
-            let lru = self.tail;
+        let evicted = if self.frames.len() >= self.frames.capacity() {
+            let lru = self.frames.tail();
             debug_assert_ne!(lru, NIL, "full cache must have a tail");
-            let victim = self.slots[lru as usize].key;
-            self.unlink(lru);
-            self.map.remove(victim);
-            self.free.push(lru);
-            Some(victim)
+            Some(self.frames.release(lru))
         } else {
             None
         };
@@ -180,32 +115,15 @@ impl LruCache {
         } else {
             obs_gauge_adjust!(CacheResidentFrames, 1);
         }
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                self.slots[idx as usize].key = key;
-                idx
-            }
-            None => {
-                let idx = self.slots.len() as u32;
-                self.slots.push(Slot {
-                    key,
-                    prev: NIL,
-                    next: NIL,
-                });
-                idx
-            }
-        };
-        self.link_front(idx);
-        self.map.insert(key, idx);
+        self.frames.push_front(key, ());
         evicted
     }
 
     /// Removes `key`; returns whether it was resident.
     pub fn remove(&mut self, key: u64) -> bool {
-        match self.map.remove(key) {
+        match self.frames.index_of(key) {
             Some(idx) => {
-                self.unlink(idx);
-                self.free.push(idx);
+                self.frames.release(idx);
                 obs_gauge_adjust!(CacheResidentFrames, -1);
                 true
             }
@@ -215,29 +133,24 @@ impl LruCache {
 
     /// Evicts and returns the least-recently-used key, if any.
     pub fn pop_lru(&mut self) -> Option<u64> {
-        if self.tail == NIL {
+        if self.frames.tail() == NIL {
             return None;
         }
-        let key = self.slots[self.tail as usize].key;
+        let key = self.frames.slot(self.frames.tail()).key;
         self.remove(key);
         Some(key)
     }
 
     /// Drops every resident frame.
     pub fn clear(&mut self) {
-        obs_gauge_adjust!(CacheResidentFrames, -(self.map.len() as i64));
-        self.map.clear();
-        self.slots.clear();
-        self.free.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        obs_gauge_adjust!(CacheResidentFrames, -(self.frames.len() as i64));
+        self.frames.clear();
     }
 
     /// Iterates over resident keys from most- to least-recently used.
     pub fn iter_mru(&self) -> IterMru<'_> {
         IterMru {
-            cache: self,
-            next: self.head,
+            inner: self.frames.iter_from_head(),
         }
     }
 }
@@ -245,20 +158,14 @@ impl LruCache {
 /// Iterator over resident keys in MRU→LRU order, from [`LruCache::iter_mru`].
 #[derive(Debug)]
 pub struct IterMru<'a> {
-    cache: &'a LruCache,
-    next: u32,
+    inner: IterFromHead<'a, ()>,
 }
 
 impl Iterator for IterMru<'_> {
     type Item = u64;
 
     fn next(&mut self) -> Option<u64> {
-        if self.next == NIL {
-            return None;
-        }
-        let slot = &self.cache.slots[self.next as usize];
-        self.next = slot.next;
-        Some(slot.key)
+        self.inner.next()
     }
 }
 

@@ -28,7 +28,7 @@
 //! # }
 //! ```
 
-use sievestore_cache::{BatchCache, EpochTransition, LruCache};
+use sievestore_cache::{BatchCache, EpochTransition, EvictionPolicy, LruCache, SieveCache};
 use sievestore_sieve::TwoTierConfig;
 use sievestore_types::{Day, Micros, RequestKind, SieveError};
 
@@ -231,16 +231,18 @@ impl PolicySpec {
 pub struct SieveStoreBuilder {
     capacity_blocks: usize,
     policy: PolicySpec,
+    eviction: EvictionPolicy,
     sharding: Option<(usize, usize)>,
 }
 
 impl SieveStoreBuilder {
-    /// Starts a builder with a 16 GB-equivalent cache and SieveStore-C
-    /// paper defaults.
+    /// Starts a builder with a 16 GB-equivalent cache, SieveStore-C
+    /// paper defaults, and LRU eviction.
     pub fn new() -> Self {
         SieveStoreBuilder {
             capacity_blocks: sievestore_types::gib_to_blocks(16) as usize,
             policy: PolicySpec::SieveStoreC(TwoTierConfig::paper_default()),
+            eviction: EvictionPolicy::default(),
             sharding: None,
         }
     }
@@ -260,6 +262,15 @@ impl SieveStoreBuilder {
     #[must_use]
     pub fn policy(mut self, policy: PolicySpec) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the block-cache eviction policy for continuous allocation
+    /// policies (LRU by default, or SIEVE for the lock-free hit path).
+    /// Discrete policies use the epoch-batched cache regardless.
+    #[must_use]
+    pub fn eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
         self
     }
 
@@ -303,7 +314,10 @@ impl SieveStoreBuilder {
         let cache = if policy.is_discrete() {
             CacheKind::Batch(BatchCache::new(capacity))
         } else {
-            CacheKind::Lru(LruCache::new(capacity))
+            match self.eviction {
+                EvictionPolicy::Lru => CacheKind::Lru(LruCache::new(capacity)),
+                EvictionPolicy::Sieve => CacheKind::Sieve(SieveCache::new(capacity)),
+            }
         };
         Ok(SieveStore {
             cache,
@@ -322,6 +336,7 @@ impl Default for SieveStoreBuilder {
 #[derive(Debug)]
 enum CacheKind {
     Lru(LruCache),
+    Sieve(SieveCache),
     Batch(BatchCache),
 }
 
@@ -349,6 +364,7 @@ impl SieveStore {
         self.policy.on_access(key, kind, now);
         let hit = match &mut self.cache {
             CacheKind::Lru(c) => c.touch(key),
+            CacheKind::Sieve(c) => c.touch(key),
             CacheKind::Batch(c) => c.contains(key),
         };
         if hit {
@@ -369,6 +385,7 @@ impl SieveStore {
                 self.stats.allocation_writes += 1;
                 let evicted = match &mut self.cache {
                     CacheKind::Lru(c) => c.insert(key),
+                    CacheKind::Sieve(c) => c.insert(key),
                     // Discrete policies never reach here (they always
                     // bypass), but allocate-into-batch is well-defined:
                     // treat it as an epoch-local install.
@@ -392,7 +409,7 @@ impl SieveStore {
                 self.stats.allocation_writes += transition.allocated.len() as u64;
                 Some(transition)
             }
-            CacheKind::Lru(_) => None,
+            CacheKind::Lru(_) | CacheKind::Sieve(_) => None,
         }
     }
 
@@ -409,6 +426,13 @@ impl SieveStore {
     pub fn warm(&mut self, keys: impl IntoIterator<Item = u64>) {
         match &mut self.cache {
             CacheKind::Lru(c) => {
+                for key in keys {
+                    if !c.contains(key) {
+                        c.insert(key);
+                    }
+                }
+            }
+            CacheKind::Sieve(c) => {
                 for key in keys {
                     if !c.contains(key) {
                         c.insert(key);
@@ -435,6 +459,7 @@ impl SieveStore {
     pub fn capacity_blocks(&self) -> usize {
         match &self.cache {
             CacheKind::Lru(c) => c.capacity(),
+            CacheKind::Sieve(c) => c.capacity(),
             CacheKind::Batch(c) => c.capacity(),
         }
     }
@@ -443,6 +468,7 @@ impl SieveStore {
     pub fn len_blocks(&self) -> usize {
         match &self.cache {
             CacheKind::Lru(c) => c.len(),
+            CacheKind::Sieve(c) => c.len(),
             CacheKind::Batch(c) => c.len(),
         }
     }
@@ -451,6 +477,7 @@ impl SieveStore {
     pub fn contains(&self, key: u64) -> bool {
         match &self.cache {
             CacheKind::Lru(c) => c.contains(key),
+            CacheKind::Sieve(c) => c.contains(key),
             CacheKind::Batch(c) => c.contains(key),
         }
     }
@@ -596,6 +623,47 @@ mod tests {
             store.access(u64::MAX, RequestKind::Read, t()),
             AccessOutcome::Hit
         );
+    }
+
+    #[test]
+    fn sieve_eviction_appliance_hits_and_evicts() {
+        let mut store = SieveStoreBuilder::new()
+            .capacity_blocks(2)
+            .policy(PolicySpec::Aod)
+            .eviction(EvictionPolicy::Sieve)
+            .build()
+            .expect("valid appliance config");
+        assert_eq!(
+            store.access(1, RequestKind::Read, t()),
+            AccessOutcome::AllocatedMiss { evicted: None }
+        );
+        store.access(2, RequestKind::Read, t());
+        // Hit on 1 sets its visited bit; the hand then spares it and
+        // evicts 2 — LRU would have made the same call here, but via a
+        // list move instead of a bit flip.
+        assert_eq!(store.access(1, RequestKind::Read, t()), AccessOutcome::Hit);
+        assert_eq!(
+            store.access(3, RequestKind::Read, t()),
+            AccessOutcome::AllocatedMiss { evicted: Some(2) }
+        );
+        assert!(store.contains(1) && store.contains(3));
+        assert_eq!(store.stats().read_hits, 1);
+        // Day boundaries are still a no-op for continuous policies.
+        assert!(store.day_boundary(Day::new(1)).is_none());
+    }
+
+    #[test]
+    fn warm_restores_residency_under_sieve() {
+        let mut store = SieveStoreBuilder::new()
+            .capacity_blocks(4)
+            .policy(PolicySpec::Aod)
+            .eviction(EvictionPolicy::Sieve)
+            .build()
+            .unwrap();
+        store.warm([10, 11, 12]);
+        assert_eq!(store.len_blocks(), 3);
+        assert!(store.contains(10) && store.contains(11) && store.contains(12));
+        assert_eq!(store.stats().allocation_writes, 0);
     }
 
     #[test]

@@ -62,3 +62,4 @@ pub mod tuning;
 
 pub use appliance::{AccessOutcome, ApplianceStats, PolicySpec, SieveStore, SieveStoreBuilder};
 pub use policy::{AllocationPolicy, MissDecision};
+pub use sievestore_cache::EvictionPolicy;

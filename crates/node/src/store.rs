@@ -449,12 +449,19 @@ impl<B: BackingStore> DataCache<B> {
         }
         // A dirty frame is authoritative even when the policy calls the
         // access a miss (recovery can leave a dirty frame the policy did
-        // not re-admit): never serve the stale backing copy over it.
+        // not re-admit): never serve the stale backing copy over it, and
+        // if the read re-allocates, the frame must stay labelled dirty —
+        // journalling it AllocClean would let the next power cut drop
+        // the only copy of acked write-back data.
+        let mut still_dirty = false;
         let data = match self.frame_copy(key) {
-            Some(data) if self.dirty.contains(key) => data,
+            Some(data) if self.dirty.contains(key) => {
+                still_dirty = true;
+                data
+            }
             _ => self.backing.read_block(key)?,
         };
-        let result = self.apply_outcome(key, outcome, Some(&data), false)?;
+        let result = self.apply_outcome(key, outcome, Some(&data), still_dirty)?;
         Ok((data, result))
     }
 

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use crossbeam::thread;
 
-use sievestore::{PolicySpec, SieveStore, SieveStoreBuilder};
+use sievestore::{EvictionPolicy, PolicySpec, SieveStore, SieveStoreBuilder};
 use sievestore_ssd::{OccupancyTracker, SsdSpec};
 use sievestore_trace::SyntheticTrace;
 use sievestore_types::{Day, Request, SieveError, BLOCKS_PER_PAGE};
@@ -49,6 +49,10 @@ pub struct SimConfig {
     /// How the engine walks the trace: the sequential reference path or
     /// hash-partitioned sharded replay (see [`crate::replay`]).
     pub replay: ReplayMode,
+    /// Block-cache eviction policy for continuous allocation policies
+    /// (LRU by default, SIEVE for the lock-free hit path). Discrete
+    /// policies use the epoch-batched cache regardless.
+    pub eviction: EvictionPolicy,
 }
 
 impl SimConfig {
@@ -62,6 +66,7 @@ impl SimConfig {
             load_multiplier: scale_denominator as f64,
             charge_batch_moves: false,
             replay: ReplayMode::Sequential,
+            eviction: EvictionPolicy::default(),
         }
     }
 
@@ -93,6 +98,14 @@ impl SimConfig {
         self.replay = replay;
         self
     }
+
+    /// Selects the block-cache eviction policy for continuous allocation
+    /// policies.
+    #[must_use]
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
 }
 
 /// One policy's in-flight simulation state.
@@ -109,6 +122,7 @@ impl Run {
             store: SieveStoreBuilder::new()
                 .capacity_blocks(cfg.capacity_blocks)
                 .policy(spec)
+                .eviction(cfg.eviction)
                 .build()?,
             days: Vec::new(),
             occupancy: OccupancyTracker::new(cfg.ssd.clone(), total_minutes)

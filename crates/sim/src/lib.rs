@@ -48,5 +48,6 @@ pub use per_server::{
     CaptureSeries,
 };
 pub use replay::{simulate_server_sharded, simulate_sharded, ReplayMode, ReplayStats};
+pub use sievestore::EvictionPolicy;
 pub use snapshot::{DaySnapshot, SnapshotLog, SNAPSHOT_SCHEMA};
 pub use sweep::{threshold_sweep, window_sweep, SweepPoint};

@@ -22,14 +22,36 @@
 //!   whole sieve's, and the LRU capacity is split evenly. Day boundaries
 //!   are no-ops for these policies, so workers run barrier-free.
 //! * **Discrete policies** (SieveStore-D, RandSieve-BlkD, Ideal) keep
-//!   per-shard *bookkeeping* only (epoch access counts / accessed sets);
-//!   the epoch cache itself stays global. At each day boundary the
-//!   coordinator collects every shard's contribution, merges them into
-//!   the exact selection the sequential policy would produce (sorted
-//!   concatenation of disjoint sorted slices), installs it into the one
-//!   [`BatchCache`], and broadcasts the new resident set to the workers
-//!   as an `Arc` snapshot. The boundary is the only synchronization
-//!   point, so batch allocation and epoch rotation stay globally ordered.
+//!   per-shard bookkeeping (epoch access counts / accessed sets) *and* a
+//!   per-shard epoch cache: each worker owns a [`BatchCache`] holding
+//!   exactly its shard's slice of the global resident set. At each day
+//!   boundary the coordinator gathers every shard's contribution,
+//!   computes the selection the sequential policy would produce, and
+//!   hands each worker its hash-partition of it to install locally —
+//!   for SieveStore-D within capacity this is the contribution vectors
+//!   handed straight back, with no merge at all. Workers report their
+//!   install sizes on a side channel the coordinator drains after the
+//!   replay, so the boundary's only blocking step is the contribution
+//!   gather; there is no global cache, no global install, and no
+//!   per-day resident-set clone/broadcast. Because the per-shard
+//!   resident sets partition the global one, the summed
+//!   allocated/retained/evicted counts equal the sequential install's
+//!   exactly, and epoch rotation stays globally ordered.
+//!
+//! # Adaptive batching
+//!
+//! The coordinator streams groups in batches whose size adapts at run
+//! time (`BatchTuner`): each hot-path send samples the destination
+//! channel's occupancy — mostly-empty channels mean starving workers
+//! (the coordinator is the bottleneck), so batches grow to amortize the
+//! per-send overhead; mostly-full channels mean backpressure, so batches
+//! shrink toward the floor to keep day-boundary drains short. When the
+//! `obs` layer is live, day boundaries additionally consult the
+//! [`ReplayChannelWaitNanos`](sievestore_types::obs::HistId) and
+//! [`ReplayDayBarrierNanos`](sievestore_types::obs::HistId) histogram
+//! deltas for the same decision with real latency medians. Batch size
+//! never affects results — it only changes message granularity, never
+//! per-shard event order.
 //!
 //! # Determinism
 //!
@@ -142,20 +164,182 @@ struct Group {
 enum ToWorker {
     /// Replay these groups in order.
     Batch(Vec<Group>),
-    /// Day boundary: send the shard's epoch contribution, then await the
-    /// next `Snapshot` (discrete policies only).
+    /// Day boundary: send the shard's epoch contribution (discrete
+    /// policies only).
     Boundary,
-    /// The freshly installed global epoch residency (discrete only).
-    Snapshot(Arc<BatchCache>),
+    /// Install this shard's partition of the day's epoch selection into
+    /// the worker's local cache and report the install size (discrete
+    /// only).
+    Install(Day, Vec<u64>),
 }
 
-/// Groups buffered per shard before a channel send. Large enough that the
-/// channel round-trip amortizes to noise per event, small enough that a
-/// batch (~56 bytes/group header plus recycled block buffers) stays cheap
-/// to shuttle and the consumer pipeline stays busy.
-const BATCH_GROUPS: usize = 1024;
+/// Starting batch size: groups buffered per shard before a channel send.
+/// Large enough that the channel round-trip amortizes to noise per
+/// event, small enough that a batch (~56 bytes/group header plus
+/// recycled block buffers) stays cheap to shuttle and the consumer
+/// pipeline stays busy. [`BatchTuner`] adapts from here at run time.
+const START_GROUPS: usize = 1024;
+/// Smallest batch the tuner will shrink to.
+const MIN_GROUPS: usize = 128;
+/// Largest batch the tuner will grow to.
+const MAX_GROUPS: usize = 8192;
+/// Hot-path sends between occupancy-based retunes.
+const TUNE_WINDOW: u64 = 64;
 /// In-flight batches per worker channel (backpressure bound).
 const CHANNEL_DEPTH: usize = 8;
+
+/// A channel-wait median above this (100 µs) reads as "workers starve
+/// between batches" — grow the batch.
+const HIGH_WAIT_NS: u64 = 100_000;
+/// A day-barrier median above this (10 ms) with cheap channel waits
+/// reads as "boundary drains dominate" — shrink the batch.
+const HIGH_BARRIER_NS: u64 = 10_000_000;
+
+/// Run-time batch sizing off live backpressure signals.
+///
+/// Two inputs drive one knob (the group count per channel send):
+///
+/// * **Channel occupancy** (always on): each hot-path send samples how
+///   many batches sit unconsumed in the destination channel. A window
+///   of mostly-empty observations means the workers outrun the
+///   coordinator — per-send routing overhead is the bottleneck, so the
+///   batch doubles (up to [`MAX_GROUPS`]). Mostly-full means the
+///   channel is pushing back — halving (down to [`MIN_GROUPS`]) keeps
+///   less replay in flight and day-boundary drains short.
+/// * **Latency histograms** (when the obs layer records): at each day
+///   boundary the tuner takes the delta of the global
+///   `ReplayChannelWaitNanos` / `ReplayDayBarrierNanos` histograms since
+///   the previous boundary and applies the same policy to their
+///   medians: expensive channel waits grow the batch, expensive
+///   barriers with cheap waits shrink it.
+///
+/// Batch size only changes message granularity — per-shard event order,
+/// and therefore every simulated metric, is independent of it.
+#[derive(Debug)]
+struct BatchTuner {
+    groups: usize,
+    sends: u64,
+    empty: u64,
+    full: u64,
+    wait_seen: sievestore_types::obs::HistogramSnapshot,
+    barrier_seen: sievestore_types::obs::HistogramSnapshot,
+}
+
+impl BatchTuner {
+    fn new() -> Self {
+        use sievestore_types::obs;
+        // Baseline the global histograms so deltas cover this run only.
+        let (wait_seen, barrier_seen) = if obs_enabled!() {
+            let reg = obs::global();
+            (
+                reg.histogram(obs::HistId::ReplayChannelWaitNanos)
+                    .snapshot(),
+                reg.histogram(obs::HistId::ReplayDayBarrierNanos).snapshot(),
+            )
+        } else {
+            (
+                obs::HistogramSnapshot::empty(),
+                obs::HistogramSnapshot::empty(),
+            )
+        };
+        BatchTuner {
+            groups: START_GROUPS,
+            sends: 0,
+            empty: 0,
+            full: 0,
+            wait_seen,
+            barrier_seen,
+        }
+    }
+
+    /// The current batch size target.
+    fn target(&self) -> usize {
+        self.groups
+    }
+
+    /// Samples one hot-path send: `queued` is the destination channel's
+    /// occupancy just before the send.
+    fn observe_send(&mut self, queued: usize) {
+        self.sends += 1;
+        if queued == 0 {
+            self.empty += 1;
+        } else if queued >= CHANNEL_DEPTH - 1 {
+            self.full += 1;
+        }
+        if self.sends >= TUNE_WINDOW {
+            if self.empty * 2 >= self.sends {
+                self.grow();
+            } else if self.full * 2 >= self.sends {
+                self.shrink();
+            }
+            self.sends = 0;
+            self.empty = 0;
+            self.full = 0;
+        }
+    }
+
+    /// Consults the obs layer's latency histograms at a day boundary
+    /// (no-op unless recording is live).
+    fn observe_day_boundary(&mut self) {
+        use sievestore_types::obs;
+        if !obs_enabled!() {
+            return;
+        }
+        let reg = obs::global();
+        let wait = reg
+            .histogram(obs::HistId::ReplayChannelWaitNanos)
+            .snapshot();
+        let barrier = reg.histogram(obs::HistId::ReplayDayBarrierNanos).snapshot();
+        let wait_delta = Self::delta(&wait, &self.wait_seen);
+        let barrier_delta = Self::delta(&barrier, &self.barrier_seen);
+        self.wait_seen = wait;
+        self.barrier_seen = barrier;
+        self.retune_from_latency(&wait_delta, &barrier_delta);
+    }
+
+    /// The decision core, separated from the global registry for direct
+    /// testing: medians of the *per-day* latency deltas pick a direction.
+    fn retune_from_latency(
+        &mut self,
+        wait: &sievestore_types::obs::HistogramSnapshot,
+        barrier: &sievestore_types::obs::HistogramSnapshot,
+    ) {
+        let wait_median = wait.quantile_floor(0.5);
+        match wait_median {
+            Some(w) if w >= HIGH_WAIT_NS => self.grow(),
+            _ => {
+                if barrier.quantile_floor(0.5) >= Some(HIGH_BARRIER_NS)
+                    && wait_median.unwrap_or(0) < HIGH_WAIT_NS
+                {
+                    self.shrink();
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        self.groups = (self.groups * 2).min(MAX_GROUPS);
+    }
+
+    fn shrink(&mut self) {
+        self.groups = (self.groups / 2).max(MIN_GROUPS);
+    }
+
+    fn delta(
+        current: &sievestore_types::obs::HistogramSnapshot,
+        previous: &sievestore_types::obs::HistogramSnapshot,
+    ) -> sievestore_types::obs::HistogramSnapshot {
+        let mut d = sievestore_types::obs::HistogramSnapshot::empty();
+        for (out, (cur, prev)) in d
+            .buckets
+            .iter_mut()
+            .zip(current.buckets.iter().zip(&previous.buckets))
+        {
+            *out = cur.saturating_sub(*prev);
+        }
+        d
+    }
+}
 
 /// Buffer-recycling protocol: workers return every processed batch here
 /// (groups cleared, `Vec` capacities intact) and the coordinator reuses
@@ -262,14 +446,35 @@ enum BatchPlan {
 }
 
 impl BatchPlan {
-    fn select(&mut self, day: Day, contributions: Vec<Vec<u64>>) -> Vec<u64> {
+    /// The day's epoch selection, already split into per-shard installs.
+    ///
+    /// `contributions[s]` is shard `s`'s (sorted, duplicate-free, hash-
+    /// disjoint) epoch contribution. The returned partition is exactly
+    /// what the sequential policy's global `install_epoch` would keep —
+    /// same dedupe, same in-order truncation at `capacity` — restricted
+    /// to each shard's key ownership, so per-shard installs sum to the
+    /// global transition (see module docs).
+    fn select_sharded(
+        &mut self,
+        day: Day,
+        contributions: Vec<Vec<u64>>,
+        shards: usize,
+        capacity: usize,
+    ) -> Vec<Vec<u64>> {
         match self {
             BatchPlan::SieveD => {
-                // Shards hold disjoint keys, each sorted; the sequential
-                // sieve returns the full sorted list.
-                let mut all: Vec<u64> = contributions.into_iter().flatten().collect();
-                all.sort_unstable();
-                all
+                let total: usize = contributions.iter().map(Vec::len).sum();
+                if total <= capacity {
+                    // The sequential sieve would select the full sorted
+                    // concatenation and nothing would be truncated, so
+                    // the contributions are already the partition — the
+                    // common case costs no merge at all.
+                    contributions
+                } else {
+                    let mut all: Vec<u64> = contributions.into_iter().flatten().collect();
+                    all.sort_unstable();
+                    partition_selection(all, shards, capacity)
+                }
             }
             BatchPlan::BlkD {
                 fraction,
@@ -279,21 +484,56 @@ impl BatchPlan {
                 let mut accessed: Vec<u64> = contributions.into_iter().flatten().collect();
                 accessed.sort_unstable();
                 *epoch += 1;
-                random_block_selection(accessed.into_iter(), *fraction, *seed ^ *epoch)
+                let selection =
+                    random_block_selection(accessed.into_iter(), *fraction, *seed ^ *epoch);
+                partition_selection(selection, shards, capacity)
             }
-            BatchPlan::Ideal { selections } => {
-                selections.get(day.as_usize()).cloned().unwrap_or_default()
-            }
+            BatchPlan::Ideal { selections } => partition_selection(
+                selections.get(day.as_usize()).cloned().unwrap_or_default(),
+                shards,
+                capacity,
+            ),
         }
     }
+}
+
+/// Splits a global epoch selection into per-shard install lists,
+/// replicating [`BatchCache::install_epoch`]'s semantics: duplicates are
+/// kept once, and selection beyond `capacity` distinct keys is dropped
+/// in iteration order. Installing `parts[s]` into shard `s`'s cache is
+/// then exactly the global install restricted to that shard.
+fn partition_selection(
+    keys: impl IntoIterator<Item = u64>,
+    shards: usize,
+    capacity: usize,
+) -> Vec<Vec<u64>> {
+    let mut parts: Vec<Vec<u64>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut seen = U64Set::new();
+    for key in keys {
+        if seen.len() >= capacity {
+            break;
+        }
+        if !seen.insert(key) {
+            continue;
+        }
+        parts[shard_of(key, shards)].push(key);
+    }
+    parts
 }
 
 enum WorkerKind {
     Continuous(SieveStore),
     Discrete {
+        shard: usize,
         book: DiscreteBook,
-        resident: Arc<BatchCache>,
-        contribute: Sender<Vec<u64>>,
+        /// This shard's slice of the global resident set. Sized to the
+        /// full logical capacity so a partitioned install (≤ capacity
+        /// keys in total across all shards) can never locally truncate.
+        resident: BatchCache,
+        contribute: Sender<(usize, Vec<u64>)>,
+        /// `(day, blocks installed)` reports, drained by the coordinator
+        /// after the replay — it never blocks on them.
+        moved: Sender<(Day, u64)>,
     },
 }
 
@@ -347,17 +587,27 @@ impl Worker {
                 }
                 ToWorker::Boundary => {
                     if let WorkerKind::Discrete {
-                        book, contribute, ..
+                        shard,
+                        book,
+                        contribute,
+                        ..
                     } = &mut self.kind
                     {
                         contribute
-                            .send(book.contribution())
+                            .send((*shard, book.contribution()))
                             .expect("coordinator outlives workers");
                     }
                 }
-                ToWorker::Snapshot(cache) => {
-                    if let WorkerKind::Discrete { resident, .. } = &mut self.kind {
-                        *resident = cache;
+                ToWorker::Install(day, selection) => {
+                    if let WorkerKind::Discrete {
+                        resident, moved, ..
+                    } = &mut self.kind
+                    {
+                        let transition = resident.install_epoch(selection);
+                        // The coordinator drains these after the replay;
+                        // it may already have stopped listening if a
+                        // sibling worker panicked.
+                        let _ = moved.send((day, transition.allocated.len() as u64));
                     }
                 }
             }
@@ -468,63 +718,60 @@ fn run_sharded(
             .with_load_multiplier(cfg.load_multiplier)
     };
 
-    // Coordinator-side discrete state: the global epoch cache and the
-    // selection plan. `None` for continuous policies.
-    let mut batch: Option<(BatchCache, BatchPlan)> = match &spec {
+    // Coordinator-side discrete state: the epoch selection plan. The
+    // epoch caches themselves live on the workers, one hash-partition
+    // each. `None` for continuous policies.
+    let mut plan: Option<BatchPlan> = match &spec {
         PolicySpec::SieveStoreD { threshold } => {
             // Validate exactly as the sequential builder would.
             DiscreteSieve::new(InMemoryCounter::new(), *threshold)?;
-            Some((BatchCache::new(cfg.capacity_blocks), BatchPlan::SieveD))
+            Some(BatchPlan::SieveD)
         }
         PolicySpec::RandSieveBlkD { fraction, seed } => {
             RandSieveBlkD::new(*fraction, *seed)?;
-            Some((
-                BatchCache::new(cfg.capacity_blocks),
-                BatchPlan::BlkD {
-                    fraction: *fraction,
-                    seed: *seed,
-                    epoch: 0,
-                },
-            ))
+            Some(BatchPlan::BlkD {
+                fraction: *fraction,
+                seed: *seed,
+                epoch: 0,
+            })
         }
-        PolicySpec::IdealTop1 { selections } => Some((
-            BatchCache::new(cfg.capacity_blocks),
-            BatchPlan::Ideal {
-                selections: selections.clone(),
-            },
-        )),
+        PolicySpec::IdealTop1 { selections } => Some(BatchPlan::Ideal {
+            selections: selections.clone(),
+        }),
         _ => None,
     };
 
-    let (contrib_tx, contrib_rx) = channel::unbounded::<Vec<u64>>();
+    let (contrib_tx, contrib_rx) = channel::unbounded::<(usize, Vec<u64>)>();
+    let (moved_tx, moved_rx) = channel::unbounded::<(Day, u64)>();
     let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<Group>>();
     let mut workers = Vec::with_capacity(shards);
     let mut senders = Vec::with_capacity(shards);
     let mut receivers = Vec::with_capacity(shards);
     for s in 0..shards {
-        let kind = match (&spec, &batch) {
-            (_, None) => WorkerKind::Continuous(
+        let kind = if plan.is_none() {
+            WorkerKind::Continuous(
                 SieveStoreBuilder::new()
                     .capacity_blocks(cfg.capacity_blocks)
                     .policy(spec.clone())
+                    .eviction(cfg.eviction)
                     .shard(s, shards)
                     .build()?,
-            ),
-            (PolicySpec::SieveStoreD { threshold }, Some((cache, _))) => WorkerKind::Discrete {
-                book: DiscreteBook::SieveD(DiscreteSieve::new(InMemoryCounter::new(), *threshold)?),
-                resident: Arc::new(cache.clone()),
+            )
+        } else {
+            let book = match &spec {
+                PolicySpec::SieveStoreD { threshold } => {
+                    DiscreteBook::SieveD(DiscreteSieve::new(InMemoryCounter::new(), *threshold)?)
+                }
+                PolicySpec::RandSieveBlkD { .. } => DiscreteBook::BlkD(U64Set::new()),
+                _ => DiscreteBook::Ideal,
+            };
+            WorkerKind::Discrete {
+                shard: s,
+                book,
+                resident: BatchCache::new(cfg.capacity_blocks),
                 contribute: contrib_tx.clone(),
-            },
-            (PolicySpec::RandSieveBlkD { .. }, Some((cache, _))) => WorkerKind::Discrete {
-                book: DiscreteBook::BlkD(U64Set::new()),
-                resident: Arc::new(cache.clone()),
-                contribute: contrib_tx.clone(),
-            },
-            (_, Some((cache, _))) => WorkerKind::Discrete {
-                book: DiscreteBook::Ideal,
-                resident: Arc::new(cache.clone()),
-                contribute: contrib_tx.clone(),
-            },
+                moved: moved_tx.clone(),
+            }
         };
         workers.push(Worker {
             kind,
@@ -537,11 +784,13 @@ fn run_sharded(
         receivers.push(rx);
     }
     drop(contrib_tx);
+    drop(moved_tx);
     drop(recycle_tx);
 
-    // Coordinator-side metrics (batch installs only).
-    let mut coord_days: Vec<DayMetrics> = Vec::new();
-    let mut coord_occ = fresh_tracker();
+    // Coordinator-side metrics (filled in from the workers' install
+    // reports once the scope joins).
+    let coord_days: Vec<DayMetrics> = Vec::new();
+    let coord_occ = fresh_tracker();
     let mut per_shard_blocks = vec![0u64; shards];
 
     let scope_result = thread::scope(|scope| {
@@ -554,6 +803,7 @@ fn run_sharded(
         let mut pending: Vec<Vec<Group>> = (0..shards).map(|_| Vec::new()).collect();
         let mut scratch: Vec<Vec<(u64, Micros)>> = (0..shards).map(|_| Vec::new()).collect();
         let mut pool = BufferPool::new(recycle_rx);
+        let mut tuner = BatchTuner::new();
         let send = |tx: &Sender<ToWorker>, msg: ToWorker| {
             tx.send(msg).expect("replay worker stopped early");
         };
@@ -561,11 +811,14 @@ fn run_sharded(
         for d in 0..trace.days() {
             let day = Day::new(d);
             obs_count!(ReplayDayBoundaries, 1);
-            if let Some((cache, plan)) = batch.as_mut() {
+            tuner.observe_day_boundary();
+            if let Some(plan) = plan.as_mut() {
                 let barrier_started = obs_enabled!().then(std::time::Instant::now);
-                // Boundary barrier: drain in-flight work, gather every
-                // shard's epoch contribution, install the merged
-                // selection globally, broadcast the new residency.
+                // Boundary barrier: drain in-flight work and gather every
+                // shard's epoch contribution — the gather is the only
+                // blocking step. Each worker then installs its partition
+                // of the merged selection into its own epoch cache and
+                // reports the install size asynchronously.
                 for (tx, groups) in senders.iter().zip(&mut pending) {
                     if !groups.is_empty() {
                         obs_count!(ReplayBatchesSent, 1);
@@ -573,31 +826,14 @@ fn run_sharded(
                     }
                     send(tx, ToWorker::Boundary);
                 }
-                let contributions: Vec<Vec<u64>> = (0..shards)
-                    .map(|_| contrib_rx.recv().expect("all shards contribute"))
-                    .collect();
-                let selection = plan.select(day, contributions);
-                let transition = cache.install_epoch(selection);
-                let moved = transition.allocated.len() as u64;
-                day_slot(&mut coord_days, day).batch_allocations = moved;
-                if cfg.charge_batch_moves && moved > 0 {
-                    // Spread the moves evenly over the first hour of the
-                    // day, exactly as the sequential engine does.
-                    let pages = moved.div_ceil(BLOCKS_PER_PAGE as u64);
-                    let start = day.start().minute();
-                    let per_minute = pages.div_ceil(60);
-                    for m in 0..60u32 {
-                        let minute = Minute::new(start.index() + m);
-                        let chunk = per_minute.min(pages.saturating_sub(per_minute * m as u64));
-                        if chunk == 0 {
-                            break;
-                        }
-                        coord_occ.record_write_pages(minute, chunk);
-                    }
+                let mut contributions: Vec<Vec<u64>> = (0..shards).map(|_| Vec::new()).collect();
+                for _ in 0..shards {
+                    let (shard, contribution) = contrib_rx.recv().expect("all shards contribute");
+                    contributions[shard] = contribution;
                 }
-                let snapshot = Arc::new(cache.clone());
-                for tx in &senders {
-                    send(tx, ToWorker::Snapshot(snapshot.clone()));
+                let parts = plan.select_sharded(day, contributions, shards, cfg.capacity_blocks);
+                for (tx, part) in senders.iter().zip(parts) {
+                    send(tx, ToWorker::Install(day, part));
                 }
                 if let Some(started) = barrier_started {
                     obs_observe!(ReplayDayBarrierNanos, started.elapsed().as_nanos() as u64);
@@ -623,9 +859,10 @@ fn run_sharded(
                     let mut group = pool.group(day, req);
                     std::mem::swap(&mut group.blocks, &mut scratch[s]);
                     pending[s].push(group);
-                    if pending[s].len() >= BATCH_GROUPS {
+                    if pending[s].len() >= tuner.target() {
                         let replacement = pool.batch();
                         obs_count!(ReplayBatchesSent, 1);
+                        tuner.observe_send(senders[s].len());
                         send(
                             &senders[s],
                             ToWorker::Batch(std::mem::replace(&mut pending[s], replacement)),
@@ -652,6 +889,39 @@ fn run_sharded(
 
     let mut days = coord_days;
     let mut occupancy = coord_occ;
+    // Workers have joined, so every per-shard install report is queued.
+    // Sum them per day and account exactly as the sequential engine
+    // does: the day's batch_allocations plus (optionally) the moved
+    // pages spread over the boundary hour — total first, then one
+    // page-rounding, so the occupancy series matches the sequential
+    // charge at any shard count.
+    let mut moved_by_day: Vec<u64> = Vec::new();
+    while let Ok((day, moved)) = moved_rx.try_recv() {
+        let idx = day.as_usize();
+        if idx >= moved_by_day.len() {
+            moved_by_day.resize(idx + 1, 0);
+        }
+        moved_by_day[idx] += moved;
+    }
+    for (idx, &moved) in moved_by_day.iter().enumerate() {
+        let day = Day::new(idx as u16);
+        day_slot(&mut days, day).batch_allocations = moved;
+        if cfg.charge_batch_moves && moved > 0 {
+            // Spread the moves evenly over the first hour of the day,
+            // exactly as the sequential engine does.
+            let pages = moved.div_ceil(BLOCKS_PER_PAGE as u64);
+            let start = day.start().minute();
+            let per_minute = pages.div_ceil(60);
+            for m in 0..60u32 {
+                let minute = Minute::new(start.index() + m);
+                let chunk = per_minute.min(pages.saturating_sub(per_minute * m as u64));
+                if chunk == 0 {
+                    break;
+                }
+                occupancy.record_write_pages(minute, chunk);
+            }
+        }
+    }
     for (shard_days, shard_occ) in shard_results {
         if shard_days.len() > days.len() {
             days.resize(shard_days.len(), DayMetrics::default());
@@ -781,6 +1051,96 @@ mod tests {
         let seq = crate::engine::simulate_server(&trace, 0, PolicySpec::Wmna, &c).unwrap();
         let (sharded, _) = simulate_server_sharded(&trace, 0, PolicySpec::Wmna, &c, 4).unwrap();
         assert_eq!(seq.days, sharded.days);
+    }
+
+    #[test]
+    fn partition_selection_matches_a_global_install() {
+        // Duplicates plus more distinct keys than capacity: the
+        // partition must keep exactly what one global `install_epoch`
+        // would — same dedupe, same in-order truncation.
+        let capacity = 8;
+        let shards = 3;
+        let selection: Vec<u64> = vec![5, 9, 5, 1, 14, 2, 2, 7, 21, 33, 8, 40, 41, 42];
+        let mut global = BatchCache::new(capacity);
+        let global_install = global.install_epoch(selection.clone());
+
+        let parts = partition_selection(selection, shards, capacity);
+        assert_eq!(parts.len(), shards);
+        let mut installed: Vec<u64> = Vec::new();
+        for (s, part) in parts.into_iter().enumerate() {
+            for &key in &part {
+                assert_eq!(shard_of(key, shards), s, "key {key} routed wrong");
+            }
+            // Full logical capacity, as in the sharded engine: local
+            // installs never truncate.
+            let mut local = BatchCache::new(capacity);
+            installed.extend(local.install_epoch(part).allocated);
+        }
+        installed.sort_unstable();
+        let mut expected = global_install.allocated.clone();
+        expected.sort_unstable();
+        assert_eq!(installed, expected);
+        assert_eq!(installed.len(), capacity);
+    }
+
+    #[test]
+    fn tuner_grows_on_empty_channels_and_clamps_at_max() {
+        let mut tuner = BatchTuner::new();
+        assert_eq!(tuner.target(), START_GROUPS);
+        for _ in 0..TUNE_WINDOW {
+            tuner.observe_send(0);
+        }
+        assert_eq!(tuner.target(), START_GROUPS * 2);
+        for _ in 0..10 * TUNE_WINDOW {
+            tuner.observe_send(0);
+        }
+        assert_eq!(tuner.target(), MAX_GROUPS);
+    }
+
+    #[test]
+    fn tuner_shrinks_on_full_channels_and_clamps_at_min() {
+        let mut tuner = BatchTuner::new();
+        for _ in 0..10 * TUNE_WINDOW {
+            tuner.observe_send(CHANNEL_DEPTH - 1);
+        }
+        assert_eq!(tuner.target(), MIN_GROUPS);
+    }
+
+    #[test]
+    fn tuner_holds_steady_on_mixed_occupancy() {
+        let mut tuner = BatchTuner::new();
+        for i in 0..TUNE_WINDOW {
+            // Neither mostly-empty nor mostly-full.
+            tuner.observe_send(if i % 4 == 0 { 0 } else { 2 });
+        }
+        assert_eq!(tuner.target(), START_GROUPS);
+    }
+
+    #[test]
+    fn tuner_latency_deltas_steer_batch_size() {
+        use sievestore_types::obs::HistogramSnapshot;
+        let mut tuner = BatchTuner::new();
+        let quiet = HistogramSnapshot::empty();
+
+        // Expensive channel waits (median 2^17 ns ≥ HIGH_WAIT_NS):
+        // workers starve between batches, so the batch grows.
+        let mut slow_wait = HistogramSnapshot::empty();
+        slow_wait.buckets[18] = 100;
+        tuner.retune_from_latency(&slow_wait, &quiet);
+        assert_eq!(tuner.target(), START_GROUPS * 2);
+
+        // Expensive barriers (median 2^24 ns ≥ HIGH_BARRIER_NS) while
+        // waits stay cheap: boundary drains dominate, so it shrinks.
+        let mut cheap_wait = HistogramSnapshot::empty();
+        cheap_wait.buckets[4] = 100;
+        let mut slow_barrier = HistogramSnapshot::empty();
+        slow_barrier.buckets[25] = 10;
+        tuner.retune_from_latency(&cheap_wait, &slow_barrier);
+        assert_eq!(tuner.target(), START_GROUPS);
+
+        // No samples this day: hold position.
+        tuner.retune_from_latency(&quiet, &quiet);
+        assert_eq!(tuner.target(), START_GROUPS);
     }
 
     #[test]

@@ -56,13 +56,18 @@ pub mod thread {
 
 /// MPSC channels (the `crossbeam::channel` module surface).
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
     /// The sending half of a channel. Cloneable; all clones feed the same
     /// receiver.
-    pub struct Sender<T>(SenderKind<T>);
+    pub struct Sender<T> {
+        inner: SenderKind<T>,
+        queued: Arc<AtomicUsize>,
+    }
 
     enum SenderKind<T> {
         Unbounded(mpsc::Sender<T>),
@@ -71,10 +76,13 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(match &self.0 {
-                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
-                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
-            })
+            Sender {
+                inner: match &self.inner {
+                    SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+                    SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                },
+                queued: Arc::clone(&self.queued),
+            }
         }
     }
 
@@ -85,17 +93,42 @@ pub mod channel {
         ///
         /// Returns the value back if the receiving half was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.0 {
+            match &self.inner {
                 SenderKind::Unbounded(s) => s.send(value),
                 SenderKind::Bounded(s) => s.send(value),
-            }
+            }?;
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+
+        /// The number of messages currently queued in the channel
+        /// (crossbeam's `Sender::len`). A racy snapshot, like the
+        /// original: the receiver may drain concurrently.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Relaxed)
+        }
+
+        /// Whether the channel holds no queued messages right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// The receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+        queued: Arc<AtomicUsize>,
+    }
 
     impl<T> Receiver<T> {
+        fn note_taken(&self) {
+            // Saturating at zero: a send's increment may land after the
+            // matched receive on another thread observes the value.
+            let _ = self
+                .queued
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+        }
+
         /// Blocks until a value arrives.
         ///
         /// # Errors
@@ -103,7 +136,9 @@ pub mod channel {
         /// Returns [`RecvError`] once every sender is dropped and the
         /// channel is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let value = self.inner.recv()?;
+            self.note_taken();
+            Ok(value)
         }
 
         /// Returns a pending value without blocking.
@@ -114,26 +149,42 @@ pub mod channel {
         /// [`TryRecvError::Disconnected`] once every sender is dropped
         /// and the channel is drained.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let value = self.inner.try_recv()?;
+            self.note_taken();
+            Ok(value)
         }
 
         /// Iterates over received values until the channel closes.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
         }
     }
 
     /// Creates a channel with no capacity bound.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: SenderKind::Unbounded(tx),
+                queued: Arc::clone(&queued),
+            },
+            Receiver { inner: rx, queued },
+        )
     }
 
     /// Creates a channel that holds at most `cap` in-flight values;
     /// senders block when it is full (backpressure).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: SenderKind::Bounded(tx),
+                queued: Arc::clone(&queued),
+            },
+            Receiver { inner: rx, queued },
+        )
     }
 }
 
@@ -193,6 +244,23 @@ mod tests {
             assert_eq!(got, (0..100).collect::<Vec<_>>());
         })
         .expect("no panics");
+    }
+
+    #[test]
+    fn sender_len_tracks_queue_depth() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        assert_eq!(tx.len(), 0);
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.clone().len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.len(), 1);
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(tx.len(), 0);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(tx.len(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
-use sievestore_sim::{simulate, simulate_sharded, SimConfig, SimResult};
+use sievestore_sim::{simulate, simulate_sharded, EvictionPolicy, SimConfig, SimResult};
 use sievestore_trace::{EnsembleConfig, SyntheticTrace};
 
 const SEED: u64 = 0xD1FF_5EED;
@@ -71,6 +71,15 @@ const GOLDEN_WMNA: u64 = 0xa69c_8c6c_8e39_07bd;
 const GOLDEN_SIEVESTORE_C: u64 = 0xf5f1_1ea1_0c21_c434;
 const GOLDEN_SIEVESTORE_D: u64 = 0x934c_f200_27c3_78e3;
 
+/// Digests of the same trace with the continuous caches replacing via
+/// SIEVE instead of LRU, captured when the policy landed. They pin two
+/// things at once: SIEVE's replacement behaviour (visited-bit sparing,
+/// hand order) against accidental drift, and — because they differ from
+/// the LRU goldens above — that the `eviction` knob actually reaches the
+/// appliance.
+const GOLDEN_AOD_SIEVE: u64 = 0x7148_30a9_aa5a_5061;
+const GOLDEN_WMNA_SIEVE: u64 = 0x60f8_770e_c435_daf3;
+
 #[test]
 fn refactored_structures_reproduce_prerefactor_metrics() {
     let t = trace();
@@ -82,6 +91,33 @@ fn refactored_structures_reproduce_prerefactor_metrics() {
             got, golden,
             "{name}: day-metrics digest {got:#018x} diverged from the \
              pre-refactor golden {golden:#018x}"
+        );
+    }
+}
+
+#[test]
+fn sieve_eviction_reproduces_its_own_goldens_and_differs_from_lru() {
+    // LRU-vs-SIEVE golden runs: each eviction policy lands on its own
+    // pinned digest. The 16K-block cache is under real pressure on this
+    // trace, so if the SIEVE path silently fell back to LRU (or vice
+    // versa) the digests would collide with the wrong column.
+    let t = trace();
+    let c = cfg(&t).with_eviction(EvictionPolicy::Sieve);
+    for (spec, name, golden, lru_golden) in [
+        (PolicySpec::Aod, "AOD", GOLDEN_AOD_SIEVE, GOLDEN_AOD),
+        (PolicySpec::Wmna, "WMNA", GOLDEN_WMNA_SIEVE, GOLDEN_WMNA),
+    ] {
+        let result = simulate(&t, spec, &c).expect("simulation runs");
+        let got = digest(&result);
+        assert_eq!(
+            got, golden,
+            "{name} under SIEVE: digest {got:#018x} diverged from the \
+             pinned golden {golden:#018x}"
+        );
+        assert_ne!(
+            got, lru_golden,
+            "{name}: SIEVE digest collided with the LRU golden — the \
+             eviction knob is not reaching the appliance"
         );
     }
 }

@@ -5,6 +5,7 @@
 use sievestore::PolicySpec;
 use sievestore_node::durable::{DurableMediaSet, DurableStore, MemMedia};
 use sievestore_node::{DataCache, MemBacking, WritePolicy};
+use sievestore_types::Micros;
 
 fn block(fill: u8) -> [u8; 512] {
     [fill; 512]
@@ -32,21 +33,23 @@ fn read_alloc_must_not_relabel_recovered_dirty_frame_as_clean() {
     .unwrap();
     let mut c = c.with_write_policy(WritePolicy::WriteBack);
     for k in 0..6u64 {
-        c.write(k, &block(k as u8 + 1), k).unwrap();
+        c.write(k, &block(k as u8 + 1), Micros::from_secs(k))
+            .unwrap();
     }
     assert_eq!(c.dirty_blocks(), 6);
 
     // Incarnation 2: recover into a smaller cache (capacity 2) so the
     // policy cannot re-admit every dirty frame.
     let media = media_from(&c);
-    let (c2, report) = DataCache::new_durable(MemBacking::new(), PolicySpec::Aod, 2, media).unwrap();
+    let (c2, report) =
+        DataCache::new_durable(MemBacking::new(), PolicySpec::Aod, 2, media).unwrap();
     let mut c2 = c2.with_write_policy(WritePolicy::WriteBack);
     assert_eq!(report.recovered, 6, "all dirty frames kept after crash");
     assert_eq!(c2.dirty_blocks(), 6);
 
     // Read a non-readmitted dirty key: served correctly from the dirty
     // frame...
-    let (data, _) = c2.read(0, 100).unwrap();
+    let (data, _) = c2.read(0, Micros::from_secs(100)).unwrap();
     assert_eq!(data, block(1));
     assert!(c2.dirty_blocks() >= 1, "key 0 still dirty in memory");
 

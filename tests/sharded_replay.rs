@@ -13,7 +13,8 @@ use proptest::prelude::*;
 use sievestore::PolicySpec;
 use sievestore_sieve::TwoTierConfig;
 use sievestore_sim::{
-    simulate, simulate_sharded, simulate_with_snapshots, ReplayMode, SimConfig, SnapshotLog,
+    simulate, simulate_sharded, simulate_with_snapshots, EvictionPolicy, ReplayMode, SimConfig,
+    SnapshotLog,
 };
 use sievestore_trace::{EnsembleConfig, SyntheticTrace};
 
@@ -122,6 +123,100 @@ fn day_snapshot_jsonl_is_byte_identical_across_shard_counts() {
             "snapshot bytes diverged at {shards} shards"
         );
     }
+}
+
+/// The shard counts the ISSUE's SIEVE acceptance criteria pin.
+const SIEVE_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn sieve_eviction_is_shard_count_invariant_with_ample_capacity() {
+    // Same contract as the LRU-backed continuous policies: with SIEVE as
+    // the replacement policy, the no-eviction regime is byte-identical
+    // at any shard count, and one shard is identical unconditionally.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(131)).unwrap();
+    for spec in [
+        PolicySpec::Aod,
+        PolicySpec::Wmna,
+        PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 12)),
+    ] {
+        let base = cfg(&trace, AMPLE_CAPACITY).with_eviction(EvictionPolicy::Sieve);
+        let sequential = simulate(&trace, spec.clone(), &base).expect("sequential run");
+        for shards in SIEVE_SHARD_COUNTS {
+            let (sharded, stats) =
+                simulate_sharded(&trace, spec.clone(), &base, shards).expect("sharded run");
+            assert_eq!(
+                sequential.days, sharded.days,
+                "{spec:?} under SIEVE diverged at {shards} shards"
+            );
+            assert_eq!(stats.total_blocks(), sequential.total().accesses());
+        }
+    }
+}
+
+#[test]
+fn sieve_eviction_matches_sequential_at_one_shard_under_pressure() {
+    // One shard is the sequential semantics regardless of eviction
+    // pressure: a small cache forces the SIEVE hand to actually evict,
+    // and the single-worker sharded run must still match byte-for-byte.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(137)).unwrap();
+    let base = cfg(&trace, 2_048).with_eviction(EvictionPolicy::Sieve);
+    for spec in [PolicySpec::Aod, PolicySpec::Wmna] {
+        let sequential = simulate(&trace, spec.clone(), &base).expect("sequential run");
+        let (sharded, _) = simulate_sharded(&trace, spec.clone(), &base, 1).expect("sharded run");
+        assert_eq!(
+            sequential.days, sharded.days,
+            "{spec:?} under SIEVE diverged at one shard"
+        );
+        assert!(
+            sequential.total().accesses() > 0,
+            "trace must exercise the cache"
+        );
+    }
+}
+
+#[test]
+fn day_snapshot_jsonl_is_byte_identical_under_sieve_eviction() {
+    // Snapshot byte-equality, SIEVE edition: the exported day-boundary
+    // JSONL must not depend on the shard count when the continuous cache
+    // replaces with SIEVE (ample capacity — the continuous equality
+    // regime; see module docs).
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(139)).unwrap();
+    let base = cfg(&trace, AMPLE_CAPACITY).with_eviction(EvictionPolicy::Sieve);
+    let spec = PolicySpec::Aod;
+    let (_, online) = simulate_with_snapshots(&trace, spec.clone(), &base).expect("sequential run");
+    for shards in SIEVE_SHARD_COUNTS {
+        let sharded_cfg = base.clone().with_replay(ReplayMode::Sharded(shards));
+        let (_, derived) =
+            simulate_with_snapshots(&trace, spec.clone(), &sharded_cfg).expect("sharded run");
+        assert_eq!(
+            online.to_jsonl().as_bytes(),
+            derived.to_jsonl().as_bytes(),
+            "snapshot bytes under SIEVE diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn lru_and_sieve_eviction_agree_without_pressure_and_diverge_under_it() {
+    // With no evictions the replacement policy is unobservable, so the
+    // two eviction policies must report identical figures; under
+    // pressure they are genuinely different policies and the appliance
+    // must actually be dispatching on the configured one.
+    let trace = SyntheticTrace::new(EnsembleConfig::tiny(149)).unwrap();
+    let ample_lru = cfg(&trace, AMPLE_CAPACITY);
+    let ample_sieve = ample_lru.clone().with_eviction(EvictionPolicy::Sieve);
+    let lru = simulate(&trace, PolicySpec::Aod, &ample_lru).expect("lru run");
+    let sieve = simulate(&trace, PolicySpec::Aod, &ample_sieve).expect("sieve run");
+    assert_eq!(lru.days, sieve.days, "no-eviction runs must agree");
+
+    let tight_lru = cfg(&trace, 256);
+    let tight_sieve = tight_lru.clone().with_eviction(EvictionPolicy::Sieve);
+    let lru = simulate(&trace, PolicySpec::Aod, &tight_lru).expect("lru run");
+    let sieve = simulate(&trace, PolicySpec::Aod, &tight_sieve).expect("sieve run");
+    assert_ne!(
+        lru.days, sieve.days,
+        "a 256-block AOD cache must replace differently under LRU vs SIEVE"
+    );
 }
 
 #[test]
