@@ -14,6 +14,7 @@
 
 pub mod cost;
 pub mod extensions;
+pub mod node_json;
 pub mod policies;
 pub mod replay_json;
 pub mod sens;

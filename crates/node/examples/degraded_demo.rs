@@ -18,7 +18,7 @@ use std::time::Duration;
 use sievestore::PolicySpec;
 use sievestore_node::{
     ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking, NodeClient, NodeConfig,
-    NodeServer, RetryPolicy,
+    NodeServerBuilder, RetryPolicy,
 };
 
 fn main() -> std::io::Result<()> {
@@ -31,7 +31,9 @@ fn main() -> std::io::Result<()> {
         breaker_cooldown: 4,
         ..NodeConfig::default()
     };
-    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config)?;
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)?;
     let addr = server.addr();
     println!("node listening on {addr} (breaker: threshold 3, cooldown 4)");
 

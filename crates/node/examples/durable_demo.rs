@@ -15,7 +15,8 @@ use std::sync::Arc;
 use sievestore::PolicySpec;
 use sievestore_node::durable::{FILE_HEADER_LEN, FRAME_HEADER_LEN, FRAME_RECORD_LEN};
 use sievestore_node::{
-    DurableMediaSet, MemBacking, NodeClient, NodeConfig, NodeServer, RecoveryReport, WritePolicy,
+    DurableMediaSet, MemBacking, NodeClient, NodeServer, NodeServerBuilder, RecoveryReport,
+    WritePolicy,
 };
 use sievestore_types::obs::CapturingSink;
 
@@ -24,16 +25,15 @@ const FRAMES: u64 = 4;
 fn spawn(
     dir: &std::path::Path,
 ) -> std::io::Result<(NodeServer<MemBacking>, Option<RecoveryReport>)> {
-    NodeServer::spawn_durable(
-        "127.0.0.1:0",
-        MemBacking::new(),
-        PolicySpec::Aod,
-        64,
-        WritePolicy::WriteBack,
-        DurableMediaSet::open_dir(dir)?,
-        NodeConfig::default(),
-        Arc::new(CapturingSink::new()),
-    )
+    NodeServerBuilder::new("127.0.0.1:0")
+        .sink(Arc::new(CapturingSink::new()))
+        .serve_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            64,
+            WritePolicy::WriteBack,
+            DurableMediaSet::open_dir(dir)?,
+        )
 }
 
 fn main() -> std::io::Result<()> {

@@ -37,6 +37,18 @@ pub trait BackingStore: Send + Sync {
     fn write_block(&self, key: u64, data: &Block) -> io::Result<()>;
 }
 
+/// Shared handles to a store are stores themselves: the sharded node
+/// server hands each shard worker an `Arc` of the one ensemble.
+impl<B: BackingStore + ?Sized> BackingStore for std::sync::Arc<B> {
+    fn read_block(&self, key: u64) -> io::Result<Block> {
+        (**self).read_block(key)
+    }
+
+    fn write_block(&self, key: u64, data: &Block) -> io::Result<()> {
+        (**self).write_block(key, data)
+    }
+}
+
 /// A purely in-memory ensemble (tests, examples, simulations).
 ///
 /// # Examples

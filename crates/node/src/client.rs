@@ -14,13 +14,13 @@
 //!   request — block reads and writes are idempotent, so a retried
 //!   request is always safe.
 
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sievestore_types::{obs_count, NodeError, BLOCK_SIZE};
 
-use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
+use crate::protocol::{ErrorCode, NodeMode, PipedReply, PipedRequest, Reply, Request};
 
 /// Appliance statistics as reported over the wire.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -418,6 +418,459 @@ impl NodeClient {
 
 fn unexpected(reply: Reply) -> NodeError {
     NodeError::Protocol(format!("unexpected reply {reply:?}"))
+}
+
+/// The payload of one successfully completed pipelined operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// A read completed; `hit` is whether the cache served it.
+    Read {
+        /// Whether the cache held the block.
+        hit: bool,
+        /// The block payload.
+        data: Box<[u8; BLOCK_SIZE]>,
+    },
+    /// A write completed; `hit` is whether the cache held the block.
+    Write {
+        /// Whether the cache held the block.
+        hit: bool,
+    },
+}
+
+/// One finished pipelined operation, successful or not.
+#[derive(Debug)]
+pub struct Completion {
+    /// The block key the operation targeted.
+    pub key: u64,
+    /// The outcome; errors have already been retried per the
+    /// [`RetryPolicy`].
+    pub result: Result<OpResult, NodeError>,
+    /// Wall-clock time from first submission to completion (including
+    /// any retries).
+    pub latency: Duration,
+}
+
+/// One request awaiting its correlated reply.
+struct InflightOp {
+    corr: u32,
+    request: Request,
+    key: u64,
+    attempts: u32,
+    started: Instant,
+}
+
+/// A pipelined connection: up to `window` requests in flight at once
+/// over correlation-id envelopes, with the same bounded-retry, timeout
+/// and transparent-reconnect semantics as [`NodeClient`].
+///
+/// Requests are submitted with [`PipelinedClient::read`] /
+/// [`PipelinedClient::write`]; completed operations come back as
+/// [`Completion`]s, possibly out of submission order. Encoded requests
+/// are buffered and written in batches — the flush syscall is only paid
+/// when the window fills or [`PipelinedClient::drain`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::PolicySpec;
+/// use sievestore_node::{MemBacking, NodeServerBuilder, PipelinedClient, WritePolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = NodeServerBuilder::new("127.0.0.1:0")
+///     .workers(2)
+///     .serve_sharded(MemBacking::new(), PolicySpec::Aod, 64, WritePolicy::WriteThrough)?;
+///
+/// let mut client = PipelinedClient::connect(server.addr(), 32)?;
+/// for key in 0..16 {
+///     client.write(key, &[key as u8; 512])?;
+/// }
+/// let done = client.drain()?;
+/// assert_eq!(done.len(), 16);
+/// assert!(done.iter().all(|c| c.result.is_ok()));
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct PipelinedClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    window: usize,
+    conn: Option<Conn>,
+    next_corr: u32,
+    inflight: Vec<InflightOp>,
+    done: Vec<Completion>,
+    scratch: Vec<u8>,
+    jitter_salt: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl PipelinedClient {
+    /// Connects with the default [`ClientConfig`] and the given window
+    /// (maximum requests in flight; clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Connect`] when the address does not resolve
+    /// or the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs, window: usize) -> Result<Self, NodeError> {
+        Self::connect_with(addr, ClientConfig::default(), window)
+    }
+
+    /// Connects with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Connect`] when the address does not resolve
+    /// or the connection cannot be established.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+        window: usize,
+    ) -> Result<Self, NodeError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(NodeError::Connect)?
+            .next()
+            .ok_or_else(|| {
+                NodeError::Connect(io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let mut client = PipelinedClient {
+            addr,
+            config,
+            window: window.max(1),
+            conn: None,
+            next_corr: 0,
+            inflight: Vec::new(),
+            done: Vec::new(),
+            scratch: Vec::new(),
+            jitter_salt: addr.port() as u64 ^ 0xA076_1D64_78BD_642F,
+            retries: 0,
+            reconnects: 0,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> Result<Conn, NodeError> {
+        let stream = match self.config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&self.addr, timeout),
+            None => TcpStream::connect(self.addr),
+        }
+        .map_err(NodeError::Connect)?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(self.config.read_timeout)
+            .map_err(NodeError::Connect)?;
+        stream
+            .set_write_timeout(self.config.write_timeout)
+            .map_err(NodeError::Connect)?;
+        let reader = BufReader::new(stream.try_clone().map_err(NodeError::Connect)?);
+        Ok(Conn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// The resolved address this client (re)connects to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently awaiting completion.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Transient-failure retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed after transport failures (not counting
+    /// the initial connect).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Submits a pipelined read; returns any operations that completed
+    /// while making room in the window.
+    ///
+    /// # Errors
+    ///
+    /// Client-level failures only (reconnect budget exhausted, protocol
+    /// violations); per-operation failures surface in [`Completion`]s.
+    pub fn read(&mut self, key: u64) -> Result<Vec<Completion>, NodeError> {
+        self.submit(key, Request::Read { key })
+    }
+
+    /// Submits a pipelined write; returns any operations that completed
+    /// while making room in the window.
+    ///
+    /// # Errors
+    ///
+    /// Client-level failures only (reconnect budget exhausted, protocol
+    /// violations); per-operation failures surface in [`Completion`]s.
+    pub fn write(
+        &mut self,
+        key: u64,
+        data: &[u8; BLOCK_SIZE],
+    ) -> Result<Vec<Completion>, NodeError> {
+        self.submit(
+            key,
+            Request::Write {
+                key,
+                data: Box::new(*data),
+            },
+        )
+    }
+
+    /// Waits for every in-flight operation and returns all completions.
+    ///
+    /// # Errors
+    ///
+    /// Client-level failures only; per-operation failures surface in
+    /// [`Completion`]s.
+    pub fn drain(&mut self) -> Result<Vec<Completion>, NodeError> {
+        while !self.inflight.is_empty() {
+            self.step_blocking()?;
+        }
+        if let Some(conn) = self.conn.as_mut() {
+            let _ = conn.writer.flush();
+        }
+        Ok(std::mem::take(&mut self.done))
+    }
+
+    /// Drains outstanding work, then closes the connection politely.
+    ///
+    /// # Errors
+    ///
+    /// Client-level failures from the final drain.
+    pub fn quit(mut self) -> Result<Vec<Completion>, NodeError> {
+        let done = self.drain()?;
+        if let Some(conn) = self.conn.as_mut() {
+            let _ = Request::Quit.encode(&mut conn.writer);
+        }
+        Ok(done)
+    }
+
+    fn submit(&mut self, key: u64, request: Request) -> Result<Vec<Completion>, NodeError> {
+        while self.inflight.len() >= self.window {
+            self.step_blocking()?;
+        }
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        let op = InflightOp {
+            corr,
+            request,
+            key,
+            attempts: 1,
+            started: Instant::now(),
+        };
+        self.encode_op(&op)?;
+        self.inflight.push(op);
+        Ok(std::mem::take(&mut self.done))
+    }
+
+    /// Buffers one enveloped request; a transport failure on the way
+    /// out reconnects and resubmits the whole window.
+    fn encode_op(&mut self, op: &InflightOp) -> Result<(), NodeError> {
+        self.scratch.clear();
+        PipedRequest {
+            corr: op.corr,
+            request: op.request.clone(),
+        }
+        .encode_into(&mut self.scratch);
+        loop {
+            if self.conn.is_none() {
+                self.reestablish()?;
+            }
+            let conn = self.conn.as_mut().expect("reestablish installs a conn");
+            match conn.writer.write_all(&self.scratch) {
+                Ok(()) => return Ok(()),
+                Err(_) => self.on_transport_failure()?,
+            }
+        }
+    }
+
+    /// Blocks for one reply (flushing buffered requests first) and
+    /// settles the operation it correlates with.
+    fn step_blocking(&mut self) -> Result<(), NodeError> {
+        loop {
+            if self.conn.is_none() {
+                self.reestablish()?;
+                if self.inflight.is_empty() {
+                    // Every pending op was dropped by retry exhaustion.
+                    return Ok(());
+                }
+            }
+            let conn = self.conn.as_mut().expect("reestablish installs a conn");
+            if conn.writer.flush().is_err() {
+                self.on_transport_failure()?;
+                continue;
+            }
+            match PipedReply::decode(&mut conn.reader) {
+                Ok(piped) => return self.settle(piped),
+                Err(_) => self.on_transport_failure()?,
+            }
+        }
+    }
+
+    /// Routes one decoded reply to its in-flight operation.
+    fn settle(&mut self, piped: PipedReply) -> Result<(), NodeError> {
+        let Some(pos) = self.inflight.iter().position(|op| op.corr == piped.corr) else {
+            return Err(NodeError::Protocol(format!(
+                "reply for unknown correlation id {}",
+                piped.corr
+            )));
+        };
+        let op = self.inflight.swap_remove(pos);
+        let settled = match (&op.request, piped.reply) {
+            (Request::Read { .. }, Reply::Read { hit, data }) => Ok(OpResult::Read { hit, data }),
+            (Request::Write { .. }, Reply::Write { hit }) => Ok(OpResult::Write { hit }),
+            (_, Reply::Error { code, message }) => match code {
+                ErrorCode::Transient => Err(NodeError::NodeTransient(message)),
+                ErrorCode::Deadline => Err(NodeError::Deadline(message)),
+                ErrorCode::Fatal => Err(NodeError::NodeFatal(message)),
+                ErrorCode::Protocol => Err(NodeError::Protocol(message)),
+            },
+            (_, other) => Err(unexpected(other)),
+        };
+        match settled {
+            Ok(result) => {
+                self.done.push(Completion {
+                    key: op.key,
+                    result: Ok(result),
+                    latency: op.started.elapsed(),
+                });
+                Ok(())
+            }
+            Err(error) if error.is_transient() => self.retry_or_complete(op, error),
+            Err(error) => {
+                self.done.push(Completion {
+                    key: op.key,
+                    result: Err(error),
+                    latency: op.started.elapsed(),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Resubmits a transiently-failed operation (with backoff) until
+    /// its retry budget runs out, then completes it with the error.
+    fn retry_or_complete(&mut self, mut op: InflightOp, error: NodeError) -> Result<(), NodeError> {
+        if op.attempts >= self.config.retry.attempts.max(1) {
+            let result = if op.attempts == 1 {
+                error
+            } else {
+                NodeError::RetriesExhausted {
+                    attempts: op.attempts,
+                    last: Box::new(error),
+                }
+            };
+            self.done.push(Completion {
+                key: op.key,
+                result: Err(result),
+                latency: op.started.elapsed(),
+            });
+            return Ok(());
+        }
+        op.attempts += 1;
+        self.retries += 1;
+        obs_count!(ClientRetries, 1);
+        self.jitter_salt = self.jitter_salt.wrapping_add(1);
+        let pause = self.config.retry.backoff(op.attempts - 1, self.jitter_salt);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        self.encode_op(&op)?;
+        self.inflight.push(op);
+        Ok(())
+    }
+
+    /// Handles a dead connection: every in-flight operation is charged
+    /// one attempt (replies it may have had in transit are lost),
+    /// exhausted ones complete with the transport error, and the rest
+    /// await resubmission by [`Self::reestablish`].
+    fn on_transport_failure(&mut self) -> Result<(), NodeError> {
+        self.conn = None;
+        let budget = self.config.retry.attempts.max(1);
+        let mut kept = Vec::with_capacity(self.inflight.len());
+        for mut op in self.inflight.drain(..) {
+            op.attempts += 1;
+            if op.attempts > budget {
+                self.done.push(Completion {
+                    key: op.key,
+                    result: Err(NodeError::RetriesExhausted {
+                        attempts: op.attempts - 1,
+                        last: Box::new(NodeError::Transport(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "connection lost mid-pipeline",
+                        ))),
+                    }),
+                    latency: op.started.elapsed(),
+                });
+            } else {
+                self.retries += 1;
+                obs_count!(ClientRetries, 1);
+                kept.push(op);
+            }
+        }
+        self.inflight = kept;
+        self.jitter_salt = self.jitter_salt.wrapping_add(1);
+        let pause = self.config.retry.backoff(1, self.jitter_salt);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        Ok(())
+    }
+
+    /// Re-dials and resubmits every surviving in-flight operation.
+    /// Connect failures are bounded by the retry budget.
+    fn reestablish(&mut self) -> Result<(), NodeError> {
+        let budget = self.config.retry.attempts.max(1);
+        let mut rounds = 0u32;
+        let conn = loop {
+            match self.dial() {
+                Ok(conn) => break conn,
+                Err(e) => {
+                    rounds += 1;
+                    if rounds >= budget {
+                        return Err(e);
+                    }
+                    self.jitter_salt = self.jitter_salt.wrapping_add(1);
+                    let pause = self.config.retry.backoff(rounds, self.jitter_salt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
+        };
+        self.reconnects += 1;
+        obs_count!(ClientReconnects, 1);
+        self.conn = Some(conn);
+        // Resubmit the window on the fresh connection, keeping the
+        // original correlation ids (they are unique while in flight).
+        self.scratch.clear();
+        for op in &self.inflight {
+            PipedRequest {
+                corr: op.corr,
+                request: op.request.clone(),
+            }
+            .encode_into(&mut self.scratch);
+        }
+        let conn = self.conn.as_mut().expect("just installed");
+        if conn.writer.write_all(&self.scratch).is_err() {
+            // The fresh connection died instantly; charge a round and
+            // let the caller's loop try again.
+            self.on_transport_failure()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

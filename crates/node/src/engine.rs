@@ -1,0 +1,503 @@
+//! The per-shard request engine: one [`DataCache`] plus its circuit
+//! breaker, deadline accounting and degraded counters.
+//!
+//! Both front ends drive requests through this one type — the legacy
+//! single-lock [`crate::server::NodeServer`] holds a `CacheEngine`
+//! behind a mutex, while the shared-nothing
+//! [`crate::sharded::ShardedNodeServer`] gives each worker thread its
+//! own engine outright. Because every read/write decision (breaker
+//! transitions, deadline overruns, degraded pass-through, error
+//! classification) lives here, the two servers are byte-identical on
+//! the wire by construction.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sievestore_types::obs::{Event, EventSink, FieldValue};
+use sievestore_types::{obs_count, obs_enabled, obs_observe, Micros};
+
+use crate::backing::{BackingStore, Block};
+use crate::protocol::{ErrorCode, NodeMode, Reply};
+use crate::server::NodeConfig;
+use crate::store::DataCache;
+
+/// Circuit-breaker state machine.
+///
+/// `Closed` (healthy) counts consecutive failures; at the threshold it
+/// trips to `Open` (degraded pass-through) for a fixed number of
+/// requests, then `HalfOpen` lets exactly one request probe the cache
+/// path: success closes the breaker, failure re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Breaker {
+    Closed { failures: u32 },
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+impl Breaker {
+    pub(crate) fn closed() -> Self {
+        Breaker::Closed { failures: 0 }
+    }
+
+    pub(crate) fn open(config: &NodeConfig) -> Self {
+        Breaker::Open {
+            remaining: config.breaker_cooldown.max(1),
+        }
+    }
+
+    pub(crate) fn mode(self) -> NodeMode {
+        match self {
+            Breaker::Closed { .. } => NodeMode::Healthy,
+            Breaker::Open { .. } => NodeMode::Degraded,
+            Breaker::HalfOpen => NodeMode::Probing,
+        }
+    }
+}
+
+/// Stable lowercase state names for structured breaker events.
+pub(crate) fn mode_name(mode: NodeMode) -> &'static str {
+    match mode {
+        NodeMode::Healthy => "healthy",
+        NodeMode::Degraded => "degraded",
+        NodeMode::Probing => "probing",
+    }
+}
+
+/// Classifies a backing-store failure for the wire. Backing hiccups are
+/// transient from the client's point of view — the retry may hit a
+/// healed device or the degraded path.
+pub(crate) fn classify_backing(err: &io::Error) -> ErrorCode {
+    match err.kind() {
+        io::ErrorKind::InvalidData => ErrorCode::Fatal,
+        _ => ErrorCode::Transient,
+    }
+}
+
+/// A point-in-time copy of one engine's counters, merged across shards
+/// at snapshot points (Stats replies, server accessors).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EngineSnapshot {
+    pub stats: sievestore::ApplianceStats,
+    pub resident_blocks: u64,
+    pub degraded_reads: u64,
+    pub degraded_writes: u64,
+}
+
+/// The cache plus breaker; breaker transitions are judged atomically
+/// with the cache operations because one owner drives both (a mutex in
+/// the legacy server, thread affinity in the sharded one).
+pub(crate) struct CacheEngine<B: BackingStore> {
+    pub cache: DataCache<B>,
+    breaker: Breaker,
+    config: NodeConfig,
+    /// Destination for structured breaker-transition events. Sinks run
+    /// inline on request paths, so they must be cheap and non-blocking.
+    sink: Arc<dyn EventSink>,
+    degraded_reads: u64,
+    degraded_writes: u64,
+}
+
+impl<B: BackingStore> CacheEngine<B> {
+    pub(crate) fn new(
+        cache: DataCache<B>,
+        config: NodeConfig,
+        sink: Arc<dyn EventSink>,
+        breaker: Breaker,
+    ) -> Self {
+        CacheEngine {
+            cache,
+            breaker,
+            config,
+            sink,
+            degraded_reads: 0,
+            degraded_writes: 0,
+        }
+    }
+
+    pub(crate) fn mode(&self) -> NodeMode {
+        self.breaker.mode()
+    }
+
+    pub(crate) fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
+    }
+
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            stats: *self.cache.stats(),
+            resident_blocks: self.cache.resident_blocks() as u64,
+            degraded_reads: self.degraded_reads,
+            degraded_writes: self.degraded_writes,
+        }
+    }
+
+    /// Serves one read, instrumented; never panics the connection over
+    /// a backing failure — errors become typed `0xFF` replies.
+    pub(crate) fn handle_read(&mut self, key: u64, now: Micros) -> Reply {
+        let observed = obs_enabled!().then(Instant::now);
+        let reply = self.handle_read_inner(key, now);
+        obs_count!(NodeReads, 1);
+        if let Some(started) = observed {
+            obs_observe!(NodeReadNanos, started.elapsed().as_nanos() as u64);
+        }
+        reply
+    }
+
+    fn handle_read_inner(&mut self, key: u64, now: Micros) -> Reply {
+        match self.breaker.mode() {
+            NodeMode::Degraded => {
+                self.tick_degraded();
+                match self.cache.read_bypass(key) {
+                    Ok(data) => {
+                        self.degraded_reads += 1;
+                        obs_count!(NodeDegraded, 1);
+                        Reply::Read {
+                            hit: false,
+                            data: Box::new(data),
+                        }
+                    }
+                    Err(e) => Reply::Error {
+                        code: classify_backing(&e),
+                        message: format!("degraded read failed: {e}"),
+                    },
+                }
+            }
+            NodeMode::Healthy | NodeMode::Probing => {
+                let started = Instant::now();
+                match self.cache.read(key, now) {
+                    Ok((data, outcome)) => {
+                        if started.elapsed() > self.config.request_deadline {
+                            self.record_failure();
+                            obs_count!(NodeDeadlineOverruns, 1);
+                            return Reply::Error {
+                                code: ErrorCode::Deadline,
+                                message: format!(
+                                    "read of block {key} overran the {:?} deadline",
+                                    self.config.request_deadline
+                                ),
+                            };
+                        }
+                        self.record_success();
+                        Reply::Read {
+                            hit: outcome.hit,
+                            data: Box::new(data),
+                        }
+                    }
+                    Err(e) => {
+                        self.record_failure();
+                        Reply::Error {
+                            code: classify_backing(&e),
+                            message: format!("backing read failed: {e}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one write, instrumented; mirrors [`Self::handle_read`].
+    pub(crate) fn handle_write(&mut self, key: u64, data: &Block, now: Micros) -> Reply {
+        let observed = obs_enabled!().then(Instant::now);
+        let reply = self.handle_write_inner(key, data, now);
+        obs_count!(NodeWrites, 1);
+        if let Some(started) = observed {
+            obs_observe!(NodeWriteNanos, started.elapsed().as_nanos() as u64);
+        }
+        reply
+    }
+
+    fn handle_write_inner(&mut self, key: u64, data: &Block, now: Micros) -> Reply {
+        match self.breaker.mode() {
+            NodeMode::Degraded => {
+                self.tick_degraded();
+                match self.cache.write_bypass(key, data) {
+                    Ok(()) => {
+                        self.degraded_writes += 1;
+                        obs_count!(NodeDegraded, 1);
+                        Reply::Write { hit: false }
+                    }
+                    Err(e) => Reply::Error {
+                        code: classify_backing(&e),
+                        message: format!("degraded write failed: {e}"),
+                    },
+                }
+            }
+            NodeMode::Healthy | NodeMode::Probing => {
+                let started = Instant::now();
+                match self.cache.write(key, data, now) {
+                    Ok(outcome) => {
+                        if started.elapsed() > self.config.request_deadline {
+                            self.record_failure();
+                            obs_count!(NodeDeadlineOverruns, 1);
+                            return Reply::Error {
+                                code: ErrorCode::Deadline,
+                                message: format!(
+                                    "write of block {key} overran the {:?} deadline",
+                                    self.config.request_deadline
+                                ),
+                            };
+                        }
+                        self.record_success();
+                        Reply::Write { hit: outcome.hit }
+                    }
+                    Err(e) => {
+                        self.record_failure();
+                        Reply::Error {
+                            code: classify_backing(&e),
+                            message: format!("backing write failed: {e}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves a Flush request against this engine's slice.
+    pub(crate) fn handle_flush(&mut self) -> Reply {
+        match self.cache.flush() {
+            Ok(flushed) => Reply::Flush { flushed },
+            Err(e) => Reply::Error {
+                code: classify_backing(&e),
+                message: format!("flush failed: {e}"),
+            },
+        }
+    }
+
+    /// Records a cache-path success; a successful probe (or a healthy
+    /// request) closes the breaker.
+    pub(crate) fn record_success(&mut self) {
+        let from = self.breaker;
+        self.breaker = Breaker::Closed { failures: 0 };
+        self.on_transition(from);
+    }
+
+    /// Records a cache-path failure; at the threshold the breaker opens
+    /// and dirty frames are flushed best-effort while the backing store
+    /// may still be reachable.
+    pub(crate) fn record_failure(&mut self) {
+        let from = self.breaker;
+        let failures = match self.breaker {
+            Breaker::Closed { failures } => failures + 1,
+            // A failed probe re-opens immediately.
+            Breaker::HalfOpen => self.config.breaker_threshold,
+            Breaker::Open { remaining } => {
+                self.breaker = Breaker::Open { remaining };
+                return;
+            }
+        };
+        if failures >= self.config.breaker_threshold.max(1) {
+            self.breaker = Breaker::Open {
+                remaining: self.config.breaker_cooldown.max(1),
+            };
+            // Entering degraded mode: try to get dirty data to safety
+            // while (or in case) the backing store still responds.
+            self.flush_round("breaker_open");
+        } else {
+            self.breaker = Breaker::Closed { failures };
+        }
+        self.on_transition(from);
+    }
+
+    /// Consumes one degraded-mode request; at zero the breaker
+    /// half-opens so the next request probes the cache path.
+    pub(crate) fn tick_degraded(&mut self) {
+        if let Breaker::Open { remaining } = self.breaker {
+            let from = self.breaker;
+            let remaining = remaining.saturating_sub(1);
+            self.breaker = if remaining == 0 {
+                Breaker::HalfOpen
+            } else {
+                Breaker::Open { remaining }
+            };
+            self.on_transition(from);
+        }
+    }
+
+    /// Runs one best-effort flush round, surfacing what a silent swallow
+    /// would hide: frames still dirty after the round are counted
+    /// (`node_flush_failures`) and reported as one structured
+    /// `node.flush.failed` event per round. Returns how many frames
+    /// remain dirty.
+    pub(crate) fn flush_round(&mut self, context: &'static str) -> u64 {
+        let (flushed, still_dirty) = self.cache.flush_best_effort();
+        if still_dirty > 0 {
+            obs_count!(NodeFlushFailures, still_dirty);
+            self.sink.record(
+                &Event::new("node.flush.failed")
+                    .with("context", FieldValue::Str(context))
+                    .with("flushed", FieldValue::U64(flushed))
+                    .with("still_dirty", FieldValue::U64(still_dirty)),
+            );
+        }
+        still_dirty
+    }
+
+    /// Shutdown sequence for this engine: bounded flush retries, then a
+    /// clean durable shutdown mark. Best-effort throughout — a dead
+    /// backing must not hang or panic the caller.
+    pub(crate) fn shutdown_flush(&mut self, retries: u32) {
+        for _ in 0..=retries {
+            if self.flush_round("shutdown") == 0 {
+                break;
+            }
+        }
+        // Mark the durable journal cleanly shut down so the next open
+        // recovers warm. Best-effort: on failure the next recovery is
+        // merely colder (clean frames dropped), never incorrect.
+        let _ = self.cache.shutdown_durable();
+    }
+
+    /// One bounded scrub pass; quarantined frames are reported.
+    pub(crate) fn scrub_pass(&mut self, batch: u32) {
+        let pass = self.cache.scrub(batch);
+        if !pass.quarantined.is_empty() {
+            self.sink.record(
+                &Event::new("node.scrub.quarantined")
+                    .with("frames", FieldValue::U64(pass.quarantined.len() as u64)),
+            );
+        }
+    }
+
+    /// Emits exactly one structured event per *mode* change (internal
+    /// state updates that keep the mode, like a failure streak growing
+    /// under threshold or the cooldown counting down, stay silent).
+    fn on_transition(&self, from: Breaker) {
+        let to = self.breaker;
+        if from.mode() == to.mode() {
+            return;
+        }
+        if to.mode() == NodeMode::Degraded {
+            obs_count!(NodeBreakerTrips, 1);
+        }
+        if to.mode() == NodeMode::Healthy {
+            obs_count!(NodeBreakerRecoveries, 1);
+        }
+        self.sink.record(
+            &Event::new("node.breaker.transition")
+                .with("from", FieldValue::Str(mode_name(from.mode())))
+                .with("to", FieldValue::Str(mode_name(to.mode()))),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backing::MemBacking;
+    use sievestore_types::obs::NoopSink;
+
+    fn engine_with(config: NodeConfig, sink: Arc<dyn EventSink>) -> CacheEngine<MemBacking> {
+        CacheEngine::new(
+            DataCache::new(MemBacking::new(), sievestore::PolicySpec::Aod, 8).expect("valid cache"),
+            config,
+            sink,
+            Breaker::closed(),
+        )
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_recovers_through_probe() {
+        let config = NodeConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            ..NodeConfig::default()
+        };
+        let mut g = engine_with(config, Arc::new(NoopSink));
+        assert_eq!(g.mode(), NodeMode::Healthy);
+        // Two failures stay closed; the third opens.
+        g.record_failure();
+        g.record_failure();
+        assert_eq!(g.mode(), NodeMode::Healthy);
+        g.record_failure();
+        assert_eq!(g.mode(), NodeMode::Degraded);
+        // Cooldown drains per degraded request, then half-open.
+        g.tick_degraded();
+        assert_eq!(g.mode(), NodeMode::Degraded);
+        g.tick_degraded();
+        assert_eq!(g.mode(), NodeMode::Probing);
+        // A successful probe closes the breaker.
+        g.record_success();
+        assert_eq!(g.mode(), NodeMode::Healthy);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let config = NodeConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: 1,
+            ..NodeConfig::default()
+        };
+        let mut g = engine_with(config, Arc::new(NoopSink));
+        g.record_failure();
+        assert_eq!(g.mode(), NodeMode::Degraded);
+        g.tick_degraded();
+        assert_eq!(g.mode(), NodeMode::Probing);
+        g.record_failure();
+        assert_eq!(g.mode(), NodeMode::Degraded);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let config = NodeConfig {
+            breaker_threshold: 2,
+            ..NodeConfig::default()
+        };
+        let mut g = engine_with(config, Arc::new(NoopSink));
+        g.record_failure();
+        g.record_success();
+        g.record_failure();
+        // Never two *consecutive* failures, so still healthy.
+        assert_eq!(g.mode(), NodeMode::Healthy);
+    }
+
+    #[test]
+    fn breaker_emits_exactly_one_event_per_mode_transition() {
+        use sievestore_types::obs::CapturingSink;
+        let sink = Arc::new(CapturingSink::new());
+        let config = NodeConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: 1,
+            ..NodeConfig::default()
+        };
+        let mut g = engine_with(config, sink.clone());
+        // Sub-threshold failure and already-closed success: no events.
+        g.record_failure();
+        g.record_success();
+        g.record_success();
+        assert!(sink.events().is_empty(), "mode never changed");
+        // Trip: healthy -> degraded (two consecutive failures).
+        g.record_failure();
+        g.record_failure();
+        // Cooldown: degraded -> probing, then probe success -> healthy.
+        g.tick_degraded();
+        g.record_success();
+        let events = sink.take();
+        let transitions: Vec<(String, String)> = events
+            .iter()
+            .map(|e| {
+                (
+                    e.field("from").expect("from").to_string(),
+                    e.field("to").expect("to").to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                ("healthy".into(), "degraded".into()),
+                ("degraded".into(), "probing".into()),
+                ("probing".into(), "healthy".into()),
+            ]
+        );
+        assert!(events.iter().all(|e| e.name == "node.breaker.transition"));
+    }
+
+    #[test]
+    fn backing_errors_classify_as_transient_for_clients() {
+        let hiccup = io::Error::other("injected fault");
+        assert_eq!(classify_backing(&hiccup), ErrorCode::Transient);
+        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "bad block");
+        assert_eq!(classify_backing(&corrupt), ErrorCode::Fatal);
+    }
+}

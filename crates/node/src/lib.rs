@@ -23,12 +23,12 @@
 //!
 //! ```
 //! use sievestore::PolicySpec;
-//! use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+//! use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServerBuilder};
 //!
 //! # fn main() -> std::io::Result<()> {
 //! let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 1024)
 //!     .expect("valid appliance");
-//! let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+//! let server = NodeServerBuilder::new("127.0.0.1:0").serve(cache)?;
 //! let mut client = NodeClient::connect(server.addr())?;
 //!
 //! client.write_block(42, &[7u8; 512])?;
@@ -46,13 +46,17 @@
 pub mod backing;
 pub mod client;
 pub mod durable;
+mod engine;
 pub mod faults;
 pub mod protocol;
 pub mod server;
+pub mod sharded;
 pub mod store;
 
 pub use backing::{BackingStore, Block, FileBacking, MemBacking};
-pub use client::{ClientConfig, NodeClient, NodeStats, RetryPolicy};
+pub use client::{
+    ClientConfig, Completion, NodeClient, NodeStats, OpResult, PipelinedClient, RetryPolicy,
+};
 pub use durable::{
     crc64, DurableMediaSet, DurableStore, FileMedia, Media, MemMedia, Recovery, RecoveryReport,
     ScrubPass,
@@ -61,6 +65,7 @@ pub use faults::{
     CrashHandle, CrashPlan, CrashPointMedia, FaultHandle, FaultInjectingBacking, FaultPlan,
     MediaImage,
 };
-pub use protocol::{ErrorCode, NodeMode, Reply, Request};
-pub use server::{NodeConfig, NodeServer};
+pub use protocol::{ErrorCode, Incoming, NodeMode, PipedReply, PipedRequest, Reply, Request};
+pub use server::{NodeConfig, NodeServer, NodeServerBuilder};
+pub use sharded::ShardedNodeServer;
 pub use store::{DataCache, DataOutcome, WritePolicy};

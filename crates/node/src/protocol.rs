@@ -11,19 +11,33 @@
 //!          |  0x03 'S'                                 fetch statistics
 //!          |  0x04 'Q'                                 close connection
 //!          |  0x05 'F'                                 flush dirty frames
+//!          |  0x10 | u32 corr | request payload        pipelined envelope
 //! reply   :=  0x81 | u8 hit | 512 B data               read reply
 //!          |  0x82 | u8 hit                            write reply
 //!          |  0x83 | 8 x u64 stats | u8 mode           stats reply
 //!          |  0x84 | u64 flushed                       flush reply
 //!          |  0xFF | u8 code | utf-8 message           error
+//!          |  0x90 | u32 corr | reply payload          pipelined envelope
 //! ```
 //!
 //! Error replies carry an [`ErrorCode`] so clients can distinguish
 //! retryable conditions (a backing-store hiccup, an overrun deadline)
 //! from permanent ones without parsing prose.
 //!
+//! # Pipelining
+//!
+//! A pipelined envelope ([`PipedRequest`] / [`PipedReply`]) wraps the
+//! ordinary request/reply payload in a 32-bit **correlation id** chosen
+//! by the client. Many enveloped requests may be in flight on one
+//! connection, and the server may answer them **in any order** — each
+//! reply carries its request's correlation id back, including `0xFF`
+//! error replies, which ride inside the envelope like any other reply.
+//! Plain (un-enveloped) requests keep their strict one-at-a-time,
+//! in-order semantics, and both framings may share a connection.
+//!
 //! Encoding and decoding are symmetric and fully covered by round-trip
-//! tests, including a property test over arbitrary payloads.
+//! tests, including property tests over arbitrary payloads and
+//! interleaved envelopes.
 
 use std::io::{self, Read, Write};
 
@@ -180,11 +194,24 @@ pub enum Reply {
     },
 }
 
+/// Tag opening a pipelined request envelope (`0x10 | u32 corr | payload`).
+const PIPED_REQUEST_TAG: u8 = 0x10;
+/// Tag opening a pipelined reply envelope (`0x90 | u32 corr | payload`).
+const PIPED_REPLY_TAG: u8 = 0x90;
+
 fn write_frame<W: Write>(out: &mut W, payload: &[u8]) -> io::Result<()> {
     let len = payload.len() as u32;
     out.write_all(&len.to_le_bytes())?;
     out.write_all(payload)?;
     out.flush()
+}
+
+/// Appends one length-prefixed frame to `buf` without touching I/O —
+/// the batched (pipelined) paths build many frames and issue a single
+/// `write_all`, amortizing syscalls.
+fn frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
 }
 
 fn read_frame<R: Read>(input: &mut R) -> io::Result<Vec<u8>> {
@@ -207,40 +234,33 @@ fn bad(msg: impl Into<String>) -> io::Error {
 }
 
 impl Request {
-    /// Serializes the request as one frame.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from the writer.
-    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+    /// The request's frame payload (tag byte onward, no length prefix).
+    fn payload(&self) -> Vec<u8> {
         match self {
             Request::Read { key } => {
                 let mut p = Vec::with_capacity(9);
                 p.push(0x01);
                 p.extend_from_slice(&key.to_le_bytes());
-                write_frame(out, &p)
+                p
             }
             Request::Write { key, data } => {
                 let mut p = Vec::with_capacity(9 + BLOCK_SIZE);
                 p.push(0x02);
                 p.extend_from_slice(&key.to_le_bytes());
                 p.extend_from_slice(&data[..]);
-                write_frame(out, &p)
+                p
             }
-            Request::Stats => write_frame(out, &[0x03]),
-            Request::Quit => write_frame(out, &[0x04]),
-            Request::Flush => write_frame(out, &[0x05]),
+            Request::Stats => vec![0x03],
+            Request::Quit => vec![0x04],
+            Request::Flush => vec![0x05],
         }
     }
 
-    /// Reads and parses one request frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns `InvalidData` for malformed frames; propagates I/O errors
-    /// (including `UnexpectedEof` when the peer disconnects).
-    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
-        let p = read_frame(input)?;
+    /// Parses a request frame payload (tag byte onward).
+    fn parse(p: &[u8]) -> io::Result<Self> {
+        if p.is_empty() {
+            return Err(bad("empty request payload"));
+        }
         match p[0] {
             0x01 => {
                 if p.len() != 9 {
@@ -267,24 +287,155 @@ impl Request {
             tag => Err(bad(format!("unknown request tag {tag:#x}"))),
         }
     }
-}
 
-impl Reply {
-    /// Serializes the reply as one frame.
+    /// Serializes the request as one frame.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_frame(out, &self.payload())
+    }
+
+    /// Appends the request's frame to `buf` (no I/O, no flush) for
+    /// batched pipelined writes.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        frame_into(buf, &self.payload());
+    }
+
+    /// Reads and parses one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors
+    /// (including `UnexpectedEof` when the peer disconnects).
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        Self::parse(&p)
+    }
+}
+
+/// A request wrapped in a pipelined envelope: the client-chosen
+/// correlation id rides with the request and comes back on its reply,
+/// so many requests can be in flight per connection and complete out of
+/// order. See the [module docs](self) for the framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipedRequest {
+    /// Client-chosen correlation id echoed on the matching reply.
+    pub corr: u32,
+    /// The wrapped request.
+    pub request: Request,
+}
+
+impl PipedRequest {
+    fn payload(&self) -> Vec<u8> {
+        let inner = self.request.payload();
+        let mut p = Vec::with_capacity(5 + inner.len());
+        p.push(PIPED_REQUEST_TAG);
+        p.extend_from_slice(&self.corr.to_le_bytes());
+        p.extend_from_slice(&inner);
+        p
+    }
+
+    fn parse(p: &[u8]) -> io::Result<Self> {
+        if p.len() < 6 || p[0] != PIPED_REQUEST_TAG {
+            return Err(bad("piped request envelope must carry corr + payload"));
+        }
+        Ok(PipedRequest {
+            corr: u32::from_le_bytes(p[1..5].try_into().expect("4 bytes")),
+            request: Request::parse(&p[5..])?,
+        })
+    }
+
+    /// Serializes the envelope as one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_frame(out, &self.payload())
+    }
+
+    /// Appends the envelope's frame to `buf` (no I/O, no flush).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        frame_into(buf, &self.payload());
+    }
+}
+
+/// One decoded inbound frame on a server connection: either a plain
+/// in-order request or a pipelined envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incoming {
+    /// A plain request with strict in-order reply semantics.
+    Plain(Request),
+    /// An enveloped request that may complete out of order.
+    Piped(PipedRequest),
+}
+
+impl Incoming {
+    /// Parses a frame payload as either framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames of either kind.
+    pub fn parse(p: &[u8]) -> io::Result<Self> {
+        if p.first() == Some(&PIPED_REQUEST_TAG) {
+            Ok(Incoming::Piped(PipedRequest::parse(p)?))
+        } else {
+            Ok(Incoming::Plain(Request::parse(p)?))
+        }
+    }
+
+    /// Reads and parses one frame of either framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors
+    /// (including `UnexpectedEof` when the peer disconnects).
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        Self::parse(&p)
+    }
+}
+
+/// Attempts to split one complete frame off the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a full frame,
+/// or `Some((consumed, payload_range))` where `consumed` counts the
+/// length prefix plus payload and `payload_range` indexes the payload
+/// bytes inside `buf`. The nonblocking sharded server feeds its read
+/// buffers through this.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for out-of-bounds frame lengths.
+pub fn split_frame(buf: &[u8]) -> io::Result<Option<(usize, std::ops::Range<usize>)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len == 0 || len > MAX_FRAME {
+        return Err(bad(format!("frame length {len} outside 1..={MAX_FRAME}")));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((total, 4..total)))
+}
+
+impl Reply {
+    /// The reply's frame payload (tag byte onward, no length prefix).
+    fn payload(&self) -> Vec<u8> {
         match self {
             Reply::Read { hit, data } => {
                 let mut p = Vec::with_capacity(2 + BLOCK_SIZE);
                 p.push(0x81);
                 p.push(*hit as u8);
                 p.extend_from_slice(&data[..]);
-                write_frame(out, &p)
+                p
             }
-            Reply::Write { hit } => write_frame(out, &[0x82, *hit as u8]),
+            Reply::Write { hit } => vec![0x82, *hit as u8],
             Reply::Stats {
                 read_hits,
                 write_hits,
@@ -311,33 +462,32 @@ impl Reply {
                     p.extend_from_slice(&v.to_le_bytes());
                 }
                 p.push(mode.to_u8());
-                write_frame(out, &p)
+                p
             }
             Reply::Flush { flushed } => {
                 let mut p = Vec::with_capacity(9);
                 p.push(0x84);
                 p.extend_from_slice(&flushed.to_le_bytes());
-                write_frame(out, &p)
+                p
             }
             Reply::Error { code, message } => {
-                // Error messages must never themselves overflow a frame.
-                let message = &message.as_bytes()[..message.len().min(MAX_FRAME as usize - 2)];
+                // Error messages must never themselves overflow a frame
+                // (pipelined envelopes add 5 bytes of header on top).
+                let message = &message.as_bytes()[..message.len().min(MAX_FRAME as usize - 7)];
                 let mut p = Vec::with_capacity(2 + message.len());
                 p.push(0xFF);
                 p.push(code.to_u8());
                 p.extend_from_slice(message);
-                write_frame(out, &p)
+                p
             }
         }
     }
 
-    /// Reads and parses one reply frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns `InvalidData` for malformed frames; propagates I/O errors.
-    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
-        let p = read_frame(input)?;
+    /// Parses a reply frame payload (tag byte onward).
+    fn parse(p: &[u8]) -> io::Result<Self> {
+        if p.is_empty() {
+            return Err(bad("empty reply payload"));
+        }
         match p[0] {
             0x81 => {
                 if p.len() != 2 + BLOCK_SIZE {
@@ -394,6 +544,94 @@ impl Reply {
             }
             tag => Err(bad(format!("unknown reply tag {tag:#x}"))),
         }
+    }
+
+    /// Serializes the reply as one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_frame(out, &self.payload())
+    }
+
+    /// Appends the reply's frame to `buf` (no I/O, no flush) for
+    /// batched pipelined writes.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        frame_into(buf, &self.payload());
+    }
+
+    /// Reads and parses one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors.
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        Self::parse(&p)
+    }
+}
+
+/// A reply wrapped in a pipelined envelope, carrying its request's
+/// correlation id back to the client. Error replies (`0xFF`) ride the
+/// envelope like any other reply, so a failed pipelined request fails
+/// only its own correlation id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipedReply {
+    /// The correlation id of the request this reply answers.
+    pub corr: u32,
+    /// The wrapped reply.
+    pub reply: Reply,
+}
+
+impl PipedReply {
+    fn payload(&self) -> Vec<u8> {
+        let inner = self.reply.payload();
+        let mut p = Vec::with_capacity(5 + inner.len());
+        p.push(PIPED_REPLY_TAG);
+        p.extend_from_slice(&self.corr.to_le_bytes());
+        p.extend_from_slice(&inner);
+        p
+    }
+
+    /// Parses a reply-envelope frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` unless the payload is a well-formed
+    /// envelope wrapping a well-formed reply.
+    pub fn parse(p: &[u8]) -> io::Result<Self> {
+        if p.len() < 6 || p[0] != PIPED_REPLY_TAG {
+            return Err(bad("piped reply envelope must carry corr + payload"));
+        }
+        Ok(PipedReply {
+            corr: u32::from_le_bytes(p[1..5].try_into().expect("4 bytes")),
+            reply: Reply::parse(&p[5..])?,
+        })
+    }
+
+    /// Serializes the envelope as one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn encode<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write_frame(out, &self.payload())
+    }
+
+    /// Appends the envelope's frame to `buf` (no I/O, no flush).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        frame_into(buf, &self.payload());
+    }
+
+    /// Reads and parses one reply-envelope frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed frames; propagates I/O errors.
+    pub fn decode<R: Read>(input: &mut R) -> io::Result<Self> {
+        let p = read_frame(input)?;
+        Self::parse(&p)
     }
 }
 
@@ -479,10 +717,110 @@ mod tests {
         match Reply::decode(&mut bytes.as_slice()).expect("decodes") {
             Reply::Error { code, message } => {
                 assert_eq!(code, ErrorCode::Fatal);
-                assert_eq!(message.len(), MAX_FRAME as usize - 2);
+                // Truncated so that even the 5-byte pipelined envelope
+                // header cannot push the frame past MAX_FRAME.
+                assert_eq!(message.len(), MAX_FRAME as usize - 7);
             }
             other => panic!("unexpected {other:?}"),
         }
+        let piped = PipedReply {
+            corr: u32::MAX,
+            reply: Reply::Error {
+                code: ErrorCode::Fatal,
+                message: "x".repeat(2 * MAX_FRAME as usize),
+            },
+        };
+        let mut bytes = Vec::new();
+        piped.encode(&mut bytes).expect("enveloped error encodes");
+        assert!(bytes.len() <= 4 + MAX_FRAME as usize);
+        PipedReply::decode(&mut bytes.as_slice()).expect("enveloped error decodes");
+    }
+
+    #[test]
+    fn piped_envelopes_roundtrip() {
+        let data = Box::new([0x5A; BLOCK_SIZE]);
+        for (corr, request) in [
+            (0u32, Request::Read { key: 42 }),
+            (
+                u32::MAX,
+                Request::Write {
+                    key: 7,
+                    data: data.clone(),
+                },
+            ),
+            (7, Request::Stats),
+            (8, Request::Flush),
+        ] {
+            let piped = PipedRequest { corr, request };
+            let mut bytes = Vec::new();
+            piped.encode(&mut bytes).expect("vec write");
+            assert_eq!(
+                PipedRequest::parse(&bytes[4..]).expect("own encoding parses"),
+                piped
+            );
+            match Incoming::decode(&mut bytes.as_slice()).expect("incoming decodes") {
+                Incoming::Piped(got) => assert_eq!(got, piped),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for (corr, reply) in [
+            (3u32, Reply::Read { hit: true, data }),
+            (4, Reply::Write { hit: false }),
+            (
+                5,
+                Reply::Error {
+                    code: ErrorCode::Deadline,
+                    message: "late".into(),
+                },
+            ),
+        ] {
+            let piped = PipedReply { corr, reply };
+            let mut bytes = Vec::new();
+            piped.encode(&mut bytes).expect("vec write");
+            assert_eq!(
+                PipedReply::decode(&mut bytes.as_slice()).expect("decodes"),
+                piped
+            );
+        }
+    }
+
+    #[test]
+    fn plain_frames_decode_as_incoming_plain() {
+        let mut bytes = Vec::new();
+        Request::Read { key: 9 }.encode(&mut bytes).unwrap();
+        assert_eq!(
+            Incoming::decode(&mut bytes.as_slice()).unwrap(),
+            Incoming::Plain(Request::Read { key: 9 })
+        );
+    }
+
+    #[test]
+    fn split_frame_handles_partial_and_complete_buffers() {
+        let mut bytes = Vec::new();
+        Request::Read { key: 5 }.encode_into(&mut bytes);
+        Request::Stats.encode_into(&mut bytes);
+        // Every strict prefix of the first frame wants more bytes.
+        for cut in 0..13 {
+            assert!(split_frame(&bytes[..cut])
+                .expect("prefix is clean")
+                .is_none());
+        }
+        let (consumed, range) = split_frame(&bytes).expect("complete").expect("frame");
+        assert_eq!(consumed, 13);
+        assert_eq!(
+            Request::parse(&bytes[range]).expect("parses"),
+            Request::Read { key: 5 }
+        );
+        let rest = &bytes[consumed..];
+        let (consumed, range) = split_frame(rest).expect("complete").expect("frame");
+        assert_eq!(
+            Request::parse(&rest[range]).expect("parses"),
+            Request::Stats
+        );
+        assert_eq!(consumed, rest.len());
+        // Corrupt lengths are rejected, not buffered forever.
+        assert!(split_frame(&0u32.to_le_bytes()).is_err());
+        assert!(split_frame(&(MAX_FRAME + 1).to_le_bytes()).is_err());
     }
 
     #[test]
@@ -575,6 +913,108 @@ mod tests {
             if len == 0 || len > MAX_FRAME {
                 prop_assert!(result.is_err(), "out-of-bounds length must be rejected");
             }
+        }
+
+        /// Correlation ids survive the envelope round trip for every
+        /// request kind and arbitrary payloads.
+        #[test]
+        fn piped_requests_roundtrip(
+            corr in any::<u32>(),
+            key in any::<u64>(),
+            bytes in proptest::collection::vec(any::<u8>(), BLOCK_SIZE),
+            kind in 0u8..4,
+        ) {
+            let mut data = Box::new([0u8; BLOCK_SIZE]);
+            data.copy_from_slice(&bytes);
+            let request = match kind {
+                0 => Request::Read { key },
+                1 => Request::Write { key, data },
+                2 => Request::Stats,
+                _ => Request::Flush,
+            };
+            let piped = PipedRequest { corr, request };
+            let mut encoded = Vec::new();
+            piped.encode(&mut encoded).expect("vec write");
+            match Incoming::decode(&mut encoded.as_slice()).expect("decodes") {
+                Incoming::Piped(got) => prop_assert_eq!(got, piped),
+                other => prop_assert!(false, "decoded as plain: {:?}", other),
+            }
+        }
+
+        /// A batch of enveloped replies completed in ANY order decodes
+        /// back to exactly the sent (corr, reply) pairs — including 0xFF
+        /// error replies — so out-of-order pipelined completion loses
+        /// nothing.
+        #[test]
+        fn interleaved_piped_replies_roundtrip_out_of_order(
+            corrs in proptest::collection::vec(any::<u32>(), 1..20),
+            rot in any::<usize>(),
+        ) {
+            let replies: Vec<PipedReply> = corrs
+                .iter()
+                .enumerate()
+                .map(|(i, &corr)| PipedReply {
+                    corr,
+                    reply: match i % 3 {
+                        0 => Reply::Write { hit: i % 2 == 0 },
+                        1 => Reply::Read {
+                            hit: false,
+                            data: Box::new([i as u8; BLOCK_SIZE]),
+                        },
+                        _ => Reply::Error {
+                            code: ErrorCode::Transient,
+                            message: format!("injected {i}"),
+                        },
+                    },
+                })
+                .collect();
+            // Complete in rotated (out-of-order) sequence.
+            let rot = rot % replies.len();
+            let mut buf = Vec::new();
+            for r in replies[rot..].iter().chain(&replies[..rot]) {
+                r.encode_into(&mut buf);
+            }
+            let mut cursor = buf.as_slice();
+            let mut seen = Vec::new();
+            while !cursor.is_empty() {
+                seen.push(PipedReply::decode(&mut cursor).expect("decodes"));
+            }
+            let mut expect: Vec<PipedReply> =
+                replies[rot..].iter().chain(&replies[..rot]).cloned().collect();
+            prop_assert_eq!(seen.len(), expect.len());
+            for (got, want) in seen.iter().zip(expect.drain(..)) {
+                prop_assert_eq!(got, &want);
+            }
+        }
+
+        /// `split_frame` over an arbitrary concatenation of frames plus a
+        /// truncated tail yields exactly the whole frames, then `None`.
+        #[test]
+        fn split_frame_recovers_concatenated_frames(
+            keys in proptest::collection::vec(any::<u64>(), 0..8),
+            tail in 0usize..13,
+        ) {
+            let mut buf = Vec::new();
+            for &key in &keys {
+                PipedRequest { corr: key as u32, request: Request::Read { key } }
+                    .encode_into(&mut buf);
+            }
+            let mut partial = Vec::new();
+            Request::Read { key: 1 }.encode_into(&mut partial);
+            buf.extend_from_slice(&partial[..tail]);
+            let mut off = 0;
+            let mut frames = 0;
+            while let Some((consumed, range)) = split_frame(&buf[off..]).expect("clean") {
+                let payload = &buf[off..][range];
+                match Incoming::parse(payload).expect("parses") {
+                    Incoming::Piped(p) => prop_assert_eq!(p.request, Request::Read { key: keys[frames] }),
+                    Incoming::Plain(_) => prop_assert!(frames == keys.len()),
+                }
+                off += consumed;
+                frames += 1;
+                if frames > keys.len() { break; }
+            }
+            prop_assert!(frames >= keys.len());
         }
 
         /// Truncating a valid frame at any point yields an error (EOF or

@@ -1,10 +1,13 @@
-//! The appliance's TCP front end.
+//! The appliance's TCP front end (single-lock flavor).
 //!
 //! One [`NodeServer`] owns a [`DataCache`] behind a mutex and serves the
 //! wire protocol over TCP, one thread per connection — the physical
 //! organization of the paper's Figure 4(c), with TCP standing in for
 //! iSCSI. A background clock maps wall-clock time onto trace time so the
-//! sieving windows advance.
+//! sieving windows advance. For the shared-nothing, thread-per-core
+//! engine that removes the mutex from the hot path, see
+//! [`crate::sharded::ShardedNodeServer`]; both are built with
+//! [`NodeServerBuilder`].
 //!
 //! # Fault handling
 //!
@@ -20,20 +23,29 @@
 //! success closes the breaker, failure re-opens it. Requests that
 //! overrun [`NodeConfig::request_deadline`] are answered with a
 //! `Deadline` error instead of stalling the reply stream.
+//!
+//! # Pipelining
+//!
+//! Connections accept both plain frames (strictly in-order replies) and
+//! correlation-id envelopes (`0x10` requests answered with `0x90`
+//! replies); enveloped replies are batched into one `write_all` when the
+//! client has more requests already buffered, amortizing syscalls.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use sievestore_types::obs::{Event, EventSink, FieldValue, NoopSink};
-use sievestore_types::{obs_count, obs_enabled, obs_observe, Micros};
+use sievestore_types::{obs_count, obs_enabled, obs_gauge_adjust, obs_observe, Micros};
 
 use crate::backing::BackingStore;
-use crate::protocol::{ErrorCode, NodeMode, Reply, Request};
+use crate::engine::{Breaker, CacheEngine};
+use crate::protocol::{ErrorCode, Incoming, NodeMode, PipedReply, Reply, Request};
 use crate::store::DataCache;
 
 /// Resilience tuning for a [`NodeServer`].
@@ -54,7 +66,8 @@ pub struct NodeConfig {
     pub shutdown_flush_retries: u32,
     /// Interval between background scrub passes over the durable
     /// segment; `None` disables the scrubber. Only meaningful for nodes
-    /// with a durable store attached (see [`NodeServer::spawn_durable`]).
+    /// with a durable store attached (see
+    /// [`NodeServerBuilder::serve_durable`]).
     pub scrub_interval: Option<Duration>,
     /// Slots verified per scrub pass.
     pub scrub_batch: u32,
@@ -74,165 +87,271 @@ impl Default for NodeConfig {
     }
 }
 
-/// Circuit-breaker state machine.
-///
-/// `Closed` (healthy) counts consecutive failures; at the threshold it
-/// trips to `Open` (degraded pass-through) for a fixed number of
-/// requests, then `HalfOpen` lets exactly one request probe the cache
-/// path: success closes the breaker, failure re-opens it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Breaker {
-    Closed { failures: u32 },
-    Open { remaining: u32 },
-    HalfOpen,
+/// Worker-panic bookkeeping shared by both server flavors: shutdown
+/// must never hang (or silently succeed) because a thread died mid-work.
+pub(crate) struct PanicLedger {
+    count: AtomicU64,
+    first: Mutex<Option<String>>,
 }
 
-impl Breaker {
-    fn mode(self) -> NodeMode {
-        match self {
-            Breaker::Closed { .. } => NodeMode::Healthy,
-            Breaker::Open { .. } => NodeMode::Degraded,
-            Breaker::HalfOpen => NodeMode::Probing,
-        }
-    }
-}
-
-/// Stable lowercase state names for structured breaker events.
-fn mode_name(mode: NodeMode) -> &'static str {
-    match mode {
-        NodeMode::Healthy => "healthy",
-        NodeMode::Degraded => "degraded",
-        NodeMode::Probing => "probing",
-    }
-}
-
-/// The cache plus breaker, guarded by one mutex so breaker transitions
-/// are atomic with the cache operations they judge.
-struct Guarded<B: BackingStore> {
-    cache: DataCache<B>,
-    breaker: Breaker,
-    /// Destination for structured breaker-transition events. Sinks run
-    /// under the guarded mutex, so they must be cheap and non-blocking.
-    sink: Arc<dyn EventSink>,
-}
-
-impl<B: BackingStore> Guarded<B> {
-    /// Records a cache-path success; a successful probe (or a healthy
-    /// request) closes the breaker.
-    fn record_success(&mut self) {
-        let from = self.breaker;
-        self.breaker = Breaker::Closed { failures: 0 };
-        self.on_transition(from);
-    }
-
-    /// Records a cache-path failure; at the threshold the breaker opens
-    /// and dirty frames are flushed best-effort while the backing store
-    /// may still be reachable.
-    fn record_failure(&mut self, config: &NodeConfig) {
-        let from = self.breaker;
-        let failures = match self.breaker {
-            Breaker::Closed { failures } => failures + 1,
-            // A failed probe re-opens immediately.
-            Breaker::HalfOpen => config.breaker_threshold,
-            Breaker::Open { remaining } => {
-                self.breaker = Breaker::Open { remaining };
-                return;
-            }
-        };
-        if failures >= config.breaker_threshold.max(1) {
-            self.breaker = Breaker::Open {
-                remaining: config.breaker_cooldown.max(1),
-            };
-            // Entering degraded mode: try to get dirty data to safety
-            // while (or in case) the backing store still responds.
-            self.flush_round("breaker_open");
-        } else {
-            self.breaker = Breaker::Closed { failures };
-        }
-        self.on_transition(from);
-    }
-
-    /// Consumes one degraded-mode request; at zero the breaker
-    /// half-opens so the next request probes the cache path.
-    fn tick_degraded(&mut self) {
-        if let Breaker::Open { remaining } = self.breaker {
-            let from = self.breaker;
-            let remaining = remaining.saturating_sub(1);
-            self.breaker = if remaining == 0 {
-                Breaker::HalfOpen
-            } else {
-                Breaker::Open { remaining }
-            };
-            self.on_transition(from);
+impl PanicLedger {
+    pub(crate) fn new() -> Self {
+        PanicLedger {
+            count: AtomicU64::new(0),
+            first: Mutex::new(None),
         }
     }
 
-    /// Runs one best-effort flush round, surfacing what a silent swallow
-    /// would hide: frames still dirty after the round are counted
-    /// (`node_flush_failures`) and reported as one structured
-    /// `node.flush.failed` event per round. Returns how many frames
-    /// remain dirty.
-    fn flush_round(&mut self, context: &'static str) -> u64 {
-        let (flushed, still_dirty) = self.cache.flush_best_effort();
-        if still_dirty > 0 {
-            obs_count!(NodeFlushFailures, still_dirty);
-            self.sink.record(
-                &Event::new("node.flush.failed")
-                    .with("context", FieldValue::Str(context))
-                    .with("flushed", FieldValue::U64(flushed))
-                    .with("still_dirty", FieldValue::U64(still_dirty)),
-            );
+    /// Records one panic, keeping the first payload message so
+    /// post-mortems (and `Debug` prints) can say *what* died, not just
+    /// how many times.
+    pub(crate) fn record(&self, payload: &(dyn std::any::Any + Send)) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut first = self.first.lock();
+        if first.is_none() {
+            *first = Some(message);
         }
-        still_dirty
     }
 
-    /// Emits exactly one structured event per *mode* change (internal
-    /// state updates that keep the mode, like a failure streak growing
-    /// under threshold or the cooldown counting down, stay silent).
-    fn on_transition(&self, from: Breaker) {
-        let to = self.breaker;
-        if from.mode() == to.mode() {
+    /// The first recorded panic message, if any.
+    pub(crate) fn first_message(&self) -> Option<String> {
+        self.first.lock().clone()
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Emits one `node.worker.panic` event if any panic was recorded.
+    pub(crate) fn report(&self, sink: &dyn EventSink) {
+        let count = self.count();
+        if count == 0 {
             return;
         }
-        if to.mode() == NodeMode::Degraded {
-            obs_count!(NodeBreakerTrips, 1);
-        }
-        if to.mode() == NodeMode::Healthy {
-            obs_count!(NodeBreakerRecoveries, 1);
-        }
-        self.sink.record(
-            &Event::new("node.breaker.transition")
-                .with("from", FieldValue::Str(mode_name(from.mode())))
-                .with("to", FieldValue::Str(mode_name(to.mode()))),
-        );
+        sink.record(&Event::new("node.worker.panic").with("count", FieldValue::U64(count)));
     }
 }
 
 /// Shared server state.
 struct Shared<B: BackingStore> {
-    guarded: Mutex<Guarded<B>>,
+    engine: Mutex<CacheEngine<B>>,
     config: NodeConfig,
     /// Microseconds of "trace time" per real microsecond can't be known
     /// here, so the server simply timestamps requests with an atomic
     /// logical clock advanced per request plus the caller-supplied base.
     clock_us: AtomicU64,
-    degraded_reads: AtomicU64,
-    degraded_writes: AtomicU64,
+    live_conns: AtomicU64,
+    panics: PanicLedger,
     stop: AtomicBool,
 }
 
-/// A running SieveStore node.
+/// Builds either server flavor from one fluent configuration, replacing
+/// the positional-argument sprawl of the legacy `spawn_*` constructors.
 ///
 /// # Examples
 ///
 /// ```
 /// use sievestore::PolicySpec;
-/// use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServer};
+/// use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServerBuilder};
 ///
 /// # fn main() -> std::io::Result<()> {
 /// let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64)
 ///     .expect("valid appliance");
-/// let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+/// let server = NodeServerBuilder::new("127.0.0.1:0").serve(cache)?;
+///
+/// let mut client = NodeClient::connect(server.addr())?;
+/// client.write_block(3, &[1u8; 512])?;
+/// let (data, hit) = client.read_block(3)?;
+/// assert_eq!(data[0], 1);
+/// assert!(hit);
+///
+/// client.quit()?;
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct NodeServerBuilder {
+    addr: String,
+    config: NodeConfig,
+    sink: Arc<dyn EventSink>,
+    workers: usize,
+}
+
+impl NodeServerBuilder {
+    /// Starts a builder binding `addr` (use port 0 for an ephemeral
+    /// port) with the default [`NodeConfig`] and no event sink.
+    pub fn new(addr: impl Into<String>) -> Self {
+        NodeServerBuilder {
+            addr: addr.into(),
+            config: NodeConfig::default(),
+            sink: Arc::new(NoopSink),
+            workers: 0,
+        }
+    }
+
+    /// Overrides the resilience configuration.
+    #[must_use]
+    pub fn config(mut self, config: NodeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a structured event sink receiving every circuit-breaker
+    /// mode transition (`node.breaker.transition` events with
+    /// `from`/`to` fields), flush failures and worker panics.
+    ///
+    /// The sink runs inline on request threads, so it must be cheap and
+    /// non-blocking (see [`sievestore_types::obs::EventSink`]).
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Sets the shard-worker count for [`Self::serve_sharded`]; `0`
+    /// (the default) sizes to the machine's available parallelism.
+    /// Ignored by the single-lock flavors.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Spawns the single-lock, thread-per-connection server over an
+    /// already-built cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve<B: BackingStore + 'static>(
+        self,
+        cache: DataCache<B>,
+    ) -> io::Result<NodeServer<B>> {
+        NodeServer::start(&self.addr, cache, self.config, self.sink, Breaker::closed())
+    }
+
+    /// Spawns the single-lock server over a durable frame store: opens
+    /// (or formats) the media, runs crash recovery, warms the cache with
+    /// the survivors and starts serving. Emits a
+    /// `node.recovery.complete` event with the recovery counters.
+    ///
+    /// If the media is unrecoverable (wrong magic, bad geometry, dead
+    /// device), the node does **not** refuse to start: it falls back to
+    /// a memory-only cache, emits `node.recovery.failed`, and begins
+    /// life with the breaker open — serving degraded pass-through
+    /// against the backing store until the normal probe path closes the
+    /// breaker. Returns `None` in place of the report in that case.
+    ///
+    /// When [`NodeConfig::scrub_interval`] is set, a background scrubber
+    /// thread sweeps [`NodeConfig::scrub_batch`] slots per interval,
+    /// quarantining rotted frames before they are ever served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and invalid cache configuration.
+    pub fn serve_durable<B: BackingStore + 'static>(
+        self,
+        backing: B,
+        policy: sievestore::PolicySpec,
+        capacity_blocks: usize,
+        write_policy: crate::store::WritePolicy,
+        media: crate::durable::DurableMediaSet,
+    ) -> io::Result<(NodeServer<B>, Option<crate::durable::RecoveryReport>)> {
+        let NodeServerBuilder {
+            addr, config, sink, ..
+        } = self;
+        let mut cache = DataCache::new(backing, policy, capacity_blocks)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            .with_write_policy(write_policy);
+        let started = obs_enabled!().then(std::time::Instant::now);
+        match crate::durable::DurableStore::open(media, capacity_blocks) {
+            Ok(recovery) => {
+                let report = cache.attach_recovery(recovery);
+                if let Some(t) = started {
+                    obs_observe!(DurableRecoveryNanos, t.elapsed().as_nanos() as u64);
+                }
+                sink.record(
+                    &Event::new("node.recovery.complete")
+                        .with("recovered", FieldValue::U64(report.recovered))
+                        .with("quarantined", FieldValue::U64(report.quarantined))
+                        .with("lost_dirty", FieldValue::U64(report.lost_dirty))
+                        .with("journal_records", FieldValue::U64(report.journal_records))
+                        .with("generation", FieldValue::U64(report.generation as u64)),
+                );
+                let server = NodeServer::start(&addr, cache, config, sink, Breaker::closed())?;
+                Ok((server, Some(report)))
+            }
+            Err(err) => {
+                obs_count!(DurableMediaErrors, 1);
+                sink.record(
+                    &Event::new("node.recovery.failed")
+                        .with("error", FieldValue::Str(err.kind_name())),
+                );
+                // Unrecoverable media: serve memory-only, starting in
+                // degraded pass-through; the probe path restores
+                // healthy mode on its own.
+                let breaker = Breaker::open(&config);
+                let server = NodeServer::start(&addr, cache, config, sink, breaker)?;
+                Ok((server, None))
+            }
+        }
+    }
+
+    /// Spawns the shared-nothing, thread-per-core server: each worker
+    /// owns a disjoint cache slice keyed by
+    /// [`sievestore_types::shard_of`], cross-shard requests hop over
+    /// bounded SPSC rings, and no lock sits on the request path. See
+    /// [`crate::sharded::ShardedNodeServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and invalid cache configuration.
+    pub fn serve_sharded<B: BackingStore + 'static>(
+        self,
+        backing: B,
+        policy: sievestore::PolicySpec,
+        capacity_blocks: usize,
+        write_policy: crate::store::WritePolicy,
+    ) -> io::Result<crate::sharded::ShardedNodeServer<B>> {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.workers
+        };
+        crate::sharded::ShardedNodeServer::start(
+            &self.addr,
+            backing,
+            policy,
+            capacity_blocks,
+            write_policy,
+            workers,
+            self.config,
+            self.sink,
+        )
+    }
+}
+
+/// A running SieveStore node (single-lock flavor).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::PolicySpec;
+/// use sievestore_node::{DataCache, MemBacking, NodeClient, NodeServerBuilder};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64)
+///     .expect("valid appliance");
+/// let server = NodeServerBuilder::new("127.0.0.1:0").serve(cache)?;
 ///
 /// let mut client = NodeClient::connect(server.addr())?;
 /// client.write_block(3, &[1u8; 512])?;
@@ -262,8 +381,9 @@ impl<B: BackingStore + 'static> NodeServer<B> {
     /// # Errors
     ///
     /// Propagates bind failures.
+    #[deprecated(note = "use NodeServerBuilder::new(addr).serve(cache)")]
     pub fn spawn(addr: &str, cache: DataCache<B>) -> io::Result<Self> {
-        Self::spawn_with_config(addr, cache, NodeConfig::default())
+        NodeServerBuilder::new(addr).serve(cache)
     }
 
     /// Binds `addr` and starts accepting connections with an explicit
@@ -272,54 +392,42 @@ impl<B: BackingStore + 'static> NodeServer<B> {
     /// # Errors
     ///
     /// Propagates bind failures.
+    #[deprecated(note = "use NodeServerBuilder::new(addr).config(config).serve(cache)")]
     pub fn spawn_with_config(
         addr: &str,
         cache: DataCache<B>,
         config: NodeConfig,
     ) -> io::Result<Self> {
-        Self::spawn_observed(addr, cache, config, Arc::new(NoopSink))
+        NodeServerBuilder::new(addr).config(config).serve(cache)
     }
 
     /// Binds `addr` with an explicit configuration *and* a structured
-    /// event sink receiving every circuit-breaker mode transition
-    /// (`node.breaker.transition` events with `from`/`to` fields).
-    ///
-    /// The sink runs inline on request threads while the cache mutex is
-    /// held, so it must be cheap and non-blocking (see
-    /// [`sievestore_types::obs::EventSink`]).
+    /// event sink.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
+    #[deprecated(note = "use NodeServerBuilder::new(addr).config(config).sink(sink).serve(cache)")]
     pub fn spawn_observed(
         addr: &str,
         cache: DataCache<B>,
         config: NodeConfig,
         sink: Arc<dyn EventSink>,
     ) -> io::Result<Self> {
-        Self::spawn_inner(addr, cache, config, sink, Breaker::Closed { failures: 0 })
+        NodeServerBuilder::new(addr)
+            .config(config)
+            .sink(sink)
+            .serve(cache)
     }
 
-    /// Binds `addr` over a durable frame store: opens (or formats) the
-    /// media, runs crash recovery, warms the cache with the survivors
-    /// and starts serving. Emits a `node.recovery.complete` event with
-    /// the recovery counters.
-    ///
-    /// If the media is unrecoverable (wrong magic, bad geometry, dead
-    /// device), the node does **not** refuse to start: it falls back to
-    /// a memory-only cache, emits `node.recovery.failed`, and begins
-    /// life with the breaker open — serving degraded pass-through
-    /// against the backing store until the normal probe path closes the
-    /// breaker. Returns `None` in place of the report in that case.
-    ///
-    /// When [`NodeConfig::scrub_interval`] is set, a background scrubber
-    /// thread sweeps [`NodeConfig::scrub_batch`] slots per interval,
-    /// quarantining rotted frames before they are ever served.
+    /// Binds `addr` over a durable frame store; see
+    /// [`NodeServerBuilder::serve_durable`].
     ///
     /// # Errors
     ///
     /// Propagates bind failures and invalid cache configuration.
-    #[allow(clippy::too_many_arguments)] // one positional knob per spawn concern; a builder would hide the contract
+    #[deprecated(note = "use NodeServerBuilder::new(addr).config(..).sink(..).serve_durable(..)")]
+    #[allow(clippy::too_many_arguments)] // frozen legacy signature; the builder is the fix
     pub fn spawn_durable(
         addr: &str,
         backing: B,
@@ -330,47 +438,13 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         config: NodeConfig,
         sink: Arc<dyn EventSink>,
     ) -> io::Result<(Self, Option<crate::durable::RecoveryReport>)> {
-        let mut cache = DataCache::new(backing, policy, capacity_blocks)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
-            .with_write_policy(write_policy);
-        let started = obs_enabled!().then(Instant::now);
-        match crate::durable::DurableStore::open(media, capacity_blocks) {
-            Ok(recovery) => {
-                let report = cache.attach_recovery(recovery);
-                if let Some(t) = started {
-                    obs_observe!(DurableRecoveryNanos, t.elapsed().as_nanos() as u64);
-                }
-                sink.record(
-                    &Event::new("node.recovery.complete")
-                        .with("recovered", FieldValue::U64(report.recovered))
-                        .with("quarantined", FieldValue::U64(report.quarantined))
-                        .with("lost_dirty", FieldValue::U64(report.lost_dirty))
-                        .with("journal_records", FieldValue::U64(report.journal_records))
-                        .with("generation", FieldValue::U64(report.generation as u64)),
-                );
-                let server =
-                    Self::spawn_inner(addr, cache, config, sink, Breaker::Closed { failures: 0 })?;
-                Ok((server, Some(report)))
-            }
-            Err(err) => {
-                obs_count!(DurableMediaErrors, 1);
-                sink.record(
-                    &Event::new("node.recovery.failed")
-                        .with("error", FieldValue::Str(err.kind_name())),
-                );
-                // Unrecoverable media: serve memory-only, starting in
-                // degraded pass-through; the probe path restores
-                // healthy mode on its own.
-                let breaker = Breaker::Open {
-                    remaining: config.breaker_cooldown.max(1),
-                };
-                let server = Self::spawn_inner(addr, cache, config, sink, breaker)?;
-                Ok((server, None))
-            }
-        }
+        NodeServerBuilder::new(addr)
+            .config(config)
+            .sink(sink)
+            .serve_durable(backing, policy, capacity_blocks, write_policy, media)
     }
 
-    fn spawn_inner(
+    fn start(
         addr: &str,
         cache: DataCache<B>,
         config: NodeConfig,
@@ -380,15 +454,11 @@ impl<B: BackingStore + 'static> NodeServer<B> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            guarded: Mutex::new(Guarded {
-                cache,
-                breaker,
-                sink,
-            }),
+            engine: Mutex::new(CacheEngine::new(cache, config, sink, breaker)),
             config,
             clock_us: AtomicU64::new(0),
-            degraded_reads: AtomicU64::new(0),
-            degraded_writes: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
+            panics: PanicLedger::new(),
             stop: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -417,12 +487,29 @@ impl<B: BackingStore + 'static> NodeServer<B> {
 
     /// Aggregate appliance statistics.
     pub fn stats(&self) -> sievestore::ApplianceStats {
-        *self.shared.guarded.lock().cache.stats()
+        *self.shared.engine.lock().cache.stats()
     }
 
     /// The node's current health mode.
     pub fn mode(&self) -> NodeMode {
-        self.shared.guarded.lock().breaker.mode()
+        self.shared.engine.lock().mode()
+    }
+
+    /// Connections currently being served.
+    pub fn live_connections(&self) -> u64 {
+        self.shared.live_conns.load(Ordering::Relaxed)
+    }
+
+    /// Connection-thread panics caught so far. Panics never wedge
+    /// shutdown: they are recorded here and reported as one
+    /// `node.worker.panic` event when the server stops.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.panics.count()
+    }
+
+    /// The first caught panic's message, for diagnostics.
+    pub fn first_panic_message(&self) -> Option<String> {
+        self.shared.panics.first_message()
     }
 
     /// Stops accepting connections, joins the accept thread and flushes
@@ -457,16 +544,18 @@ impl<B: BackingStore + 'static> NodeServer<B> {
             return;
         }
         self.flushed = true;
-        let mut guarded = self.shared.guarded.lock();
-        for _ in 0..=self.shared.config.shutdown_flush_retries {
-            if guarded.flush_round("shutdown") == 0 {
-                break;
-            }
+        let retries = self.shared.config.shutdown_flush_retries;
+        // A panicking backing store mid-flush must not escape: this
+        // runs from Drop, where an unwinding panic would abort.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.shared.engine.lock().shutdown_flush(retries);
+        }));
+        if let Err(payload) = result {
+            self.shared.panics.record(payload.as_ref());
         }
-        // Mark the durable journal cleanly shut down so the next open
-        // recovers warm. Best-effort: on failure the next recovery is
-        // merely colder (clean frames dropped), never incorrect.
-        let _ = guarded.cache.shutdown_durable();
+        self.shared
+            .panics
+            .report(self.shared.engine.lock().sink().as_ref());
     }
 }
 
@@ -492,13 +581,13 @@ fn scrub_loop<B: BackingStore + 'static>(shared: Arc<Shared<B>>, interval: Durat
             continue;
         }
         elapsed = Duration::ZERO;
-        let mut guarded = shared.guarded.lock();
-        let pass = guarded.cache.scrub(shared.config.scrub_batch);
-        if !pass.quarantined.is_empty() {
-            guarded.sink.record(
-                &Event::new("node.scrub.quarantined")
-                    .with("frames", FieldValue::U64(pass.quarantined.len() as u64)),
-            );
+        let batch = shared.config.scrub_batch;
+        let pass = catch_unwind(AssertUnwindSafe(|| {
+            shared.engine.lock().scrub_pass(batch);
+        }));
+        if let Err(payload) = pass {
+            shared.panics.record(payload.as_ref());
+            break;
         }
     }
 }
@@ -512,21 +601,20 @@ fn accept_loop<B: BackingStore + 'static>(listener: TcpListener, shared: Arc<Sha
             Ok(stream) => {
                 let conn_shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, conn_shared);
+                    // A panic anywhere in the connection path is
+                    // recorded (it kills only this connection) so
+                    // shutdown can surface it instead of hanging or
+                    // hiding it.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = serve_connection(stream, &conn_shared);
+                    }));
+                    if let Err(payload) = result {
+                        conn_shared.panics.record(payload.as_ref());
+                    }
                 });
             }
             Err(_) => continue,
         }
-    }
-}
-
-/// Classifies a backing-store failure for the wire. Backing hiccups are
-/// transient from the client's point of view — the retry may hit a
-/// healed device or the degraded path.
-fn classify_backing(err: &io::Error) -> ErrorCode {
-    match err.kind() {
-        io::ErrorKind::InvalidData => ErrorCode::Fatal,
-        _ => ErrorCode::Transient,
     }
 }
 
@@ -538,146 +626,31 @@ fn is_idle_timeout(err: &io::Error) -> bool {
     )
 }
 
-fn handle_read<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Reply {
-    let observed = obs_enabled!().then(Instant::now);
-    let reply = handle_read_inner(shared, key, now);
-    obs_count!(NodeReads, 1);
-    if let Some(started) = observed {
-        obs_observe!(NodeReadNanos, started.elapsed().as_nanos() as u64);
-    }
-    reply
-}
+/// Decrements the live-connection gauge even if the connection path
+/// unwinds.
+struct ConnGuard<'a>(&'a AtomicU64);
 
-fn handle_read_inner<B: BackingStore>(shared: &Shared<B>, key: u64, now: Micros) -> Reply {
-    let mut guarded = shared.guarded.lock();
-    match guarded.breaker.mode() {
-        NodeMode::Degraded => {
-            guarded.tick_degraded();
-            match guarded.cache.read_bypass(key) {
-                Ok(data) => {
-                    shared.degraded_reads.fetch_add(1, Ordering::Relaxed);
-                    obs_count!(NodeDegraded, 1);
-                    Reply::Read {
-                        hit: false,
-                        data: Box::new(data),
-                    }
-                }
-                Err(e) => Reply::Error {
-                    code: classify_backing(&e),
-                    message: format!("degraded read failed: {e}"),
-                },
-            }
-        }
-        NodeMode::Healthy | NodeMode::Probing => {
-            let started = Instant::now();
-            match guarded.cache.read(key, now) {
-                Ok((data, outcome)) => {
-                    if started.elapsed() > shared.config.request_deadline {
-                        guarded.record_failure(&shared.config);
-                        obs_count!(NodeDeadlineOverruns, 1);
-                        return Reply::Error {
-                            code: ErrorCode::Deadline,
-                            message: format!(
-                                "read of block {key} overran the {:?} deadline",
-                                shared.config.request_deadline
-                            ),
-                        };
-                    }
-                    guarded.record_success();
-                    Reply::Read {
-                        hit: outcome.hit,
-                        data: Box::new(data),
-                    }
-                }
-                Err(e) => {
-                    guarded.record_failure(&shared.config);
-                    Reply::Error {
-                        code: classify_backing(&e),
-                        message: format!("backing read failed: {e}"),
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn handle_write<B: BackingStore>(
-    shared: &Shared<B>,
-    key: u64,
-    data: &crate::backing::Block,
-    now: Micros,
-) -> Reply {
-    let observed = obs_enabled!().then(Instant::now);
-    let reply = handle_write_inner(shared, key, data, now);
-    obs_count!(NodeWrites, 1);
-    if let Some(started) = observed {
-        obs_observe!(NodeWriteNanos, started.elapsed().as_nanos() as u64);
-    }
-    reply
-}
-
-fn handle_write_inner<B: BackingStore>(
-    shared: &Shared<B>,
-    key: u64,
-    data: &crate::backing::Block,
-    now: Micros,
-) -> Reply {
-    let mut guarded = shared.guarded.lock();
-    match guarded.breaker.mode() {
-        NodeMode::Degraded => {
-            guarded.tick_degraded();
-            match guarded.cache.write_bypass(key, data) {
-                Ok(()) => {
-                    shared.degraded_writes.fetch_add(1, Ordering::Relaxed);
-                    obs_count!(NodeDegraded, 1);
-                    Reply::Write { hit: false }
-                }
-                Err(e) => Reply::Error {
-                    code: classify_backing(&e),
-                    message: format!("degraded write failed: {e}"),
-                },
-            }
-        }
-        NodeMode::Healthy | NodeMode::Probing => {
-            let started = Instant::now();
-            match guarded.cache.write(key, data, now) {
-                Ok(outcome) => {
-                    if started.elapsed() > shared.config.request_deadline {
-                        guarded.record_failure(&shared.config);
-                        obs_count!(NodeDeadlineOverruns, 1);
-                        return Reply::Error {
-                            code: ErrorCode::Deadline,
-                            message: format!(
-                                "write of block {key} overran the {:?} deadline",
-                                shared.config.request_deadline
-                            ),
-                        };
-                    }
-                    guarded.record_success();
-                    Reply::Write { hit: outcome.hit }
-                }
-                Err(e) => {
-                    guarded.record_failure(&shared.config);
-                    Reply::Error {
-                        code: classify_backing(&e),
-                        message: format!("backing write failed: {e}"),
-                    }
-                }
-            }
-        }
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+        obs_gauge_adjust!(NodeLiveConnections, -1);
     }
 }
 
 fn serve_connection<B: BackingStore + 'static>(
     stream: TcpStream,
-    shared: Arc<Shared<B>>,
+    shared: &Arc<Shared<B>>,
 ) -> io::Result<()> {
+    shared.live_conns.fetch_add(1, Ordering::Relaxed);
+    obs_gauge_adjust!(NodeLiveConnections, 1);
+    let _guard = ConnGuard(&shared.live_conns);
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(shared.config.idle_timeout).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut out = Vec::new();
     loop {
-        let request = match Request::decode(&mut reader) {
+        let incoming = match Incoming::decode(&mut reader) {
             Ok(req) => req,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             // Idle timeout between frames: close quietly. The client
@@ -693,160 +666,44 @@ fn serve_connection<B: BackingStore + 'static>(
             }
             Err(e) => return Err(e),
         };
+        let (corr, request) = match incoming {
+            Incoming::Plain(request) => (None, request),
+            Incoming::Piped(piped) => (Some(piped.corr), piped.request),
+        };
         // Logical per-request clock: one millisecond of trace time per
         // request keeps sieving windows moving deterministically.
         let now = Micros::new(shared.clock_us.fetch_add(1_000, Ordering::Relaxed));
         let reply = match request {
-            Request::Read { key } => handle_read(&shared, key, now),
-            Request::Write { key, data } => handle_write(&shared, key, &data, now),
+            Request::Read { key } => shared.engine.lock().handle_read(key, now),
+            Request::Write { key, data } => shared.engine.lock().handle_write(key, &data, now),
             Request::Stats => {
-                let guarded = shared.guarded.lock();
-                let s = *guarded.cache.stats();
+                let engine = shared.engine.lock();
+                let snap = engine.snapshot();
                 Reply::Stats {
-                    read_hits: s.read_hits,
-                    write_hits: s.write_hits,
-                    read_misses: s.read_misses,
-                    write_misses: s.write_misses,
-                    allocation_writes: s.allocation_writes,
-                    resident_blocks: guarded.cache.resident_blocks() as u64,
-                    degraded_reads: shared.degraded_reads.load(Ordering::Relaxed),
-                    degraded_writes: shared.degraded_writes.load(Ordering::Relaxed),
-                    mode: guarded.breaker.mode(),
+                    read_hits: snap.stats.read_hits,
+                    write_hits: snap.stats.write_hits,
+                    read_misses: snap.stats.read_misses,
+                    write_misses: snap.stats.write_misses,
+                    allocation_writes: snap.stats.allocation_writes,
+                    resident_blocks: snap.resident_blocks,
+                    degraded_reads: snap.degraded_reads,
+                    degraded_writes: snap.degraded_writes,
+                    mode: engine.mode(),
                 }
             }
-            Request::Flush => match shared.guarded.lock().cache.flush() {
-                Ok(flushed) => Reply::Flush { flushed },
-                Err(e) => Reply::Error {
-                    code: classify_backing(&e),
-                    message: format!("flush failed: {e}"),
-                },
-            },
+            Request::Flush => shared.engine.lock().handle_flush(),
             Request::Quit => return writer.flush(),
         };
-        reply.encode(&mut writer)?;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::backing::MemBacking;
-
-    fn guarded() -> Guarded<MemBacking> {
-        guarded_with_sink(Arc::new(NoopSink))
-    }
-
-    fn guarded_with_sink(sink: Arc<dyn EventSink>) -> Guarded<MemBacking> {
-        Guarded {
-            cache: DataCache::new(MemBacking::new(), sievestore::PolicySpec::Aod, 8)
-                .expect("valid cache"),
-            breaker: Breaker::Closed { failures: 0 },
-            sink,
+        out.clear();
+        match corr {
+            None => reply.encode_into(&mut out),
+            Some(corr) => PipedReply { corr, reply }.encode_into(&mut out),
         }
-    }
-
-    #[test]
-    fn breaker_opens_at_threshold_and_recovers_through_probe() {
-        let config = NodeConfig {
-            breaker_threshold: 3,
-            breaker_cooldown: 2,
-            ..NodeConfig::default()
-        };
-        let mut g = guarded();
-        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
-        // Two failures stay closed; the third opens.
-        g.record_failure(&config);
-        g.record_failure(&config);
-        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
-        g.record_failure(&config);
-        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
-        // Cooldown drains per degraded request, then half-open.
-        g.tick_degraded();
-        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
-        g.tick_degraded();
-        assert_eq!(g.breaker.mode(), NodeMode::Probing);
-        // A successful probe closes the breaker.
-        g.record_success();
-        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
-    }
-
-    #[test]
-    fn failed_probe_reopens_the_breaker() {
-        let config = NodeConfig {
-            breaker_threshold: 1,
-            breaker_cooldown: 1,
-            ..NodeConfig::default()
-        };
-        let mut g = guarded();
-        g.record_failure(&config);
-        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
-        g.tick_degraded();
-        assert_eq!(g.breaker.mode(), NodeMode::Probing);
-        g.record_failure(&config);
-        assert_eq!(g.breaker.mode(), NodeMode::Degraded);
-    }
-
-    #[test]
-    fn success_resets_the_failure_streak() {
-        let config = NodeConfig {
-            breaker_threshold: 2,
-            ..NodeConfig::default()
-        };
-        let mut g = guarded();
-        g.record_failure(&config);
-        g.record_success();
-        g.record_failure(&config);
-        // Never two *consecutive* failures, so still healthy.
-        assert_eq!(g.breaker.mode(), NodeMode::Healthy);
-    }
-
-    #[test]
-    fn breaker_emits_exactly_one_event_per_mode_transition() {
-        use sievestore_types::obs::CapturingSink;
-        let sink = Arc::new(CapturingSink::new());
-        let config = NodeConfig {
-            breaker_threshold: 2,
-            breaker_cooldown: 1,
-            ..NodeConfig::default()
-        };
-        let mut g = guarded_with_sink(sink.clone());
-        // Sub-threshold failure and already-closed success: no events.
-        g.record_failure(&config);
-        g.record_success();
-        g.record_success();
-        assert!(sink.events().is_empty(), "mode never changed");
-        // Trip: healthy -> degraded (two consecutive failures).
-        g.record_failure(&config);
-        g.record_failure(&config);
-        // Cooldown: degraded -> probing, then probe success -> healthy.
-        g.tick_degraded();
-        g.record_success();
-        let events = sink.take();
-        let transitions: Vec<(String, String)> = events
-            .iter()
-            .map(|e| {
-                (
-                    e.field("from").expect("from").to_string(),
-                    e.field("to").expect("to").to_string(),
-                )
-            })
-            .collect();
-        assert_eq!(
-            transitions,
-            vec![
-                ("healthy".into(), "degraded".into()),
-                ("degraded".into(), "probing".into()),
-                ("probing".into(), "healthy".into()),
-            ]
-        );
-        assert!(events.iter().all(|e| e.name == "node.breaker.transition"));
-    }
-
-    #[test]
-    fn backing_errors_classify_as_transient_for_clients() {
-        let hiccup = io::Error::other("injected fault");
-        assert_eq!(classify_backing(&hiccup), ErrorCode::Transient);
-        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "bad block");
-        assert_eq!(classify_backing(&corrupt), ErrorCode::Fatal);
+        writer.write_all(&out)?;
+        // Batch: only pay the flush syscall when no further request is
+        // already buffered (a pipelining client keeps the buffer full).
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
     }
 }

@@ -1,0 +1,1021 @@
+//! The shared-nothing, thread-per-core node server.
+//!
+//! [`ShardedNodeServer`] removes the global cache mutex from the request
+//! path entirely: N worker threads each own a disjoint
+//! `CacheEngine` slice — block `key` belongs to worker
+//! [`shard_of`]`(key, N)` — and an acceptor thread deals connections to
+//! workers round-robin. A request whose key lives on another shard hops
+//! over a bounded lock-free SPSC ring (`crossbeam::spsc`) to its owner
+//! and the reply hops back; no lock is taken anywhere on the hot path.
+//! Breaker and flush state are per-worker, merged only at snapshot
+//! points (Stats replies and server accessors).
+//!
+//! Workers drive their connections with non-blocking sockets: drain the
+//! socket, decode every buffered frame, execute or forward, then emit
+//! all completed replies with one `write_all`-style flush — the batched
+//! I/O that makes pipelined clients cheap.
+//!
+//! What stayed global (by design): the TCP listener, the logical
+//! request clock (a single `fetch_add` per request so sieving windows
+//! advance identically to the single-lock server), the stop flag, and
+//! the panic ledger that guarantees a dead worker can never wedge
+//! shutdown.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::spsc::{ring, Consumer, Producer};
+use sievestore_types::obs::EventSink;
+use sievestore_types::{obs_gauge_adjust, shard_of, Micros};
+
+use crate::backing::{BackingStore, Block};
+use crate::engine::{Breaker, CacheEngine};
+use crate::protocol::{split_frame, ErrorCode, Incoming, NodeMode, PipedReply, Reply, Request};
+use crate::server::{NodeConfig, PanicLedger};
+use crate::store::{DataCache, WritePolicy};
+
+/// Capacity of each cross-shard hop ring and the acceptor's
+/// connection-handoff rings.
+const RING_CAPACITY: usize = 1024;
+
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Idle iterations before a worker starts sleeping between polls.
+const IDLE_SPINS: u32 = 128;
+
+/// How long an idle worker sleeps between polls.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Identifies one outstanding request on its origin worker: which
+/// connection issued it, its plain-ordering slot, and (for enveloped
+/// requests) the client's correlation id.
+#[derive(Debug, Clone, Copy)]
+struct OpToken {
+    conn: u32,
+    slot: u32,
+    corr: u32,
+    piped: bool,
+}
+
+/// One message over a cross-shard ring. Requests carry the logical
+/// timestamp assigned at decode time so shard placement never changes
+/// sieve timing; replies carry the full wire [`Reply`].
+enum Hop {
+    Read {
+        t: OpToken,
+        key: u64,
+        now: Micros,
+    },
+    Write {
+        t: OpToken,
+        key: u64,
+        data: Box<Block>,
+        now: Micros,
+    },
+    Flush {
+        t: OpToken,
+    },
+    Done {
+        t: OpToken,
+        reply: Reply,
+    },
+    FlushDone {
+        t: OpToken,
+        reply: Reply,
+    },
+}
+
+/// Per-worker counters published at snapshot points and merged by
+/// Stats replies and server accessors.
+#[derive(Default)]
+struct WorkerPublic {
+    read_hits: AtomicU64,
+    write_hits: AtomicU64,
+    read_misses: AtomicU64,
+    write_misses: AtomicU64,
+    allocation_writes: AtomicU64,
+    batch_allocations: AtomicU64,
+    resident_blocks: AtomicU64,
+    degraded_reads: AtomicU64,
+    degraded_writes: AtomicU64,
+    /// 0 = healthy, 1 = probing, 2 = degraded.
+    mode: AtomicU8,
+    live_conns: AtomicU64,
+    /// Cross-shard hops waiting in this worker's inbound rings at the
+    /// last snapshot.
+    queue_depth: AtomicU64,
+}
+
+fn mode_rank(mode: NodeMode) -> u8 {
+    match mode {
+        NodeMode::Healthy => 0,
+        NodeMode::Probing => 1,
+        NodeMode::Degraded => 2,
+    }
+}
+
+fn rank_mode(rank: u8) -> NodeMode {
+    match rank {
+        0 => NodeMode::Healthy,
+        1 => NodeMode::Probing,
+        _ => NodeMode::Degraded,
+    }
+}
+
+/// State shared by the acceptor, workers and the server handle.
+struct SharedState {
+    stop: AtomicBool,
+    clock_us: AtomicU64,
+    panics: PanicLedger,
+}
+
+/// Merges every worker's published counters into one Stats reply.
+fn merged_stats(publics: &[Arc<WorkerPublic>]) -> Reply {
+    let mut read_hits = 0;
+    let mut write_hits = 0;
+    let mut read_misses = 0;
+    let mut write_misses = 0;
+    let mut allocation_writes = 0;
+    let mut resident_blocks = 0;
+    let mut degraded_reads = 0;
+    let mut degraded_writes = 0;
+    let mut mode = 0u8;
+    for p in publics {
+        read_hits += p.read_hits.load(Ordering::SeqCst);
+        write_hits += p.write_hits.load(Ordering::SeqCst);
+        read_misses += p.read_misses.load(Ordering::SeqCst);
+        write_misses += p.write_misses.load(Ordering::SeqCst);
+        allocation_writes += p.allocation_writes.load(Ordering::SeqCst);
+        resident_blocks += p.resident_blocks.load(Ordering::SeqCst);
+        degraded_reads += p.degraded_reads.load(Ordering::SeqCst);
+        degraded_writes += p.degraded_writes.load(Ordering::SeqCst);
+        mode = mode.max(p.mode.load(Ordering::SeqCst));
+    }
+    Reply::Stats {
+        read_hits,
+        write_hits,
+        read_misses,
+        write_misses,
+        allocation_writes,
+        resident_blocks,
+        degraded_reads,
+        degraded_writes,
+        mode: rank_mode(mode),
+    }
+}
+
+/// One connection owned by a worker. Plain requests reply strictly in
+/// order through `order`; enveloped replies bypass it and complete
+/// out-of-order straight into `wbuf`.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (`rpos` marks the consumed prefix).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded replies not yet written (`wpos` marks the written prefix).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Plain-request reply slots in arrival order; a slot becomes
+    /// `Some(encoded bytes)` when its reply is ready.
+    order: VecDeque<(u32, Option<Vec<u8>>)>,
+    next_slot: u32,
+    /// Requests forwarded to other shards (or fanned-out flushes) whose
+    /// completions have not come back yet; the conn id is only recycled
+    /// once this drains, so late hops can never hit a stranger.
+    inflight: usize,
+    /// Quit (or a protocol error) was seen: emit pending replies, then
+    /// close.
+    closing: bool,
+    /// The socket died; stop all I/O and recycle once inflight drains.
+    dead: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            order: VecDeque::new(),
+            next_slot: 0,
+            inflight: 0,
+            closing: false,
+            dead: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Moves every leading completed plain reply into the write buffer.
+    fn drain_order(&mut self) {
+        while matches!(self.order.front(), Some((_, Some(_)))) {
+            let (_, bytes) = self.order.pop_front().expect("checked front");
+            self.wbuf.extend_from_slice(&bytes.expect("checked ready"));
+        }
+    }
+
+    /// Records a completed reply: enveloped replies append directly,
+    /// plain replies land in their ordering slot.
+    fn complete(&mut self, slot: u32, corr: u32, piped: bool, reply: Reply) {
+        if piped {
+            PipedReply { corr, reply }.encode_into(&mut self.wbuf);
+            return;
+        }
+        let mut bytes = Vec::new();
+        reply.encode_into(&mut bytes);
+        if let Some(entry) = self.order.iter_mut().find(|(s, _)| *s == slot) {
+            entry.1 = Some(bytes);
+        }
+        self.drain_order();
+    }
+
+    /// Whether this connection has fully quiesced and can be recycled.
+    fn finished(&self) -> bool {
+        if self.dead {
+            return self.inflight == 0;
+        }
+        self.closing && self.inflight == 0 && self.order.is_empty() && self.wpos == self.wbuf.len()
+    }
+}
+
+/// An in-progress ensemble-wide flush: one shard fanned the request out
+/// and is aggregating per-shard results.
+struct PendingFlush {
+    t: OpToken,
+    remaining: usize,
+    flushed: u64,
+    error: Option<Reply>,
+}
+
+/// A running shared-nothing node. Build one with
+/// [`crate::server::NodeServerBuilder::serve_sharded`].
+///
+/// # Examples
+///
+/// ```
+/// use sievestore::PolicySpec;
+/// use sievestore_node::{MemBacking, NodeClient, NodeServerBuilder, WritePolicy};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let server = NodeServerBuilder::new("127.0.0.1:0")
+///     .workers(2)
+///     .serve_sharded(MemBacking::new(), PolicySpec::Aod, 64, WritePolicy::WriteThrough)?;
+///
+/// let mut client = NodeClient::connect(server.addr())?;
+/// client.write_block(3, &[1u8; 512])?;
+/// let (data, hit) = client.read_block(3)?;
+/// assert_eq!(data[0], 1);
+/// assert!(hit);
+///
+/// client.quit()?;
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedNodeServer<B: BackingStore + 'static> {
+    addr: SocketAddr,
+    workers: usize,
+    shared: Arc<SharedState>,
+    publics: Vec<Arc<WorkerPublic>>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    sink: Arc<dyn EventSink>,
+    stopped: bool,
+    _backing: std::marker::PhantomData<fn() -> B>,
+}
+
+impl<B: BackingStore + 'static> ShardedNodeServer<B> {
+    #[allow(clippy::too_many_arguments)] // crate-internal; the public face is the builder
+    pub(crate) fn start(
+        addr: &str,
+        backing: B,
+        policy: sievestore::PolicySpec,
+        capacity_blocks: usize,
+        write_policy: WritePolicy,
+        workers: usize,
+        config: NodeConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> io::Result<Self> {
+        let workers = workers.max(1);
+        if capacity_blocks < workers {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("capacity {capacity_blocks} blocks cannot cover {workers} shard workers"),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let backing = Arc::new(backing);
+        let shared = Arc::new(SharedState {
+            stop: AtomicBool::new(false),
+            clock_us: AtomicU64::new(0),
+            panics: PanicLedger::new(),
+        });
+        let publics: Vec<Arc<WorkerPublic>> = (0..workers)
+            .map(|_| Arc::new(WorkerPublic::default()))
+            .collect();
+
+        // One SPSC ring per ordered worker pair for cross-shard hops.
+        let mut hop_tx: Vec<Vec<Option<Producer<Hop>>>> = (0..workers)
+            .map(|_| (0..workers).map(|_| None).collect())
+            .collect();
+        let mut hop_rx: Vec<Vec<Option<Consumer<Hop>>>> = (0..workers)
+            .map(|_| (0..workers).map(|_| None).collect())
+            .collect();
+        for i in 0..workers {
+            for j in 0..workers {
+                if i != j {
+                    let (tx, rx) = ring::<Hop>(RING_CAPACITY);
+                    hop_tx[i][j] = Some(tx);
+                    hop_rx[j][i] = Some(rx);
+                }
+            }
+        }
+        // One SPSC ring per worker for connection handoff.
+        let mut conn_tx = Vec::with_capacity(workers);
+        let mut conn_rx = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = ring::<TcpStream>(RING_CAPACITY);
+            conn_tx.push(tx);
+            conn_rx.push(rx);
+        }
+
+        let mut worker_threads = Vec::with_capacity(workers);
+        let mut hop_tx = hop_tx.into_iter();
+        let mut hop_rx = hop_rx.into_iter();
+        let mut conn_rx = conn_rx.into_iter();
+        for index in 0..workers {
+            // Spread the capacity remainder so the slices sum exactly.
+            let slice = capacity_blocks / workers + usize::from(index < capacity_blocks % workers);
+            let cache = DataCache::new(Arc::clone(&backing), policy.clone(), slice)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+                .with_write_policy(write_policy);
+            let engine = CacheEngine::new(cache, config, Arc::clone(&sink), Breaker::closed());
+            let mut worker = Worker {
+                index,
+                workers,
+                engine,
+                config,
+                shared: Arc::clone(&shared),
+                publics: publics.clone(),
+                conns: Vec::new(),
+                free: Vec::new(),
+                conn_rx: conn_rx.next().expect("one conn ring per worker"),
+                ring_tx: hop_tx.next().expect("one tx row per worker"),
+                ring_rx: hop_rx.next().expect("one rx row per worker"),
+                outbox: (0..workers).map(|_| VecDeque::new()).collect(),
+                flushes: Vec::new(),
+                scratch: vec![0u8; READ_CHUNK],
+            };
+            let panic_shared = Arc::clone(&shared);
+            worker_threads.push(std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(move || worker.run()));
+                if let Err(payload) = result {
+                    panic_shared.panics.record(payload.as_ref());
+                    // A dead shard makes the whole node unserveable
+                    // (its keys are unreachable): tear everything down
+                    // rather than wedge peers forwarding into silence.
+                    panic_shared.stop.store(true, Ordering::SeqCst);
+                }
+            }));
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, conn_tx, accept_shared);
+        });
+
+        Ok(ShardedNodeServer {
+            addr,
+            workers,
+            shared,
+            publics,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            sink,
+            stopped: false,
+            _backing: std::marker::PhantomData,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of shard workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Aggregate appliance statistics, merged across shard workers from
+    /// their latest published snapshots.
+    pub fn stats(&self) -> sievestore::ApplianceStats {
+        let mut stats = sievestore::ApplianceStats::default();
+        for p in &self.publics {
+            stats.read_hits += p.read_hits.load(Ordering::SeqCst);
+            stats.write_hits += p.write_hits.load(Ordering::SeqCst);
+            stats.read_misses += p.read_misses.load(Ordering::SeqCst);
+            stats.write_misses += p.write_misses.load(Ordering::SeqCst);
+            stats.allocation_writes += p.allocation_writes.load(Ordering::SeqCst);
+            stats.batch_allocations += p.batch_allocations.load(Ordering::SeqCst);
+        }
+        stats
+    }
+
+    /// The node's current health mode: the worst of any shard's mode.
+    pub fn mode(&self) -> NodeMode {
+        let worst = self
+            .publics
+            .iter()
+            .map(|p| p.mode.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        rank_mode(worst)
+    }
+
+    /// Connections currently being served, summed across workers.
+    pub fn live_connections(&self) -> u64 {
+        self.publics
+            .iter()
+            .map(|p| p.live_conns.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Cross-shard hops waiting per worker at the last snapshot.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.publics
+            .iter()
+            .map(|p| p.queue_depth.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Worker panics caught so far. A panicking worker stops the whole
+    /// node (its shard's keys are unreachable) but can never wedge
+    /// [`Self::shutdown`].
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.panics.count()
+    }
+
+    /// The first caught panic's message, for diagnostics.
+    pub fn first_panic_message(&self) -> Option<String> {
+        self.shared.panics.first_message()
+    }
+
+    /// Stops the acceptor and every worker, then joins them. Each
+    /// worker flushes its own dirty frames best-effort on the way out.
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.panics.report(self.sink.as_ref());
+    }
+}
+
+impl<B: BackingStore + 'static> Drop for ShardedNodeServer<B> {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+/// Deals accepted connections to workers round-robin; a full handoff
+/// ring falls through to the next worker rather than blocking.
+fn accept_loop(
+    listener: TcpListener,
+    mut conn_tx: Vec<Producer<TcpStream>>,
+    shared: Arc<SharedState>,
+) {
+    let workers = conn_tx.len();
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut pending = stream;
+        'place: loop {
+            for attempt in 0..workers {
+                let target = (next + attempt) % workers;
+                match conn_tx[target].push(pending) {
+                    Ok(()) => {
+                        next = (target + 1) % workers;
+                        break 'place;
+                    }
+                    Err(back) => pending = back,
+                }
+            }
+            // Every ring is full: wait for a worker to drain.
+            if shared.stop.load(Ordering::SeqCst) {
+                break 'place;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// One shard worker: owns its cache slice, its connections and its
+/// side of every ring.
+struct Worker<B: BackingStore + 'static> {
+    index: usize,
+    workers: usize,
+    engine: CacheEngine<Arc<B>>,
+    config: NodeConfig,
+    shared: Arc<SharedState>,
+    publics: Vec<Arc<WorkerPublic>>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    conn_rx: Consumer<TcpStream>,
+    ring_tx: Vec<Option<Producer<Hop>>>,
+    ring_rx: Vec<Option<Consumer<Hop>>>,
+    /// Hops that found their ring full: retried every iteration so a
+    /// slow peer applies backpressure without deadlocking the pair.
+    outbox: Vec<VecDeque<Hop>>,
+    flushes: Vec<PendingFlush>,
+    scratch: Vec<u8>,
+}
+
+impl<B: BackingStore + 'static> Worker<B> {
+    fn run(&mut self) {
+        let mut idle_spins = 0u32;
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            let mut progressed = false;
+            progressed |= self.ingest_connections();
+            progressed |= self.poll_sockets();
+            progressed |= self.drain_rings();
+            self.publish();
+            progressed |= self.flush_outboxes();
+            progressed |= self.write_sockets();
+            self.reap_connections();
+            if progressed {
+                idle_spins = 0;
+            } else {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins >= IDLE_SPINS {
+                    std::thread::sleep(IDLE_SLEEP);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.teardown();
+    }
+
+    /// Final flush on the way out; runs under the thread's
+    /// `catch_unwind` so a dying backing store cannot wedge shutdown.
+    fn teardown(&mut self) {
+        for conn in self.conns.iter_mut().flatten() {
+            let _ = conn.stream.flush();
+        }
+        self.conns.clear();
+        self.engine
+            .shutdown_flush(self.config.shutdown_flush_retries);
+        self.publish();
+    }
+
+    fn ingest_connections(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(stream) = self.conn_rx.pop() {
+            stream.set_nodelay(true).ok();
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let conn = Conn::new(stream);
+            match self.free.pop() {
+                Some(id) => self.conns[id] = Some(conn),
+                None => self.conns.push(Some(conn)),
+            }
+            obs_gauge_adjust!(NodeLiveConnections, 1);
+            progressed = true;
+        }
+        progressed
+    }
+
+    fn poll_sockets(&mut self) -> bool {
+        let mut progressed = false;
+        for id in 0..self.conns.len() {
+            let Some(mut conn) = self.conns[id].take() else {
+                continue;
+            };
+            if !conn.dead {
+                progressed |= self.read_conn(&mut conn);
+                progressed |= self.parse_conn(id as u32, &mut conn);
+                self.check_idle(&mut conn);
+            }
+            self.conns[id] = Some(conn);
+        }
+        progressed
+    }
+
+    /// Drains every readable byte from the socket into the conn buffer.
+    fn read_conn(&mut self, conn: &mut Conn) -> bool {
+        let mut progressed = false;
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    progressed = true;
+                    if n < self.scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Decodes every complete buffered frame and dispatches it.
+    fn parse_conn(&mut self, conn_id: u32, conn: &mut Conn) -> bool {
+        let mut progressed = false;
+        while !conn.closing && !conn.dead {
+            match split_frame(&conn.rbuf[conn.rpos..]) {
+                Ok(None) => break,
+                Ok(Some((consumed, payload))) => {
+                    let start = conn.rpos + payload.start;
+                    let end = conn.rpos + payload.end;
+                    let incoming = Incoming::parse(&conn.rbuf[start..end]);
+                    conn.rpos += consumed;
+                    progressed = true;
+                    match incoming {
+                        Ok(incoming) => self.dispatch(conn_id, conn, incoming),
+                        Err(e) => self.protocol_error(conn, &e),
+                    }
+                }
+                Err(e) => {
+                    self.protocol_error(conn, &e);
+                    progressed = true;
+                }
+            }
+        }
+        if conn.rpos > 0 {
+            conn.rbuf.drain(..conn.rpos);
+            conn.rpos = 0;
+        }
+        progressed
+    }
+
+    /// Mirrors the legacy server: answer one protocol-error reply, then
+    /// close the connection.
+    fn protocol_error(&mut self, conn: &mut Conn, err: &io::Error) {
+        let slot = conn.next_slot;
+        conn.next_slot = conn.next_slot.wrapping_add(1);
+        conn.order.push_back((slot, None));
+        conn.complete(
+            slot,
+            0,
+            false,
+            Reply::Error {
+                code: ErrorCode::Protocol,
+                message: err.to_string(),
+            },
+        );
+        conn.closing = true;
+    }
+
+    fn check_idle(&self, conn: &mut Conn) {
+        if conn.closing || conn.dead {
+            return;
+        }
+        if let Some(timeout) = self.config.idle_timeout {
+            if conn.inflight == 0
+                && conn.order.is_empty()
+                && conn.rbuf.len() == conn.rpos
+                && conn.last_activity.elapsed() > timeout
+            {
+                // Idle between frames: close quietly, like the legacy
+                // server's read timeout. Clients reconnect on demand.
+                conn.closing = true;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, conn_id: u32, conn: &mut Conn, incoming: Incoming) {
+        let (corr, piped, request) = match incoming {
+            Incoming::Plain(request) => (0, false, request),
+            Incoming::Piped(piped) => (piped.corr, true, piped.request),
+        };
+        // Plain replies go out strictly in arrival order: reserve the
+        // ordering slot before the request is executed or forwarded.
+        let slot = if piped {
+            0
+        } else {
+            let slot = conn.next_slot;
+            conn.next_slot = conn.next_slot.wrapping_add(1);
+            conn.order.push_back((slot, None));
+            slot
+        };
+        let t = OpToken {
+            conn: conn_id,
+            slot,
+            corr,
+            piped,
+        };
+        match request {
+            Request::Read { key } => {
+                let now = self.tick_clock();
+                let target = shard_of(key, self.workers);
+                if target == self.index {
+                    let reply = self.engine.handle_read(key, now);
+                    conn.complete(slot, corr, piped, reply);
+                } else {
+                    conn.inflight += 1;
+                    self.forward(target, Hop::Read { t, key, now });
+                }
+            }
+            Request::Write { key, data } => {
+                let now = self.tick_clock();
+                let target = shard_of(key, self.workers);
+                if target == self.index {
+                    let reply = self.engine.handle_write(key, &data, now);
+                    conn.complete(slot, corr, piped, reply);
+                } else {
+                    conn.inflight += 1;
+                    self.forward(target, Hop::Write { t, key, data, now });
+                }
+            }
+            Request::Stats => {
+                // Served from published snapshots — no cross-shard trip.
+                // Publish first so this worker's own latest work counts.
+                self.publish();
+                let reply = merged_stats(&self.publics);
+                conn.complete(slot, corr, piped, reply);
+            }
+            Request::Flush => {
+                let own = self.engine.handle_flush();
+                if self.workers == 1 {
+                    conn.complete(slot, corr, piped, own);
+                } else {
+                    let mut pending = PendingFlush {
+                        t,
+                        remaining: self.workers - 1,
+                        flushed: 0,
+                        error: None,
+                    };
+                    merge_flush(&mut pending, own);
+                    conn.inflight += 1;
+                    for target in 0..self.workers {
+                        if target != self.index {
+                            self.forward(target, Hop::Flush { t });
+                        }
+                    }
+                    self.flushes.push(pending);
+                }
+            }
+            Request::Quit => {
+                conn.closing = true;
+            }
+        }
+    }
+
+    fn tick_clock(&self) -> Micros {
+        // Logical per-request clock: one millisecond of trace time per
+        // request, globally ordered so sieving windows advance exactly
+        // as on the single-lock server.
+        Micros::new(self.shared.clock_us.fetch_add(1_000, Ordering::Relaxed))
+    }
+
+    /// Queues a hop toward `target`, trying the ring first and falling
+    /// back to the outbox (flushed every iteration) when it is full.
+    fn forward(&mut self, target: usize, hop: Hop) {
+        obs_gauge_adjust!(NodeWorkerQueueDepth, 1);
+        if !self.outbox[target].is_empty() {
+            self.outbox[target].push_back(hop);
+            return;
+        }
+        let tx = self.ring_tx[target].as_mut().expect("peer ring exists");
+        if let Err(hop) = tx.push(hop) {
+            self.outbox[target].push_back(hop);
+        }
+    }
+
+    fn flush_outboxes(&mut self) -> bool {
+        let mut progressed = false;
+        for target in 0..self.workers {
+            while let Some(hop) = self.outbox[target].pop_front() {
+                let tx = self.ring_tx[target].as_mut().expect("peer ring exists");
+                match tx.push(hop) {
+                    Ok(()) => progressed = true,
+                    Err(hop) => {
+                        self.outbox[target].push_front(hop);
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    fn drain_rings(&mut self) -> bool {
+        let mut progressed = false;
+        for from in 0..self.workers {
+            if from == self.index {
+                continue;
+            }
+            loop {
+                let hop = match self.ring_rx[from].as_mut() {
+                    Some(rx) => rx.pop(),
+                    None => None,
+                };
+                let Some(hop) = hop else { break };
+                progressed = true;
+                self.handle_hop(from, hop);
+            }
+        }
+        progressed
+    }
+
+    fn handle_hop(&mut self, from: usize, hop: Hop) {
+        match hop {
+            Hop::Read { t, key, now } => {
+                obs_gauge_adjust!(NodeWorkerQueueDepth, -1);
+                let reply = self.engine.handle_read(key, now);
+                self.forward_done(from, Hop::Done { t, reply });
+            }
+            Hop::Write { t, key, data, now } => {
+                obs_gauge_adjust!(NodeWorkerQueueDepth, -1);
+                let reply = self.engine.handle_write(key, &data, now);
+                self.forward_done(from, Hop::Done { t, reply });
+            }
+            Hop::Flush { t } => {
+                obs_gauge_adjust!(NodeWorkerQueueDepth, -1);
+                let reply = self.engine.handle_flush();
+                self.forward_done(from, Hop::FlushDone { t, reply });
+            }
+            Hop::Done { t, reply } => {
+                self.complete_op(t, reply);
+            }
+            Hop::FlushDone { t, reply } => {
+                let Some(pos) = self
+                    .flushes
+                    .iter()
+                    .position(|p| p.t.conn == t.conn && p.t.slot == t.slot && p.t.corr == t.corr)
+                else {
+                    return;
+                };
+                let pending = &mut self.flushes[pos];
+                merge_flush(pending, reply);
+                pending.remaining -= 1;
+                if pending.remaining == 0 {
+                    let pending = self.flushes.swap_remove(pos);
+                    let reply = pending.error.unwrap_or(Reply::Flush {
+                        flushed: pending.flushed,
+                    });
+                    self.complete_op(pending.t, reply);
+                }
+            }
+        }
+    }
+
+    /// Completions (replies) never take the outbox path's gauge: route
+    /// directly, falling back to the outbox when the ring is full.
+    fn forward_done(&mut self, target: usize, hop: Hop) {
+        if !self.outbox[target].is_empty() {
+            self.outbox[target].push_back(hop);
+            return;
+        }
+        let tx = self.ring_tx[target].as_mut().expect("peer ring exists");
+        if let Err(hop) = tx.push(hop) {
+            self.outbox[target].push_back(hop);
+        }
+    }
+
+    fn complete_op(&mut self, t: OpToken, reply: Reply) {
+        let Some(conn) = self.conns.get_mut(t.conn as usize).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.inflight = conn.inflight.saturating_sub(1);
+        if !conn.dead {
+            conn.complete(t.slot, t.corr, t.piped, reply);
+        }
+    }
+
+    /// Publishes this worker's counters for Stats merging. Runs before
+    /// replies are written out, so by the time a client sees a reply
+    /// the work it did is already visible to Stats on any worker.
+    fn publish(&mut self) {
+        let snap = self.engine.snapshot();
+        let p = &self.publics[self.index];
+        p.read_hits.store(snap.stats.read_hits, Ordering::SeqCst);
+        p.write_hits.store(snap.stats.write_hits, Ordering::SeqCst);
+        p.read_misses
+            .store(snap.stats.read_misses, Ordering::SeqCst);
+        p.write_misses
+            .store(snap.stats.write_misses, Ordering::SeqCst);
+        p.allocation_writes
+            .store(snap.stats.allocation_writes, Ordering::SeqCst);
+        p.batch_allocations
+            .store(snap.stats.batch_allocations, Ordering::SeqCst);
+        p.resident_blocks
+            .store(snap.resident_blocks, Ordering::SeqCst);
+        p.degraded_reads
+            .store(snap.degraded_reads, Ordering::SeqCst);
+        p.degraded_writes
+            .store(snap.degraded_writes, Ordering::SeqCst);
+        p.mode
+            .store(mode_rank(self.engine.mode()), Ordering::SeqCst);
+        p.live_conns.store(
+            self.conns.iter().flatten().filter(|c| !c.dead).count() as u64,
+            Ordering::SeqCst,
+        );
+        let backlog: u64 = self
+            .ring_rx
+            .iter()
+            .flatten()
+            .map(|rx| rx.len() as u64)
+            .sum();
+        p.queue_depth.store(backlog, Ordering::SeqCst);
+    }
+
+    /// Writes as much buffered reply data as each socket accepts.
+    fn write_sockets(&mut self) -> bool {
+        let mut progressed = false;
+        for conn in self.conns.iter_mut().flatten() {
+            if conn.dead || conn.wpos == conn.wbuf.len() {
+                continue;
+            }
+            loop {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        progressed = true;
+                        if conn.wpos == conn.wbuf.len() {
+                            conn.wbuf.clear();
+                            conn.wpos = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Recycles finished connections (dead, or cleanly quit with all
+    /// replies delivered). Ids are only reused once no hop referencing
+    /// them can still be in flight.
+    fn reap_connections(&mut self) {
+        for id in 0..self.conns.len() {
+            let finished = self.conns[id].as_ref().is_some_and(Conn::finished);
+            if finished {
+                self.conns[id] = None;
+                self.free.push(id);
+                obs_gauge_adjust!(NodeLiveConnections, -1);
+            }
+        }
+    }
+}
+
+/// Folds one shard's flush reply into an aggregating fan-out.
+fn merge_flush(pending: &mut PendingFlush, reply: Reply) {
+    match reply {
+        Reply::Flush { flushed } => pending.flushed += flushed,
+        other => {
+            if pending.error.is_none() {
+                pending.error = Some(other);
+            }
+        }
+    }
+}

@@ -197,17 +197,28 @@ pub enum GaugeId {
     CacheResidentFrames,
     /// Blocks currently tracked precisely by MCTs.
     MctTrackedBlocks,
+    /// TCP connections currently served by node servers.
+    NodeLiveConnections,
+    /// Requests queued on node shard-worker rings (summed over workers).
+    NodeWorkerQueueDepth,
 }
 
 impl GaugeId {
     /// Every gauge, in canonical (serialization) order.
-    pub const ALL: [GaugeId; 2] = [GaugeId::CacheResidentFrames, GaugeId::MctTrackedBlocks];
+    pub const ALL: [GaugeId; 4] = [
+        GaugeId::CacheResidentFrames,
+        GaugeId::MctTrackedBlocks,
+        GaugeId::NodeLiveConnections,
+        GaugeId::NodeWorkerQueueDepth,
+    ];
 
     /// The gauge's stable snake-case name.
     pub const fn name(self) -> &'static str {
         match self {
             GaugeId::CacheResidentFrames => "cache_resident_frames",
             GaugeId::MctTrackedBlocks => "mct_tracked_blocks",
+            GaugeId::NodeLiveConnections => "node_live_connections",
+            GaugeId::NodeWorkerQueueDepth => "node_worker_queue_depth",
         }
     }
 

@@ -8,7 +8,7 @@
 //! a hot working set that earns its frames.
 
 use sievestore::PolicySpec;
-use sievestore_node::{DataCache, FileBacking, NodeClient, NodeServer};
+use sievestore_node::{DataCache, FileBacking, NodeClient, NodeServerBuilder};
 use sievestore_sieve::TwoTierConfig;
 
 fn main() -> std::io::Result<()> {
@@ -23,7 +23,7 @@ fn main() -> std::io::Result<()> {
     );
     let cache =
         DataCache::new(backing, policy, 4_096).map_err(|e| std::io::Error::other(e.to_string()))?;
-    let server = NodeServer::spawn("127.0.0.1:0", cache)?;
+    let server = NodeServerBuilder::new("127.0.0.1:0").serve(cache)?;
     println!("SieveStore node listening on {}", server.addr());
 
     let mut client = NodeClient::connect(server.addr())?;

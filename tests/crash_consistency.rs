@@ -28,7 +28,7 @@ use sievestore::PolicySpec;
 use sievestore_node::{
     BackingStore, Block, CrashHandle, CrashPlan, CrashPointMedia, DataCache, DurableMediaSet,
     FaultInjectingBacking, FaultPlan, MediaImage, MemBacking, MemMedia, NodeClient, NodeConfig,
-    NodeMode, NodeServer, RecoveryReport, WritePolicy,
+    NodeMode, NodeServerBuilder, RecoveryReport, WritePolicy,
 };
 use sievestore_types::obs::{CapturingSink, FieldValue};
 use sievestore_types::{Micros, SieveError};
@@ -430,17 +430,17 @@ fn shutdown_flush_failures_are_reported_and_recovered_from_journal() {
         shutdown_flush_retries: 2,
         ..NodeConfig::default()
     };
-    let (server, report) = NodeServer::spawn_durable(
-        "127.0.0.1:0",
-        backing,
-        PolicySpec::Aod,
-        64,
-        WritePolicy::WriteBack,
-        DurableMediaSet::open_dir(&dir).unwrap(),
-        config,
-        sink.clone(),
-    )
-    .unwrap();
+    let (server, report) = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .sink(sink.clone())
+        .serve_durable(
+            backing,
+            PolicySpec::Aod,
+            64,
+            WritePolicy::WriteBack,
+            DurableMediaSet::open_dir(&dir).unwrap(),
+        )
+        .unwrap();
     assert_eq!(report.expect("fresh media opens").recovered, 0);
 
     let mut client = NodeClient::connect(server.addr()).unwrap();
@@ -512,17 +512,16 @@ fn unrecoverable_media_starts_degraded_and_still_serves() {
         journal_b: Box::new(MemMedia::new()),
     };
     let sink = Arc::new(CapturingSink::new());
-    let (server, report) = NodeServer::spawn_durable(
-        "127.0.0.1:0",
-        MemBacking::new(),
-        PolicySpec::Aod,
-        16,
-        WritePolicy::WriteThrough,
-        media,
-        NodeConfig::default(),
-        sink.clone(),
-    )
-    .unwrap();
+    let (server, report) = NodeServerBuilder::new("127.0.0.1:0")
+        .sink(sink.clone())
+        .serve_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            16,
+            WritePolicy::WriteThrough,
+            media,
+        )
+        .unwrap();
     assert!(report.is_none(), "no recovery happened");
     assert_eq!(server.mode(), NodeMode::Degraded);
     assert_eq!(sink.named("node.recovery.failed").len(), 1);
@@ -541,17 +540,16 @@ fn recovery_on_start_emits_completion_event() {
     let dir = temp_dir("recoverevt");
     std::fs::remove_dir_all(&dir).ok();
     {
-        let (server, _) = NodeServer::spawn_durable(
-            "127.0.0.1:0",
-            MemBacking::new(),
-            PolicySpec::Aod,
-            16,
-            WritePolicy::WriteThrough,
-            DurableMediaSet::open_dir(&dir).unwrap(),
-            NodeConfig::default(),
-            Arc::new(CapturingSink::new()),
-        )
-        .unwrap();
+        let (server, _) = NodeServerBuilder::new("127.0.0.1:0")
+            .sink(Arc::new(CapturingSink::new()))
+            .serve_durable(
+                MemBacking::new(),
+                PolicySpec::Aod,
+                16,
+                WritePolicy::WriteThrough,
+                DurableMediaSet::open_dir(&dir).unwrap(),
+            )
+            .unwrap();
         let mut client = NodeClient::connect(server.addr()).unwrap();
         for key in 0..5u64 {
             client.write_block(key, &block(key as u8 + 1)).unwrap();
@@ -560,17 +558,16 @@ fn recovery_on_start_emits_completion_event() {
         server.shutdown();
     }
     let sink = Arc::new(CapturingSink::new());
-    let (server, report) = NodeServer::spawn_durable(
-        "127.0.0.1:0",
-        MemBacking::new(),
-        PolicySpec::Aod,
-        16,
-        WritePolicy::WriteThrough,
-        DurableMediaSet::open_dir(&dir).unwrap(),
-        NodeConfig::default(),
-        sink.clone(),
-    )
-    .unwrap();
+    let (server, report) = NodeServerBuilder::new("127.0.0.1:0")
+        .sink(sink.clone())
+        .serve_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            16,
+            WritePolicy::WriteThrough,
+            DurableMediaSet::open_dir(&dir).unwrap(),
+        )
+        .unwrap();
     let report = report.expect("media recovered");
     assert_eq!(report.recovered, 5, "orderly shutdown recovers warm");
     assert_eq!(server.mode(), NodeMode::Healthy);
@@ -596,17 +593,17 @@ fn background_scrub_quarantines_rot_and_reads_stay_correct() {
         scrub_batch: 1024,
         ..NodeConfig::default()
     };
-    let (server, _) = NodeServer::spawn_durable(
-        "127.0.0.1:0",
-        MemBacking::new(),
-        PolicySpec::Aod,
-        16,
-        WritePolicy::WriteThrough,
-        DurableMediaSet::open_dir(&dir).unwrap(),
-        config,
-        sink.clone(),
-    )
-    .unwrap();
+    let (server, _) = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .sink(sink.clone())
+        .serve_durable(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            16,
+            WritePolicy::WriteThrough,
+            DurableMediaSet::open_dir(&dir).unwrap(),
+        )
+        .unwrap();
     let mut client = NodeClient::connect(server.addr()).unwrap();
     for key in 0..4u64 {
         client.write_block(key, &block(0x60 + key as u8)).unwrap();

@@ -1,6 +1,11 @@
 //! Network integration: the appliance served over TCP must behave like a
 //! correct, sieving block cache under concurrent clients — and keep
 //! serving correct data while its backing store misbehaves.
+//!
+//! Deliberately exercises the legacy `NodeServer::spawn_*` constructors
+//! (now thin deprecated wrappers over `NodeServerBuilder`) so their
+//! compatibility surface stays covered.
+#![allow(deprecated)]
 
 use std::collections::HashMap;
 use std::thread;

@@ -1,0 +1,325 @@
+//! Pipelined protocol integration: many requests in flight per
+//! connection must complete correctly, out-of-order-tolerant via
+//! correlation ids, and leave the cache in exactly the state a serial
+//! client would — while preserving the retry/breaker fault semantics of
+//! the serial path.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sievestore::PolicySpec;
+use sievestore_node::{
+    ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking, NodeClient, NodeConfig,
+    NodeMode, NodeServerBuilder, OpResult, PipedReply, PipedRequest, PipelinedClient, Request,
+    RetryPolicy,
+};
+
+fn block(fill: u8) -> [u8; 512] {
+    [fill; 512]
+}
+
+/// A fast deterministic retry schedule for fault tests.
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        },
+        ..ClientConfig::default()
+    }
+}
+
+#[test]
+fn pipelined_writes_and_reads_round_trip() {
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64).expect("valid appliance");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
+    let mut client = PipelinedClient::connect(server.addr(), 8).expect("connect");
+
+    let mut completions = Vec::new();
+    for key in 0..32u64 {
+        completions.extend(client.write(key, &block(key as u8)).expect("submit write"));
+    }
+    completions.extend(client.drain().expect("drain writes"));
+    assert_eq!(completions.len(), 32, "every write completes exactly once");
+    for c in &completions {
+        assert!(
+            matches!(c.result, Ok(OpResult::Write { .. })),
+            "write of key {} failed: {:?}",
+            c.key,
+            c.result
+        );
+    }
+
+    let mut completions = Vec::new();
+    for key in 0..32u64 {
+        completions.extend(client.read(key).expect("submit read"));
+    }
+    completions.extend(client.drain().expect("drain reads"));
+    assert_eq!(completions.len(), 32);
+    for c in completions {
+        match c.result {
+            Ok(OpResult::Read { hit, data }) => {
+                assert!(hit, "key {} resident after write", c.key);
+                assert_eq!(data[0], c.key as u8, "payload for key {}", c.key);
+            }
+            other => panic!("read of key {} returned {other:?}", c.key),
+        }
+    }
+
+    assert_eq!(client.in_flight(), 0);
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// The differential check for satellite (c): the same logical workload
+/// driven serially and pipelined must leave byte-identical cache state —
+/// identical appliance counters and identical data on every key.
+#[test]
+fn pipelined_and_serial_clients_reach_identical_cache_state() {
+    let spawn = || {
+        let cache =
+            DataCache::new(MemBacking::new(), PolicySpec::Aod, 128).expect("valid appliance");
+        NodeServerBuilder::new("127.0.0.1:0")
+            .serve(cache)
+            .expect("bind")
+    };
+    let serial_server = spawn();
+    let piped_server = spawn();
+
+    // Workload: populate, re-read hot keys, probe cold keys, overwrite.
+    let writes: Vec<u64> = (0..24).collect();
+    let rereads: Vec<u64> = (0..24).chain(0..8).collect();
+    let cold: Vec<u64> = (100..108).collect();
+    let overwrites: Vec<u64> = (5..10).collect();
+
+    // Serial client.
+    {
+        let mut c = NodeClient::connect(serial_server.addr()).expect("connect");
+        for &k in &writes {
+            c.write_block(k, &block(k as u8)).expect("write");
+        }
+        for &k in &rereads {
+            c.read_block(k).expect("read");
+        }
+        for &k in &cold {
+            c.read_block(k).expect("cold read");
+        }
+        for &k in &overwrites {
+            c.write_block(k, &block(0xA0 | k as u8)).expect("overwrite");
+        }
+        c.quit().expect("quit");
+    }
+
+    // Pipelined client, window 6, same logical order.
+    {
+        let mut c = PipelinedClient::connect(piped_server.addr(), 6).expect("connect");
+        for &k in &writes {
+            c.write(k, &block(k as u8)).expect("write");
+        }
+        for &k in &rereads {
+            c.read(k).expect("read");
+        }
+        for &k in &cold {
+            c.read(k).expect("cold read");
+        }
+        for &k in &overwrites {
+            c.write(k, &block(0xA0 | k as u8)).expect("overwrite");
+        }
+        let done = c.drain().expect("drain");
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        c.quit().expect("quit");
+    }
+
+    assert_eq!(
+        serial_server.stats(),
+        piped_server.stats(),
+        "serial and pipelined workloads must produce identical counters"
+    );
+    assert_eq!(serial_server.mode(), piped_server.mode());
+
+    // Every key holds identical bytes on both nodes.
+    let mut a = NodeClient::connect(serial_server.addr()).expect("connect");
+    let mut b = NodeClient::connect(piped_server.addr()).expect("connect");
+    for k in writes.iter().chain(&cold) {
+        let (da, _) = a.read_block(*k).expect("read a");
+        let (db, _) = b.read_block(*k).expect("read b");
+        assert_eq!(da, db, "key {k} diverged between serial and pipelined");
+    }
+    a.quit().expect("quit");
+    b.quit().expect("quit");
+    serial_server.shutdown();
+    piped_server.shutdown();
+}
+
+/// Raw wire check: enveloped requests echo the client-chosen correlation
+/// id on the matching reply, and a batch written as one TCP segment
+/// comes back as one reply per request.
+#[test]
+fn piped_envelopes_echo_correlation_ids() {
+    let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64).expect("valid appliance");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
+
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+
+    // Batch two envelopes with deliberately non-sequential corr ids into
+    // a single write.
+    let mut batch = Vec::new();
+    PipedRequest {
+        corr: 0xDEAD_BEEF,
+        request: Request::Write {
+            key: 9,
+            data: Box::new(block(0x99)),
+        },
+    }
+    .encode_into(&mut batch);
+    PipedRequest {
+        corr: 7,
+        request: Request::Read { key: 9 },
+    }
+    .encode_into(&mut batch);
+    writer.write_all(&batch).expect("write batch");
+    writer.flush().expect("flush");
+
+    let first = PipedReply::decode(&mut reader).expect("first reply");
+    assert_eq!(first.corr, 0xDEAD_BEEF);
+    let second = PipedReply::decode(&mut reader).expect("second reply");
+    assert_eq!(second.corr, 7);
+    match second.reply {
+        sievestore_node::Reply::Read { hit, data } => {
+            assert!(hit);
+            assert_eq!(data[0], 0x99);
+        }
+        other => panic!("expected read reply, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_client_retries_transient_faults_in_place() {
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0x91));
+    let handle = backing.handle();
+    let cache = DataCache::new(backing, PolicySpec::Aod, 64).expect("valid appliance");
+    // High threshold: the breaker must stay closed so the retry itself
+    // is what absorbs the fault.
+    let config = NodeConfig {
+        breaker_threshold: 100,
+        ..NodeConfig::default()
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
+
+    let mut client =
+        PipelinedClient::connect_with(server.addr(), fast_client(), 4).expect("connect");
+    handle.fail_next(1);
+    client.read(3).expect("submit");
+    let done = client.drain().expect("drain");
+    assert_eq!(done.len(), 1);
+    assert!(done[0].result.is_ok(), "retry absorbs the transient fault");
+    assert!(client.retries() >= 1, "the fault cost at least one retry");
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_op_fails_individually_when_retries_exhausted() {
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0x92));
+    let handle = backing.handle();
+    let cache = DataCache::new(backing, PolicySpec::Aod, 64).expect("valid appliance");
+    let config = NodeConfig {
+        breaker_threshold: 100,
+        ..NodeConfig::default()
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
+
+    let no_retry = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let mut client = PipelinedClient::connect_with(server.addr(), no_retry, 4).expect("connect");
+
+    // One doomed read between two healthy ops: only the faulted op may
+    // fail; its neighbors complete normally.
+    client.write(1, &block(0x11)).expect("submit write");
+    let before = client.drain().expect("drain write");
+    assert!(before.iter().all(|c| c.result.is_ok()));
+
+    handle.fail_next(1);
+    client.read(2).expect("submit doomed read");
+    client.read(1).expect("submit healthy read");
+    let done = client.drain().expect("drain");
+    assert_eq!(done.len(), 2);
+    let doomed = done.iter().find(|c| c.key == 2).expect("doomed present");
+    let healthy = done.iter().find(|c| c.key == 1).expect("healthy present");
+    assert!(doomed.result.is_err(), "faulted op surfaces its own error");
+    assert!(healthy.result.is_ok(), "neighboring op is untouched");
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// Fault smoke for satellite (e): sustained faults trip the breaker
+/// while a pipelined client is driving, degraded pass-through keeps
+/// serving correct data, and the node probes back to healthy.
+#[test]
+fn breaker_trips_and_recovers_under_pipelined_load() {
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0x93));
+    let handle = backing.handle();
+    let cache = DataCache::new(backing, PolicySpec::Aod, 64).expect("valid appliance");
+    let config = NodeConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..NodeConfig::default()
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
+
+    let mut client =
+        PipelinedClient::connect_with(server.addr(), fast_client(), 4).expect("connect");
+    client.write(1, &block(0x5A)).expect("seed");
+    client.drain().expect("drain seed");
+
+    // Three consecutive failures open the breaker; the retried request
+    // then completes via degraded pass-through. The key must be
+    // uncached so every attempt reaches the (faulting) backing store.
+    handle.fail_next(3);
+    client.read(2).expect("submit");
+    let done = client.drain().expect("drain");
+    assert!(done.iter().all(|c| c.result.is_ok()));
+    assert_eq!(server.mode(), NodeMode::Degraded, "breaker tripped");
+
+    // Degraded reads still return correct bytes.
+    client.read(1).expect("submit degraded");
+    let done = client.drain().expect("drain degraded");
+    match &done[0].result {
+        Ok(OpResult::Read { data, .. }) => assert_eq!(data[0], 0x5A),
+        other => panic!("degraded read failed: {other:?}"),
+    }
+
+    // Spend the cooldown; the probe finds a healed backing and closes
+    // the breaker.
+    for _ in 0..8 {
+        client.read(1).expect("submit recovery");
+        client.drain().expect("drain recovery");
+    }
+    assert_eq!(server.mode(), NodeMode::Healthy, "breaker recovered");
+
+    client.quit().expect("quit");
+    server.shutdown();
+}

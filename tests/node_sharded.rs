@@ -1,0 +1,379 @@
+//! Shared-nothing server integration: sharding must be semantically
+//! transparent. A serial client sees byte-identical responses from the
+//! single-lock and sharded servers under a deterministic policy, the
+//! existing retry/breaker semantics survive unchanged, and a panicking
+//! worker surfaces through `worker_panics()` without wedging shutdown.
+
+use std::io;
+use std::time::Duration;
+
+use sievestore::PolicySpec;
+use sievestore_node::{
+    BackingStore, Block, ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking,
+    NodeClient, NodeConfig, NodeMode, NodeServerBuilder, OpResult, PipelinedClient, RetryPolicy,
+    WritePolicy,
+};
+use sievestore_sieve::TwoTierConfig;
+
+fn block(fill: u8) -> [u8; 512] {
+    [fill; 512]
+}
+
+/// Polls `cond` until it holds or a 5s deadline passes. The client can
+/// observe a torn connection before the server thread's `catch_unwind`
+/// finishes bookkeeping, so panic-counter asserts must wait.
+fn wait_for(cond: impl Fn() -> bool, what: &str) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        },
+        ..ClientConfig::default()
+    }
+}
+
+/// Deterministic mixed workload: returns (is_write, key) pairs covering
+/// every shard, with rereads so hits accrue.
+fn workload(ops: usize, keys: u64) -> Vec<(bool, u64)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..ops)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 32).is_multiple_of(3), state % keys)
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_round_trip_and_worker_gauges() {
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(2)
+        .serve_sharded(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            64,
+            WritePolicy::WriteThrough,
+        )
+        .expect("bind");
+    assert_eq!(server.workers(), 2);
+    assert_eq!(server.queue_depths().len(), 2);
+
+    let mut client = NodeClient::connect(server.addr()).expect("connect");
+    for key in 0..16u64 {
+        client.write_block(key, &block(key as u8)).expect("write");
+    }
+    for key in 0..16u64 {
+        let (data, hit) = client.read_block(key).expect("read");
+        assert!(hit, "key {key} resident after write");
+        assert_eq!(data[0], key as u8);
+    }
+    assert_eq!(server.live_connections(), 1);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.read_hits, 16, "stats aggregate across all shards");
+    assert_eq!(stats.write_misses, 16);
+    assert_eq!(stats.resident_blocks, 16);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// The acceptance-level differential: with the deterministic
+/// allocate-on-demand policy and no evictions, the sharded server must
+/// answer every request byte-identically to the single-lock server —
+/// same payloads, same hit bits, same final counters.
+#[test]
+fn sharded_matches_legacy_byte_for_byte_under_aod() {
+    let legacy = {
+        let cache =
+            DataCache::new(MemBacking::new(), PolicySpec::Aod, 512).expect("valid appliance");
+        NodeServerBuilder::new("127.0.0.1:0")
+            .serve(cache)
+            .expect("bind")
+    };
+    let sharded = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(4)
+        .serve_sharded(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            512,
+            WritePolicy::WriteThrough,
+        )
+        .expect("bind");
+
+    let ops = workload(400, 64);
+    let drive = |addr| -> Vec<(bool, [u8; 512])> {
+        let mut client = NodeClient::connect(addr).expect("connect");
+        let out = ops
+            .iter()
+            .map(|&(is_write, key)| {
+                if is_write {
+                    let hit = client.write_block(key, &block(key as u8)).expect("write");
+                    (hit, block(key as u8))
+                } else {
+                    let (data, hit) = client.read_block(key).expect("read");
+                    (hit, data)
+                }
+            })
+            .collect();
+        client.quit().expect("quit");
+        out
+    };
+
+    let legacy_replies = drive(legacy.addr());
+    let sharded_replies = drive(sharded.addr());
+    for (i, (a, b)) in legacy_replies.iter().zip(&sharded_replies).enumerate() {
+        assert_eq!(a.0, b.0, "hit bit diverged at op {i} ({:?})", ops[i]);
+        assert_eq!(a.1, b.1, "payload diverged at op {i} ({:?})", ops[i]);
+    }
+    assert_eq!(legacy.stats(), sharded.stats(), "final counters identical");
+
+    legacy.shutdown();
+    sharded.shutdown();
+}
+
+/// Sieve policies keep per-shard admission state, so hit bits may differ
+/// across shard counts — but the data plane must still be correct:
+/// payloads identical to the single-lock server on every op.
+#[test]
+fn sharded_matches_legacy_payloads_under_sieve_policy() {
+    let policy = || {
+        PolicySpec::SieveStoreC(
+            TwoTierConfig::paper_default()
+                .with_imct_entries(1 << 10)
+                .with_thresholds(2, 1),
+        )
+    };
+    let legacy = {
+        let cache = DataCache::new(MemBacking::new(), policy(), 256).expect("valid appliance");
+        NodeServerBuilder::new("127.0.0.1:0")
+            .serve(cache)
+            .expect("bind")
+    };
+    let sharded = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(3)
+        .serve_sharded(MemBacking::new(), policy(), 256, WritePolicy::WriteThrough)
+        .expect("bind");
+
+    let ops = workload(600, 96);
+    let drive = |addr| -> Vec<[u8; 512]> {
+        let mut client = NodeClient::connect(addr).expect("connect");
+        let out = ops
+            .iter()
+            .map(|&(is_write, key)| {
+                if is_write {
+                    client.write_block(key, &block(key as u8)).expect("write");
+                    block(key as u8)
+                } else {
+                    client.read_block(key).expect("read").0
+                }
+            })
+            .collect();
+        client.quit().expect("quit");
+        out
+    };
+
+    let legacy_replies = drive(legacy.addr());
+    let sharded_replies = drive(sharded.addr());
+    for (i, (a, b)) in legacy_replies.iter().zip(&sharded_replies).enumerate() {
+        assert_eq!(a, b, "payload diverged at op {i} ({:?})", ops[i]);
+    }
+
+    legacy.shutdown();
+    sharded.shutdown();
+}
+
+/// The existing client fault semantics — bounded retries, per-worker
+/// breaker trip into degraded pass-through, probe-back recovery — hold
+/// against the sharded server. Hammering one key keeps every fault on a
+/// single shard so the trip threshold behaves exactly as on the
+/// single-lock server.
+#[test]
+fn sharded_preserves_retry_and_breaker_semantics() {
+    let backing = FaultInjectingBacking::new(MemBacking::new(), FaultPlan::new(0xB4));
+    let handle = backing.handle();
+    let config = NodeConfig {
+        breaker_threshold: 3,
+        breaker_cooldown: 4,
+        ..NodeConfig::default()
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(2)
+        .config(config)
+        .serve_sharded(backing, PolicySpec::Aod, 64, WritePolicy::WriteThrough)
+        .expect("bind");
+
+    let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
+    client.write_block(0, &block(0x42)).expect("seed");
+
+    // One transient fault on an uncached key (cache hits never reach
+    // the backing): absorbed by a client retry, breaker stays closed.
+    handle.fail_next(1);
+    client.read_block(100).expect("retried read");
+    assert!(client.retries() >= 1);
+    assert_eq!(server.mode(), NodeMode::Healthy);
+
+    // Sustained faults: retried reads of one uncached key keep every
+    // failure on a single shard, tripping its breaker; the seeded key
+    // still serves correct bytes (from cache or pass-through).
+    handle.fail_next(3);
+    client.read_block(50).expect("degraded read");
+    assert_eq!(server.mode(), NodeMode::Degraded, "worst-rank mode");
+    let (data, _) = client.read_block(0).expect("read during degradation");
+    assert_eq!(data[0], 0x42);
+
+    // Spend the tripped shard's cooldown; the probe then finds a healed
+    // backing and closes its breaker.
+    for _ in 0..8 {
+        client.read_block(50).expect("recovery read");
+    }
+    assert_eq!(server.mode(), NodeMode::Healthy);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_client_saturates_sharded_server() {
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(3)
+        .serve_sharded(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            256,
+            WritePolicy::WriteThrough,
+        )
+        .expect("bind");
+
+    let mut client = PipelinedClient::connect(server.addr(), 16).expect("connect");
+    let mut done = Vec::new();
+    for key in 0..96u64 {
+        done.extend(client.write(key, &block(key as u8)).expect("write"));
+    }
+    for key in 0..96u64 {
+        done.extend(client.read(key).expect("read"));
+    }
+    done.extend(client.drain().expect("drain"));
+    assert_eq!(done.len(), 192);
+
+    let mut read_hits = 0u64;
+    for c in done {
+        match c.result {
+            Ok(OpResult::Read { hit, data }) => {
+                assert_eq!(data[0], c.key as u8, "payload for key {}", c.key);
+                read_hits += hit as u64;
+            }
+            Ok(OpResult::Write { .. }) => {}
+            Err(e) => panic!("op on key {} failed: {e}", c.key),
+        }
+    }
+    assert_eq!(read_hits, 96, "all reads hit after the write pass");
+    assert_eq!(server.stats().read_hits, 96);
+
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// A backing store whose reads of one key blow up, for the satellite (f)
+/// regression: worker panics must be counted, carry their message, and
+/// never wedge `shutdown()`.
+struct PanickingBacking {
+    inner: MemBacking,
+    panic_key: u64,
+}
+
+impl BackingStore for PanickingBacking {
+    fn read_block(&self, key: u64) -> io::Result<Block> {
+        assert!(key != self.panic_key, "intentional backing panic");
+        self.inner.read_block(key)
+    }
+
+    fn write_block(&self, key: u64, data: &Block) -> io::Result<()> {
+        self.inner.write_block(key, data)
+    }
+}
+
+#[test]
+fn legacy_server_survives_worker_panic_and_shuts_down() {
+    let backing = PanickingBacking {
+        inner: MemBacking::new(),
+        panic_key: 7,
+    };
+    let cache = DataCache::new(backing, PolicySpec::Aod, 64).expect("valid appliance");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
+
+    let no_retry = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let mut client = NodeClient::connect_with(server.addr(), no_retry).expect("connect");
+    client.write_block(1, &block(1)).expect("healthy write");
+    let err = client
+        .read_block(7)
+        .expect_err("panicking read kills the connection");
+    assert!(err.is_transient(), "client sees a transport error: {err}");
+
+    wait_for(|| server.worker_panics() == 1, "panic ledger update");
+    let msg = server
+        .first_panic_message()
+        .expect("panic message captured");
+    assert!(msg.contains("intentional backing panic"), "got {msg:?}");
+
+    // The node keeps serving other connections after one died.
+    let mut again = NodeClient::connect_with(server.addr(), no_retry).expect("reconnect");
+    let (data, hit) = again.read_block(1).expect("read after panic");
+    assert!(hit);
+    assert_eq!(data[0], 1);
+    again.quit().expect("quit");
+
+    server.shutdown();
+}
+
+#[test]
+fn sharded_server_propagates_worker_panic_and_shuts_down() {
+    let backing = PanickingBacking {
+        inner: MemBacking::new(),
+        panic_key: 7,
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(2)
+        .serve_sharded(backing, PolicySpec::Aod, 64, WritePolicy::WriteThrough)
+        .expect("bind");
+
+    let no_retry = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..ClientConfig::default()
+    };
+    let mut client = NodeClient::connect_with(server.addr(), no_retry).expect("connect");
+    client.write_block(1, &block(1)).expect("healthy write");
+    let err = client
+        .read_block(7)
+        .expect_err("panicking shard tears the node down");
+    assert!(err.is_transient(), "client sees a transport error: {err}");
+
+    wait_for(|| server.worker_panics() == 1, "panic ledger update");
+    let msg = server
+        .first_panic_message()
+        .expect("panic message captured");
+    assert!(msg.contains("intentional backing panic"), "got {msg:?}");
+
+    // A dead shard means a slice of the key space is unreachable, so the
+    // whole node stops; shutdown must return promptly, not hang.
+    server.shutdown();
+}
