@@ -503,6 +503,7 @@ pub struct PipelinedClient {
     jitter_salt: u64,
     retries: u64,
     reconnects: u64,
+    stale_replies: u64,
 }
 
 impl PipelinedClient {
@@ -550,6 +551,7 @@ impl PipelinedClient {
             jitter_salt: addr.port() as u64 ^ 0xA076_1D64_78BD_642F,
             retries: 0,
             reconnects: 0,
+            stale_replies: 0,
         };
         client.conn = Some(client.dial()?);
         Ok(client)
@@ -594,6 +596,13 @@ impl PipelinedClient {
     /// the initial connect).
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Replies that matched no in-flight operation and were discarded
+    /// (their operation had already completed, e.g. with a transport
+    /// error during a reconnect).
+    pub fn stale_replies(&self) -> u64 {
+        self.stale_replies
     }
 
     /// Submits a pipelined read; returns any operations that completed
@@ -678,16 +687,20 @@ impl PipelinedClient {
     /// Buffers one enveloped request; a transport failure on the way
     /// out reconnects and resubmits the whole window.
     fn encode_op(&mut self, op: &InflightOp) -> Result<(), NodeError> {
-        self.scratch.clear();
-        PipedRequest {
-            corr: op.corr,
-            request: op.request.clone(),
-        }
-        .encode_into(&mut self.scratch);
         loop {
             if self.conn.is_none() {
                 self.reestablish()?;
             }
+            // Encode fresh on every attempt: reestablish() reuses
+            // `scratch` to resubmit the in-flight window, so a frame
+            // built before a reconnect would be clobbered (sending the
+            // window twice and dropping this op).
+            self.scratch.clear();
+            PipedRequest {
+                corr: op.corr,
+                request: op.request.clone(),
+            }
+            .encode_into(&mut self.scratch);
             let conn = self.conn.as_mut().expect("reestablish installs a conn");
             match conn.writer.write_all(&self.scratch) {
                 Ok(()) => return Ok(()),
@@ -713,19 +726,26 @@ impl PipelinedClient {
                 continue;
             }
             match PipedReply::decode(&mut conn.reader) {
-                Ok(piped) => return self.settle(piped),
+                Ok(piped) => {
+                    if self.settle(piped)? {
+                        return Ok(());
+                    }
+                    // Stale reply discarded: keep reading for a live one.
+                }
                 Err(_) => self.on_transport_failure()?,
             }
         }
     }
 
-    /// Routes one decoded reply to its in-flight operation.
-    fn settle(&mut self, piped: PipedReply) -> Result<(), NodeError> {
+    /// Routes one decoded reply to its in-flight operation. Returns
+    /// `false` for a stale reply — one whose operation is no longer in
+    /// flight (e.g. it already completed with a transport error during
+    /// a reconnect) — which is discarded rather than failing the whole
+    /// client.
+    fn settle(&mut self, piped: PipedReply) -> Result<bool, NodeError> {
         let Some(pos) = self.inflight.iter().position(|op| op.corr == piped.corr) else {
-            return Err(NodeError::Protocol(format!(
-                "reply for unknown correlation id {}",
-                piped.corr
-            )));
+            self.stale_replies += 1;
+            return Ok(false);
         };
         let op = self.inflight.swap_remove(pos);
         let settled = match (&op.request, piped.reply) {
@@ -746,16 +766,19 @@ impl PipelinedClient {
                     result: Ok(result),
                     latency: op.started.elapsed(),
                 });
-                Ok(())
+                Ok(true)
             }
-            Err(error) if error.is_transient() => self.retry_or_complete(op, error),
+            Err(error) if error.is_transient() => {
+                self.retry_or_complete(op, error)?;
+                Ok(true)
+            }
             Err(error) => {
                 self.done.push(Completion {
                     key: op.key,
                     result: Err(error),
                     latency: op.started.elapsed(),
                 });
-                Ok(())
+                Ok(true)
             }
         }
     }

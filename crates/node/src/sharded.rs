@@ -47,6 +47,17 @@ const RING_CAPACITY: usize = 1024;
 /// Bytes read from a socket per `read` call.
 const READ_CHUNK: usize = 16 * 1024;
 
+/// Per-connection write backlog (bytes) above which the worker stops
+/// reading and parsing new requests from that connection until the
+/// client drains some replies — pipelining backpressure, so a client
+/// that submits without reading cannot grow `wbuf` without bound.
+const WBUF_BACKPRESSURE: usize = 1024 * 1024;
+
+/// Total hops queued across this worker's outboxes above which it stops
+/// parsing new requests until peers drain their rings, bounding the
+/// outbox queues the same way.
+const OUTBOX_BACKPRESSURE: usize = 4 * RING_CAPACITY;
+
 /// Idle iterations before a worker starts sleeping between polls.
 const IDLE_SPINS: u32 = 128;
 
@@ -236,6 +247,11 @@ impl Conn {
             entry.1 = Some(bytes);
         }
         self.drain_order();
+    }
+
+    /// Bytes of encoded replies not yet accepted by the socket.
+    fn write_backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
     }
 
     /// Whether this connection has fully quiesced and can be recycled.
@@ -615,13 +631,18 @@ impl<B: BackingStore + 'static> Worker<B> {
 
     fn poll_sockets(&mut self) -> bool {
         let mut progressed = false;
+        let stalled = self.outbox.iter().map(VecDeque::len).sum::<usize>() >= OUTBOX_BACKPRESSURE;
         for id in 0..self.conns.len() {
             let Some(mut conn) = self.conns[id].take() else {
                 continue;
             };
             if !conn.dead {
-                progressed |= self.read_conn(&mut conn);
-                progressed |= self.parse_conn(id as u32, &mut conn);
+                // Backpressure: stop ingesting requests while this
+                // connection's replies back up or peers are saturated.
+                if !stalled && conn.write_backlog() < WBUF_BACKPRESSURE {
+                    progressed |= self.read_conn(&mut conn);
+                    progressed |= self.parse_conn(id as u32, &mut conn);
+                }
                 self.check_idle(&mut conn);
             }
             self.conns[id] = Some(conn);
@@ -657,10 +678,12 @@ impl<B: BackingStore + 'static> Worker<B> {
         progressed
     }
 
-    /// Decodes every complete buffered frame and dispatches it.
+    /// Decodes every complete buffered frame and dispatches it,
+    /// stopping early once the reply backlog hits the backpressure cap
+    /// (the rest of `rbuf` keeps until the client drains replies).
     fn parse_conn(&mut self, conn_id: u32, conn: &mut Conn) -> bool {
         let mut progressed = false;
-        while !conn.closing && !conn.dead {
+        while !conn.closing && !conn.dead && conn.write_backlog() < WBUF_BACKPRESSURE {
             match split_frame(&conn.rbuf[conn.rpos..]) {
                 Ok(None) => break,
                 Ok(Some((consumed, payload))) => {
@@ -710,11 +733,15 @@ impl<B: BackingStore + 'static> Worker<B> {
             return;
         }
         if let Some(timeout) = self.config.idle_timeout {
-            if conn.inflight == 0
-                && conn.order.is_empty()
-                && conn.rbuf.len() == conn.rpos
-                && conn.last_activity.elapsed() > timeout
-            {
+            if conn.last_activity.elapsed() <= timeout {
+                return;
+            }
+            if conn.write_backlog() > 0 {
+                // The peer stopped draining replies (writes only ever
+                // WouldBlock, so a polite close could never finish):
+                // drop the connection to reclaim its backlog and id.
+                conn.dead = true;
+            } else if conn.inflight == 0 && conn.order.is_empty() && conn.rbuf.len() == conn.rpos {
                 // Idle between frames: close quietly, like the legacy
                 // server's read timeout. Clients reconnect on demand.
                 conn.closing = true;
@@ -878,11 +905,15 @@ impl<B: BackingStore + 'static> Worker<B> {
                 self.complete_op(t, reply);
             }
             Hop::FlushDone { t, reply } => {
-                let Some(pos) = self
-                    .flushes
-                    .iter()
-                    .position(|p| p.t.conn == t.conn && p.t.slot == t.slot && p.t.corr == t.corr)
-                else {
+                // Match the full token: a plain flush in slot 0 and a
+                // piped flush with corr 0 on the same connection are
+                // distinct fan-outs and must aggregate separately.
+                let Some(pos) = self.flushes.iter().position(|p| {
+                    p.t.conn == t.conn
+                        && p.t.slot == t.slot
+                        && p.t.corr == t.corr
+                        && p.t.piped == t.piped
+                }) else {
                     return;
                 };
                 let pending = &mut self.flushes[pos];
@@ -974,6 +1005,7 @@ impl<B: BackingStore + 'static> Worker<B> {
                     }
                     Ok(n) => {
                         conn.wpos += n;
+                        conn.last_activity = Instant::now();
                         progressed = true;
                         if conn.wpos == conn.wbuf.len() {
                             conn.wbuf.clear();

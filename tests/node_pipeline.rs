@@ -10,9 +10,9 @@ use std::time::Duration;
 
 use sievestore::PolicySpec;
 use sievestore_node::{
-    ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking, NodeClient, NodeConfig,
-    NodeMode, NodeServerBuilder, OpResult, PipedReply, PipedRequest, PipelinedClient, Request,
-    RetryPolicy,
+    ClientConfig, DataCache, ErrorCode, FaultInjectingBacking, FaultPlan, Incoming, MemBacking,
+    NodeClient, NodeConfig, NodeMode, NodeServerBuilder, OpResult, PipedReply, PipedRequest,
+    PipelinedClient, Reply, Request, RetryPolicy,
 };
 
 fn block(fill: u8) -> [u8; 512] {
@@ -270,6 +270,85 @@ fn pipelined_op_fails_individually_when_retries_exhausted() {
 
     client.quit().expect("quit");
     server.shutdown();
+}
+
+/// Regression: a transport failure surfacing inside a submit (the
+/// buffered `write_all` in `encode_op`) must reconnect transparently.
+/// The client once shared one scratch buffer between the op being
+/// encoded and the window resubmission, so after a reconnect the retry
+/// loop sent the whole window a second time — the server answered
+/// every correlation id twice and the new op's frame was lost.
+#[test]
+fn pipelined_client_survives_connection_loss_mid_submit() {
+    use std::io::Read as _;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        // Conn 1: swallow a little, then drop without replying. The
+        // unread bytes left behind turn the close into an RST, so the
+        // client's next buffered flush fails mid-submit.
+        {
+            let (mut s, _) = listener.accept().expect("accept first conn");
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+        }
+        // Conn 2: a well-behaved pipelined responder until quit.
+        let (s, _) = listener.accept().expect("accept second conn");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(s);
+        while let Ok(Incoming::Piped(piped)) = Incoming::decode(&mut reader) {
+            let reply = match piped.request {
+                Request::Read { .. } => Reply::Read {
+                    hit: false,
+                    data: Box::new(block(0)),
+                },
+                Request::Write { .. } => Reply::Write { hit: false },
+                _ => Reply::Error {
+                    code: ErrorCode::Protocol,
+                    message: "unexpected request".into(),
+                },
+            };
+            let envelope = PipedReply {
+                corr: piped.corr,
+                reply,
+            };
+            envelope.encode(&mut writer).expect("encode reply");
+            writer.flush().expect("flush reply");
+        }
+    });
+
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_secs(2)),
+        ..fast_client()
+    };
+    // Window larger than the op count, so the transport failure can
+    // only surface through a submit's write, never through a read.
+    let mut client = PipelinedClient::connect_with(addr, config, 64).expect("connect");
+    let mut done = Vec::new();
+    // Enough ops to overflow the 8 KiB write buffer and reach the dead
+    // socket; the pause lets conn 1's RST land before the next flush.
+    for key in 0..20u64 {
+        done.extend(client.write(key, &block(key as u8)).expect("submit"));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    for key in 20..48u64 {
+        done.extend(client.write(key, &block(key as u8)).expect("submit"));
+    }
+    done.extend(client.drain().expect("drain after transparent reconnect"));
+
+    assert_eq!(done.len(), 48, "every op completes exactly once");
+    for c in &done {
+        assert!(c.result.is_ok(), "key {} failed: {:?}", c.key, c.result);
+    }
+    let mut keys: Vec<u64> = done.iter().map(|c| c.key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 48, "no op completed twice");
+    assert!(client.reconnects() >= 1, "the connection loss was observed");
+
+    client.quit().expect("quit");
+    server.join().expect("server thread");
 }
 
 /// Fault smoke for satellite (e): sustained faults trip the breaker

@@ -10,8 +10,8 @@ use std::time::Duration;
 use sievestore::PolicySpec;
 use sievestore_node::{
     BackingStore, Block, ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, MemBacking,
-    NodeClient, NodeConfig, NodeMode, NodeServerBuilder, OpResult, PipelinedClient, RetryPolicy,
-    WritePolicy,
+    NodeClient, NodeConfig, NodeMode, NodeServerBuilder, OpResult, PipedReply, PipedRequest,
+    PipelinedClient, Reply, Request, RetryPolicy, WritePolicy,
 };
 use sievestore_sieve::TwoTierConfig;
 
@@ -375,5 +375,136 @@ fn sharded_server_propagates_worker_panic_and_shuts_down() {
 
     // A dead shard means a slice of the key space is unreachable, so the
     // whole node stops; shutdown must return promptly, not hang.
+    server.shutdown();
+}
+
+/// Regression: a plain flush in ordering slot 0 and a piped flush with
+/// corr 0 on the same connection produce colliding (conn, slot, corr)
+/// keys; fan-out aggregation must match the full op token or one flush
+/// absorbs completions belonging to the other and the counts cross.
+#[test]
+fn concurrent_plain_and_piped_flushes_aggregate_separately() {
+    use std::io::{BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(3)
+        .serve_sharded(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            64,
+            WritePolicy::WriteBack,
+        )
+        .expect("bind");
+
+    // Dirty one frame per key across every shard: read to allocate,
+    // write-hit to dirty.
+    let mut client = NodeClient::connect(server.addr()).expect("connect");
+    for key in 0..12u64 {
+        client.read_block(key).expect("prime residency");
+        client.write_block(key, &block(key as u8)).expect("dirty");
+    }
+    client.quit().expect("quit");
+
+    // Same connection, same batch: a plain flush (first request, so
+    // ordering slot 0) and a piped flush with corr 0.
+    let stream = TcpStream::connect(server.addr()).expect("connect raw");
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    let mut reader = BufReader::new(stream);
+    let mut batch = Vec::new();
+    Request::Flush.encode_into(&mut batch);
+    PipedRequest {
+        corr: 0,
+        request: Request::Flush,
+    }
+    .encode_into(&mut batch);
+    writer.write_all(&batch).expect("write batch");
+    writer.flush().expect("flush batch");
+
+    // The plain flush fanned out first (rings are FIFO), so it collects
+    // every dirty frame; the piped flush chasing it finds nothing left.
+    let plain = Reply::decode(&mut reader).expect("plain flush reply");
+    assert!(
+        matches!(plain, Reply::Flush { flushed: 12 }),
+        "plain flush must aggregate all 12 dirty frames, got {plain:?}"
+    );
+    let piped = PipedReply::decode(&mut reader).expect("piped flush reply");
+    assert_eq!(piped.corr, 0);
+    assert!(
+        matches!(piped.reply, Reply::Flush { flushed: 0 }),
+        "piped flush must not steal the plain flush's completions, got {:?}",
+        piped.reply
+    );
+
+    // The connection stays serviceable afterwards.
+    let mut probe = Vec::new();
+    PipedRequest {
+        corr: 9,
+        request: Request::Read { key: 3 },
+    }
+    .encode_into(&mut probe);
+    writer.write_all(&probe).expect("write probe");
+    writer.flush().expect("flush probe");
+    let reply = PipedReply::decode(&mut reader).expect("probe reply");
+    assert_eq!(reply.corr, 9);
+    assert!(matches!(reply.reply, Reply::Read { hit: true, .. }));
+
+    Request::Quit.encode(&mut writer).expect("quit");
+    writer.flush().ok();
+    server.shutdown();
+}
+
+/// Regression: a client that pipelines requests but never reads replies
+/// must not grow the server's write buffer without bound or pin the
+/// connection forever — backpressure stops ingesting past the backlog
+/// cap and the idle timeout reaps the stalled connection.
+#[test]
+fn stalled_reader_with_write_backlog_is_reaped() {
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    let config = NodeConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..NodeConfig::default()
+    };
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .workers(1)
+        .config(config)
+        .serve_sharded(
+            MemBacking::new(),
+            PolicySpec::Aod,
+            64,
+            WritePolicy::WriteThrough,
+        )
+        .expect("bind");
+
+    // Pipeline far more reply bytes than the kernel socket buffers can
+    // absorb and never read any of them. The writer gets its own
+    // thread: once the server stops ingesting (backpressure) and then
+    // kills the connection, the writes fail — that is expected.
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let writer_stream = stream.try_clone().expect("clone");
+    let writer = std::thread::spawn(move || {
+        let mut s = writer_stream;
+        let mut frame = Vec::new();
+        for corr in 0..32_000u32 {
+            frame.clear();
+            PipedRequest {
+                corr,
+                request: Request::Read { key: 1 },
+            }
+            .encode_into(&mut frame);
+            if s.write_all(&frame).is_err() {
+                break;
+            }
+        }
+    });
+
+    wait_for(
+        || server.live_connections() == 0,
+        "stalled connection reaped",
+    );
+    writer.join().expect("writer thread");
+    drop(stream);
     server.shutdown();
 }
