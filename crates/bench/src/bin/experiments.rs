@@ -12,7 +12,7 @@ use std::process::ExitCode;
 use sievestore_bench::{cost, extensions, policies, sens, shadow, summary, workload, Harness};
 
 const USAGE: &str = "\
-usage: experiments [--scale N] [--seed S] [--out DIR] <id>...
+usage: experiments [--scale N|full] [--seed S] [--out DIR] <id>...
 
 ids:
   table1 fig2a fig2b fig2c fig3a fig3b fig3c fig3d
@@ -23,7 +23,9 @@ ids:
   all        every experiment above
 
 options:
-  --scale N    trace scale denominator (default 256; smaller = higher fidelity)
+  --scale N    trace scale denominator (default 256; smaller = higher
+               fidelity); 'full' is an alias for 1 — pair it with --spill
+               so memory stays bounded
   --seed S     master RNG seed (default 0x51EE5704)
   --out DIR    CSV output directory (default results/)
   --threads N  replay each simulation with N sharded workers (default 1:
@@ -35,7 +37,11 @@ options:
   --obs        enable runtime metrics recording; writes one day-boundary
                snapshot JSONL per policy run plus the registry totals
                (obs_metrics.json) to the output dir (hot-path counters
-               need a build with --features obs)";
+               need a build with --features obs)
+  --spill DIR  bound memory: stream trace generation through spill files
+               under DIR and count discrete epochs with the spill-backed
+               counter (bit-identical figures; required for --scale full
+               on ordinary hosts)";
 
 const ALL: [&str; 21] = [
     "table1",
@@ -80,17 +86,19 @@ fn run() -> Result<(), String> {
     let mut threads: usize = 1;
     let mut eviction = sievestore_sim::EvictionPolicy::default();
     let mut obs = false;
+    let mut spill: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = iter
-                    .next()
-                    .ok_or("--scale needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                let value = iter.next().ok_or("--scale needs a value")?;
+                scale = if value == "full" {
+                    1
+                } else {
+                    value.parse().map_err(|e| format!("bad --scale: {e}"))?
+                };
             }
             "--seed" => {
                 seed = iter
@@ -117,6 +125,7 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("bad --eviction: {e}"))?;
             }
             "--obs" => obs = true,
+            "--spill" => spill = Some(iter.next().ok_or("--spill needs a value")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -139,12 +148,16 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .with_threads(threads)
         .with_eviction(eviction);
+    if let Some(dir) = &spill {
+        harness = harness.with_spill(dir);
+    }
     println!(
         "SieveStore experiments | 13-server ensemble, {} days, scale 1/{scale}, seed {seed:#x}, \
-         replay {:?}, eviction {}",
+         replay {:?}, eviction {}{}",
         harness.trace().days(),
         harness.replay_mode(),
-        harness.eviction()
+        harness.eviction(),
+        if spill.is_some() { ", spill mode" } else { "" }
     );
     println!("CSV output: {out_dir}/\n");
 

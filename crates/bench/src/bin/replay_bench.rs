@@ -41,6 +41,13 @@
 //! and the observability-registry totals are embedded as diagnostics
 //! (full counters need a build with `--features obs`).
 //!
+//! `--scale` also accepts the literal `full` (denominator 1 — the paper's
+//! complete 13-server ensemble). For such runs `--spill DIR` routes both
+//! trace generation and epoch access counting through spill files so peak
+//! RSS stays bounded by one server-day, and `--max-rss-mb N` turns the
+//! measured `VmHWM` high-water mark into a hard gate. Every report embeds
+//! the measured peak as `peak_rss_bytes`.
+//!
 //! When `GITHUB_STEP_SUMMARY` is set (GitHub Actions), a markdown table
 //! of events/sec per mode — with deltas against the `--check` baseline —
 //! is appended to it, so the perf job's numbers show up on the run's
@@ -52,21 +59,23 @@ use std::time::Instant;
 use sievestore::PolicySpec;
 use sievestore_bench::replay_json::{compare_reports, MicroReport, ReplayReport, RunReport};
 use sievestore_cache::{LruCache, SieveCache};
+use sievestore_extsort::CountingConfig;
 use sievestore_sieve::{Mct, WindowConfig};
 use sievestore_sim::{
     simulate, simulate_sharded, EvictionPolicy, SimConfig, SimResult, SnapshotLog,
 };
-use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
-use sievestore_types::{mix64, Micros, U64Map};
+use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace, TraceStreamConfig};
+use sievestore_types::{mix64, peak_rss_bytes, Micros, U64Map};
 
 const USAGE: &str = "\
-usage: replay_bench [--scale N] [--seed S] [--reps R] [--out FILE]
+usage: replay_bench [--scale N|full] [--seed S] [--reps R] [--out FILE]
                     [--check BASELINE] [--tolerance T] [--require-scaling]
                     [--min-speedup X] [--write-baseline] [--eviction P]
-                    [--obs]
+                    [--obs] [--spill DIR] [--max-rss-mb N]
 
 options:
-  --scale N       trace scale denominator (default 2048)
+  --scale N       trace scale denominator (default 2048); 'full' is an
+                  alias for 1 (the paper's full 13-server ensemble)
   --seed S        trace seed (default 0x51EE5704)
   --reps R        repetitions per configuration; the fastest is reported
                   (default 3 — damps scheduler noise on shared runners)
@@ -90,7 +99,16 @@ options:
                   and any continuous diagnostics
   --obs           enable runtime metrics recording and embed the
                   observability-registry totals in the report (hot-path
-                  counters need a build with --features obs)";
+                  counters need a build with --features obs)
+  --spill DIR     bound memory: stream trace chunks through spill files
+                  under DIR and count epoch accesses with the spill-backed
+                  counter, so peak RSS tracks one server-day instead of
+                  the whole trace (required for --scale full runs on
+                  ordinary hosts)
+  --max-rss-mb N  hard peak-RSS ceiling in MiB, checked against VmHWM
+                  after the replay phase; exceeding it fails the run
+                  (Linux only — elsewhere the probe reads 0 and the gate
+                  is reported as unenforceable)";
 
 /// The committed CI baseline `--write-baseline` refreshes.
 const CI_BASELINE: &str = "ci/BENCH_replay.json";
@@ -121,16 +139,19 @@ fn run() -> Result<ExitCode, String> {
     let mut write_baseline = false;
     let mut eviction = EvictionPolicy::default();
     let mut obs = false;
+    let mut spill: Option<String> = None;
+    let mut max_rss_mb: Option<u64> = None;
 
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = iter
-                    .next()
-                    .ok_or("--scale needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                let value = iter.next().ok_or("--scale needs a value")?;
+                scale = if value == "full" {
+                    1
+                } else {
+                    value.parse().map_err(|e| format!("bad --scale: {e}"))?
+                };
             }
             "--seed" => {
                 seed = iter
@@ -181,6 +202,18 @@ fn run() -> Result<ExitCode, String> {
                     .map_err(|e| format!("bad --eviction: {e}"))?;
             }
             "--obs" => obs = true,
+            "--spill" => spill = Some(iter.next().ok_or("--spill needs a value")?),
+            "--max-rss-mb" => {
+                let value: u64 = iter
+                    .next()
+                    .ok_or("--max-rss-mb needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-rss-mb: {e}"))?;
+                if value == 0 {
+                    return Err("--max-rss-mb must be positive".into());
+                }
+                max_rss_mb = Some(value);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -199,13 +232,23 @@ fn run() -> Result<ExitCode, String> {
     // under sharding at any thread count, so the differential check below
     // can demand exact equality.
     let spec = PolicySpec::SieveStoreD { threshold: 10 };
-    let cfg = SimConfig::paper_16gb(scale).with_eviction(eviction);
+    let mut cfg = SimConfig::paper_16gb(scale).with_eviction(eviction);
+    if let Some(dir) = &spill {
+        // Both the trace generator and the epoch counter spill under the
+        // same root, so one flag bounds every unbounded structure: stream
+        // peak falls to one server-day and counting to the hot-map budget.
+        let root = std::path::PathBuf::from(dir);
+        cfg = cfg
+            .with_trace_stream(TraceStreamConfig::default().with_spill_dir(root.join("trace")))
+            .with_counting(CountingConfig::spill(root.join("counts")));
+    }
     if obs {
         sievestore_types::obs::set_enabled(true);
     }
     println!(
-        "replay_bench | scale 1/{scale}, seed {seed:#x}, {} days, policy {spec:?}",
-        trace.days()
+        "replay_bench | scale 1/{scale}, seed {seed:#x}, {} days, policy {spec:?}{}",
+        trace.days(),
+        if spill.is_some() { ", spill mode" } else { "" }
     );
 
     // Every configuration runs `reps` times; the fastest wall time is
@@ -253,6 +296,15 @@ fn run() -> Result<ExitCode, String> {
         print_run(runs.last().expect("just pushed"));
     }
 
+    // Peak RSS is sampled before the micro phase: VmHWM is a process-wide
+    // high-water mark, and the micro benchmarks allocate working sets that
+    // have nothing to do with the replay pipeline's footprint.
+    let peak_rss = peak_rss_bytes();
+    println!(
+        "peak RSS: {:.1} MiB (VmHWM)",
+        peak_rss as f64 / (1 << 20) as f64
+    );
+
     // Registry totals are captured before the micro phase so the
     // instrumented structures exercised there don't pollute the replay
     // figures.
@@ -274,6 +326,7 @@ fn run() -> Result<ExitCode, String> {
         micro,
         day_snapshots_jsonl: Some(snapshot_log.to_jsonl()),
         obs_metrics,
+        peak_rss_bytes: Some(peak_rss),
     };
     let text = report.to_json();
     if let Some(parent) = std::path::Path::new(&out).parent() {
@@ -310,6 +363,25 @@ fn run() -> Result<ExitCode, String> {
     // pass: failed runs are exactly the ones whose numbers matter.
     write_step_summary(&report, baseline.as_ref());
 
+    if let Some(ceiling_mb) = max_rss_mb {
+        // The report (with the measured peak) is already on disk, so a
+        // failed ceiling still leaves the figures for diagnosis.
+        if peak_rss == 0 {
+            eprintln!("--max-rss-mb: VmHWM unavailable on this platform; gate not enforced");
+        } else if peak_rss > ceiling_mb << 20 {
+            eprintln!(
+                "memory gate failed: peak RSS {:.1} MiB exceeds the {ceiling_mb} MiB ceiling",
+                peak_rss as f64 / (1 << 20) as f64
+            );
+            return Ok(ExitCode::FAILURE);
+        } else {
+            println!(
+                "memory gate passed: peak RSS {:.1} MiB within the {ceiling_mb} MiB ceiling",
+                peak_rss as f64 / (1 << 20) as f64
+            );
+        }
+    }
+
     if let Some(baseline) = &baseline {
         match compare_reports(&report, baseline, tolerance) {
             Ok(lines) => {
@@ -338,10 +410,10 @@ fn run() -> Result<ExitCode, String> {
     if require_scaling {
         let wide_threads = *SHARD_COUNTS.last().expect("non-empty shard list");
         let seq = report
-            .run_with_threads(1)
+            .run_with("sequential", 1)
             .expect("sequential run is always first");
         let wide = report
-            .run_with_threads(wide_threads)
+            .run_with("sharded", wide_threads)
             .expect("widest sharded run was just timed");
         let cores = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -405,7 +477,7 @@ fn write_step_summary(report: &ReplayReport, baseline: Option<&ReplayReport>) {
     md.push_str("| --- | ---: | ---: | ---: |\n");
     for run in &report.runs {
         let delta = baseline
-            .and_then(|b| b.run_with_threads(run.threads))
+            .and_then(|b| b.run_with(&run.mode, run.threads))
             .map(|b| {
                 format!(
                     "{:+.1} %",
@@ -419,14 +491,22 @@ fn write_step_summary(report: &ReplayReport, baseline: Option<&ReplayReport>) {
         ));
     }
     if let (Some(seq), Some(wide)) = (
-        report.run_with_threads(1),
-        report.runs.iter().rfind(|r| r.threads > 1),
+        report.run_with("sequential", 1),
+        report.runs.iter().rfind(|r| r.mode == "sharded"),
     ) {
         md.push_str(&format!(
             "\nsharded({}) / sequential = **{:.2}x**\n",
             wide.threads,
             wide.events_per_sec / seq.events_per_sec
         ));
+    }
+    if let Some(rss) = report.peak_rss_bytes {
+        if rss > 0 {
+            md.push_str(&format!(
+                "\npeak RSS: **{:.1} MiB** (VmHWM)\n",
+                rss as f64 / (1 << 20) as f64
+            ));
+        }
     }
     use std::io::Write as _;
     if let Ok(mut file) = std::fs::OpenOptions::new()

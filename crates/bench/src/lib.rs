@@ -25,12 +25,13 @@ pub mod workload;
 use std::path::{Path, PathBuf};
 
 use sievestore::PolicySpec;
+use sievestore_extsort::CountingConfig;
 use sievestore_sieve::TwoTierConfig;
 use sievestore_sim::{
     ideal_top_selections, simulate_many, EvictionPolicy, ReplayMode, SimConfig, SimResult,
     SnapshotLog,
 };
-use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace};
+use sievestore_trace::{EnsembleConfig, Scale, SyntheticTrace, TraceStreamConfig};
 use sievestore_types::SieveError;
 
 /// Names of the policies simulated for Figures 5–9, in bar order.
@@ -94,6 +95,7 @@ pub struct Harness {
     results_dir: PathBuf,
     replay: ReplayMode,
     eviction: EvictionPolicy,
+    spill: Option<PathBuf>,
     runs: Option<PolicyRuns>,
 }
 
@@ -113,6 +115,7 @@ impl Harness {
             results_dir: results_dir.as_ref().to_path_buf(),
             replay: ReplayMode::Sequential,
             eviction: EvictionPolicy::default(),
+            spill: None,
             runs: None,
         })
     }
@@ -149,6 +152,23 @@ impl Harness {
     /// The eviction policy simulations run with.
     pub fn eviction(&self) -> EvictionPolicy {
         self.eviction
+    }
+
+    /// Bounds memory for full-scale runs: trace generation streams through
+    /// spill files under `dir` and discrete epoch counting uses the
+    /// spill-backed counter, so peak RSS tracks one server-day instead of
+    /// the whole trace. Figures are unchanged — the spill path is
+    /// bit-identical to in-memory counting. Clears any cached runs.
+    #[must_use]
+    pub fn with_spill(mut self, dir: impl AsRef<Path>) -> Self {
+        self.spill = Some(dir.as_ref().to_path_buf());
+        self.runs = None;
+        self
+    }
+
+    /// The spill directory, when bounded-memory mode is on.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.spill.as_deref()
     }
 
     /// Creates a fast, small-scale harness (for tests and smoke runs).
@@ -230,12 +250,21 @@ impl Harness {
         let imct = imct_entries_for_scale(scale);
         let two_tier = TwoTierConfig::paper_default().with_imct_entries(imct);
 
-        let cfg16 = SimConfig::paper_16gb(scale)
+        let mut cfg16 = SimConfig::paper_16gb(scale)
             .with_replay(self.replay)
             .with_eviction(self.eviction);
-        let cfg32 = SimConfig::paper_32gb(scale)
+        let mut cfg32 = SimConfig::paper_32gb(scale)
             .with_replay(self.replay)
             .with_eviction(self.eviction);
+        if let Some(root) = &self.spill {
+            let stream = TraceStreamConfig::default().with_spill_dir(root.join("trace"));
+            cfg16 = cfg16
+                .with_trace_stream(stream.clone())
+                .with_counting(CountingConfig::spill(root.join("counts")));
+            cfg32 = cfg32
+                .with_trace_stream(stream)
+                .with_counting(CountingConfig::spill(root.join("counts")));
+        }
 
         let group16 = simulate_many(
             &self.trace,

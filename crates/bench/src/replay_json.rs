@@ -324,6 +324,11 @@ pub struct ReplayReport {
     /// benchmark ran with runtime metrics enabled. Wall-clock figures in
     /// here are diagnostics, never gated and never deterministic.
     pub obs_metrics: Option<String>,
+    /// Peak resident set size of the benchmark process in bytes (Linux
+    /// `VmHWM`; 0 where unavailable). Informational for the throughput
+    /// gate; the full-scale CI job enforces a hard ceiling on it via
+    /// `--max-rss-mb`. Absent in pre-streaming reports.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Schema tag written into every report.
@@ -374,6 +379,9 @@ impl ReplayReport {
         }
         if let Some(metrics) = &self.obs_metrics {
             entries.push(("obs_metrics".into(), Json::Str(metrics.clone())));
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            entries.push(("peak_rss_bytes".into(), Json::Num(rss as f64)));
         }
         Json::Obj(entries).to_pretty()
     }
@@ -458,12 +466,27 @@ impl ReplayReport {
                 .get("obs_metrics")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            peak_rss_bytes: doc
+                .get("peak_rss_bytes")
+                .and_then(Json::as_f64)
+                .map(|n| n as u64),
         })
     }
 
     /// The run entry for a thread count, if present.
     pub fn run_with_threads(&self, threads: usize) -> Option<&RunReport> {
         self.runs.iter().find(|r| r.threads == threads)
+    }
+
+    /// The run entry for a `(mode, threads)` configuration, if present.
+    ///
+    /// The pair is the configuration key: a streaming benchmark can time
+    /// both a sequential and a sharded run at the same thread count, so
+    /// matching on threads alone would compare across modes.
+    pub fn run_with(&self, mode: &str, threads: usize) -> Option<&RunReport> {
+        self.runs
+            .iter()
+            .find(|r| r.mode == mode && r.threads == threads)
     }
 }
 
@@ -490,8 +513,11 @@ pub fn compare_reports(
         ));
     }
     for base in &baseline.runs {
-        let Some(run) = current.run_with_threads(base.threads) else {
-            failures.push(format!("missing run for {} threads", base.threads));
+        let Some(run) = current.run_with(&base.mode, base.threads) else {
+            failures.push(format!(
+                "missing run for {} ({} threads)",
+                base.mode, base.threads
+            ));
             continue;
         };
         let floor = base.events_per_sec * (1.0 - tolerance);
@@ -551,6 +577,7 @@ mod tests {
                     .into(),
             ),
             obs_metrics: Some("{\"counters\":{\"replay_events_routed\":6}}".into()),
+            peak_rss_bytes: Some(384 << 20),
         }
     }
 
@@ -625,6 +652,49 @@ mod tests {
         assert_eq!(back.runs, report().runs);
         // Observability payloads are diagnostics: they never gate.
         assert!(compare_reports(&back, &report(), 0.2).is_ok());
+    }
+
+    #[test]
+    fn pre_streaming_baselines_still_parse() {
+        // Reports written before the streaming pipeline have no
+        // "peak_rss_bytes"; they must keep parsing (as None) and the RSS
+        // figure must never gate the throughput comparison.
+        let mut doc = Json::parse(&report().to_json()).unwrap();
+        if let Json::Obj(entries) = &mut doc {
+            entries.retain(|(k, _)| k != "peak_rss_bytes");
+        }
+        let back = ReplayReport::from_json(&doc.to_pretty()).unwrap();
+        assert!(back.peak_rss_bytes.is_none());
+        assert_eq!(back.runs, report().runs);
+        assert!(compare_reports(&back, &report(), 0.2).is_ok());
+    }
+
+    #[test]
+    fn runs_are_matched_by_mode_and_threads() {
+        // A streaming report can carry a sequential run and a sharded run
+        // at the same thread count; the baseline lookup must key on both.
+        let mut base = report();
+        base.runs.push(RunReport {
+            mode: "sharded".into(),
+            threads: 1,
+            wall_secs: 2.2,
+            events_per_sec: 450_000.0,
+            imbalance: 1.0,
+        });
+        assert_eq!(
+            base.run_with("sharded", 1).unwrap().events_per_sec,
+            450_000.0
+        );
+        assert_eq!(
+            base.run_with("sequential", 1).unwrap().events_per_sec,
+            500_000.0
+        );
+        // A current report missing the same-thread-count sharded run must
+        // fail the gate even though a 1-thread run exists.
+        let current = report();
+        let failures = compare_reports(&current, &base, 0.2).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("sharded (1 threads)"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 use sievestore_cache::{BatchCache, EpochTransition, EvictionPolicy, LruCache, SieveCache};
+use sievestore_extsort::CountingConfig;
 use sievestore_sieve::TwoTierConfig;
 use sievestore_types::{Day, Micros, RequestKind, SieveError};
 
@@ -168,12 +169,19 @@ impl PolicySpec {
         )
     }
 
-    fn build(self) -> Result<Box<dyn AllocationPolicy + Send>, SieveError> {
+    /// Builds the policy with an explicit epoch-counting backend for
+    /// SieveStore-D (other policies ignore it).
+    fn build_with_counting(
+        self,
+        counting: &CountingConfig,
+    ) -> Result<Box<dyn AllocationPolicy + Send>, SieveError> {
         Ok(match self {
             PolicySpec::Aod => Box::new(Aod::new()),
             PolicySpec::Wmna => Box::new(Wmna::new()),
             PolicySpec::SieveStoreC(cfg) => Box::new(SieveStoreC::new(cfg)?),
-            PolicySpec::SieveStoreD { threshold } => Box::new(SieveStoreD::new(threshold)?),
+            PolicySpec::SieveStoreD { threshold } => {
+                Box::new(SieveStoreD::with_counting(threshold, counting.clone())?)
+            }
             PolicySpec::RandSieveC { probability, seed } => {
                 Box::new(RandSieveC::new(probability, seed)?)
             }
@@ -233,6 +241,7 @@ pub struct SieveStoreBuilder {
     policy: PolicySpec,
     eviction: EvictionPolicy,
     sharding: Option<(usize, usize)>,
+    counting: CountingConfig,
 }
 
 impl SieveStoreBuilder {
@@ -244,6 +253,7 @@ impl SieveStoreBuilder {
             policy: PolicySpec::SieveStoreC(TwoTierConfig::paper_default()),
             eviction: EvictionPolicy::default(),
             sharding: None,
+            counting: CountingConfig::InMemory,
         }
     }
 
@@ -274,6 +284,15 @@ impl SieveStoreBuilder {
         self
     }
 
+    /// Sets the epoch-counting backend SieveStore-D runs over (in-memory
+    /// by default; spill-to-disk for epochs whose distinct-key population
+    /// exceeds RAM). Other policies ignore it.
+    #[must_use]
+    pub fn counting(mut self, counting: CountingConfig) -> Self {
+        self.counting = counting;
+        self
+    }
+
     /// Builds the appliance as shard `shard` of `shards` hash-partitioned
     /// replay workers: the policy's metastate is sliced to the shard's
     /// key partition and the capacity is split evenly. Only continuous
@@ -298,7 +317,10 @@ impl SieveStoreBuilder {
             ));
         }
         let (policy, capacity) = match self.sharding {
-            None => (self.policy.build()?, self.capacity_blocks),
+            None => (
+                self.policy.build_with_counting(&self.counting)?,
+                self.capacity_blocks,
+            ),
             Some((shard, shards)) => {
                 if shards == 0 {
                     return Err(SieveError::InvalidConfig("shard count must be > 0".into()));

@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use sievestore_extsort::InMemoryCounter;
+use sievestore_extsort::{CountingConfig, EpochCounter};
 use sievestore_sieve::{
     random_block_selection, DiscreteSieve, RandomMissSieve, TwoTierConfig, TwoTierSieve,
 };
@@ -247,33 +247,52 @@ impl AllocationPolicy for RandSieveC {
 /// blocks whose count reached the threshold at the day boundary.
 ///
 /// Misses never allocate mid-epoch; day 0 bootstraps with an empty cache.
+/// The counting substrate is chosen by a
+/// [`CountingConfig`]: the in-memory map (default) or the budgeted
+/// spill-to-disk log for epochs whose distinct-key population exceeds RAM
+/// — the selection at each boundary is identical either way.
 #[derive(Debug)]
 pub struct SieveStoreD {
-    sieve: DiscreteSieve<InMemoryCounter>,
+    sieve: DiscreteSieve<EpochCounter>,
+    counting: CountingConfig,
 }
 
 impl SieveStoreD {
     /// Creates the policy with the paper's threshold of 10 accesses/day.
     pub fn paper_default() -> Self {
-        SieveStoreD {
-            sieve: DiscreteSieve::in_memory_paper_default(),
-        }
+        Self::new(DiscreteSieve::<EpochCounter>::PAPER_THRESHOLD).expect("paper threshold is valid")
     }
 
-    /// Creates the policy with a custom threshold.
+    /// Creates the policy with a custom threshold over in-memory counting.
     ///
     /// # Errors
     ///
     /// Returns [`SieveError::InvalidConfig`] if `threshold == 0`.
     pub fn new(threshold: u64) -> Result<Self, SieveError> {
+        Self::with_counting(threshold, CountingConfig::InMemory)
+    }
+
+    /// Creates the policy over an explicit counting backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] if `threshold == 0`, or a
+    /// storage error if the spill backend cannot be set up.
+    pub fn with_counting(threshold: u64, counting: CountingConfig) -> Result<Self, SieveError> {
         Ok(SieveStoreD {
-            sieve: DiscreteSieve::new(InMemoryCounter::new(), threshold)?,
+            sieve: DiscreteSieve::new(counting.counter()?, threshold)?,
+            counting,
         })
     }
 
     /// The allocation threshold.
     pub fn threshold(&self) -> u64 {
         self.sieve.threshold()
+    }
+
+    /// The counting backend configuration.
+    pub fn counting(&self) -> &CountingConfig {
+        &self.counting
     }
 }
 
@@ -290,12 +309,16 @@ impl AllocationPolicy for SieveStoreD {
         MissDecision::Bypass
     }
 
+    /// # Panics
+    ///
+    /// Panics if the counting substrate fails at the boundary (spill-log
+    /// I/O); the infallible trait signature has nowhere to surface it.
     fn on_day_boundary(&mut self, _day: Day) -> Option<Vec<u64>> {
-        Some(
-            self.sieve
-                .end_epoch_in_memory()
-                .expect("in-memory counting cannot fail"),
-        )
+        let next = self
+            .counting
+            .counter()
+            .expect("epoch counting backend failed to restart");
+        Some(self.sieve.end_epoch(next).expect("access counting failed"))
     }
 
     fn is_discrete(&self) -> bool {
@@ -467,6 +490,29 @@ mod tests {
     fn sievestore_d_paper_default_threshold_is_10() {
         assert_eq!(SieveStoreD::paper_default().threshold(), 10);
         assert!(SieveStoreD::new(0).is_err());
+    }
+
+    #[test]
+    fn sievestore_d_selection_is_backend_independent() {
+        let dir = std::env::temp_dir().join(format!("sievestore-polspill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let configs = [
+            CountingConfig::InMemory,
+            CountingConfig::spill(&dir).with_budget(8),
+        ];
+        let mut selections = Vec::new();
+        for counting in configs {
+            let mut p = SieveStoreD::with_counting(3, counting).unwrap();
+            for k in 0..100u64 {
+                for _ in 0..(k % 5) {
+                    p.on_access(k, RequestKind::Read, now());
+                }
+            }
+            selections.push(p.on_day_boundary(Day::new(1)).unwrap());
+        }
+        assert!(!selections[0].is_empty());
+        assert_eq!(selections[0], selections[1]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

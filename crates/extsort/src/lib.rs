@@ -60,6 +60,23 @@ pub trait AccessCounter {
     /// Returns an error if the underlying storage fails (the in-memory
     /// implementation never fails).
     fn finish(self) -> Result<AccessCounts, SieveError>;
+
+    /// Finalizes directly into the selected key set: every key accessed at
+    /// least `threshold` times, sorted ascending.
+    ///
+    /// This is the epoch-boundary operation SieveStore-D actually needs —
+    /// spill-backed implementations override it to avoid materializing
+    /// per-key totals for every distinct key of the epoch at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage fails.
+    fn finish_selection(self, threshold: u64) -> Result<Vec<u64>, SieveError>
+    where
+        Self: Sized,
+    {
+        Ok(self.finish()?.keys_with_at_least(threshold))
+    }
 }
 
 /// Final per-key access totals for an epoch.
@@ -267,13 +284,22 @@ impl AccessLog {
     /// any failure surfaces at the next [`AccessLog::compact`] /
     /// [`AccessLog::finish`] call, keeping this hot path infallible.
     pub fn record_access(&mut self, key: u64) {
+        self.record_count(key, 1);
+    }
+
+    /// Logs a pre-aggregated `<address, count>` tuple — how a budgeted
+    /// in-memory front (see [`SpillCounter`]) drains its hot map into the
+    /// log without replaying every individual access.
+    ///
+    /// I/O errors are deferred exactly as in [`AccessLog::record_access`].
+    pub fn record_count(&mut self, key: u64, count: u64) {
         let p = self.partition_of(key);
         let mut tuple = [0u8; TUPLE_BYTES];
         tuple[0..8].copy_from_slice(&key.to_le_bytes());
-        tuple[8..16].copy_from_slice(&1u64.to_le_bytes());
+        tuple[8..16].copy_from_slice(&count.to_le_bytes());
         // Errors deferred to compact()/finish(), which flush and re-read.
         let _ = self.writers[p].write_all(&tuple);
-        self.logged += 1;
+        self.logged += count;
     }
 
     /// Incrementally reduces every partition: sort by key, merge runs into
@@ -313,6 +339,33 @@ impl AccessLog {
         }
         Ok(AccessCounts { counts })
     }
+
+    /// Finalizes straight into the threshold selection, one partition at a
+    /// time: peak memory is the largest partition plus the selected keys,
+    /// never the full distinct-key population. Keys come back sorted
+    /// ascending — identical to
+    /// [`AccessCounts::keys_with_at_least`] over [`AccessLog::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn finish_selecting(mut self, threshold: u64) -> Result<Vec<u64>, SieveError> {
+        let mut keys = Vec::new();
+        for i in 0..self.partitions {
+            self.writers[i].flush()?;
+            let tuples = read_tuples(&partition_path(&self.dir, i))?;
+            keys.extend(
+                reduce(tuples)
+                    .into_iter()
+                    .filter(|&(_, c)| c >= threshold)
+                    .map(|(k, _)| k),
+            );
+        }
+        // Partitions are hash-split, so a global sort restores the
+        // selection order the in-memory backend produces.
+        keys.sort_unstable();
+        Ok(keys)
+    }
 }
 
 impl AccessCounter for AccessLog {
@@ -323,12 +376,244 @@ impl AccessCounter for AccessLog {
     fn finish(self) -> Result<AccessCounts, SieveError> {
         AccessLog::finish(self)
     }
+
+    fn finish_selection(self, threshold: u64) -> Result<Vec<u64>, SieveError> {
+        AccessLog::finish_selecting(self, threshold)
+    }
 }
 
 impl Drop for AccessLog {
     fn drop(&mut self) {
         for i in 0..self.partitions {
             let _ = fs::remove_file(partition_path(&self.dir, i));
+        }
+    }
+}
+
+/// Default distinct-key budget for [`SpillCounter`]'s hot map
+/// (~16 MiB of `U64Map` at 16 bytes/entry before load-factor headroom).
+pub const DEFAULT_SPILL_BUDGET: usize = 1 << 20;
+/// Default partition count for spill-backed counting.
+pub const DEFAULT_SPILL_PARTITIONS: usize = 16;
+
+/// Sequence number making concurrent spill counters in one process use
+/// disjoint directories.
+static SPILL_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Bounded-memory access counter: an in-memory hot map in front of an
+/// [`AccessLog`].
+///
+/// Counts accumulate in a `U64Map` until it holds `budget` distinct keys,
+/// then drain to the log as pre-aggregated `<key, count>` tuples
+/// ([`AccessLog::record_count`]) and the map resets — so resident memory
+/// is bounded by the budget no matter how many distinct blocks an epoch
+/// touches, while the common case (hot keys re-hit before a drain) stays
+/// a pure hash-map increment.
+///
+/// Each counter claims a process-unique subdirectory under the configured
+/// spill root, so one [`CountingConfig`] can mint counters for many
+/// concurrent policies/epochs without collisions; the subdirectory is
+/// removed when the counter finishes (best-effort on abandon).
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_extsort::{AccessCounter, SpillCounter};
+///
+/// # fn main() -> Result<(), sievestore_types::SieveError> {
+/// let dir = std::env::temp_dir().join("sievestore-doc-spill");
+/// let mut counter = SpillCounter::create(&dir, 2, 4)?; // tiny budget: spills often
+/// for key in [7u64, 9, 7, 3, 7, 9] {
+///     counter.record(key);
+/// }
+/// assert_eq!(counter.finish_selection(2)?, vec![7, 9]);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SpillCounter {
+    hot: U64Map<u64>,
+    budget: usize,
+    log: AccessLog,
+    dir: PathBuf,
+    spills: u64,
+}
+
+impl SpillCounter {
+    /// Creates a spill counter under `root` holding at most `budget`
+    /// distinct keys in memory, spilling into `partitions` log files.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spill directory or log cannot be created,
+    /// or if `budget` or `partitions` is 0.
+    pub fn create(
+        root: impl AsRef<Path>,
+        budget: usize,
+        partitions: usize,
+    ) -> Result<Self, SieveError> {
+        if budget == 0 {
+            return Err(SieveError::InvalidConfig(
+                "spill counter needs a non-zero key budget".into(),
+            ));
+        }
+        let seq = SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = root
+            .as_ref()
+            .join(format!("epoch-{}-{seq:04}", std::process::id()));
+        let log = AccessLog::create(&dir, partitions)?;
+        Ok(SpillCounter {
+            hot: U64Map::new(),
+            budget,
+            log,
+            dir,
+            spills: 0,
+        })
+    }
+
+    /// Distinct keys currently resident in the hot map.
+    pub fn resident_keys(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Times the hot map has drained to disk so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    fn drain_hot(&mut self) {
+        for (k, &c) in self.hot.iter() {
+            self.log.record_count(k, c);
+        }
+        self.hot.clear();
+        self.spills += 1;
+    }
+
+    fn into_log(mut self) -> (AccessLog, PathBuf) {
+        if !self.hot.is_empty() {
+            self.drain_hot();
+        }
+        (self.log, self.dir)
+    }
+}
+
+impl AccessCounter for SpillCounter {
+    fn record(&mut self, key: u64) {
+        *self.hot.get_or_insert_with(key, || 0) += 1;
+        if self.hot.len() >= self.budget {
+            self.drain_hot();
+        }
+    }
+
+    fn finish(self) -> Result<AccessCounts, SieveError> {
+        let (log, dir) = self.into_log();
+        let counts = log.finish()?;
+        let _ = fs::remove_dir(&dir);
+        Ok(counts)
+    }
+
+    fn finish_selection(self, threshold: u64) -> Result<Vec<u64>, SieveError> {
+        let (log, dir) = self.into_log();
+        let keys = log.finish_selecting(threshold)?;
+        let _ = fs::remove_dir(&dir);
+        Ok(keys)
+    }
+}
+
+/// How an epoch's access counting should be backed.
+///
+/// The selection produced at each epoch boundary is identical across
+/// backends (pinned by tests); the choice only trades memory for disk
+/// I/O.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CountingConfig {
+    /// Everything in a hash map: fastest, memory proportional to the
+    /// epoch's distinct-key population.
+    #[default]
+    InMemory,
+    /// Budgeted hot map spilling to a partitioned on-disk log: memory
+    /// bounded by `budget` keys regardless of epoch size.
+    Spill {
+        /// Root directory spill logs live under.
+        dir: PathBuf,
+        /// Max distinct keys resident before a drain.
+        budget: usize,
+        /// Spill log partition count.
+        partitions: usize,
+    },
+}
+
+impl CountingConfig {
+    /// Spill-backed counting under `dir` with default budget/partitions.
+    pub fn spill(dir: impl Into<PathBuf>) -> Self {
+        CountingConfig::Spill {
+            dir: dir.into(),
+            budget: DEFAULT_SPILL_BUDGET,
+            partitions: DEFAULT_SPILL_PARTITIONS,
+        }
+    }
+
+    /// Overrides the hot-map key budget (spill mode only; no-op for
+    /// in-memory).
+    #[must_use]
+    pub fn with_budget(mut self, keys: usize) -> Self {
+        if let CountingConfig::Spill { budget, .. } = &mut self {
+            *budget = keys;
+        }
+        self
+    }
+
+    /// Creates a fresh counter for one epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if spill storage cannot be set up.
+    pub fn counter(&self) -> Result<EpochCounter, SieveError> {
+        match self {
+            CountingConfig::InMemory => Ok(EpochCounter::InMemory(InMemoryCounter::new())),
+            CountingConfig::Spill {
+                dir,
+                budget,
+                partitions,
+            } => Ok(EpochCounter::Spill(SpillCounter::create(
+                dir,
+                *budget,
+                *partitions,
+            )?)),
+        }
+    }
+}
+
+/// An access counter minted from a [`CountingConfig`] — the backend the
+/// discrete sieve runs each epoch over.
+#[derive(Debug)]
+pub enum EpochCounter {
+    /// Hash-map backend.
+    InMemory(InMemoryCounter),
+    /// Budgeted spill backend.
+    Spill(SpillCounter),
+}
+
+impl AccessCounter for EpochCounter {
+    fn record(&mut self, key: u64) {
+        match self {
+            EpochCounter::InMemory(c) => c.record(key),
+            EpochCounter::Spill(c) => c.record(key),
+        }
+    }
+
+    fn finish(self) -> Result<AccessCounts, SieveError> {
+        match self {
+            EpochCounter::InMemory(c) => c.finish(),
+            EpochCounter::Spill(c) => c.finish(),
+        }
+    }
+
+    fn finish_selection(self, threshold: u64) -> Result<Vec<u64>, SieveError> {
+        match self {
+            EpochCounter::InMemory(c) => c.finish_selection(threshold),
+            EpochCounter::Spill(c) => c.finish_selection(threshold),
         }
     }
 }
@@ -522,6 +807,129 @@ mod tests {
         let reduced = reduce(vec![(3, 1), (1, 1), (3, 2), (1, 1), (2, 1)]);
         assert_eq!(reduced, vec![(1, 2), (2, 1), (3, 3)]);
         assert_eq!(reduce(vec![]), vec![]);
+    }
+
+    #[test]
+    fn spill_counter_matches_oracle_with_tiny_budget() {
+        let dir = temp_dir("spill-oracle");
+        let mut spill = SpillCounter::create(&dir, 16, 4).unwrap();
+        let mut oracle = InMemoryCounter::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let key = rng.random_range(0..3_000u64);
+            spill.record(key);
+            oracle.record(key);
+        }
+        assert!(spill.spills() > 0, "tiny budget must force drains");
+        assert_eq!(
+            spill.finish().unwrap(),
+            oracle.finish().unwrap(),
+            "spill totals diverge from in-memory"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_selection_identical_across_all_backends() {
+        let dir = temp_dir("select");
+        let mut rng = SmallRng::seed_from_u64(3);
+        let keys: Vec<u64> = (0..30_000).map(|_| rng.random_range(0..2_000)).collect();
+        for threshold in [1u64, 5, 10, 50] {
+            let mut mem = InMemoryCounter::new();
+            let mut log = AccessLog::create(dir.join("log"), 8).unwrap();
+            let mut spill = SpillCounter::create(dir.join("spill"), 64, 8).unwrap();
+            for &k in &keys {
+                mem.record(k);
+                log.record(k);
+                spill.record(k);
+            }
+            let expect = mem.finish_selection(threshold).unwrap();
+            assert!(expect.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+            assert_eq!(
+                log.finish_selection(threshold).unwrap(),
+                expect,
+                "log backend, threshold {threshold}"
+            );
+            assert_eq!(
+                spill.finish_selection(threshold).unwrap(),
+                expect,
+                "spill backend, threshold {threshold}"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_counter_dispatches_per_config() {
+        let dir = temp_dir("epoch");
+        let configs = [
+            CountingConfig::InMemory,
+            CountingConfig::spill(&dir).with_budget(4),
+        ];
+        let mut selections = Vec::new();
+        for config in &configs {
+            let mut counter = config.counter().unwrap();
+            for k in [1u64, 2, 1, 3, 1, 2, 9, 9, 9, 9] {
+                counter.record(k);
+            }
+            selections.push(counter.finish_selection(2).unwrap());
+        }
+        assert_eq!(selections[0], vec![1, 2, 9]);
+        assert_eq!(selections[0], selections[1]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_counter_cleans_its_directory() {
+        let root = temp_dir("spill-clean");
+        let mut counter = SpillCounter::create(&root, 2, 3).unwrap();
+        for k in 0..100u64 {
+            counter.record(k);
+        }
+        counter.finish().unwrap();
+        let leftover = fs::read_dir(&root).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftover, 0, "epoch subdirectory must be removed");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        assert!(SpillCounter::create(temp_dir("zb"), 0, 4).is_err());
+    }
+
+    #[test]
+    fn record_count_aggregates_like_repeated_records() {
+        let dir = temp_dir("rc");
+        let mut log = AccessLog::create(&dir, 2).unwrap();
+        log.record_count(5, 7);
+        log.record_access(5);
+        assert_eq!(log.logged(), 8);
+        let counts = log.finish().unwrap();
+        assert_eq!(counts.get(5), 8);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn spill_selection_equals_oracle_under_random_streams(
+            keys in proptest::collection::vec(0u64..300, 0..2000),
+            budget in 1usize..64,
+            threshold in 1u64..6,
+        ) {
+            let dir = temp_dir(&format!("prop-spill{budget}-{threshold}-{}", keys.len()));
+            let mut spill = SpillCounter::create(&dir, budget, 4).unwrap();
+            let mut oracle = InMemoryCounter::new();
+            for &k in &keys {
+                spill.record(k);
+                oracle.record(k);
+            }
+            prop_assert_eq!(
+                spill.finish_selection(threshold).unwrap(),
+                oracle.finish_selection(threshold).unwrap()
+            );
+            fs::remove_dir_all(&dir).ok();
+        }
     }
 
     proptest! {

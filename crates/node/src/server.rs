@@ -150,8 +150,7 @@ struct Shared<B: BackingStore> {
     stop: AtomicBool,
 }
 
-/// Builds either server flavor from one fluent configuration, replacing
-/// the positional-argument sprawl of the legacy `spawn_*` constructors.
+/// Builds either server flavor from one fluent configuration.
 ///
 /// # Examples
 ///
@@ -375,75 +374,6 @@ pub struct NodeServer<B: BackingStore + 'static> {
 }
 
 impl<B: BackingStore + 'static> NodeServer<B> {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections with the default [`NodeConfig`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind failures.
-    #[deprecated(note = "use NodeServerBuilder::new(addr).serve(cache)")]
-    pub fn spawn(addr: &str, cache: DataCache<B>) -> io::Result<Self> {
-        NodeServerBuilder::new(addr).serve(cache)
-    }
-
-    /// Binds `addr` and starts accepting connections with an explicit
-    /// resilience configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind failures.
-    #[deprecated(note = "use NodeServerBuilder::new(addr).config(config).serve(cache)")]
-    pub fn spawn_with_config(
-        addr: &str,
-        cache: DataCache<B>,
-        config: NodeConfig,
-    ) -> io::Result<Self> {
-        NodeServerBuilder::new(addr).config(config).serve(cache)
-    }
-
-    /// Binds `addr` with an explicit configuration *and* a structured
-    /// event sink.
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind failures.
-    #[deprecated(note = "use NodeServerBuilder::new(addr).config(config).sink(sink).serve(cache)")]
-    pub fn spawn_observed(
-        addr: &str,
-        cache: DataCache<B>,
-        config: NodeConfig,
-        sink: Arc<dyn EventSink>,
-    ) -> io::Result<Self> {
-        NodeServerBuilder::new(addr)
-            .config(config)
-            .sink(sink)
-            .serve(cache)
-    }
-
-    /// Binds `addr` over a durable frame store; see
-    /// [`NodeServerBuilder::serve_durable`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind failures and invalid cache configuration.
-    #[deprecated(note = "use NodeServerBuilder::new(addr).config(..).sink(..).serve_durable(..)")]
-    #[allow(clippy::too_many_arguments)] // frozen legacy signature; the builder is the fix
-    pub fn spawn_durable(
-        addr: &str,
-        backing: B,
-        policy: sievestore::PolicySpec,
-        capacity_blocks: usize,
-        write_policy: crate::store::WritePolicy,
-        media: crate::durable::DurableMediaSet,
-        config: NodeConfig,
-        sink: Arc<dyn EventSink>,
-    ) -> io::Result<(Self, Option<crate::durable::RecoveryReport>)> {
-        NodeServerBuilder::new(addr)
-            .config(config)
-            .sink(sink)
-            .serve_durable(backing, policy, capacity_blocks, write_policy, media)
-    }
-
     fn start(
         addr: &str,
         cache: DataCache<B>,

@@ -77,12 +77,19 @@ impl<C: AccessCounter> DiscreteSieve<C> {
     /// Ends the epoch: finalizes the counts, installs `next` as the new
     /// epoch's counter, and returns the selected block keys (sorted).
     ///
+    /// Selection goes through [`AccessCounter::finish_selection`], so a
+    /// spill-backed substrate never materializes the epoch's full
+    /// distinct-key totals — only the selected keys.
+    ///
     /// # Errors
     ///
     /// Propagates failures from finalizing the counting substrate.
     pub fn end_epoch(&mut self, next: C) -> Result<Vec<u64>, SieveError> {
-        let counts = self.end_epoch_with_counts(next)?;
-        Ok(counts.keys_with_at_least(self.threshold))
+        let counter = self.counter.take().expect("counter present");
+        let selected = counter.finish_selection(self.threshold)?;
+        self.counter = Some(next);
+        self.epoch += 1;
+        Ok(selected)
     }
 
     /// Like [`DiscreteSieve::end_epoch`] but returns the full counts, for

@@ -16,17 +16,22 @@
 //!   but they are counted as allocation-writes in the daily totals.
 //!   Set [`SimConfig::charge_batch_moves`] to include them.
 //!
-//! [`simulate_many`] runs several policies over one trace while
-//! generating each day's requests only once, processing the policies in
-//! parallel with crossbeam's scoped threads.
+//! Every entry point consumes the trace as a *stream*
+//! ([`SyntheticTrace::stream`]): a background generator produces day
+//! *N + 1* while day *N* replays, and no engine path materializes the
+//! whole trace. [`simulate_many`] runs several policies over one trace
+//! while generating each day's requests only once, processing the
+//! policies in parallel with crossbeam's scoped threads; with a single
+//! policy it replays chunk-by-chunk without buffering the day at all.
 
 use std::sync::Arc;
 
 use crossbeam::thread;
 
 use sievestore::{EvictionPolicy, PolicySpec, SieveStore, SieveStoreBuilder};
+use sievestore_extsort::CountingConfig;
 use sievestore_ssd::{OccupancyTracker, SsdSpec};
-use sievestore_trace::SyntheticTrace;
+use sievestore_trace::{StreamMsg, SyntheticTrace, TraceStreamConfig};
 use sievestore_types::{Day, Request, SieveError, BLOCKS_PER_PAGE};
 
 use crate::metrics::{DayMetrics, SimResult};
@@ -53,6 +58,12 @@ pub struct SimConfig {
     /// (LRU by default, SIEVE for the lock-free hit path). Discrete
     /// policies use the epoch-batched cache regardless.
     pub eviction: EvictionPolicy,
+    /// Epoch access-counting backend for discrete policies: in-memory
+    /// (default) or spill-to-disk for bounded-memory full-scale runs.
+    pub counting: CountingConfig,
+    /// Trace-streaming knobs (chunk size, pipeline depth, spill-mode
+    /// generation).
+    pub trace_stream: TraceStreamConfig,
 }
 
 impl SimConfig {
@@ -67,6 +78,8 @@ impl SimConfig {
             charge_batch_moves: false,
             replay: ReplayMode::Sequential,
             eviction: EvictionPolicy::default(),
+            counting: CountingConfig::InMemory,
+            trace_stream: TraceStreamConfig::default(),
         }
     }
 
@@ -106,6 +119,20 @@ impl SimConfig {
         self.eviction = eviction;
         self
     }
+
+    /// Selects the epoch access-counting backend for discrete policies.
+    #[must_use]
+    pub fn with_counting(mut self, counting: CountingConfig) -> Self {
+        self.counting = counting;
+        self
+    }
+
+    /// Sets the trace-streaming configuration (chunking, depth, spill).
+    #[must_use]
+    pub fn with_trace_stream(mut self, trace_stream: TraceStreamConfig) -> Self {
+        self.trace_stream = trace_stream;
+        self
+    }
 }
 
 /// One policy's in-flight simulation state.
@@ -123,6 +150,7 @@ impl Run {
                 .capacity_blocks(cfg.capacity_blocks)
                 .policy(spec)
                 .eviction(cfg.eviction)
+                .counting(cfg.counting.clone())
                 .build()?,
             days: Vec::new(),
             occupancy: OccupancyTracker::new(cfg.ssd.clone(), total_minutes)
@@ -272,15 +300,31 @@ pub fn simulate_with_snapshots(
     let name: Arc<str> = Arc::from(spec.name());
     let mut run = Run::new(spec, cfg, total_minutes)?;
     let mut log = SnapshotLog::new(name.clone(), cfg.capacity_blocks);
-    for d in 0..trace.days() {
-        let day = Day::new(d);
-        run.on_day_boundary(day);
-        for req in trace.day_requests(day) {
-            run.process_request(&req);
+    let mut stream = trace.stream(cfg.trace_stream.clone());
+    let mut current: Option<Day> = None;
+    while let Some(msg) = stream.next_msg() {
+        match msg {
+            StreamMsg::StartDay(day) => {
+                // The previous day's counters are final here: accesses
+                // land on the issue day and batch installs were charged
+                // at that day's boundary.
+                if let Some(prev) = current {
+                    log.push_day(run.days.get(prev.as_usize()).copied().unwrap_or_default());
+                }
+                run.on_day_boundary(day);
+                current = Some(day);
+            }
+            StreamMsg::Chunk(chunk) => {
+                for req in &chunk {
+                    run.process_request(req);
+                }
+                stream.recycle(chunk);
+            }
+            StreamMsg::Failed(e) => return Err(e),
         }
-        // Day `d`'s counters are final here: accesses land on the issue
-        // day and batch installs were charged at this day's boundary.
-        log.push_day(run.days.get(d as usize).copied().unwrap_or_default());
+    }
+    if let Some(prev) = current {
+        log.push_day(run.days.get(prev.as_usize()).copied().unwrap_or_default());
     }
     Ok((run.finish(name, cfg.capacity_blocks), log))
 }
@@ -304,11 +348,17 @@ pub fn simulate_server(
     let total_minutes = trace.days() as usize * 24 * 60;
     let name: Arc<str> = Arc::from(spec.name());
     let mut run = Run::new(spec, cfg, total_minutes)?;
-    for d in 0..trace.days() {
-        let day = Day::new(d);
-        run.on_day_boundary(day);
-        for req in trace.server_day(server_idx, day) {
-            run.process_request(&req);
+    let mut stream = trace.stream_server(server_idx, cfg.trace_stream.clone());
+    while let Some(msg) = stream.next_msg() {
+        match msg {
+            StreamMsg::StartDay(day) => run.on_day_boundary(day),
+            StreamMsg::Chunk(chunk) => {
+                for req in &chunk {
+                    run.process_request(req);
+                }
+                stream.recycle(chunk);
+            }
+            StreamMsg::Failed(e) => return Err(e),
         }
     }
     Ok(run.finish(name, cfg.capacity_blocks))
@@ -342,21 +392,62 @@ pub fn simulate_many(
         .map(|s| Run::new(s, cfg, total_minutes))
         .collect::<Result<_, _>>()?;
 
-    for d in 0..trace.days() {
-        let day = Day::new(d);
-        let requests = trace.day_requests(day);
-        thread::scope(|scope| {
-            for run in &mut runs {
-                let requests = &requests;
-                scope.spawn(move |_| {
-                    run.on_day_boundary(day);
-                    for req in requests {
+    let mut stream = trace.stream(cfg.trace_stream.clone());
+    if let [run] = runs.as_mut_slice() {
+        // One policy: replay each chunk as it arrives — the day is
+        // never buffered, so peak trace memory is the stream pipeline's
+        // few chunks.
+        while let Some(msg) = stream.next_msg() {
+            match msg {
+                StreamMsg::StartDay(day) => run.on_day_boundary(day),
+                StreamMsg::Chunk(chunk) => {
+                    for req in &chunk {
                         run.process_request(req);
                     }
-                });
+                    stream.recycle(chunk);
+                }
+                StreamMsg::Failed(e) => return Err(e),
             }
-        })
-        .map_err(|_| SieveError::InvalidConfig("simulation worker panicked".into()))?;
+        }
+    } else {
+        // Several policies: accumulate one day (requests are generated
+        // once) and fan the policies out across threads at each day
+        // boundary, as before — but overlapped with generation of the
+        // next day.
+        let replay_day = |day: Day, requests: &[Request], runs: &mut [Run]| {
+            thread::scope(|scope| {
+                for run in runs.iter_mut() {
+                    scope.spawn(move |_| {
+                        run.on_day_boundary(day);
+                        for req in requests {
+                            run.process_request(req);
+                        }
+                    });
+                }
+            })
+            .map_err(|_| SieveError::InvalidConfig("simulation worker panicked".into()))
+        };
+        let mut day_buf: Vec<Request> = Vec::new();
+        let mut current: Option<Day> = None;
+        while let Some(msg) = stream.next_msg() {
+            match msg {
+                StreamMsg::StartDay(day) => {
+                    if let Some(prev) = current {
+                        replay_day(prev, &day_buf, &mut runs)?;
+                        day_buf.clear();
+                    }
+                    current = Some(day);
+                }
+                StreamMsg::Chunk(chunk) => {
+                    day_buf.extend_from_slice(&chunk);
+                    stream.recycle(chunk);
+                }
+                StreamMsg::Failed(e) => return Err(e),
+            }
+        }
+        if let Some(prev) = current {
+            replay_day(prev, &day_buf, &mut runs)?;
+        }
     }
 
     Ok(runs

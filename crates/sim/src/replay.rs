@@ -12,10 +12,24 @@
 //!
 //! # Architecture
 //!
-//! * The **coordinator** (caller thread) walks the trace day by day,
-//!   splits each request's blocks by shard, and streams per-shard block
-//!   groups over bounded `crossbeam` channels (backpressure keeps the
+//! * A **generator thread** ([`SyntheticTrace::stream`]) produces the
+//!   trace as bounded request chunks — day *N + 1* generates while day
+//!   *N* replays, and the whole pipeline never materializes a full day
+//!   (with spill-mode generation, peak trace memory is one server-day).
+//! * The **coordinator** (caller thread) consumes the stream, splits
+//!   each request's blocks by shard, and pushes per-shard block-group
+//!   batches into bounded per-shard work queues (backpressure keeps the
 //!   pipeline memory-bounded).
+//! * **Work-stealing**: each shard's queue is paired with a mutex over
+//!   the shard's replay state. A message is popped *and processed while
+//!   holding that state lock*, so the shard's FIFO event order — and
+//!   therefore every simulated metric — is independent of which worker
+//!   thread executes it. A worker that drains its own queue steals one
+//!   message at a time from loaded siblings (`try_lock`, never blocking
+//!   behind a busy owner), which attacks day-barrier imbalance without
+//!   touching the determinism argument: scheduling chooses *who* runs a
+//!   shard's next message, never *what order* the shard's messages run
+//!   in.
 //! * **Continuous policies** (AOD, WMNA, SieveStore-C, RandSieve-C) are
 //!   built per shard via [`sievestore::SieveStoreBuilder::shard`]: the
 //!   IMCT is slot-sliced so per-key sieve state is bit-identical to the
@@ -72,18 +86,21 @@
 //! sequential ones (equal at one shard); all block-level metrics are
 //! unaffected. See DESIGN.md §"Sharded replay" for the full argument.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use crossbeam::thread;
 
 use sievestore::policy::RandSieveBlkD;
 use sievestore::{PolicySpec, SieveStore, SieveStoreBuilder};
 use sievestore_cache::BatchCache;
-use sievestore_extsort::InMemoryCounter;
+use sievestore_extsort::{CountingConfig, InMemoryCounter};
 use sievestore_sieve::{random_block_selection, DiscreteSieve};
 use sievestore_ssd::OccupancyTracker;
-use sievestore_trace::SyntheticTrace;
+use sievestore_trace::{StreamMsg, SyntheticTrace};
 use sievestore_types::{
     obs_count, obs_enabled, obs_observe, shard_of, Day, Micros, Minute, Request, RequestKind,
     SieveError, U64Set, BLOCKS_PER_PAGE,
@@ -128,6 +145,9 @@ impl ReplayMode {
 pub struct ReplayStats {
     /// Block accesses routed to each shard.
     pub per_shard_blocks: Vec<u64>,
+    /// Queue messages executed by a worker other than the shard's owner
+    /// (work-stealing; 0 when the load stayed balanced).
+    pub steals: u64,
 }
 
 impl ReplayStats {
@@ -396,7 +416,12 @@ impl BufferPool {
 /// Per-shard bookkeeping for discrete policies. Only the *counting* side
 /// lives on the shard; the epoch cache is global at the coordinator.
 enum DiscreteBook {
-    SieveD(DiscreteSieve<InMemoryCounter>),
+    SieveD {
+        sieve: DiscreteSieve<sievestore_extsort::EpochCounter>,
+        /// Mints the next epoch's counter (each shard's spill counter
+        /// claims its own subdirectory, so one config serves them all).
+        counting: CountingConfig,
+    },
     BlkD(U64Set),
     Ideal,
 }
@@ -404,7 +429,7 @@ enum DiscreteBook {
 impl DiscreteBook {
     fn record(&mut self, key: u64) {
         match self {
-            DiscreteBook::SieveD(sieve) => sieve.record_access(key),
+            DiscreteBook::SieveD { sieve, .. } => sieve.record_access(key),
             DiscreteBook::BlkD(accessed) => {
                 accessed.insert(key);
             }
@@ -417,9 +442,12 @@ impl DiscreteBook {
     /// sequential policy's selection input exactly.
     fn contribution(&mut self) -> Vec<u64> {
         match self {
-            DiscreteBook::SieveD(sieve) => sieve
-                .end_epoch_in_memory()
-                .expect("in-memory counting cannot fail"),
+            DiscreteBook::SieveD { sieve, counting } => {
+                let next = counting
+                    .counter()
+                    .expect("epoch counting backend failed to restart");
+                sieve.end_epoch(next).expect("access counting failed")
+            }
             DiscreteBook::BlkD(accessed) => {
                 let mut v: Vec<u64> = accessed.iter().collect();
                 v.sort_unstable();
@@ -537,8 +565,10 @@ enum WorkerKind {
     },
 }
 
-/// One replay worker: its policy shard plus its private metrics.
-struct Worker {
+/// One shard's replay state: its policy slice plus its private metrics.
+/// Lives behind [`ShardRig::state`]; whichever worker holds that lock
+/// processes the shard's next message.
+struct ShardState {
     kind: WorkerKind,
     days: Vec<DayMetrics>,
     occupancy: OccupancyTracker,
@@ -554,65 +584,47 @@ fn day_slot(days: &mut Vec<DayMetrics>, day: Day) -> &mut DayMetrics {
     &mut days[idx]
 }
 
-impl Worker {
-    fn run(mut self, rx: Receiver<ToWorker>) -> (Vec<DayMetrics>, OccupancyTracker) {
-        loop {
-            // With observability live, time how long this worker sits
-            // blocked on its input channel (starvation signal); the plain
-            // path stays a bare `recv` with no clock reads.
-            let msg = if obs_enabled!() {
-                let waited = std::time::Instant::now();
-                match rx.recv() {
-                    Ok(msg) => {
-                        obs_observe!(ReplayChannelWaitNanos, waited.elapsed().as_nanos() as u64);
-                        msg
-                    }
-                    Err(_) => break,
+impl ShardState {
+    /// Executes one queue message. The caller holds the shard's state
+    /// lock, so messages of one shard always run serialized and in FIFO
+    /// order — the whole determinism argument rests on this.
+    fn process(&mut self, msg: ToWorker) {
+        match msg {
+            ToWorker::Batch(mut groups) => {
+                for g in &mut groups {
+                    self.process_group(g);
+                    g.blocks.clear();
                 }
-            } else {
-                match rx.recv() {
-                    Ok(msg) => msg,
-                    Err(_) => break,
+                // Return the batch for reuse; the coordinator may
+                // already be gone during the final drain.
+                let _ = self.recycle.send(groups);
+            }
+            ToWorker::Boundary => {
+                if let WorkerKind::Discrete {
+                    shard,
+                    book,
+                    contribute,
+                    ..
+                } = &mut self.kind
+                {
+                    contribute
+                        .send((*shard, book.contribution()))
+                        .expect("coordinator outlives workers");
                 }
-            };
-            match msg {
-                ToWorker::Batch(mut groups) => {
-                    for g in &mut groups {
-                        self.process_group(g);
-                        g.blocks.clear();
-                    }
-                    // Return the batch for reuse; the coordinator may
-                    // already be gone during the final drain.
-                    let _ = self.recycle.send(groups);
-                }
-                ToWorker::Boundary => {
-                    if let WorkerKind::Discrete {
-                        shard,
-                        book,
-                        contribute,
-                        ..
-                    } = &mut self.kind
-                    {
-                        contribute
-                            .send((*shard, book.contribution()))
-                            .expect("coordinator outlives workers");
-                    }
-                }
-                ToWorker::Install(day, selection) => {
-                    if let WorkerKind::Discrete {
-                        resident, moved, ..
-                    } = &mut self.kind
-                    {
-                        let transition = resident.install_epoch(selection);
-                        // The coordinator drains these after the replay;
-                        // it may already have stopped listening if a
-                        // sibling worker panicked.
-                        let _ = moved.send((day, transition.allocated.len() as u64));
-                    }
+            }
+            ToWorker::Install(day, selection) => {
+                if let WorkerKind::Discrete {
+                    resident, moved, ..
+                } = &mut self.kind
+                {
+                    let transition = resident.install_epoch(selection);
+                    // The coordinator drains these after the replay;
+                    // it may already have stopped listening if a
+                    // sibling worker panicked.
+                    let _ = moved.send((day, transition.allocated.len() as u64));
                 }
             }
         }
-        (self.days, self.occupancy)
     }
 
     /// Mirrors `Run::process_request` for the shard's slice of one
@@ -661,6 +673,200 @@ impl Worker {
     }
 }
 
+/// Pending messages for one shard; `closed` once the coordinator has
+/// pushed the trace's last message.
+struct ShardQueue {
+    items: VecDeque<ToWorker>,
+    closed: bool,
+}
+
+/// One shard's bounded work queue paired with its replay state. Any
+/// worker may execute the shard's next message, but only while holding
+/// `state` — and the pop happens under that same lock, so per-shard
+/// FIFO order is independent of which thread runs it (see module docs).
+struct ShardRig {
+    queue: Mutex<ShardQueue>,
+    /// Signals both directions on `queue`: workers wait here for work,
+    /// the coordinator waits here for queue space.
+    cond: Condvar,
+    state: Mutex<ShardState>,
+}
+
+/// How long an idle worker parks before rescanning every queue for
+/// stealable work.
+const IDLE_WAIT: Duration = Duration::from_millis(1);
+/// How long a backpressured push waits between worker-health checks.
+const PUSH_WAIT: Duration = Duration::from_millis(50);
+
+impl ShardRig {
+    fn new(state: ShardState) -> Self {
+        ShardRig {
+            queue: Mutex::new(ShardQueue {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Enqueues one message, blocking while the queue holds
+    /// [`CHANNEL_DEPTH`] messages (the backpressure bound that keeps
+    /// replay memory fixed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a worker panicked mid-replay (poisoned shard state):
+    /// with no worker left to drain, a full queue would otherwise block
+    /// the coordinator forever.
+    fn push(&self, msg: ToWorker) -> Result<(), SieveError> {
+        let mut q = self.queue.lock().expect("queue lock");
+        while q.items.len() >= CHANNEL_DEPTH {
+            if self.state.is_poisoned() {
+                return Err(SieveError::InvalidConfig("replay worker panicked".into()));
+            }
+            q = self.cond.wait_timeout(q, PUSH_WAIT).expect("queue lock").0;
+        }
+        q.items.push_back(msg);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Marks the queue complete; workers exit once every queue is both
+    /// closed and empty.
+    fn close(&self) {
+        self.queue.lock().expect("queue lock").closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Messages currently queued (the batch tuner's occupancy sample).
+    fn queued(&self) -> usize {
+        self.queue.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether this shard can never produce work again.
+    fn drained(&self) -> bool {
+        let q = self.queue.lock().expect("queue lock");
+        q.closed && q.items.is_empty()
+    }
+}
+
+/// Outcome of one attempt to run a shard's next message.
+enum Take {
+    /// One message was executed under the shard's state lock.
+    Processed,
+    /// The queue had nothing to run.
+    Empty,
+    /// Another worker holds the shard's state (steal attempts only).
+    Busy,
+}
+
+/// Pops and executes at most one message from `rig`. The state lock is
+/// taken *first* and held across both the pop and the processing — that
+/// is the whole determinism argument — and exactly one message runs per
+/// acquisition, so a stalled owner's stealers (or a stealing owner's
+/// returns) interleave at message granularity instead of waiting out a
+/// whole batch backlog.
+fn try_process_one(rig: &ShardRig, steal: bool) -> Take {
+    let mut state = if steal {
+        match rig.state.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => return Take::Busy,
+            Err(TryLockError::Poisoned(e)) => panic!("shard state poisoned: {e}"),
+        }
+    } else {
+        rig.state.lock().expect("shard state poisoned")
+    };
+    let msg = {
+        let mut q = rig.queue.lock().expect("queue lock");
+        match q.items.pop_front() {
+            Some(msg) => {
+                // Wake the coordinator (queue space freed) before the
+                // potentially long processing step.
+                rig.cond.notify_all();
+                msg
+            }
+            None => return Take::Empty,
+        }
+    };
+    state.process(msg);
+    Take::Processed
+}
+
+/// One replay worker: drains its own shard's queue, then steals single
+/// messages from loaded siblings, and exits once every queue is closed
+/// and empty. `stall` is the imbalance test hook — it sleeps before
+/// each own-queue attempt, outside all locks, so the worker's queue
+/// backs up and siblings must steal to keep the replay moving.
+fn worker_loop(id: usize, rigs: &[ShardRig], steals: &AtomicU64, stall: Option<Duration>) {
+    let own = &rigs[id];
+    loop {
+        // Own queue first: in the balanced case this is the whole loop
+        // and the state lock is uncontended.
+        loop {
+            if let Some(nap) = stall {
+                std::thread::sleep(nap);
+            }
+            match try_process_one(own, false) {
+                Take::Processed => continue,
+                Take::Empty | Take::Busy => break,
+            }
+        }
+        // Steal sweep: at most one message from the first available
+        // sibling, then back to the own queue (its backlog, if one
+        // appeared meanwhile, has priority).
+        let mut stole = false;
+        for offset in 1..rigs.len() {
+            let victim = &rigs[(id + offset) % rigs.len()];
+            if matches!(try_process_one(victim, true), Take::Processed) {
+                steals.fetch_add(1, Ordering::Relaxed);
+                stole = true;
+                break;
+            }
+        }
+        if stole {
+            continue;
+        }
+        if rigs.iter().all(ShardRig::drained) {
+            return;
+        }
+        // Nothing runnable anywhere right now: park briefly on the own
+        // queue's condvar (pushes notify it) and rescan.
+        let waited = obs_enabled!().then(std::time::Instant::now);
+        let q = own.queue.lock().expect("queue lock");
+        if q.items.is_empty() && !q.closed {
+            let _ = own.cond.wait_timeout(q, IDLE_WAIT).expect("queue lock");
+        }
+        if let Some(started) = waited {
+            obs_observe!(ReplayChannelWaitNanos, started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Receives one epoch contribution during the day-boundary gather,
+/// watching for worker panics: the shard states live in coordinator-
+/// owned rigs, so a dead worker no longer disconnects the channel and a
+/// plain `recv` could block forever.
+fn recv_contribution(
+    rx: &Receiver<(usize, Vec<u64>)>,
+    rigs: &[ShardRig],
+) -> Result<(usize, Vec<u64>), SieveError> {
+    loop {
+        match rx.try_recv() {
+            Ok(pair) => return Ok(pair),
+            Err(TryRecvError::Disconnected) => {
+                return Err(SieveError::InvalidConfig("replay worker panicked".into()));
+            }
+            Err(TryRecvError::Empty) => {
+                if rigs.iter().any(|r| r.state.is_poisoned()) {
+                    return Err(SieveError::InvalidConfig("replay worker panicked".into()));
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
 /// Simulates one policy over the whole trace with `shards` parallel
 /// workers, returning the merged result and the replay statistics.
 ///
@@ -675,7 +881,7 @@ pub fn simulate_sharded(
     cfg: &SimConfig,
     shards: usize,
 ) -> Result<(SimResult, ReplayStats), SieveError> {
-    run_sharded(trace, None, spec, cfg, shards)
+    run_sharded(trace, None, spec, cfg, shards, None)
 }
 
 /// Sharded variant of [`crate::simulate_server`]: replays a single
@@ -691,7 +897,24 @@ pub fn simulate_server_sharded(
     cfg: &SimConfig,
     shards: usize,
 ) -> Result<(SimResult, ReplayStats), SieveError> {
-    run_sharded(trace, Some(server_idx), spec, cfg, shards)
+    run_sharded(trace, Some(server_idx), spec, cfg, shards, None)
+}
+
+/// Test hook: as [`simulate_sharded`], but worker `stall_worker` sleeps
+/// `stall` before each of its own-queue messages, forcing the queue
+/// imbalance that work-stealing exists to fix. Metrics must stay
+/// byte-identical to the unstalled replay; only [`ReplayStats::steals`]
+/// changes.
+#[doc(hidden)]
+pub fn simulate_sharded_with_stall(
+    trace: &SyntheticTrace,
+    spec: PolicySpec,
+    cfg: &SimConfig,
+    shards: usize,
+    stall_worker: usize,
+    stall: Duration,
+) -> Result<(SimResult, ReplayStats), SieveError> {
+    run_sharded(trace, None, spec, cfg, shards, Some((stall_worker, stall)))
 }
 
 fn run_sharded(
@@ -700,6 +923,7 @@ fn run_sharded(
     spec: PolicySpec,
     cfg: &SimConfig,
     shards: usize,
+    stall: Option<(usize, Duration)>,
 ) -> Result<(SimResult, ReplayStats), SieveError> {
     if shards == 0 {
         return Err(SieveError::InvalidConfig(
@@ -744,9 +968,7 @@ fn run_sharded(
     let (contrib_tx, contrib_rx) = channel::unbounded::<(usize, Vec<u64>)>();
     let (moved_tx, moved_rx) = channel::unbounded::<(Day, u64)>();
     let (recycle_tx, recycle_rx) = channel::unbounded::<Vec<Group>>();
-    let mut workers = Vec::with_capacity(shards);
-    let mut senders = Vec::with_capacity(shards);
-    let mut receivers = Vec::with_capacity(shards);
+    let mut rigs = Vec::with_capacity(shards);
     for s in 0..shards {
         let kind = if plan.is_none() {
             WorkerKind::Continuous(
@@ -759,9 +981,10 @@ fn run_sharded(
             )
         } else {
             let book = match &spec {
-                PolicySpec::SieveStoreD { threshold } => {
-                    DiscreteBook::SieveD(DiscreteSieve::new(InMemoryCounter::new(), *threshold)?)
-                }
+                PolicySpec::SieveStoreD { threshold } => DiscreteBook::SieveD {
+                    sieve: DiscreteSieve::new(cfg.counting.counter()?, *threshold)?,
+                    counting: cfg.counting.clone(),
+                },
                 PolicySpec::RandSieveBlkD { .. } => DiscreteBook::BlkD(U64Set::new()),
                 _ => DiscreteBook::Ideal,
             };
@@ -773,122 +996,160 @@ fn run_sharded(
                 moved: moved_tx.clone(),
             }
         };
-        workers.push(Worker {
+        rigs.push(ShardRig::new(ShardState {
             kind,
             days: Vec::new(),
             occupancy: fresh_tracker(),
             recycle: recycle_tx.clone(),
-        });
-        let (tx, rx) = channel::bounded::<ToWorker>(CHANNEL_DEPTH);
-        senders.push(tx);
-        receivers.push(rx);
+        }));
     }
     drop(contrib_tx);
     drop(moved_tx);
     drop(recycle_tx);
 
-    // Coordinator-side metrics (filled in from the workers' install
-    // reports once the scope joins).
-    let coord_days: Vec<DayMetrics> = Vec::new();
-    let coord_occ = fresh_tracker();
+    let steals = AtomicU64::new(0);
     let mut per_shard_blocks = vec![0u64; shards];
 
     let scope_result = thread::scope(|scope| {
-        let handles: Vec<_> = workers
-            .into_iter()
-            .zip(receivers)
-            .map(|(w, rx)| scope.spawn(move |_| w.run(rx)))
-            .collect();
-
-        let mut pending: Vec<Vec<Group>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut scratch: Vec<Vec<(u64, Micros)>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut pool = BufferPool::new(recycle_rx);
-        let mut tuner = BatchTuner::new();
-        let send = |tx: &Sender<ToWorker>, msg: ToWorker| {
-            tx.send(msg).expect("replay worker stopped early");
-        };
-
-        for d in 0..trace.days() {
-            let day = Day::new(d);
-            obs_count!(ReplayDayBoundaries, 1);
-            tuner.observe_day_boundary();
-            if let Some(plan) = plan.as_mut() {
-                let barrier_started = obs_enabled!().then(std::time::Instant::now);
-                // Boundary barrier: drain in-flight work and gather every
-                // shard's epoch contribution — the gather is the only
-                // blocking step. Each worker then installs its partition
-                // of the merged selection into its own epoch cache and
-                // reports the install size asynchronously.
-                for (tx, groups) in senders.iter().zip(&mut pending) {
-                    if !groups.is_empty() {
-                        obs_count!(ReplayBatchesSent, 1);
-                        send(tx, ToWorker::Batch(std::mem::take(groups)));
-                    }
-                    send(tx, ToWorker::Boundary);
-                }
-                let mut contributions: Vec<Vec<u64>> = (0..shards).map(|_| Vec::new()).collect();
-                for _ in 0..shards {
-                    let (shard, contribution) = contrib_rx.recv().expect("all shards contribute");
-                    contributions[shard] = contribution;
-                }
-                let parts = plan.select_sharded(day, contributions, shards, cfg.capacity_blocks);
-                for (tx, part) in senders.iter().zip(parts) {
-                    send(tx, ToWorker::Install(day, part));
-                }
-                if let Some(started) = barrier_started {
-                    obs_observe!(ReplayDayBarrierNanos, started.elapsed().as_nanos() as u64);
-                }
-            }
-
-            let requests = match server {
-                Some(idx) => trace.server_day(idx, day),
-                None => trace.day_requests(day),
+        for id in 0..shards {
+            let rigs = &rigs;
+            let steals = &steals;
+            let nap = match stall {
+                Some((worker, nap)) if worker == id => Some(nap),
+                _ => None,
             };
-            for req in &requests {
-                pool.reclaim();
-                route_request(req, shards, &mut scratch);
-                for s in 0..shards {
-                    if scratch[s].is_empty() {
-                        continue;
+            scope.spawn(move |_| worker_loop(id, rigs, steals, nap));
+        }
+
+        // The coordinator body runs on this thread; its error (stream
+        // failure or worker panic) is captured so the queues still
+        // close and the scope still joins before it propagates.
+        let coordinate = || -> Result<(), SieveError> {
+            let mut stream = match server {
+                Some(idx) => trace.stream_server(idx, cfg.trace_stream.clone()),
+                None => trace.stream(cfg.trace_stream.clone()),
+            };
+            let mut pending: Vec<Vec<Group>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut scratch: Vec<Vec<(u64, Micros)>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut pool = BufferPool::new(recycle_rx);
+            let mut tuner = BatchTuner::new();
+            // Chunks always follow their day's `StartDay`, so this
+            // placeholder is overwritten before any group is built.
+            let mut day = Day::new(0);
+            while let Some(msg) = stream.next_msg() {
+                match msg {
+                    StreamMsg::StartDay(d) => {
+                        day = d;
+                        obs_count!(ReplayDayBoundaries, 1);
+                        tuner.observe_day_boundary();
+                        if let Some(plan) = plan.as_mut() {
+                            let barrier_started = obs_enabled!().then(std::time::Instant::now);
+                            // Boundary barrier: drain in-flight work and
+                            // gather every shard's epoch contribution —
+                            // the gather is the only blocking step. Each
+                            // shard then installs its partition of the
+                            // merged selection into its local epoch
+                            // cache and reports the install size
+                            // asynchronously.
+                            for (rig, groups) in rigs.iter().zip(&mut pending) {
+                                if !groups.is_empty() {
+                                    obs_count!(ReplayBatchesSent, 1);
+                                    rig.push(ToWorker::Batch(std::mem::take(groups)))?;
+                                }
+                                rig.push(ToWorker::Boundary)?;
+                            }
+                            let mut contributions: Vec<Vec<u64>> =
+                                (0..shards).map(|_| Vec::new()).collect();
+                            for _ in 0..shards {
+                                let (shard, contribution) = recv_contribution(&contrib_rx, &rigs)?;
+                                contributions[shard] = contribution;
+                            }
+                            let parts = plan.select_sharded(
+                                day,
+                                contributions,
+                                shards,
+                                cfg.capacity_blocks,
+                            );
+                            for (rig, part) in rigs.iter().zip(parts) {
+                                rig.push(ToWorker::Install(day, part))?;
+                            }
+                            if let Some(started) = barrier_started {
+                                obs_observe!(
+                                    ReplayDayBarrierNanos,
+                                    started.elapsed().as_nanos() as u64
+                                );
+                            }
+                        }
                     }
-                    per_shard_blocks[s] += scratch[s].len() as u64;
-                    obs_count!(ReplayEventsRouted, scratch[s].len() as u64);
-                    // Swap the routed blocks into a recycled group: the
-                    // group's cleared buffer becomes the next request's
-                    // scratch, so neither side ever reallocates.
-                    let mut group = pool.group(day, req);
-                    std::mem::swap(&mut group.blocks, &mut scratch[s]);
-                    pending[s].push(group);
-                    if pending[s].len() >= tuner.target() {
-                        let replacement = pool.batch();
-                        obs_count!(ReplayBatchesSent, 1);
-                        tuner.observe_send(senders[s].len());
-                        send(
-                            &senders[s],
-                            ToWorker::Batch(std::mem::replace(&mut pending[s], replacement)),
-                        );
+                    StreamMsg::Chunk(requests) => {
+                        for req in &requests {
+                            pool.reclaim();
+                            route_request(req, shards, &mut scratch);
+                            for s in 0..shards {
+                                if scratch[s].is_empty() {
+                                    continue;
+                                }
+                                per_shard_blocks[s] += scratch[s].len() as u64;
+                                obs_count!(ReplayEventsRouted, scratch[s].len() as u64);
+                                // Swap the routed blocks into a recycled
+                                // group: the group's cleared buffer
+                                // becomes the next request's scratch, so
+                                // neither side ever reallocates.
+                                let mut group = pool.group(day, req);
+                                std::mem::swap(&mut group.blocks, &mut scratch[s]);
+                                pending[s].push(group);
+                                if pending[s].len() >= tuner.target() {
+                                    let replacement = pool.batch();
+                                    obs_count!(ReplayBatchesSent, 1);
+                                    tuner.observe_send(rigs[s].queued());
+                                    rigs[s].push(ToWorker::Batch(std::mem::replace(
+                                        &mut pending[s],
+                                        replacement,
+                                    )))?;
+                                }
+                            }
+                        }
+                        stream.recycle(requests);
                     }
+                    StreamMsg::Failed(e) => return Err(e),
                 }
             }
-        }
-        for (tx, groups) in senders.iter().zip(&mut pending) {
-            if !groups.is_empty() {
-                obs_count!(ReplayBatchesSent, 1);
-                send(tx, ToWorker::Batch(std::mem::take(groups)));
+            for (rig, groups) in rigs.iter().zip(&mut pending) {
+                if !groups.is_empty() {
+                    obs_count!(ReplayBatchesSent, 1);
+                    rig.push(ToWorker::Batch(std::mem::take(groups)))?;
+                }
             }
+            Ok(())
+        };
+        let result = coordinate();
+        // Close every queue — on success *and* on error — so the
+        // workers drain and exit and the scope can join.
+        for rig in &rigs {
+            rig.close();
         }
-        drop(senders); // close the channels: workers drain and return
-
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replay worker panicked"))
-            .collect::<Vec<_>>()
+        result
     });
-    let shard_results =
-        scope_result.map_err(|_| SieveError::InvalidConfig("replay worker panicked".into()))?;
+    match scope_result {
+        Ok(result) => result?,
+        // A worker panic unwinds through the scope (its queue state is
+        // unrecoverable); surface it as a replay error.
+        Err(_) => {
+            return Err(SieveError::InvalidConfig("replay worker panicked".into()));
+        }
+    }
 
-    let mut days = coord_days;
-    let mut occupancy = coord_occ;
+    let mut shard_results = Vec::with_capacity(shards);
+    for rig in rigs {
+        let state = rig
+            .state
+            .into_inner()
+            .map_err(|_| SieveError::InvalidConfig("replay worker panicked".into()))?;
+        shard_results.push((state.days, state.occupancy));
+    }
+
+    let mut days: Vec<DayMetrics> = Vec::new();
+    let mut occupancy = fresh_tracker();
     // Workers have joined, so every per-shard install report is queued.
     // Sum them per day and account exactly as the sequential engine
     // does: the day's batch_allocations plus (optionally) the moved
@@ -938,7 +1199,10 @@ fn run_sharded(
             days,
             occupancy,
         },
-        ReplayStats { per_shard_blocks },
+        ReplayStats {
+            per_shard_blocks,
+            steals: steals.load(Ordering::Relaxed),
+        },
     ))
 }
 
@@ -1148,6 +1412,7 @@ mod tests {
         assert_eq!(ReplayStats::default().imbalance(), 1.0);
         let stats = ReplayStats {
             per_shard_blocks: vec![30, 10],
+            steals: 0,
         };
         assert_eq!(stats.total_blocks(), 40);
         assert!((stats.imbalance() - 1.5).abs() < 1e-12);

@@ -33,6 +33,7 @@ pub mod io;
 pub mod model;
 pub mod msr;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod zipf;
 
@@ -40,5 +41,9 @@ pub use io::{write_csv, TraceReader, TraceWriter};
 pub use model::{EnsembleConfig, Scale, ServerConfig, VolumeConfig};
 pub use msr::MsrReader;
 pub use stats::{DayStats, TraceStats};
+pub use stream::{
+    request_order_key, sort_requests, RequestOrderKey, RequestStream, StreamMsg, TraceStream,
+    TraceStreamConfig,
+};
 pub use synth::{SizeMix, SyntheticTrace, TraceIter};
 pub use zipf::Zipf;

@@ -1,0 +1,598 @@
+//! Streaming day generation: the trace as a bounded-memory chunk pipeline.
+//!
+//! [`SyntheticTrace::day_requests`] materializes a whole calendar day in
+//! RAM, which caps the scale a replay can run at. This module generates
+//! the *same bytes in the same order* as a stream of fixed-size request
+//! chunks instead:
+//!
+//! * Requests are ordered by [`request_order_key`], a **total** order
+//!   (timestamp first, then the full request payload as a tiebreak).
+//!   Because the order is total, every sorting strategy over the same
+//!   multiset yields the same sequence — so a k-way merge of per-server
+//!   sorted runs is bit-identical to sorting the concatenated day, which
+//!   is what makes streamed and materialized generation interchangeable
+//!   (pinned by this module's tests and `tests/streaming_replay.rs`).
+//! * A background thread generates per-server day runs and merges them
+//!   into chunks of [`TraceStreamConfig::chunk_requests`] requests,
+//!   delivered over a bounded channel ([`TraceStreamConfig::depth`]
+//!   chunks in flight). The consumer replays day *N* while the generator
+//!   is already producing day *N + 1* — generation overlaps replay
+//!   instead of serializing with it.
+//! * With [`TraceStreamConfig::spill_dir`] set, each per-server run is
+//!   written to disk (the [`crate::TraceWriter`] binary format) as soon
+//!   as it is generated and the merge streams it back, so peak memory
+//!   drops from one full day to one *server*-day plus I/O buffers —
+//!   the mode full-scale replay runs in.
+//!
+//! Consumers either drain [`TraceStream::next_msg`] (day markers +
+//! chunks, with buffer recycling) or flatten the stream through
+//! [`TraceStream::requests`].
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use sievestore_types::{Day, GlobalBlock, Request, SieveError};
+
+use crate::io::{TraceReader, TraceWriter};
+use crate::synth::SyntheticTrace;
+
+/// Sort key produced by [`request_order_key`]: timestamp-major, then
+/// every remaining request field as a tiebreak.
+pub type RequestOrderKey = (u64, u64, u32, u8, u64);
+
+/// The canonical total order over requests.
+///
+/// Timestamp-major, with the remaining request fields as tiebreaks, so
+/// two requests compare equal only when they are bitwise identical —
+/// which makes the sorted sequence of any request multiset unique, and
+/// merge-based streaming reproducible against materialized sorting.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_trace::request_order_key;
+/// use sievestore_types::{BlockAddr, Micros, Request, RequestKind, ServerId, VolumeId};
+///
+/// let a = Request::new(
+///     Micros::new(5),
+///     BlockAddr::new(ServerId::new(0), VolumeId::new(0), 8),
+///     4,
+///     RequestKind::Read,
+/// );
+/// let b = Request::new(
+///     Micros::new(5),
+///     BlockAddr::new(ServerId::new(1), VolumeId::new(0), 8),
+///     4,
+///     RequestKind::Read,
+/// );
+/// // Same timestamp, different server: the tiebreak still orders them.
+/// assert!(request_order_key(&a) < request_order_key(&b));
+/// ```
+pub fn request_order_key(r: &Request) -> RequestOrderKey {
+    (
+        r.timestamp.as_u64(),
+        GlobalBlock::from(r.start).raw(),
+        r.len_blocks,
+        r.kind.as_byte(),
+        r.response_time.as_u64(),
+    )
+}
+
+/// Sorts requests by [`request_order_key`] (the order every trace API
+/// emits).
+pub fn sort_requests(requests: &mut [Request]) {
+    requests.sort_unstable_by_key(request_order_key);
+}
+
+/// Default requests per streamed chunk (~2 MiB of `Request`s).
+pub const DEFAULT_CHUNK_REQUESTS: usize = 1 << 16;
+/// Default chunks in flight between generator and consumer.
+pub const DEFAULT_STREAM_DEPTH: usize = 4;
+
+/// Configuration for [`SyntheticTrace::stream`].
+#[derive(Debug, Clone)]
+pub struct TraceStreamConfig {
+    /// Requests per chunk.
+    pub chunk_requests: usize,
+    /// Bounded-channel depth: at most this many chunks in flight
+    /// (generator backpressure).
+    pub depth: usize,
+    /// When set, per-server day runs spill to this directory instead of
+    /// staying resident for the merge: peak generator memory drops from
+    /// one day to one server-day. The directory is created if needed and
+    /// run files are deleted as each day completes.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for TraceStreamConfig {
+    fn default() -> Self {
+        TraceStreamConfig {
+            chunk_requests: DEFAULT_CHUNK_REQUESTS,
+            depth: DEFAULT_STREAM_DEPTH,
+            spill_dir: None,
+        }
+    }
+}
+
+impl TraceStreamConfig {
+    /// Sets the chunk size in requests (clamped to at least 1).
+    #[must_use]
+    pub fn with_chunk_requests(mut self, chunk_requests: usize) -> Self {
+        self.chunk_requests = chunk_requests.max(1);
+        self
+    }
+
+    /// Sets the in-flight chunk bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// Enables spill-to-disk generation under `dir`.
+    #[must_use]
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+}
+
+/// One message from the generator thread.
+#[derive(Debug)]
+pub enum StreamMsg {
+    /// Calendar day `day` starts here; every following [`StreamMsg::Chunk`]
+    /// until the next marker (or end of stream) belongs to it. Emitted for
+    /// every day in the trace, even a day with no requests.
+    StartDay(Day),
+    /// The next run of requests, in [`request_order_key`] order. Never
+    /// empty. Return the buffer via [`TraceStream::recycle`] to keep the
+    /// steady state allocation-free.
+    Chunk(Vec<Request>),
+    /// Generation failed (spill-mode I/O); the stream ends after this.
+    Failed(SieveError),
+}
+
+/// A live streaming generation: the consumer half of the pipeline.
+///
+/// Dropping the stream stops the generator (its next send fails) and
+/// joins the background thread.
+///
+/// # Examples
+///
+/// ```
+/// use sievestore_trace::{EnsembleConfig, SyntheticTrace, TraceStreamConfig};
+/// use sievestore_types::Day;
+///
+/// let trace = SyntheticTrace::new(EnsembleConfig::tiny(42)).unwrap();
+/// let streamed: Vec<_> = trace.stream(TraceStreamConfig::default()).requests().collect();
+/// let mut materialized = Vec::new();
+/// for d in 0..trace.days() {
+///     materialized.extend(trace.day_requests(Day::new(d)));
+/// }
+/// assert_eq!(streamed, materialized);
+/// ```
+#[derive(Debug)]
+pub struct TraceStream {
+    rx: Option<mpsc::Receiver<StreamMsg>>,
+    recycle_tx: mpsc::Sender<Vec<Request>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TraceStream {
+    /// Receives the next message, or `None` once generation completed.
+    pub fn next_msg(&mut self) -> Option<StreamMsg> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+
+    /// Hands a drained chunk buffer back to the generator for reuse.
+    pub fn recycle(&self, mut buf: Vec<Request>) {
+        buf.clear();
+        // The generator may already have finished; dropped buffers are
+        // simply reallocated next run.
+        let _ = self.recycle_tx.send(buf);
+    }
+
+    /// Flattens the stream into one request iterator (convenience for
+    /// analyses and tests; replay engines consume chunks directly).
+    ///
+    /// # Panics
+    ///
+    /// The iterator panics if spill-mode generation hits an I/O error.
+    pub fn requests(self) -> RequestStream {
+        RequestStream {
+            stream: self,
+            chunk: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Drop for TraceStream {
+    fn drop(&mut self) {
+        // Closing the receiver makes the generator's next send fail, so
+        // it exits even mid-day; then reap the thread.
+        drop(self.rx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Flattened per-request view of a [`TraceStream`].
+///
+/// Produced by [`TraceStream::requests`].
+#[derive(Debug)]
+pub struct RequestStream {
+    stream: TraceStream,
+    chunk: Vec<Request>,
+    pos: usize,
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        loop {
+            if self.pos < self.chunk.len() {
+                let req = self.chunk[self.pos];
+                self.pos += 1;
+                return Some(req);
+            }
+            if !self.chunk.is_empty() {
+                self.stream.recycle(std::mem::take(&mut self.chunk));
+            }
+            self.pos = 0;
+            match self.stream.next_msg()? {
+                StreamMsg::StartDay(_) => {}
+                StreamMsg::Chunk(chunk) => self.chunk = chunk,
+                StreamMsg::Failed(e) => panic!("trace generation failed: {e}"),
+            }
+        }
+    }
+}
+
+/// Which slice of the ensemble a stream generates.
+#[derive(Debug, Clone, Copy)]
+enum StreamScope {
+    AllServers,
+    Server(usize),
+}
+
+impl SyntheticTrace {
+    /// Streams every request of the whole trace, all servers merged in
+    /// [`request_order_key`] order — the same sequence
+    /// [`SyntheticTrace::day_requests`] materializes, day by day, but
+    /// generated on a background thread in bounded chunks.
+    pub fn stream(&self, config: TraceStreamConfig) -> TraceStream {
+        self.stream_scoped(StreamScope::AllServers, config)
+    }
+
+    /// Streams a single server's slice of the trace (the counterpart of
+    /// [`SyntheticTrace::server_day`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_idx` is out of range.
+    pub fn stream_server(&self, server_idx: usize, config: TraceStreamConfig) -> TraceStream {
+        assert!(
+            server_idx < self.config().servers.len(),
+            "server out of range"
+        );
+        self.stream_scoped(StreamScope::Server(server_idx), config)
+    }
+
+    fn stream_scoped(&self, scope: StreamScope, config: TraceStreamConfig) -> TraceStream {
+        let config = TraceStreamConfig {
+            chunk_requests: config.chunk_requests.max(1),
+            depth: config.depth.max(1),
+            spill_dir: config.spill_dir,
+        };
+        let (tx, rx) = mpsc::sync_channel::<StreamMsg>(config.depth);
+        let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<Request>>();
+        let trace = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("trace-stream".into())
+            .spawn(move || {
+                Generator {
+                    trace,
+                    scope,
+                    config,
+                    tx,
+                    recycle_rx,
+                }
+                .run();
+            })
+            .expect("spawn trace generator thread");
+        TraceStream {
+            rx: Some(rx),
+            recycle_tx,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// The background generation loop.
+struct Generator {
+    trace: SyntheticTrace,
+    scope: StreamScope,
+    config: TraceStreamConfig,
+    tx: mpsc::SyncSender<StreamMsg>,
+    recycle_rx: mpsc::Receiver<Vec<Request>>,
+}
+
+impl Generator {
+    fn run(self) {
+        for d in 0..self.trace.days() {
+            let day = Day::new(d);
+            if self.tx.send(StreamMsg::StartDay(day)).is_err() {
+                return; // consumer dropped
+            }
+            let done = match &self.config.spill_dir {
+                None => self.emit_day_in_memory(day),
+                Some(dir) => match self.emit_day_spilled(day, dir.clone()) {
+                    Ok(done) => done,
+                    Err(e) => {
+                        let _ = self.tx.send(StreamMsg::Failed(e));
+                        return;
+                    }
+                },
+            };
+            if !done {
+                return;
+            }
+        }
+    }
+
+    fn servers(&self) -> Vec<usize> {
+        match self.scope {
+            StreamScope::AllServers => (0..self.trace.config().servers.len()).collect(),
+            StreamScope::Server(idx) => vec![idx],
+        }
+    }
+
+    /// A chunk buffer, recycled from the consumer when available.
+    fn chunk_buf(&self) -> Vec<Request> {
+        let mut buf = self
+            .recycle_rx
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.config.chunk_requests));
+        buf.clear();
+        buf
+    }
+
+    /// Generates every server's run for `day` in memory and merges them
+    /// into chunks. Returns `false` if the consumer went away.
+    fn emit_day_in_memory(&self, day: Day) -> bool {
+        let runs: Vec<Vec<Request>> = self
+            .servers()
+            .into_iter()
+            .map(|s| self.trace.server_day_requests(s, day))
+            .collect();
+        let mut sources: Vec<std::vec::IntoIter<Request>> =
+            runs.into_iter().map(Vec::into_iter).collect();
+        let mut heads: Vec<Option<Request>> = sources.iter_mut().map(Iterator::next).collect();
+        self.merge_chunks(&mut heads, |i| sources[i].next()).is_ok()
+    }
+
+    /// Spill mode: writes each server run to disk as soon as it is
+    /// generated (so only one resident server-day at a time), then merges
+    /// the runs back as streams.
+    ///
+    /// Returns `Ok(false)` if the consumer went away, `Err` on I/O
+    /// failure.
+    fn emit_day_spilled(&self, day: Day, dir: PathBuf) -> Result<bool, SieveError> {
+        std::fs::create_dir_all(&dir)?;
+        let servers = self.servers();
+        let mut paths = Vec::with_capacity(servers.len());
+        for s in servers {
+            let run = self.trace.server_day_requests(s, day);
+            let path = dir.join(format!("day{:04}-srv{s:02}.run", day.index()));
+            let file = std::fs::File::create(&path)?;
+            let mut writer = TraceWriter::with_count(file, run.len() as u64)?;
+            for req in &run {
+                writer.write(req)?;
+            }
+            writer.finish()?;
+            paths.push(path);
+        }
+        let mut readers = paths
+            .iter()
+            .map(|p| TraceReader::new(std::fs::File::open(p)?))
+            .collect::<Result<Vec<_>, SieveError>>()?;
+        let mut pull = |i: usize| readers[i].next().transpose();
+        let mut heads: Vec<Option<Request>> = Vec::with_capacity(paths.len());
+        for i in 0..paths.len() {
+            heads.push(pull(i)?);
+        }
+        let mut io_err: Option<SieveError> = None;
+        let delivered = self.merge_chunks(&mut heads, |i| match pull(i) {
+            Ok(next) => next,
+            Err(e) => {
+                io_err = Some(e);
+                None // ends this source; the error surfaces below
+            }
+        });
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+        match io_err {
+            Some(e) => Err(e),
+            None => Ok(delivered.is_ok()),
+        }
+    }
+
+    /// K-way merge over `heads` (refilled by `next`), chunked and sent.
+    /// With the total [`request_order_key`] order, equal heads are
+    /// bitwise-identical requests, so the lowest-index tiebreak below
+    /// changes nothing about the produced byte sequence.
+    ///
+    /// Returns `Err(())` when the consumer hung up.
+    fn merge_chunks<F>(&self, heads: &mut [Option<Request>], mut next: F) -> Result<(), ()>
+    where
+        F: FnMut(usize) -> Option<Request>,
+    {
+        let mut chunk = self.chunk_buf();
+        loop {
+            let mut min: Option<(usize, RequestOrderKey)> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(req) = head {
+                    let key = request_order_key(req);
+                    if min.as_ref().is_none_or(|(_, k)| key < *k) {
+                        min = Some((i, key));
+                    }
+                }
+            }
+            let Some((i, _)) = min else { break };
+            let req = heads[i].take().expect("head present");
+            heads[i] = next(i);
+            chunk.push(req);
+            if chunk.len() >= self.config.chunk_requests {
+                let full = std::mem::replace(&mut chunk, self.chunk_buf());
+                if self.tx.send(StreamMsg::Chunk(full)).is_err() {
+                    return Err(());
+                }
+            }
+        }
+        if !chunk.is_empty() && self.tx.send(StreamMsg::Chunk(chunk)).is_err() {
+            return Err(());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EnsembleConfig;
+
+    fn tiny() -> SyntheticTrace {
+        SyntheticTrace::new(EnsembleConfig::tiny(0xBEEF)).unwrap()
+    }
+
+    fn materialized(trace: &SyntheticTrace) -> Vec<Request> {
+        let mut all = Vec::new();
+        for d in 0..trace.days() {
+            all.extend(trace.day_requests(Day::new(d)));
+        }
+        all
+    }
+
+    fn drain(mut stream: TraceStream) -> (Vec<Day>, Vec<Request>) {
+        let mut days = Vec::new();
+        let mut all = Vec::new();
+        while let Some(msg) = stream.next_msg() {
+            match msg {
+                StreamMsg::StartDay(d) => days.push(d),
+                StreamMsg::Chunk(chunk) => {
+                    assert!(!chunk.is_empty(), "chunks are never empty");
+                    all.extend_from_slice(&chunk);
+                    stream.recycle(chunk);
+                }
+                StreamMsg::Failed(e) => panic!("generation failed: {e}"),
+            }
+        }
+        (days, all)
+    }
+
+    #[test]
+    fn order_key_is_total_over_distinct_requests() {
+        let trace = tiny();
+        let day = trace.day_requests(Day::new(1));
+        for w in day.windows(2) {
+            let (a, b) = (request_order_key(&w[0]), request_order_key(&w[1]));
+            assert!(a <= b, "day_requests not sorted by the canonical order");
+            if a == b {
+                assert_eq!(w[0], w[1], "equal keys must mean identical requests");
+            }
+        }
+    }
+
+    #[test]
+    fn in_memory_stream_matches_materialized_at_any_chunk_size() {
+        let trace = tiny();
+        let expect = materialized(&trace);
+        for chunk in [1usize, 7, 1024, DEFAULT_CHUNK_REQUESTS] {
+            let cfg = TraceStreamConfig::default().with_chunk_requests(chunk);
+            let (days, got) = drain(trace.stream(cfg));
+            assert_eq!(days.len(), trace.days() as usize, "chunk {chunk}");
+            assert_eq!(got, expect, "chunk size {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn spilled_stream_matches_materialized() {
+        let trace = tiny();
+        let dir = std::env::temp_dir().join(format!("sievestore-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TraceStreamConfig::default()
+            .with_chunk_requests(513)
+            .with_spill_dir(&dir);
+        let (days, got) = drain(trace.stream(cfg));
+        assert_eq!(days.len(), trace.days() as usize);
+        assert_eq!(got, materialized(&trace));
+        // Run files are cleaned up as days complete.
+        let leftover = std::fs::read_dir(&dir)
+            .map(|d| d.count())
+            .unwrap_or_default();
+        assert_eq!(leftover, 0, "spill files must be deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_stream_matches_server_day() {
+        let trace = tiny();
+        let server = 1;
+        let mut expect = Vec::new();
+        for d in 0..trace.days() {
+            expect.extend(trace.server_day(server, Day::new(d)));
+        }
+        let cfg = TraceStreamConfig::default().with_chunk_requests(97);
+        let (_, got) = drain(trace.stream_server(server, cfg));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn request_iterator_flattens_the_stream() {
+        let trace = tiny();
+        let got: Vec<Request> = trace
+            .stream(TraceStreamConfig::default().with_chunk_requests(311))
+            .requests()
+            .collect();
+        assert_eq!(got, materialized(&trace));
+    }
+
+    #[test]
+    fn dropping_a_stream_mid_day_joins_cleanly() {
+        let trace = tiny();
+        let mut stream = trace.stream(TraceStreamConfig::default().with_chunk_requests(64));
+        // Take a few messages, then hang up with the generator mid-day.
+        for _ in 0..3 {
+            let _ = stream.next_msg();
+        }
+        drop(stream); // must not hang or panic
+    }
+
+    #[test]
+    fn day_markers_precede_their_chunks() {
+        let trace = tiny();
+        let mut stream = trace.stream(TraceStreamConfig::default());
+        let mut current: Option<Day> = None;
+        let mut expected_next = 0u16;
+        while let Some(msg) = stream.next_msg() {
+            match msg {
+                StreamMsg::StartDay(d) => {
+                    assert_eq!(d.index(), expected_next, "days arrive in order");
+                    expected_next += 1;
+                    current = Some(d);
+                }
+                StreamMsg::Chunk(chunk) => {
+                    let day = current.expect("chunk before any day marker");
+                    assert!(chunk.iter().all(|r| r.timestamp.day() == day));
+                    stream.recycle(chunk);
+                }
+                StreamMsg::Failed(e) => panic!("generation failed: {e}"),
+            }
+        }
+    }
+}

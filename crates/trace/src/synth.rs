@@ -495,7 +495,7 @@ impl SyntheticTrace {
     }
 
     /// Generates all requests of one server for one day, in time order.
-    fn server_day_requests(&self, server_idx: usize, day: Day) -> Vec<Request> {
+    pub(crate) fn server_day_requests(&self, server_idx: usize, day: Day) -> Vec<Request> {
         let plan = self.server_day_plan(server_idx, day.index());
         let mut rng = SmallRng::seed_from_u64(self.sub_seed(5, day.index(), server_idx));
         let day_base = day.start();
@@ -584,7 +584,7 @@ impl SyntheticTrace {
                 }
             }
         }
-        out.sort_unstable_by_key(|r| r.timestamp);
+        crate::stream::sort_requests(&mut out);
         out
     }
 
@@ -605,7 +605,7 @@ impl SyntheticTrace {
         for server_idx in 0..self.config.servers.len() {
             all.extend(self.server_day_requests(server_idx, day));
         }
-        all.sort_unstable_by_key(|r| r.timestamp);
+        crate::stream::sort_requests(&mut all);
         all
     }
 

@@ -31,12 +31,14 @@ pub mod error;
 pub mod fastmap;
 pub mod ids;
 pub mod obs;
+pub mod proc;
 pub mod request;
 pub mod time;
 
 pub use error::{DurableError, ErrorClass, NodeError, ParseRequestError, SieveError};
 pub use fastmap::{U64Map, U64Set};
 pub use ids::{BlockAddr, GlobalBlock, ServerId, VolumeId};
+pub use proc::peak_rss_bytes;
 pub use request::{Request, RequestKind};
 pub use time::{Day, Micros, Minute};
 

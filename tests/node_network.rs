@@ -2,11 +2,6 @@
 //! correct, sieving block cache under concurrent clients — and keep
 //! serving correct data while its backing store misbehaves.
 //!
-//! Deliberately exercises the legacy `NodeServer::spawn_*` constructors
-//! (now thin deprecated wrappers over `NodeServerBuilder`) so their
-//! compatibility surface stays covered.
-#![allow(deprecated)]
-
 use std::collections::HashMap;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -16,7 +11,7 @@ use rand::{RngExt, SeedableRng};
 use sievestore::PolicySpec;
 use sievestore_node::{
     ClientConfig, DataCache, FaultInjectingBacking, FaultPlan, FileBacking, MemBacking, NodeClient,
-    NodeConfig, NodeMode, NodeServer, RetryPolicy, WritePolicy,
+    NodeConfig, NodeMode, NodeServerBuilder, RetryPolicy, WritePolicy,
 };
 use sievestore_sieve::TwoTierConfig;
 use sievestore_types::NodeError;
@@ -40,7 +35,9 @@ fn fast_client() -> ClientConfig {
 #[test]
 fn single_client_read_write_and_stats() {
     let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64).expect("valid appliance");
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind ephemeral port");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind ephemeral port");
     let mut client = NodeClient::connect(server.addr()).expect("connect");
 
     // Fresh blocks read as zeroes and miss.
@@ -74,7 +71,9 @@ fn sieved_node_filters_cold_scans() {
             .with_thresholds(3, 2),
     );
     let cache = DataCache::new(MemBacking::new(), policy, 256).expect("valid appliance");
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
     let mut client = NodeClient::connect(server.addr()).expect("connect");
 
     // A one-touch cold scan: nothing earns a frame.
@@ -111,7 +110,9 @@ fn concurrent_clients_never_see_stale_data() {
     // reads, and checks every read against its own shadow copy.
     let cache =
         DataCache::new(MemBacking::new(), PolicySpec::Aod, 1 << 10).expect("valid appliance");
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
     let addr = server.addr();
 
     let mut handles = Vec::new();
@@ -152,7 +153,9 @@ fn write_back_node_flushes_over_the_wire() {
     let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 64)
         .expect("valid appliance")
         .with_write_policy(WritePolicy::WriteBack);
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
     let mut client = NodeClient::connect(server.addr()).expect("connect");
 
     // Prime residency, then dirty the frames with write hits.
@@ -186,7 +189,10 @@ fn node_survives_transient_faults_degrades_and_recovers() {
         breaker_cooldown: 4,
         ..NodeConfig::default()
     };
-    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
     let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
 
     // Baseline: a healthy write-through pass lands data on the ensemble.
@@ -287,7 +293,10 @@ fn breaker_transitions_emit_exactly_one_event_each_over_the_wire() {
         ..NodeConfig::default()
     };
     let sink = Arc::new(CapturingSink::new());
-    let server = NodeServer::spawn_observed("127.0.0.1:0", cache, config, sink.clone())
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .sink(sink.clone())
+        .serve(cache)
         .expect("bind ephemeral port");
     let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
 
@@ -354,7 +363,10 @@ fn slow_backing_overruns_the_request_deadline() {
         breaker_threshold: 100, // keep the breaker out of this test
         ..NodeConfig::default()
     };
-    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
     let no_retry = ClientConfig {
         retry: RetryPolicy::none(),
         ..ClientConfig::default()
@@ -385,7 +397,9 @@ fn slow_backing_overruns_the_request_deadline() {
 fn connect_timeout_bounds_the_dial() {
     // A live node accepts within a tight budget.
     let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).expect("valid appliance");
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
     let config = ClientConfig {
         connect_timeout: Some(Duration::from_millis(250)),
         ..ClientConfig::default()
@@ -429,7 +443,9 @@ fn shutdown_flushes_dirty_frames_despite_faults() {
         let cache = DataCache::new(faulty, PolicySpec::Aod, 64)
             .expect("valid appliance")
             .with_write_policy(WritePolicy::WriteBack);
-        let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+        let server = NodeServerBuilder::new("127.0.0.1:0")
+            .serve(cache)
+            .expect("bind");
         let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
 
         // Allocating write-misses leave dirty frames; the backing file
@@ -475,7 +491,9 @@ fn drop_flushes_dirty_frames() {
         )
         .expect("valid appliance")
         .with_write_policy(WritePolicy::WriteBack);
-        let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+        let server = NodeServerBuilder::new("127.0.0.1:0")
+            .serve(cache)
+            .expect("bind");
         let mut client = NodeClient::connect(server.addr()).expect("connect");
         client.write_block(9, &block(0x99)).expect("write");
         client.quit().expect("quit");
@@ -496,7 +514,10 @@ fn idle_connections_are_reaped_and_clients_reconnect() {
         idle_timeout: Some(Duration::from_millis(50)),
         ..NodeConfig::default()
     };
-    let server = NodeServer::spawn_with_config("127.0.0.1:0", cache, config).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .config(config)
+        .serve(cache)
+        .expect("bind");
     let mut client = NodeClient::connect_with(server.addr(), fast_client()).expect("connect");
 
     client.write_block(4, &block(0x44)).expect("write");
@@ -520,7 +541,9 @@ fn server_survives_malformed_frames() {
     use std::io::Write as _;
 
     let cache = DataCache::new(MemBacking::new(), PolicySpec::Aod, 16).expect("valid appliance");
-    let server = NodeServer::spawn("127.0.0.1:0", cache).expect("bind");
+    let server = NodeServerBuilder::new("127.0.0.1:0")
+        .serve(cache)
+        .expect("bind");
 
     // A raw connection sends garbage; the server replies with an error
     // frame (or closes) without taking the whole node down.
