@@ -17,6 +17,7 @@ pub mod extensions;
 pub mod node_json;
 pub mod policies;
 pub mod replay_json;
+pub mod scenario;
 pub mod sens;
 pub mod shadow;
 pub mod summary;

@@ -31,7 +31,7 @@ use crossbeam::thread;
 use sievestore::{EvictionPolicy, PolicySpec, SieveStore, SieveStoreBuilder};
 use sievestore_extsort::CountingConfig;
 use sievestore_ssd::{OccupancyTracker, SsdSpec};
-use sievestore_trace::{StreamMsg, SyntheticTrace, TraceStreamConfig};
+use sievestore_trace::{ScenarioConfig, StreamMsg, SyntheticTrace, TraceStreamConfig};
 use sievestore_types::{Day, Request, SieveError, BLOCKS_PER_PAGE};
 
 use crate::metrics::{DayMetrics, SimResult};
@@ -133,6 +133,22 @@ impl SimConfig {
         self.trace_stream = trace_stream;
         self
     }
+
+    /// Applies an adversarial workload scenario to the replayed stream
+    /// (see [`sievestore_trace::scenario`]). Every engine entry point —
+    /// sequential, sharded, snapshot-exporting — replays the transformed
+    /// stream; the scenario is validated against the trace up front.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.trace_stream.scenario = scenario;
+        self
+    }
+}
+
+/// Fails fast — with an error instead of the stream's panic — when the
+/// configured scenario does not fit the trace's ensemble.
+pub(crate) fn validate_scenario(trace: &SyntheticTrace, cfg: &SimConfig) -> Result<(), SieveError> {
+    cfg.trace_stream.scenario.validate(trace.config())
 }
 
 /// One policy's in-flight simulation state.
@@ -291,6 +307,7 @@ pub fn simulate_with_snapshots(
     spec: PolicySpec,
     cfg: &SimConfig,
 ) -> Result<(SimResult, SnapshotLog), SieveError> {
+    validate_scenario(trace, cfg)?;
     if let ReplayMode::Sharded(n) = cfg.replay {
         let (result, _stats) = replay::simulate_sharded(trace, spec, cfg, n)?;
         let log = SnapshotLog::from_result(&result);
@@ -342,6 +359,12 @@ pub fn simulate_server(
     spec: PolicySpec,
     cfg: &SimConfig,
 ) -> Result<SimResult, SieveError> {
+    validate_scenario(trace, cfg)?;
+    if cfg.trace_stream.scenario.moves_across_servers() {
+        return Err(SieveError::InvalidConfig(
+            "cross-server scenario stages (failover) cannot replay a single server's slice".into(),
+        ));
+    }
     if let ReplayMode::Sharded(n) = cfg.replay {
         return replay::simulate_server_sharded(trace, server_idx, spec, cfg, n).map(|(r, _)| r);
     }
@@ -377,6 +400,7 @@ pub fn simulate_many(
     specs: Vec<PolicySpec>,
     cfg: &SimConfig,
 ) -> Result<Vec<SimResult>, SieveError> {
+    validate_scenario(trace, cfg)?;
     if let ReplayMode::Sharded(n) = cfg.replay {
         // Sharded replay parallelizes *within* each policy, so policies
         // run one after another instead of fanning out across threads.

@@ -51,5 +51,6 @@ pub use per_server::{
 pub use replay::simulate_sharded_with_stall;
 pub use replay::{simulate_server_sharded, simulate_sharded, ReplayMode, ReplayStats};
 pub use sievestore::EvictionPolicy;
+pub use sievestore_trace::{ScenarioConfig, ScenarioStage};
 pub use snapshot::{DaySnapshot, SnapshotLog, SNAPSHOT_SCHEMA};
 pub use sweep::{threshold_sweep, window_sweep, SweepPoint};

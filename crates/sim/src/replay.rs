@@ -935,6 +935,12 @@ fn run_sharded(
             "cache capacity must be nonzero".into(),
         ));
     }
+    crate::engine::validate_scenario(trace, cfg)?;
+    if server.is_some() && cfg.trace_stream.scenario.moves_across_servers() {
+        return Err(SieveError::InvalidConfig(
+            "cross-server scenario stages (failover) cannot replay a single server's slice".into(),
+        ));
+    }
     let total_minutes = trace.days() as usize * 24 * 60;
     let name: Arc<str> = Arc::from(spec.name());
     let fresh_tracker = || {

@@ -1,0 +1,714 @@
+//! Adversarial workload scenarios: seeded, deterministic transforms over
+//! the trace stream.
+//!
+//! The base synthetic ensemble is a *steady-state* workload — the regime
+//! the paper evaluates in. This module layers adversity on top of it:
+//! a [`ScenarioConfig`] is an ordered chain of composable
+//! [`ScenarioStage`]s that the stream generator applies to every request
+//! after the k-way merge, so all four degradation modes the ROADMAP's
+//! "scenario diversity" item names become replayable workloads:
+//!
+//! * [`ScenarioStage::FlashCrowd`] — during a window on one day, a small
+//!   deterministic subset of 16-block chunks receives its traffic
+//!   amplified ×k (the crowd hammering a handful of hot objects);
+//! * [`ScenarioStage::HotSetInversion`] — from a chosen day onward every
+//!   block address is mirrored across its volume's midpoint, so the
+//!   learned hot set's addresses go cold and the former cold region
+//!   carries the popular traffic;
+//! * [`ScenarioStage::Failover`] — from a chosen day onward one server's
+//!   load is re-sharded onto the survivors (chunk-consistent hashing),
+//!   mixing a failed server's working set into everyone else's;
+//! * [`ScenarioStage::ChurnBurst`] — during a window, a fraction of
+//!   chunks is redirected to fresh, day-salted addresses: a surge of
+//!   never-before-seen blocks mid-day.
+//!
+//! # Determinism contract
+//!
+//! Every stage is a *pure function* of the request, the compiled ensemble
+//! geometry, and the scenario seed — no state is carried between
+//! requests. Timestamps are never modified and amplified copies are
+//! emitted adjacently, so the transformed sequence stays
+//! timestamp-ordered, day-partitioned, and — because the transform is
+//! per-request — **bit-identical for a given seed across chunk sizes,
+//! pipeline depths, and spill mode**, exactly like the base stream
+//! (pinned by `tests/scenario_engine.rs`). Transformed requests always
+//! stay within their (possibly new) volume's capacity.
+//!
+//! # Examples
+//!
+//! ```
+//! use sievestore_trace::{
+//!     EnsembleConfig, ScenarioConfig, ScenarioStage, SyntheticTrace, TraceStreamConfig,
+//! };
+//!
+//! let trace = SyntheticTrace::new(EnsembleConfig::tiny(42)).unwrap();
+//! let scenario = ScenarioConfig::new(7).with_stage(ScenarioStage::HotSetInversion { from_day: 1 });
+//! scenario.validate(trace.config()).unwrap();
+//! let n = trace
+//!     .stream(TraceStreamConfig::default().with_scenario(scenario))
+//!     .requests()
+//!     .count();
+//! assert!(n > 0);
+//! ```
+
+use std::fmt;
+
+use sievestore_types::{
+    mix64, BlockAddr, GlobalBlock, Request, ServerId, SieveError, VolumeId, BLOCKS_PER_PAGE,
+};
+
+use crate::model::EnsembleConfig;
+
+/// Address-remap granularity: popularity ranks in the generator address
+/// 16-block chunks, so scenario remaps move whole chunks — a remapped
+/// chunk keeps its internal reuse structure at its new address.
+pub const SCENARIO_CHUNK_BLOCKS: u64 = 16;
+
+/// One composable transform stage. See the module docs for what each
+/// models; all fields are in trace-local units (day indices, minutes of
+/// day, block fractions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioStage {
+    /// Amplify a deterministic `crowd_fraction` of chunks ×`amplification`
+    /// during `[start_minute, start_minute + duration_minutes)` on `day`.
+    FlashCrowd {
+        /// Calendar day of the spike.
+        day: u16,
+        /// First minute-of-day of the window.
+        start_minute: u32,
+        /// Window length in minutes.
+        duration_minutes: u32,
+        /// Copies emitted per crowd request (≥ 1; 1 = no-op).
+        amplification: u32,
+        /// Fraction of chunks in the crowd set (0..=1).
+        crowd_fraction: f64,
+    },
+    /// From `from_day` onward, mirror every block across its volume's
+    /// (page-aligned) midpoint: the generator places hot pools in the
+    /// lower half and cold windows in the upper half, so this swaps the
+    /// hot and cold address regions wholesale.
+    HotSetInversion {
+        /// First day the inversion applies (all later days included).
+        from_day: u16,
+    },
+    /// From `from_day` onward, re-address every request of `server` onto
+    /// the surviving servers by chunk-consistent hashing.
+    Failover {
+        /// First day the server is down.
+        from_day: u16,
+        /// Index of the failed server.
+        server: u8,
+    },
+    /// During a window on `day`, redirect a `fraction` of chunks to
+    /// fresh day-salted addresses (compulsory-miss surge).
+    ChurnBurst {
+        /// Calendar day of the burst.
+        day: u16,
+        /// First minute-of-day of the window.
+        start_minute: u32,
+        /// Window length in minutes.
+        duration_minutes: u32,
+        /// Fraction of chunks churned (0..=1).
+        fraction: f64,
+    },
+}
+
+impl fmt::Display for ScenarioStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScenarioStage::FlashCrowd {
+                day,
+                start_minute,
+                duration_minutes,
+                amplification,
+                crowd_fraction,
+            } => write!(
+                f,
+                "flash_crowd(day={day},m={start_minute}+{duration_minutes},x{amplification},f={crowd_fraction})"
+            ),
+            ScenarioStage::HotSetInversion { from_day } => {
+                write!(f, "hot_set_inversion(from_day={from_day})")
+            }
+            ScenarioStage::Failover { from_day, server } => {
+                write!(f, "failover(from_day={from_day},server={server})")
+            }
+            ScenarioStage::ChurnBurst {
+                day,
+                start_minute,
+                duration_minutes,
+                fraction,
+            } => write!(
+                f,
+                "churn_burst(day={day},m={start_minute}+{duration_minutes},f={fraction})"
+            ),
+        }
+    }
+}
+
+/// A seeded chain of [`ScenarioStage`]s. The default value is the empty
+/// scenario (the untransformed steady-state stream).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioConfig {
+    /// Scenario seed: all stage hashing mixes this in, independently of
+    /// the trace's own seed.
+    pub seed: u64,
+    stages: Vec<ScenarioStage>,
+}
+
+impl ScenarioConfig {
+    /// Creates an empty scenario with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage to the chain (stages apply in insertion order).
+    #[must_use]
+    pub fn with_stage(mut self, stage: ScenarioStage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stage chain.
+    pub fn stages(&self) -> &[ScenarioStage] {
+        &self.stages
+    }
+
+    /// `true` when no stage is configured (identity transform).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// `true` when any stage can re-address a request to a *different*
+    /// server (currently [`ScenarioStage::Failover`]). A single-server
+    /// scoped stream cannot represent such a scenario faithfully —
+    /// traffic migrating in from other servers' slices is invisible to
+    /// it — so per-server simulation entry points reject these.
+    pub fn moves_across_servers(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| matches!(s, ScenarioStage::Failover { .. }))
+    }
+
+    /// A compact human/report label, e.g.
+    /// `"failover(from_day=2,server=0)+churn_burst(...)"`, or `"steady"`
+    /// for the empty scenario.
+    pub fn label(&self) -> String {
+        if self.stages.is_empty() {
+            return "steady".into();
+        }
+        self.stages
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Validates the scenario against an ensemble without compiling the
+    /// capacity tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] for out-of-range servers,
+    /// fractions outside `[0, 1]`, zero amplification, or a failover with
+    /// no survivor.
+    pub fn validate(&self, ensemble: &EnsembleConfig) -> Result<(), SieveError> {
+        CompiledScenario::compile(self, ensemble).map(|_| ())
+    }
+}
+
+/// Per-stage hash domains, spaced so identical stages at different chain
+/// positions draw independent chunk sets.
+const STAGE_DOMAIN_STRIDE: u64 = 0x9E37_79B9;
+
+/// A [`ScenarioConfig`] resolved against one ensemble's geometry:
+/// per-volume capacities captured, parameters validated. The compiled
+/// form is what the stream generator actually runs; [`Self::apply`] is
+/// the whole per-request hot path.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    seed: u64,
+    /// `(domain, stage)` pairs in application order.
+    stages: Vec<(u64, ScenarioStage)>,
+    /// Capacity in blocks per `[server][volume]` (same clamp as the
+    /// generator's placement logic).
+    caps: Vec<Vec<u64>>,
+}
+
+/// `fraction` as an integer hash threshold (hash < threshold ⇔ member).
+fn threshold(fraction: f64) -> u64 {
+    if fraction >= 1.0 {
+        u64::MAX
+    } else {
+        (fraction.max(0.0) * u64::MAX as f64) as u64
+    }
+}
+
+/// The chunk identity a request's start block belongs to, as a stable
+/// hash key.
+fn chunk_key(addr: BlockAddr) -> u64 {
+    GlobalBlock::pack(
+        addr.server,
+        addr.volume,
+        addr.block & !(SCENARIO_CHUNK_BLOCKS - 1),
+    )
+    .raw()
+}
+
+/// Clamps a start block so `start + len` stays inside `capacity`.
+fn clamp_start(block: u64, len_blocks: u32, capacity: u64) -> u64 {
+    block.min(capacity.saturating_sub(len_blocks as u64))
+}
+
+impl CompiledScenario {
+    /// Resolves `config` against `ensemble`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::InvalidConfig`] when a stage references a
+    /// server the ensemble does not have, uses a fraction outside
+    /// `[0, 1]`, an amplification of zero, or fails over the only server.
+    pub fn compile(config: &ScenarioConfig, ensemble: &EnsembleConfig) -> Result<Self, SieveError> {
+        let servers = ensemble.servers.len();
+        for stage in &config.stages {
+            match *stage {
+                ScenarioStage::FlashCrowd {
+                    amplification,
+                    crowd_fraction,
+                    ..
+                } => {
+                    if amplification == 0 {
+                        return Err(SieveError::InvalidConfig(
+                            "flash crowd amplification must be >= 1".into(),
+                        ));
+                    }
+                    if !(0.0..=1.0).contains(&crowd_fraction) {
+                        return Err(SieveError::InvalidConfig(
+                            "flash crowd fraction must be in [0, 1]".into(),
+                        ));
+                    }
+                }
+                ScenarioStage::HotSetInversion { .. } => {}
+                ScenarioStage::Failover { server, .. } => {
+                    if (server as usize) >= servers {
+                        return Err(SieveError::InvalidConfig(format!(
+                            "failover server {server} out of range ({servers} servers)"
+                        )));
+                    }
+                    if servers < 2 {
+                        return Err(SieveError::InvalidConfig(
+                            "failover needs at least one surviving server".into(),
+                        ));
+                    }
+                }
+                ScenarioStage::ChurnBurst { fraction, .. } => {
+                    if !(0.0..=1.0).contains(&fraction) {
+                        return Err(SieveError::InvalidConfig(
+                            "churn fraction must be in [0, 1]".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        // The same `.max(4096)` floor the generator's placement uses, so
+        // remap targets land where generated requests could.
+        let caps = ensemble
+            .servers
+            .iter()
+            .map(|s| {
+                s.volumes
+                    .iter()
+                    .map(|v| v.blocks(ensemble.scale).max(4096))
+                    .collect()
+            })
+            .collect();
+        Ok(CompiledScenario {
+            seed: config.seed,
+            stages: config
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (1 + i as u64 * STAGE_DOMAIN_STRIDE, *s))
+                .collect(),
+            caps,
+        })
+    }
+
+    /// `true` when the chain is empty (apply is the identity).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Seeded, domain-separated hash of one chunk key.
+    fn hash(&self, domain: u64, key: u64) -> u64 {
+        mix64(self.seed ^ mix64(domain).wrapping_add(mix64(key)))
+    }
+
+    fn cap(&self, addr: BlockAddr) -> u64 {
+        self.caps[addr.server.as_usize()][addr.volume.as_usize()]
+    }
+
+    /// Transforms one request, appending 1..=k outputs to `out`.
+    ///
+    /// Pure in `(self, req)`: no internal state, so any chunking of the
+    /// input sequence produces the same flattened output sequence. Always
+    /// appends at least one request; never changes a timestamp.
+    pub fn apply(&self, req: Request, out: &mut Vec<Request>) {
+        if self.stages.is_empty() {
+            out.push(req);
+            return;
+        }
+        let mut req = req;
+        let mut copies: u64 = 1;
+        let day = req.timestamp.day().index();
+        let minute = req.timestamp.minute().of_day();
+        for &(domain, stage) in &self.stages {
+            match stage {
+                ScenarioStage::FlashCrowd {
+                    day: d,
+                    start_minute,
+                    duration_minutes,
+                    amplification,
+                    crowd_fraction,
+                } => {
+                    if day == d
+                        && minute >= start_minute
+                        && minute < start_minute.saturating_add(duration_minutes)
+                        && self.hash(domain, chunk_key(req.start)) < threshold(crowd_fraction)
+                    {
+                        copies = copies.saturating_mul(amplification as u64);
+                    }
+                }
+                ScenarioStage::HotSetInversion { from_day } => {
+                    if day >= from_day {
+                        let cap = self.cap(req.start);
+                        // Page-aligned midpoint keeps the ~94% page
+                        // alignment statistic intact under the mirror.
+                        let half = (cap / 2) & !(BLOCKS_PER_PAGE as u64 - 1);
+                        if half > 0 {
+                            let b = req.start.block;
+                            let mirrored = if b < half { b + half } else { b - half };
+                            req.start.block = clamp_start(mirrored, req.len_blocks, cap);
+                        }
+                    }
+                }
+                ScenarioStage::Failover { from_day, server } => {
+                    if day >= from_day && req.start.server.index() == server {
+                        let h = self.hash(domain, chunk_key(req.start));
+                        // Consistent re-shard: all of a chunk's requests
+                        // follow it to one survivor.
+                        let survivors = self.caps.len() as u64 - 1;
+                        let mut target = (h % survivors) as usize;
+                        if target >= server as usize {
+                            target += 1;
+                        }
+                        let h2 = mix64(h);
+                        let vol = (h2 % self.caps[target].len() as u64) as usize;
+                        let cap = self.caps[target][vol];
+                        let slots = (cap / SCENARIO_CHUNK_BLOCKS).max(1);
+                        let base = (mix64(h2) % slots) * SCENARIO_CHUNK_BLOCKS;
+                        let block = clamp_start(
+                            base + req.start.block % SCENARIO_CHUNK_BLOCKS,
+                            req.len_blocks,
+                            cap,
+                        );
+                        req.start = BlockAddr::new(
+                            ServerId::new(target as u8),
+                            VolumeId::new(vol as u8),
+                            block,
+                        );
+                    }
+                }
+                ScenarioStage::ChurnBurst {
+                    day: d,
+                    start_minute,
+                    duration_minutes,
+                    fraction,
+                } => {
+                    if day == d
+                        && minute >= start_minute
+                        && minute < start_minute.saturating_add(duration_minutes)
+                    {
+                        let key = chunk_key(req.start);
+                        if self.hash(domain, key) < threshold(fraction) {
+                            let cap = self.cap(req.start);
+                            let slots = (cap / SCENARIO_CHUNK_BLOCKS).max(1);
+                            // Day-salted fresh location: churned chunks
+                            // land on addresses no other day generates.
+                            let fresh = mix64(self.hash(domain ^ 0xC1BE, key) ^ u64::from(d));
+                            let base = (fresh % slots) * SCENARIO_CHUNK_BLOCKS;
+                            req.start.block = clamp_start(
+                                base + req.start.block % SCENARIO_CHUNK_BLOCKS,
+                                req.len_blocks,
+                                cap,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for _ in 0..copies {
+            out.push(req);
+        }
+    }
+
+    /// Applies the transform to a whole materialized sequence (the
+    /// reference path differential tests compare streams against).
+    pub fn apply_all(&self, requests: &[Request]) -> Vec<Request> {
+        let mut out = Vec::with_capacity(requests.len());
+        for &req in requests {
+            self.apply(req, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticTrace;
+    use sievestore_types::Day;
+
+    fn tiny() -> SyntheticTrace {
+        SyntheticTrace::new(EnsembleConfig::tiny(0xA11CE)).unwrap()
+    }
+
+    fn materialized(trace: &SyntheticTrace) -> Vec<Request> {
+        let mut all = Vec::new();
+        for d in 0..trace.days() {
+            all.extend(trace.day_requests(Day::new(d)));
+        }
+        all
+    }
+
+    fn compile(trace: &SyntheticTrace, config: &ScenarioConfig) -> CompiledScenario {
+        CompiledScenario::compile(config, trace.config()).unwrap()
+    }
+
+    #[test]
+    fn empty_scenario_is_identity() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let compiled = compile(&trace, &ScenarioConfig::default());
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.apply_all(&all), all);
+    }
+
+    #[test]
+    fn flash_crowd_amplifies_only_inside_the_window() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let config = ScenarioConfig::new(3).with_stage(ScenarioStage::FlashCrowd {
+            day: 1,
+            start_minute: 600,
+            duration_minutes: 120,
+            amplification: 5,
+            crowd_fraction: 0.2,
+        });
+        let out = compile(&trace, &config).apply_all(&all);
+        assert!(out.len() > all.len(), "some requests must be amplified");
+        // Outside the window the sequences are identical.
+        let in_window = |r: &Request| {
+            r.timestamp.day().index() == 1 && (600..720).contains(&r.timestamp.minute().of_day())
+        };
+        let base_outside: Vec<_> = all.iter().filter(|r| !in_window(r)).collect();
+        let out_outside: Vec<_> = out.iter().filter(|r| !in_window(r)).collect();
+        assert_eq!(base_outside, out_outside);
+        // Amplified copies are adjacent and identical, so the sequence
+        // stays timestamp-ordered.
+        assert!(out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn inversion_moves_blocks_but_preserves_time_and_capacity() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let config =
+            ScenarioConfig::new(9).with_stage(ScenarioStage::HotSetInversion { from_day: 1 });
+        let compiled = compile(&trace, &config);
+        let out = compiled.apply_all(&all);
+        assert_eq!(out.len(), all.len());
+        let mut moved = 0usize;
+        for (a, b) in all.iter().zip(&out) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.start.server, b.start.server);
+            assert_eq!(a.start.volume, b.start.volume);
+            let cap = compiled.cap(b.start);
+            assert!(b.start.block + b.len_blocks as u64 <= cap);
+            if a.timestamp.day().index() >= 1 {
+                if a.start.block != b.start.block {
+                    moved += 1;
+                }
+            } else {
+                assert_eq!(a.start.block, b.start.block, "day 0 must be untouched");
+            }
+        }
+        assert!(moved > 0, "inversion must move blocks from day 1 on");
+    }
+
+    #[test]
+    fn inversion_is_an_involution_away_from_clamps() {
+        let trace = tiny();
+        let config =
+            ScenarioConfig::new(9).with_stage(ScenarioStage::HotSetInversion { from_day: 0 });
+        let compiled = compile(&trace, &config);
+        // A small request far from the volume end mirrors back to itself.
+        let all = materialized(&trace);
+        let mut round_trips = 0usize;
+        for &req in all.iter().take(5000) {
+            let cap = compiled.cap(req.start);
+            if req.start.block + 512 > cap || req.len_blocks > 8 {
+                continue;
+            }
+            let mut once = Vec::new();
+            compiled.apply(req, &mut once);
+            let mut twice = Vec::new();
+            compiled.apply(once[0], &mut twice);
+            assert_eq!(twice[0].start, req.start);
+            round_trips += 1;
+        }
+        assert!(round_trips > 100, "need a meaningful sample");
+    }
+
+    #[test]
+    fn failover_drains_the_failed_server_from_its_day() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let config = ScenarioConfig::new(5).with_stage(ScenarioStage::Failover {
+            from_day: 1,
+            server: 0,
+        });
+        let compiled = compile(&trace, &config);
+        let out = compiled.apply_all(&all);
+        assert_eq!(out.len(), all.len());
+        for req in &out {
+            let day = req.timestamp.day().index();
+            if day >= 1 {
+                assert_ne!(
+                    req.start.server.index(),
+                    0,
+                    "failed server must receive no traffic from day 1"
+                );
+            }
+            let cap = compiled.cap(req.start);
+            assert!(req.start.block + req.len_blocks as u64 <= cap);
+        }
+        // Day 0 still has server-0 traffic.
+        assert!(out
+            .iter()
+            .any(|r| r.timestamp.day().index() == 0 && r.start.server.index() == 0));
+    }
+
+    #[test]
+    fn churn_burst_redirects_a_fraction_inside_the_window() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let config = ScenarioConfig::new(1).with_stage(ScenarioStage::ChurnBurst {
+            day: 1,
+            start_minute: 0,
+            duration_minutes: 24 * 60,
+            fraction: 0.5,
+        });
+        let compiled = compile(&trace, &config);
+        let out = compiled.apply_all(&all);
+        let changed = all
+            .iter()
+            .zip(&out)
+            .filter(|(a, b)| a.start != b.start)
+            .count();
+        assert!(changed > 0, "a 0.5 fraction must move something");
+        for (a, b) in all.iter().zip(&out) {
+            if a.timestamp.day().index() != 1 {
+                assert_eq!(a.start, b.start, "churn must stay inside its day");
+            }
+        }
+    }
+
+    #[test]
+    fn stages_compose_in_order_and_labels_describe_them() {
+        let trace = tiny();
+        let config = ScenarioConfig::new(2)
+            .with_stage(ScenarioStage::Failover {
+                from_day: 1,
+                server: 0,
+            })
+            .with_stage(ScenarioStage::HotSetInversion { from_day: 2 });
+        assert_eq!(
+            config.label(),
+            "failover(from_day=1,server=0)+hot_set_inversion(from_day=2)"
+        );
+        assert_eq!(ScenarioConfig::default().label(), "steady");
+        let all = materialized(&trace);
+        let out = compile(&trace, &config).apply_all(&all);
+        // Both stages act: no server-0 traffic after day 1, and day-2
+        // blocks differ from the failover-only transform.
+        assert!(out
+            .iter()
+            .filter(|r| r.timestamp.day().index() >= 1)
+            .all(|r| r.start.server.index() != 0));
+        let failover_only = compile(
+            &trace,
+            &ScenarioConfig::new(2).with_stage(ScenarioStage::Failover {
+                from_day: 1,
+                server: 0,
+            }),
+        )
+        .apply_all(&all);
+        assert_ne!(out, failover_only);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let trace = tiny();
+        let bad = [
+            ScenarioConfig::new(0).with_stage(ScenarioStage::Failover {
+                from_day: 0,
+                server: 99,
+            }),
+            ScenarioConfig::new(0).with_stage(ScenarioStage::FlashCrowd {
+                day: 0,
+                start_minute: 0,
+                duration_minutes: 1,
+                amplification: 0,
+                crowd_fraction: 0.5,
+            }),
+            ScenarioConfig::new(0).with_stage(ScenarioStage::FlashCrowd {
+                day: 0,
+                start_minute: 0,
+                duration_minutes: 1,
+                amplification: 2,
+                crowd_fraction: 1.5,
+            }),
+            ScenarioConfig::new(0).with_stage(ScenarioStage::ChurnBurst {
+                day: 0,
+                start_minute: 0,
+                duration_minutes: 1,
+                fraction: -0.1,
+            }),
+        ];
+        for config in bad {
+            assert!(config.validate(trace.config()).is_err(), "{config:?}");
+        }
+        assert!(ScenarioConfig::default().validate(trace.config()).is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_output_different_seed_differs() {
+        let trace = tiny();
+        let all = materialized(&trace);
+        let stage = ScenarioStage::ChurnBurst {
+            day: 1,
+            start_minute: 0,
+            duration_minutes: 24 * 60,
+            fraction: 0.5,
+        };
+        let a = compile(&trace, &ScenarioConfig::new(1).with_stage(stage)).apply_all(&all);
+        let b = compile(&trace, &ScenarioConfig::new(1).with_stage(stage)).apply_all(&all);
+        let c = compile(&trace, &ScenarioConfig::new(2).with_stage(stage)).apply_all(&all);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

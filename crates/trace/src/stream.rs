@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use sievestore_types::{Day, GlobalBlock, Request, SieveError};
 
 use crate::io::{TraceReader, TraceWriter};
+use crate::scenario::{CompiledScenario, ScenarioConfig};
 use crate::synth::SyntheticTrace;
 
 /// Sort key produced by [`request_order_key`]: timestamp-major, then
@@ -101,8 +102,14 @@ pub struct TraceStreamConfig {
     /// When set, per-server day runs spill to this directory instead of
     /// staying resident for the merge: peak generator memory drops from
     /// one day to one server-day. The directory is created if needed and
-    /// run files are deleted as each day completes.
+    /// run files are deleted as each day completes — including when the
+    /// stream is dropped mid-day or generation fails (the files are
+    /// guarded, never orphaned).
     pub spill_dir: Option<PathBuf>,
+    /// Adversarial transform chain applied to the merged request
+    /// sequence (see [`crate::scenario`]). The default empty scenario is
+    /// the identity — the steady-state stream.
+    pub scenario: ScenarioConfig,
 }
 
 impl Default for TraceStreamConfig {
@@ -111,6 +118,7 @@ impl Default for TraceStreamConfig {
             chunk_requests: DEFAULT_CHUNK_REQUESTS,
             depth: DEFAULT_STREAM_DEPTH,
             spill_dir: None,
+            scenario: ScenarioConfig::default(),
         }
     }
 }
@@ -134,6 +142,17 @@ impl TraceStreamConfig {
     #[must_use]
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Applies an adversarial [`ScenarioConfig`] to the stream.
+    ///
+    /// The transform runs after the k-way merge, so the scenarioed
+    /// sequence inherits the base stream's invariance: bit-identical for
+    /// a given seed across chunk sizes, depths, and spill mode.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
         self
     }
 }
@@ -175,7 +194,7 @@ pub enum StreamMsg {
 #[derive(Debug)]
 pub struct TraceStream {
     rx: Option<mpsc::Receiver<StreamMsg>>,
-    recycle_tx: mpsc::Sender<Vec<Request>>,
+    recycle_tx: Option<mpsc::Sender<Vec<Request>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -190,7 +209,9 @@ impl TraceStream {
         buf.clear();
         // The generator may already have finished; dropped buffers are
         // simply reallocated next run.
-        let _ = self.recycle_tx.send(buf);
+        if let Some(tx) = &self.recycle_tx {
+            let _ = tx.send(buf);
+        }
     }
 
     /// Flattens the stream into one request iterator (convenience for
@@ -211,8 +232,12 @@ impl TraceStream {
 impl Drop for TraceStream {
     fn drop(&mut self) {
         // Closing the receiver makes the generator's next send fail, so
-        // it exits even mid-day; then reap the thread.
+        // it exits even mid-day; closing the recycle channel lets it
+        // detect the hang-up *between* sends too (spill mode checks it
+        // between per-server run writes). Then reap the thread — by the
+        // time `drop` returns, spill run files are guaranteed cleaned up.
         drop(self.rx.take());
+        drop(self.recycle_tx.take());
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -264,6 +289,12 @@ impl SyntheticTrace {
     /// [`request_order_key`] order — the same sequence
     /// [`SyntheticTrace::day_requests`] materializes, day by day, but
     /// generated on a background thread in bounded chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured scenario does not validate against this
+    /// trace's ensemble (call [`ScenarioConfig::validate`] first to get
+    /// a `Result` instead — the `sim` entry points do).
     pub fn stream(&self, config: TraceStreamConfig) -> TraceStream {
         self.stream_scoped(StreamScope::AllServers, config)
     }
@@ -271,9 +302,15 @@ impl SyntheticTrace {
     /// Streams a single server's slice of the trace (the counterpart of
     /// [`SyntheticTrace::server_day`]).
     ///
+    /// A configured scenario applies to this server's generated slice
+    /// only: stages that re-address requests across servers (failover)
+    /// may emit requests addressed elsewhere and will not include
+    /// traffic migrating in from other servers' slices.
+    ///
     /// # Panics
     ///
-    /// Panics if `server_idx` is out of range.
+    /// Panics if `server_idx` is out of range or the configured scenario
+    /// does not validate against this trace's ensemble.
     pub fn stream_server(&self, server_idx: usize, config: TraceStreamConfig) -> TraceStream {
         assert!(
             server_idx < self.config().servers.len(),
@@ -283,10 +320,13 @@ impl SyntheticTrace {
     }
 
     fn stream_scoped(&self, scope: StreamScope, config: TraceStreamConfig) -> TraceStream {
+        let scenario = CompiledScenario::compile(&config.scenario, self.config())
+            .expect("scenario must validate against this trace's ensemble");
         let config = TraceStreamConfig {
             chunk_requests: config.chunk_requests.max(1),
             depth: config.depth.max(1),
             spill_dir: config.spill_dir,
+            scenario: config.scenario,
         };
         let (tx, rx) = mpsc::sync_channel::<StreamMsg>(config.depth);
         let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<Request>>();
@@ -298,16 +338,33 @@ impl SyntheticTrace {
                     trace,
                     scope,
                     config,
+                    scenario,
                     tx,
                     recycle_rx,
+                    spare: Vec::new(),
                 }
                 .run();
             })
             .expect("spawn trace generator thread");
         TraceStream {
             rx: Some(rx),
-            recycle_tx,
+            recycle_tx: Some(recycle_tx),
             handle: Some(handle),
+        }
+    }
+}
+
+/// Removes its run files when dropped, so spill-mode generation never
+/// leaves orphans behind — not on completion, not on consumer hang-up,
+/// not on an I/O-error early return, not on a generator panic.
+struct SpillRunGuard {
+    paths: Vec<PathBuf>,
+}
+
+impl Drop for SpillRunGuard {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
         }
     }
 }
@@ -317,12 +374,16 @@ struct Generator {
     trace: SyntheticTrace,
     scope: StreamScope,
     config: TraceStreamConfig,
+    scenario: CompiledScenario,
     tx: mpsc::SyncSender<StreamMsg>,
     recycle_rx: mpsc::Receiver<Vec<Request>>,
+    /// Recycled buffers drained by [`Generator::consumer_gone`], reused
+    /// before asking the channel again.
+    spare: Vec<Vec<Request>>,
 }
 
 impl Generator {
-    fn run(self) {
+    fn run(mut self) {
         for d in 0..self.trace.days() {
             let day = Day::new(d);
             if self.tx.send(StreamMsg::StartDay(day)).is_err() {
@@ -352,18 +413,33 @@ impl Generator {
     }
 
     /// A chunk buffer, recycled from the consumer when available.
-    fn chunk_buf(&self) -> Vec<Request> {
+    fn chunk_buf(&mut self) -> Vec<Request> {
         let mut buf = self
-            .recycle_rx
-            .try_recv()
-            .unwrap_or_else(|_| Vec::with_capacity(self.config.chunk_requests));
+            .spare
+            .pop()
+            .or_else(|| self.recycle_rx.try_recv().ok())
+            .unwrap_or_else(|| Vec::with_capacity(self.config.chunk_requests));
         buf.clear();
         buf
     }
 
+    /// Drains the recycle channel into the spare pool; `true` once the
+    /// consumer has hung up. Lets spill mode abort between per-server
+    /// run writes instead of generating the rest of a day nobody will
+    /// read.
+    fn consumer_gone(&mut self) -> bool {
+        loop {
+            match self.recycle_rx.try_recv() {
+                Ok(buf) => self.spare.push(buf),
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
     /// Generates every server's run for `day` in memory and merges them
     /// into chunks. Returns `false` if the consumer went away.
-    fn emit_day_in_memory(&self, day: Day) -> bool {
+    fn emit_day_in_memory(&mut self, day: Day) -> bool {
         let runs: Vec<Vec<Request>> = self
             .servers()
             .into_iter()
@@ -377,32 +453,42 @@ impl Generator {
 
     /// Spill mode: writes each server run to disk as soon as it is
     /// generated (so only one resident server-day at a time), then merges
-    /// the runs back as streams.
+    /// the runs back as streams. The runs live behind a [`SpillRunGuard`],
+    /// so every exit — completion, consumer hang-up, I/O error, panic —
+    /// leaves the spill directory clean.
     ///
     /// Returns `Ok(false)` if the consumer went away, `Err` on I/O
     /// failure.
-    fn emit_day_spilled(&self, day: Day, dir: PathBuf) -> Result<bool, SieveError> {
+    fn emit_day_spilled(&mut self, day: Day, dir: PathBuf) -> Result<bool, SieveError> {
         std::fs::create_dir_all(&dir)?;
         let servers = self.servers();
-        let mut paths = Vec::with_capacity(servers.len());
+        let mut guard = SpillRunGuard {
+            paths: Vec::with_capacity(servers.len()),
+        };
         for s in servers {
+            if self.consumer_gone() {
+                return Ok(false);
+            }
             let run = self.trace.server_day_requests(s, day);
             let path = dir.join(format!("day{:04}-srv{s:02}.run", day.index()));
+            // Registered before creation: a partially-written file from a
+            // failed write below is still removed by the guard.
+            guard.paths.push(path.clone());
             let file = std::fs::File::create(&path)?;
             let mut writer = TraceWriter::with_count(file, run.len() as u64)?;
             for req in &run {
                 writer.write(req)?;
             }
             writer.finish()?;
-            paths.push(path);
         }
-        let mut readers = paths
+        let mut readers = guard
+            .paths
             .iter()
             .map(|p| TraceReader::new(std::fs::File::open(p)?))
             .collect::<Result<Vec<_>, SieveError>>()?;
         let mut pull = |i: usize| readers[i].next().transpose();
-        let mut heads: Vec<Option<Request>> = Vec::with_capacity(paths.len());
-        for i in 0..paths.len() {
+        let mut heads: Vec<Option<Request>> = Vec::with_capacity(guard.paths.len());
+        for i in 0..guard.paths.len() {
             heads.push(pull(i)?);
         }
         let mut io_err: Option<SieveError> = None;
@@ -413,9 +499,6 @@ impl Generator {
                 None // ends this source; the error surfaces below
             }
         });
-        for p in &paths {
-            let _ = std::fs::remove_file(p);
-        }
         match io_err {
             Some(e) => Err(e),
             None => Ok(delivered.is_ok()),
@@ -427,8 +510,17 @@ impl Generator {
     /// bitwise-identical requests, so the lowest-index tiebreak below
     /// changes nothing about the produced byte sequence.
     ///
+    /// The scenario transform runs here, on each merged request in its
+    /// canonical position — after ordering, before chunking — which is
+    /// what makes a scenarioed stream invariant under chunk shape and
+    /// spill mode: the spilled runs hold untransformed base requests, and
+    /// both backing stores feed the identical merged sequence through the
+    /// identical pure per-request transform. An amplifying stage may push
+    /// a chunk a few requests past the configured size; boundaries carry
+    /// no meaning, so nothing downstream can tell.
+    ///
     /// Returns `Err(())` when the consumer hung up.
-    fn merge_chunks<F>(&self, heads: &mut [Option<Request>], mut next: F) -> Result<(), ()>
+    fn merge_chunks<F>(&mut self, heads: &mut [Option<Request>], mut next: F) -> Result<(), ()>
     where
         F: FnMut(usize) -> Option<Request>,
     {
@@ -446,7 +538,7 @@ impl Generator {
             let Some((i, _)) = min else { break };
             let req = heads[i].take().expect("head present");
             heads[i] = next(i);
-            chunk.push(req);
+            self.scenario.apply(req, &mut chunk);
             if chunk.len() >= self.config.chunk_requests {
                 let full = std::mem::replace(&mut chunk, self.chunk_buf());
                 if self.tx.send(StreamMsg::Chunk(full)).is_err() {
@@ -571,6 +663,104 @@ mod tests {
             let _ = stream.next_msg();
         }
         drop(stream); // must not hang or panic
+    }
+
+    #[test]
+    fn dropping_a_spilled_stream_mid_day_leaves_no_run_files() {
+        let trace = tiny();
+        let dir =
+            std::env::temp_dir().join(format!("sievestore-stream-abort-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Tiny chunks + depth 1: the generator blocks mid-merge with its
+        // run files still on disk when we hang up.
+        let cfg = TraceStreamConfig::default()
+            .with_chunk_requests(8)
+            .with_depth(1)
+            .with_spill_dir(&dir);
+        let mut stream = trace.stream(cfg);
+        for _ in 0..3 {
+            let _ = stream.next_msg();
+        }
+        // Drop joins the generator thread, so by the time it returns the
+        // guard has run: the spill dir must already be empty.
+        drop(stream);
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).map(|e| e.path()).collect())
+            .unwrap_or_default();
+        assert!(leftover.is_empty(), "orphaned run files: {leftover:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_write_error_cleans_up_already_written_runs() {
+        let trace = tiny();
+        let dir =
+            std::env::temp_dir().join(format!("sievestore-stream-ioerr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Squat on server 1's run filename with a *directory*, so its
+        // `File::create` fails after server 0's run was already written:
+        // the exact mid-day I/O-error path that used to orphan files.
+        let blocker = dir.join("day0000-srv01.run");
+        std::fs::create_dir_all(&blocker).unwrap();
+        let cfg = TraceStreamConfig::default().with_spill_dir(&dir);
+        let mut stream = trace.stream(cfg);
+        let mut failed = false;
+        while let Some(msg) = stream.next_msg() {
+            if let StreamMsg::Failed(_) = msg {
+                failed = true;
+            }
+        }
+        assert!(failed, "colliding run path must surface as Failed");
+        drop(stream);
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| *p != blocker)
+            .collect();
+        assert!(
+            leftover.is_empty(),
+            "srv00's run must be removed on the error path: {leftover:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenario_stream_is_identical_in_memory_and_spilled() {
+        use crate::scenario::{ScenarioConfig, ScenarioStage};
+        let trace = tiny();
+        let scenario = ScenarioConfig::new(0xCAFE)
+            .with_stage(ScenarioStage::Failover {
+                from_day: 1,
+                server: 0,
+            })
+            .with_stage(ScenarioStage::FlashCrowd {
+                day: 1,
+                start_minute: 0,
+                duration_minutes: 240,
+                amplification: 3,
+                crowd_fraction: 0.1,
+            });
+        let (_, reference) =
+            drain(trace.stream(TraceStreamConfig::default().with_scenario(scenario.clone())));
+        // Reference path: transform the materialized merge directly.
+        let compiled = CompiledScenario::compile(&scenario, trace.config()).unwrap();
+        assert_eq!(reference, compiled.apply_all(&materialized(&trace)));
+        let dir =
+            std::env::temp_dir().join(format!("sievestore-stream-scenario-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for chunk in [3usize, 509] {
+            let cfg = TraceStreamConfig::default()
+                .with_chunk_requests(chunk)
+                .with_depth(1)
+                .with_scenario(scenario.clone());
+            let (_, got) = drain(trace.stream(cfg.clone()));
+            assert_eq!(got, reference, "chunk {chunk} diverged");
+            let (_, spilled) = drain(trace.stream(cfg.with_spill_dir(&dir)));
+            assert_eq!(spilled, reference, "spilled chunk {chunk} diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Differential and property tests for the adversarial scenario engine.
+//!
+//! The engine's contract (see `sievestore_trace::scenario`):
+//!
+//! * a scenarioed stream is **bit-identical for a given seed** across
+//!   chunk sizes, pipeline depths, and spill on/off — pinned by golden
+//!   digests for all four scenario families and by a property over
+//!   random stream shapes;
+//! * scenarios never change timestamps or day partitioning, and every
+//!   transformed request stays within its volume's capacity;
+//! * replay figures are engine-invariant under every scenario:
+//!   sharded(N) reproduces the sequential metrics *and* day-snapshot
+//!   bytes exactly, N ∈ {1, 2, 4}, for discrete and continuous policies
+//!   under both eviction policies;
+//! * invalid scenarios are rejected up front by the sim entry points.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use sievestore::PolicySpec;
+use sievestore_sieve::TwoTierConfig;
+use sievestore_sim::{
+    simulate, simulate_server, simulate_sharded, EvictionPolicy, SimConfig, SnapshotLog,
+};
+use sievestore_trace::{
+    CompiledScenario, EnsembleConfig, ScenarioConfig, ScenarioStage, StreamMsg, SyntheticTrace,
+    TraceStreamConfig,
+};
+use sievestore_types::{mix64, Day, Request, RequestKind};
+
+/// Large enough that no policy under the tiny traces ever evicts, so
+/// continuous policies are also shard-count invariant (see
+/// `tests/sharded_replay.rs` for the regime argument).
+const AMPLE_CAPACITY: usize = 1 << 20;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Fixed scenario seed for the golden digests.
+const SCENARIO_SEED: u64 = 0x5C2E_0AD5;
+
+fn fold_request(acc: u64, r: &Request) -> u64 {
+    let mut acc = mix64(acc ^ r.timestamp.as_u64());
+    acc = mix64(acc ^ u64::from(r.start.server.index()));
+    acc = mix64(acc ^ u64::from(r.start.volume.index()));
+    acc = mix64(acc ^ r.start.block);
+    acc = mix64(acc ^ u64::from(r.len_blocks));
+    acc = mix64(acc ^ matches!(r.kind, RequestKind::Write) as u64);
+    mix64(acc ^ r.response_time.as_u64())
+}
+
+fn digest<'a>(requests: impl IntoIterator<Item = &'a Request>) -> u64 {
+    requests.into_iter().fold(0, fold_request)
+}
+
+fn drain(trace: &SyntheticTrace, config: TraceStreamConfig) -> (Vec<Day>, u64) {
+    let mut stream = trace.stream(config);
+    let mut days = Vec::new();
+    let mut acc = 0u64;
+    while let Some(msg) = stream.next_msg() {
+        match msg {
+            StreamMsg::StartDay(day) => days.push(day),
+            StreamMsg::Chunk(chunk) => {
+                acc = chunk.iter().fold(acc, fold_request);
+                stream.recycle(chunk);
+            }
+            StreamMsg::Failed(e) => panic!("stream failed: {e}"),
+        }
+    }
+    (days, acc)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sievestore-scenario-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn tiny_trace(seed: u64) -> SyntheticTrace {
+    SyntheticTrace::new(EnsembleConfig::tiny(seed)).expect("tiny trace")
+}
+
+fn cfg(trace: &SyntheticTrace) -> SimConfig {
+    SimConfig::paper_16gb(trace.config().scale.denominator()).with_capacity_blocks(AMPLE_CAPACITY)
+}
+
+/// The four scenario families over the tiny ensemble (2 servers, 3
+/// days): each disrupts from/on day 1, so day 0 is always steady.
+fn scenarios() -> Vec<(&'static str, ScenarioConfig)> {
+    let new = || ScenarioConfig::new(SCENARIO_SEED);
+    vec![
+        (
+            "flash_crowd",
+            new().with_stage(ScenarioStage::FlashCrowd {
+                day: 1,
+                start_minute: 600,
+                duration_minutes: 120,
+                amplification: 4,
+                crowd_fraction: 0.25,
+            }),
+        ),
+        (
+            "hot_set_inversion",
+            new().with_stage(ScenarioStage::HotSetInversion { from_day: 1 }),
+        ),
+        (
+            "failover",
+            new().with_stage(ScenarioStage::Failover {
+                from_day: 1,
+                server: 0,
+            }),
+        ),
+        (
+            "churn_burst",
+            new().with_stage(ScenarioStage::ChurnBurst {
+                day: 1,
+                start_minute: 0,
+                duration_minutes: 24 * 60,
+                fraction: 0.4,
+            }),
+        ),
+    ]
+}
+
+fn materialized(trace: &SyntheticTrace) -> Vec<Request> {
+    let mut all = Vec::new();
+    for d in 0..trace.days() {
+        all.extend(trace.day_requests(Day::new(d)));
+    }
+    all
+}
+
+/// Reference transform of the materialized merge — the sequence every
+/// stream shape must reproduce.
+fn reference(trace: &SyntheticTrace, scenario: &ScenarioConfig) -> Vec<Request> {
+    CompiledScenario::compile(scenario, trace.config())
+        .expect("valid scenario")
+        .apply_all(&materialized(trace))
+}
+
+/// Golden digests for `EnsembleConfig::tiny(42)` under `SCENARIO_SEED`,
+/// in `scenarios()` order. If one of these moves, the scenario engine's
+/// output changed for everyone — including any committed degradation
+/// baselines — and the change must be deliberate.
+const GOLDEN_TINY_42: [(&str, u64); 4] = [
+    ("flash_crowd", 0xCD2B_5D38_0705_A047),
+    ("hot_set_inversion", 0x3B7D_5DBD_3656_CCA4),
+    ("failover", 0xF318_1E53_2DE6_3CD0),
+    ("churn_burst", 0xDCE1_322C_D028_14F1),
+];
+
+/// Every scenario stream matches its reference transform for every
+/// stream shape — in-memory and spilled — and the committed golden
+/// digest.
+#[test]
+fn scenario_streams_match_reference_and_golden_digests() {
+    let trace = tiny_trace(42);
+    let expected_days: Vec<Day> = (0..trace.days()).map(Day::new).collect();
+    let spill_root = scratch_dir("golden");
+    for (i, (name, scenario)) in scenarios().into_iter().enumerate() {
+        let expect = digest(&reference(&trace, &scenario));
+        let shapes: Vec<(&str, TraceStreamConfig)> = vec![
+            ("default", TraceStreamConfig::default()),
+            (
+                "chunk-7",
+                TraceStreamConfig::default()
+                    .with_chunk_requests(7)
+                    .with_depth(1),
+            ),
+            (
+                "spill",
+                TraceStreamConfig::default()
+                    .with_chunk_requests(33)
+                    .with_spill_dir(spill_root.join(name)),
+            ),
+        ];
+        for (shape_name, shape) in shapes {
+            let (days, got) = drain(&trace, shape.with_scenario(scenario.clone()));
+            assert_eq!(days, expected_days, "{name}/{shape_name}: day markers");
+            assert_eq!(got, expect, "{name}/{shape_name}: sequence diverged");
+        }
+        let (golden_name, golden) = GOLDEN_TINY_42[i];
+        assert_eq!(golden_name, name, "golden table order");
+        assert_eq!(
+            expect, golden,
+            "{name}: golden digest moved — deliberate generator change?"
+        );
+    }
+    std::fs::remove_dir_all(&spill_root).ok();
+}
+
+/// Scenario transforms preserve day partitioning, timestamps, and
+/// volume capacities, and amplification only ever adds requests.
+#[test]
+fn scenario_streams_preserve_days_and_capacities() {
+    let trace = tiny_trace(42);
+    let config = trace.config();
+    let caps: Vec<Vec<u64>> = config
+        .servers
+        .iter()
+        .map(|s| {
+            s.volumes
+                .iter()
+                .map(|v| v.blocks(config.scale).max(4096))
+                .collect()
+        })
+        .collect();
+    let base_len = materialized(&trace).len();
+    for (name, scenario) in scenarios() {
+        let requests: Vec<Request> = trace
+            .stream(TraceStreamConfig::default().with_scenario(scenario))
+            .requests()
+            .collect();
+        assert!(
+            requests.len() >= base_len,
+            "{name}: transform dropped requests"
+        );
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].timestamp <= w[1].timestamp),
+            "{name}: timestamps must stay non-decreasing"
+        );
+        for r in &requests {
+            let cap = caps[r.start.server.as_usize()][r.start.volume.as_usize()];
+            assert!(
+                r.start.block + u64::from(r.len_blocks) <= cap,
+                "{name}: {r} exceeds volume capacity {cap}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any stream shape — chunk size, pipeline depth, spill on/off —
+    /// over any scenario family and seed reproduces the reference
+    /// transform byte-for-byte.
+    #[test]
+    fn scenario_stream_is_shape_invariant(
+        scenario_idx in 0usize..4,
+        scenario_seed in any::<u64>(),
+        chunk in 1usize..3000,
+        depth in 1usize..5,
+        spill in any::<bool>(),
+    ) {
+        let trace = tiny_trace(7);
+        let (name, scenario) = scenarios().swap_remove(scenario_idx);
+        let scenario = ScenarioConfig::new(scenario_seed)
+            .with_stage(scenario.stages()[0]);
+        let expect = digest(&reference(&trace, &scenario));
+        let mut shape = TraceStreamConfig::default()
+            .with_chunk_requests(chunk)
+            .with_depth(depth)
+            .with_scenario(scenario);
+        let spill_dir = scratch_dir("prop");
+        if spill {
+            shape = shape.with_spill_dir(&spill_dir);
+        }
+        let (_, got) = drain(&trace, shape);
+        std::fs::remove_dir_all(&spill_dir).ok();
+        prop_assert_eq!(got, expect, "{} diverged (chunk {}, depth {}, spill {})",
+            name, chunk, depth, spill);
+    }
+}
+
+/// The engine-invariance matrix under adversity: for each scenario,
+/// sharded(1/2/4) must reproduce the sequential per-day metrics and the
+/// exported day-snapshot bytes exactly — discrete and continuous
+/// policies, LRU and SIEVE eviction.
+#[test]
+fn sharded_replay_matches_sequential_under_every_scenario() {
+    let trace = tiny_trace(11);
+    let specs: Vec<PolicySpec> = vec![
+        PolicySpec::SieveStoreD { threshold: 10 },
+        PolicySpec::SieveStoreC(TwoTierConfig::paper_default().with_imct_entries(1 << 14)),
+    ];
+    for (name, scenario) in scenarios() {
+        for eviction in [EvictionPolicy::Lru, EvictionPolicy::Sieve] {
+            let base = cfg(&trace)
+                .with_eviction(eviction)
+                .with_scenario(scenario.clone());
+            for spec in &specs {
+                let sequential = simulate(&trace, spec.clone(), &base).expect("sequential");
+                let sequential_jsonl = SnapshotLog::from_result(&sequential).to_jsonl();
+                for shards in SHARD_COUNTS {
+                    let (sharded, stats) =
+                        simulate_sharded(&trace, spec.clone(), &base, shards).expect("sharded");
+                    assert_eq!(
+                        sequential.days, sharded.days,
+                        "{name}: {spec:?} under {eviction} diverged at {shards} shards"
+                    );
+                    assert_eq!(
+                        sequential_jsonl,
+                        SnapshotLog::from_result(&sharded).to_jsonl(),
+                        "{name}: {spec:?} under {eviction}: snapshot bytes diverged at {shards} shards"
+                    );
+                    assert_eq!(
+                        stats.total_blocks(),
+                        sequential.total().accesses(),
+                        "{name}: routing dropped blocks at {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A disruption must actually disrupt: each scenario changes the
+/// replayed figures relative to the steady-state run on the same trace.
+#[test]
+fn every_scenario_changes_the_replay_figures() {
+    let trace = tiny_trace(11);
+    let spec = PolicySpec::SieveStoreD { threshold: 10 };
+    let steady = simulate(&trace, spec.clone(), &cfg(&trace)).expect("steady");
+    for (name, scenario) in scenarios() {
+        let run = simulate(&trace, spec.clone(), &cfg(&trace).with_scenario(scenario))
+            .expect("scenario run");
+        assert_ne!(
+            steady.days, run.days,
+            "{name}: scenario replay is indistinguishable from steady state"
+        );
+        // Day 0 precedes every disruption, so its access totals agree.
+        assert_eq!(
+            steady.days[0].accesses(),
+            run.days[0].accesses(),
+            "{name}: day 0 must be untouched"
+        );
+    }
+}
+
+/// Sim entry points validate scenarios up front and reject the
+/// combinations the engine cannot replay faithfully.
+#[test]
+fn invalid_scenarios_are_rejected_with_errors_not_panics() {
+    let trace = tiny_trace(5);
+    // Failover target out of range for the 2-server tiny ensemble.
+    let bad = ScenarioConfig::new(1).with_stage(ScenarioStage::Failover {
+        from_day: 1,
+        server: 9,
+    });
+    assert!(bad.validate(trace.config()).is_err());
+    let err = simulate(&trace, PolicySpec::Aod, &cfg(&trace).with_scenario(bad))
+        .expect_err("out-of-range failover must not simulate");
+    assert!(err.to_string().contains("out of range"), "{err}");
+    // Cross-server stages cannot replay a single server's slice.
+    let failover = ScenarioConfig::new(1).with_stage(ScenarioStage::Failover {
+        from_day: 1,
+        server: 0,
+    });
+    let err = simulate_server(
+        &trace,
+        1,
+        PolicySpec::Aod,
+        &cfg(&trace).with_scenario(failover),
+    )
+    .expect_err("failover over a single-server slice must be rejected");
+    assert!(err.to_string().contains("single server"), "{err}");
+}
